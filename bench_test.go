@@ -1,0 +1,432 @@
+// Benchmarks regenerating the repository's performance tables (see
+// EXPERIMENTS.md, T-cost and T-perf): the two-writer register against the
+// locked baseline and the MRMW construction, the reader-count sweep, the
+// writer-as-reader optimization, the Lamport safe-bit stack, and the
+// verification machinery itself.
+package atomicregister_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	atomicregister "repro"
+	"repro/internal/atomicity"
+	"repro/internal/core"
+	"repro/internal/counterexample"
+	"repro/internal/history"
+	"repro/internal/netreg"
+	"repro/internal/proof"
+	"repro/internal/register"
+	"repro/internal/sched"
+)
+
+// BenchmarkWriteUncontended measures a simulated write with the other
+// writer quiescent: 1 real read + 1 real write (T-cost row 1).
+func BenchmarkWriteUncontended(b *testing.B) {
+	reg := atomicregister.New(1, 0)
+	w := reg.Writer(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Write(i)
+	}
+}
+
+// BenchmarkWriteContended runs both writers flat out.
+func BenchmarkWriteContended(b *testing.B) {
+	reg := atomicregister.New(1, 0)
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(next.Add(1)) - 1
+		if i > 1 {
+			return // only two writers exist; extra workers idle
+		}
+		w := reg.Writer(i)
+		for pb.Next() {
+			w.Write(i)
+		}
+	})
+}
+
+// BenchmarkReadQuiescent measures a simulated read with no writer
+// activity: 3 real reads (T-cost row 2).
+func BenchmarkReadQuiescent(b *testing.B) {
+	reg := atomicregister.New(1, 0)
+	reg.Writer(0).Write(42)
+	r := reg.Reader(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.Read()
+	}
+}
+
+// BenchmarkWriterAsReaderRead measures the combined automaton's read:
+// 1–2 real reads via the local copy (T-cost row 3).
+func BenchmarkWriterAsReaderRead(b *testing.B) {
+	reg := atomicregister.New(0, 0)
+	wr := reg.WriterReader(0)
+	wr.Write(42)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = wr.Read()
+	}
+}
+
+// BenchmarkReadScaling sweeps the reader count under live writer load
+// (T-perf figure: throughput vs n).
+func BenchmarkReadScaling(b *testing.B) {
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("readers=%d", n), func(b *testing.B) {
+			reg := atomicregister.New(n, 0)
+			stop := make(chan struct{})
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				w := reg.Writer(0)
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+						w.Write(i)
+					}
+				}
+			}()
+			var port atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				j := int(port.Add(1))
+				if j > n {
+					return
+				}
+				r := reg.Reader(j)
+				for pb.Next() {
+					_ = r.Read()
+				}
+			})
+			b.StopTimer()
+			close(stop)
+			<-done
+		})
+	}
+}
+
+// BenchmarkLockedBaselineRead is the mutex register baseline (not
+// wait-free; what the paper's protocol avoids).
+func BenchmarkLockedBaselineRead(b *testing.B) {
+	reg := register.NewLockedMRMW(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = reg.Read()
+	}
+}
+
+// BenchmarkLockedBaselineWrite is the mutex register's write.
+func BenchmarkLockedBaselineWrite(b *testing.B) {
+	reg := register.NewLockedMRMW(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		reg.Write(i)
+	}
+}
+
+// BenchmarkMRMW measures the Vitányi–Awerbuch-style register for writer
+// counts beyond two — the construction one must switch to past two
+// writers (T-perf contrast).
+func BenchmarkMRMW(b *testing.B) {
+	for _, writers := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("write/writers=%d", writers), func(b *testing.B) {
+			m, err := atomicregister.NewMRMW(writers, 1, 0, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			w := m.Writer(0)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				w.Write(i)
+			}
+		})
+		b.Run(fmt.Sprintf("read/writers=%d", writers), func(b *testing.B) {
+			m, err := atomicregister.NewMRMW(writers, 1, 0, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m.Writer(0).Write(42)
+			r := m.Reader(0)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = r.Read()
+			}
+		})
+	}
+}
+
+// BenchmarkLamportStack measures the full footnote-3 substrate: every
+// access fans out to unary-coded regular bits built on safe bits.
+func BenchmarkLamportStack(b *testing.B) {
+	domain := []int{0, 1, 2, 3}
+	mkReg := func(budget int) *atomicregister.TwoWriter[int] {
+		init := atomicregister.Tagged[int]{Val: 0}
+		r0, err := atomicregister.NewLamportStack(2, domain, budget, init, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r1, err := atomicregister.NewLamportStack(2, domain, budget, init, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return atomicregister.New(1, 0, atomicregister.WithRegisters[int](r0, r1))
+	}
+	b.Run("write", func(b *testing.B) {
+		// Each instance supports a bounded number of writes (unary
+		// sequence numbers); rebuild off the clock when exhausted.
+		const budget = 1 << 12
+		reg := mkReg(budget)
+		w := reg.Writer(0)
+		used := 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if used == budget {
+				b.StopTimer()
+				reg = mkReg(budget)
+				w = reg.Writer(0)
+				used = 0
+				b.StartTimer()
+			}
+			w.Write(i % 4)
+			used++
+		}
+	})
+	b.Run("read", func(b *testing.B) {
+		reg := mkReg(4)
+		reg.Writer(0).Write(1)
+		r := reg.Reader(1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = r.Read()
+		}
+	})
+}
+
+// BenchmarkRecordingOverhead quantifies what WithRecording costs per
+// write, so users know what they pay for certifiability.
+func BenchmarkRecordingOverhead(b *testing.B) {
+	b.Run("off", func(b *testing.B) {
+		reg := atomicregister.New(1, 0)
+		w := reg.Writer(0)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w.Write(i)
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		reg := atomicregister.New(1, 0, atomicregister.WithRecording[int]())
+		w := reg.Writer(0)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w.Write(i)
+		}
+	})
+}
+
+// BenchmarkCertify measures the Section 7 certifier's throughput: ns per
+// recorded operation, near-linear in history length.
+func BenchmarkCertify(b *testing.B) {
+	for _, ops := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("ops=%d", ops), func(b *testing.B) {
+			reg := atomicregister.New(1, 0, atomicregister.WithRecording[int]())
+			w0, w1, r := reg.Writer(0), reg.Writer(1), reg.Reader(1)
+			for i := 0; i < ops/3; i++ {
+				w0.Write(i)
+				w1.Write(i + 1000000)
+				_ = r.Read()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := atomicregister.Certify(reg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExhaustiveCheck measures the generic Wing–Gong checker on the
+// same histories, showing why the certifier matters for long runs.
+func BenchmarkExhaustiveCheck(b *testing.B) {
+	for _, ops := range []int{9, 18, 30} {
+		b.Run(fmt.Sprintf("ops=%d", ops), func(b *testing.B) {
+			reg := atomicregister.New(1, 0, atomicregister.WithRecording[int]())
+			w0, w1, r := reg.Writer(0), reg.Writer(1), reg.Reader(1)
+			for i := 0; i < ops/3; i++ {
+				w0.Write(i)
+				w1.Write(i + 1000000)
+				_ = r.Read()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ok, err := atomicregister.CheckAtomic(reg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !ok {
+					b.Fatal("non-atomic")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExplore measures the model checker: complete schedules
+// generated, certified and checked per second.
+func BenchmarkExplore(b *testing.B) {
+	cfg := sched.Config{Writes: [2]int{1, 1}, Readers: []int{1}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := sched.Explore(cfg, sched.Faithful, func(r *sched.Result) error {
+			_, err := proof.Certify(r.Trace)
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExploreParallel measures the fan-out model checker on a larger
+// configuration (one full exploration per iteration).
+func BenchmarkExploreParallel(b *testing.B) {
+	cfg := sched.Config{Writes: [2]int{2, 1}, Readers: []int{2}}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := sched.ExploreParallel(cfg, sched.Faithful, workers, func(r *sched.Result) error {
+					_, err := proof.Certify(r.Trace)
+					return err
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSingleWriterChecker measures the linear-time single-writer
+// atomicity checker on long recorded histories.
+func BenchmarkSingleWriterChecker(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("ops=%d", n), func(b *testing.B) {
+			ops := make([]history.Op[int], 0, n)
+			now := int64(1)
+			cur := 0
+			for i := 0; i < n; i++ {
+				if i%3 == 0 {
+					ops = append(ops, history.Op[int]{ID: i, Proc: 0, IsWrite: true, Arg: i + 1, Inv: now, Res: now + 1})
+					cur = i + 1
+					now += 2
+				} else {
+					ops = append(ops, history.Op[int]{ID: i, Proc: history.ProcID(1 + i%3), Ret: cur, Inv: now, Res: now + 1})
+					now += 2
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := atomicity.CheckSingleWriterAtomic(ops, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNetworkRegister measures the networked substrate: raw remote
+// access latency and full two-writer operations where every real access
+// crosses a loopback socket.
+func BenchmarkNetworkRegister(b *testing.B) {
+	type cell = atomicregister.Tagged[int]
+	seq := new(history.Sequencer)
+	srv0, err := netreg.NewServer("127.0.0.1:0", cell{}, 2, seq)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv0.Close()
+	srv1, err := netreg.NewServer("127.0.0.1:0", cell{}, 2, seq)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv1.Close()
+
+	b.Run("raw-read", func(b *testing.B) {
+		c, err := netreg.Dial[cell](srv0.Addr())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := c.ReadErr(0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	r0, err := netreg.NewReg[cell](srv0.Addr(), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r0.Close()
+	r1, err := netreg.NewReg[cell](srv1.Addr(), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r1.Close()
+	tw := atomicregister.New(1, 0,
+		atomicregister.WithRegisters[int](r0, r1),
+		core.WithSequencer[int](seq))
+
+	b.Run("two-writer-write", func(b *testing.B) {
+		w := tw.Writer(0)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w.Write(i)
+		}
+	})
+	b.Run("two-writer-read", func(b *testing.B) {
+		r := tw.Reader(1)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = r.Read()
+		}
+	})
+}
+
+// BenchmarkTournamentTree measures the nested tournament's per-operation
+// cost at increasing depth: reads fan out 3^depth, the price of stacking
+// the protocol (and it is not even correct — Section 8).
+func BenchmarkTournamentTree(b *testing.B) {
+	for depth := 1; depth <= 3; depth++ {
+		tree, err := counterexample.NewTree(depth, "v0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("write/depth=%d", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := tree.Write(0, "v"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("read/depth=%d", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = tree.Read()
+			}
+		})
+	}
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestParseReaders(t *testing.T) {
+	got, err := parseReaders("1,2, 3")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("parseReaders = %v, %v", got, err)
+	}
+	if got, err := parseReaders(""); err != nil || got != nil {
+		t.Fatalf("empty readers = %v, %v", got, err)
+	}
+	for _, bad := range []string{"x", "-1", "1,,2"} {
+		if _, err := parseReaders(bad); err == nil {
+			t.Errorf("parseReaders(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseVariant(t *testing.T) {
+	for _, v := range []sched.Variant{
+		sched.Faithful, sched.NoThirdRead, sched.WrongTagRule, sched.WriteFirst, sched.NoTagBit,
+	} {
+		got, err := parseVariant(v.String())
+		if err != nil || got != v {
+			t.Errorf("parseVariant(%q) = %v, %v", v.String(), got, err)
+		}
+	}
+	if _, err := parseVariant("bogus"); err == nil {
+		t.Error("unknown variant accepted")
+	}
+}
+
+func TestDescribeWriter(t *testing.T) {
+	cfg := sched.Config{Writes: [2]int{3, 0}, WriterSeq: [2]string{"", "wr"}}
+	if got := describeWriter(cfg, 0); got != "×3 writes" {
+		t.Errorf("describeWriter(0) = %q", got)
+	}
+	if got := describeWriter(cfg, 1); got != `seq "wr"` {
+		t.Errorf("describeWriter(1) = %q", got)
+	}
+}
+
+func TestCountLabel(t *testing.T) {
+	cfg := sched.Config{Writes: [2]int{1, 1}, Readers: []int{1}}
+	if got := countLabel(cfg, sched.Faithful, 0); got != "210" {
+		t.Errorf("countLabel = %q", got)
+	}
+	if got := countLabel(cfg, sched.Faithful, 1); got != "(enumerated with crash points)" {
+		t.Errorf("crash countLabel = %q", got)
+	}
+	wr := sched.Config{WriterSeq: [2]string{"r", ""}}
+	if got := countLabel(wr, sched.Faithful, 0); got != "(data-dependent: writer reads)" {
+		t.Errorf("writer-read countLabel = %q", got)
+	}
+}

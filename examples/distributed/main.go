@@ -1,0 +1,114 @@
+// Distributed: the paper's opening scenario, on real sockets. Two nodes
+// each host the one register they alone may write (their "file system");
+// everyone reads everyone's register over TCP; the two-writer protocol on
+// top simulates a single shared atomic register — without any node ever
+// holding a lock or waiting for a peer to make progress.
+//
+// Every remote access is stamped inside the server's critical section, so
+// the whole networked run is certified afterwards by the paper's Section 7
+// construction.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	atomicregister "repro"
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/netreg"
+)
+
+// Entry is a tiny "file" the nodes share.
+type Entry struct {
+	Node    string
+	Version int
+	Body    string
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "distributed:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const readers = 2
+	seq := new(history.Sequencer)
+	type cell = core.Tagged[Entry]
+	init := cell{Val: Entry{Node: "genesis"}}
+
+	// Each node hosts its own register server.
+	srvA, err := netreg.NewServer("127.0.0.1:0", init, readers+1, seq)
+	if err != nil {
+		return err
+	}
+	defer srvA.Close()
+	srvB, err := netreg.NewServer("127.0.0.1:0", init, readers+1, seq)
+	if err != nil {
+		return err
+	}
+	defer srvB.Close()
+	fmt.Printf("node A's register listening on %s\n", srvA.Addr())
+	fmt.Printf("node B's register listening on %s\n", srvB.Addr())
+
+	// Remote-register clients (one connection per sequential user).
+	regA, err := netreg.NewReg[cell](srvA.Addr(), readers+1)
+	if err != nil {
+		return err
+	}
+	defer regA.Close()
+	regB, err := netreg.NewReg[cell](srvB.Addr(), readers+1)
+	if err != nil {
+		return err
+	}
+	defer regB.Close()
+
+	shared := atomicregister.New(readers, Entry{Node: "genesis"},
+		atomicregister.WithRegisters[Entry](regA, regB),
+		core.WithSequencer[Entry](seq),
+		atomicregister.WithRecording[Entry]())
+
+	var wg sync.WaitGroup
+	for i, node := range []string{"node-A", "node-B"} {
+		wg.Add(1)
+		go func(i int, node string) {
+			defer wg.Done()
+			w := shared.Writer(i)
+			for v := 1; v <= 20; v++ {
+				w.Write(Entry{Node: node, Version: v, Body: fmt.Sprintf("%s's edit #%d", node, v)})
+			}
+		}(i, node)
+	}
+	lastSeen := make([]Entry, readers+1)
+	for j := 1; j <= readers; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			r := shared.Reader(j)
+			for k := 0; k < 20; k++ {
+				lastSeen[j] = r.Read()
+			}
+		}(j)
+	}
+	wg.Wait()
+
+	for j := 1; j <= readers; j++ {
+		e := lastSeen[j]
+		fmt.Printf("\nreader %d's final entry: %s v%d (%q)", j, e.Node, e.Version, e.Body)
+	}
+	fmt.Println()
+
+	report, err := atomicregister.Certify(shared)
+	if err != nil {
+		return fmt.Errorf("the networked run was NOT atomic: %w", err)
+	}
+	fmt.Printf("networked run certified atomic: %d writes, %d reads linearized\n",
+		report.PotentWrites+report.ImpotentWrites,
+		report.ReadsOfPotent+report.ReadsOfImp+report.ReadsOfInitial)
+	fmt.Println("every access crossed a socket; no locks, no waiting, no coordination")
+	fmt.Println("beyond the tag bit.")
+	return nil
+}

@@ -1,0 +1,77 @@
+// Modelcheck: exhaustively verify the two-writer protocol on a small
+// configuration, the way the repository's own experiments do. Every
+// interleaving of the configured operations is generated, certified by the
+// paper's Section 7 construction, and tallied; then each protocol ablation
+// is shown to break, with a concrete counterexample schedule.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/atomicity"
+	"repro/internal/proof"
+	"repro/internal/sched"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "modelcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cfg := sched.Config{Writes: [2]int{2, 1}, Readers: []int{2}}
+	fmt.Printf("exhaustively checking: writer0 ×%d, writer1 ×%d, reader ×%d\n",
+		cfg.Writes[0], cfg.Writes[1], cfg.Readers[0])
+	fmt.Printf("(%d interleavings)\n\n", sched.CountSchedules(cfg, sched.Faithful))
+
+	var agg proof.Report
+	n, err := sched.Explore(cfg, sched.Faithful, func(r *sched.Result) error {
+		lin, err := proof.Certify(r.Trace)
+		if err != nil {
+			return fmt.Errorf("schedule %v: %w", r.Sched, err)
+		}
+		agg.PotentWrites += lin.Report.PotentWrites
+		agg.ImpotentWrites += lin.Report.ImpotentWrites
+		agg.ReadsOfImp += lin.Report.ReadsOfImp
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("all %d schedules atomic; across them: %d potent writes, %d impotent\n",
+		n, agg.PotentWrites, agg.ImpotentWrites)
+	fmt.Printf("writes, %d reads returned an impotent write's value — all linearized\n", agg.ReadsOfImp)
+	fmt.Println("by the paper's four-step construction.")
+
+	fmt.Println("\nwhy each protocol element matters (ablations):")
+	for _, v := range []sched.Variant{sched.NoThirdRead, sched.WrongTagRule, sched.WriteFirst, sched.NoTagBit} {
+		c := cfg
+		if v == sched.NoThirdRead {
+			// The subtlest mutation needs a deeper configuration.
+			c = sched.Config{Writes: [2]int{2, 2}, Readers: []int{2}}
+		}
+		var bad []int
+		if _, err := sched.Explore(c, v, func(r *sched.Result) error {
+			res, err := atomicity.Check(r.Trace.Ops(), sched.InitValue)
+			if err != nil {
+				return err
+			}
+			if !res.Linearizable {
+				bad = r.Sched
+				return sched.ErrStop
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		if bad == nil {
+			fmt.Printf("  %-15s no violation found (unexpected!)\n", v)
+			continue
+		}
+		fmt.Printf("  %-15s breaks atomicity; schedule %v\n", v.String()+":", bad)
+	}
+	return nil
+}

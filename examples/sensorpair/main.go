@@ -1,0 +1,98 @@
+// Sensorpair: two redundant sensors publish fused readings into one atomic
+// register and also read it back — the paper's combined writer/reader
+// automaton (Section 5), which keeps a local copy of its own real register
+// and needs only one or two real reads per simulated read instead of
+// three.
+//
+// The example measures the saving: the register substrate counts real
+// accesses, so the 1–2 reads claim is verified on live traffic.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	atomicregister "repro"
+	"repro/internal/core"
+	"repro/internal/register"
+)
+
+// Reading is a fused sensor value.
+type Reading struct {
+	Sensor  int
+	Epoch   int
+	Celsius float64
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sensorpair:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const epochs = 200
+
+	reg := atomicregister.New(1, Reading{}, atomicregister.WithRecording[Reading]())
+
+	var wg sync.WaitGroup
+	// Each sensor is a combined writer/reader: it reads the current
+	// fused value, nudges it toward its own measurement, and publishes.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := reg.WriterReader(i)
+			for e := 1; e <= epochs; e++ {
+				cur := s.Read()
+				next := Reading{
+					Sensor:  i,
+					Epoch:   e,
+					Celsius: cur.Celsius*0.9 + float64(20+i),
+				}
+				s.Write(next)
+			}
+		}(i)
+	}
+	// A dashboard reader polls with the full three-read protocol.
+	wg.Add(1)
+	var final Reading
+	go func() {
+		defer wg.Done()
+		r := reg.Reader(1)
+		for k := 0; k < epochs; k++ {
+			final = r.Read()
+		}
+	}()
+	wg.Wait()
+
+	fmt.Printf("dashboard's final reading: sensor %d, epoch %d, %.2f °C\n",
+		final.Sensor, final.Epoch, final.Celsius)
+
+	// Verify the Section 5 cost claim on live traffic.
+	reg0 := reg.Reg(0).(*register.Atomic[core.Tagged[Reading]])
+	reg1 := reg.Reg(1).(*register.Atomic[core.Tagged[Reading]])
+	realReads := reg0.Counters().TotalReads() + reg1.Counters().TotalReads()
+	realWrites := reg0.Counters().Writes() + reg1.Counters().Writes()
+	virtual := reg.Writer(0).VirtualReads() + reg.Writer(1).VirtualReads()
+
+	simWrites := int64(2 * epochs)
+	simReads := int64(2*epochs + epochs) // sensors' reads + dashboard's
+	fmt.Printf("\nsimulated: %d writes, %d reads\n", simWrites, simReads)
+	fmt.Printf("real shared-memory traffic: %d reads, %d writes\n", realReads, realWrites)
+	fmt.Printf("accesses served from writers' local copies: %d\n", virtual)
+
+	// Writes cost exactly 1 real read + 1 real write each; the
+	// dashboard's reads cost exactly 3; the sensors' reads cost 1–2.
+	sensorReads := realReads - simWrites /* writes' reads */ - 3*int64(epochs) /* dashboard */
+	fmt.Printf("sensor simulated reads used %.2f real reads each (paper: 1–2, vs 3 for full readers)\n",
+		float64(sensorReads)/float64(2*epochs))
+
+	if _, err := atomicregister.Certify(reg); err != nil {
+		return fmt.Errorf("run was NOT atomic: %w", err)
+	}
+	fmt.Println("run certified atomic, including every local-copy shortcut read.")
+	return nil
+}

@@ -1,0 +1,99 @@
+// Sharedfile: the paper's motivating scenario (Section 1) — "a collection
+// of computers, each permitted to read all the others' file systems, but
+// only able to write on their own. Multi-writer register algorithms could
+// allow them to simulate a shared file system."
+//
+// Two nodes each own a local "file" (a single-writer register) that every
+// node can read. The two-writer protocol turns the pair into one shared
+// file both nodes can update atomically, without locks: each update is a
+// whole-file write, each read sees exactly one committed version — never a
+// torn mix, never a version that later un-happens.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	atomicregister "repro"
+)
+
+// FileVersion is one committed version of the shared file.
+type FileVersion struct {
+	Author  string
+	Version int
+	Content string
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sharedfile:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const auditors = 3
+
+	initial := FileVersion{Author: "genesis", Content: "# empty config\n"}
+	shared := atomicregister.New(auditors, initial, atomicregister.WithRecording[FileVersion]())
+
+	var wg sync.WaitGroup
+
+	// Node A and node B both edit the shared file. Each node's writes
+	// go only to its own underlying register (its "local file system"),
+	// exactly as in the paper's scenario.
+	edit := func(node int, name string, edits []string) {
+		defer wg.Done()
+		w := shared.Writer(node)
+		for v, content := range edits {
+			w.Write(FileVersion{Author: name, Version: v + 1, Content: content})
+		}
+	}
+	wg.Add(2)
+	go edit(0, "node-A", []string{
+		"timeout = 10\n",
+		"timeout = 10\nretries = 3\n",
+		"timeout = 30\nretries = 3\n",
+	})
+	go edit(1, "node-B", []string{
+		"timeout = 5\n",
+		"timeout = 5\nverbose = true\n",
+	})
+
+	// Auditors continuously read the shared file. Atomicity guarantees
+	// each snapshot is a version some node actually committed, and that
+	// versions never reappear after being superseded.
+	type seen struct {
+		versions []FileVersion
+	}
+	audits := make([]seen, auditors+1)
+	for j := 1; j <= auditors; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			r := shared.Reader(j)
+			for k := 0; k < 6; k++ {
+				audits[j].versions = append(audits[j].versions, r.Read())
+			}
+		}(j)
+	}
+	wg.Wait()
+
+	for j := 1; j <= auditors; j++ {
+		last := audits[j].versions[len(audits[j].versions)-1]
+		fmt.Printf("auditor %d's final snapshot: %s v%d (%d bytes)\n",
+			j, last.Author, last.Version, len(last.Content))
+	}
+
+	report, err := atomicregister.Certify(shared)
+	if err != nil {
+		return fmt.Errorf("shared file was NOT atomic: %w", err)
+	}
+	fmt.Printf("\nshared-file run certified atomic (%d writes, %d reads linearized)\n",
+		report.PotentWrites+report.ImpotentWrites,
+		report.ReadsOfPotent+report.ReadsOfImp+report.ReadsOfInitial)
+	fmt.Println("every auditor snapshot was a real committed version; no torn reads,")
+	fmt.Println("no resurrected versions — with zero locks and zero waiting.")
+	return nil
+}

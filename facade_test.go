@@ -1,0 +1,156 @@
+package atomicregister_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	atomicregister "repro"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	reg := atomicregister.New(2, "v0", atomicregister.WithRecording[string]())
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := reg.Writer(i)
+			for k := 0; k < 50; k++ {
+				w.Write(fmt.Sprintf("w%d-%d", i, k))
+			}
+		}(i)
+	}
+	for j := 1; j <= 2; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			r := reg.Reader(j)
+			for k := 0; k < 50; k++ {
+				_ = r.Read()
+			}
+		}(j)
+	}
+	wg.Wait()
+	rep, err := atomicregister.Certify(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PotentWrites+rep.ImpotentWrites != 100 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestCheckAtomicSmallRun(t *testing.T) {
+	reg := atomicregister.New(1, 0, atomicregister.WithRecording[int]())
+	reg.Writer(0).Write(1)
+	reg.Writer(1).Write(2)
+	if got := reg.Reader(1).Read(); got != 2 {
+		t.Fatalf("read %d", got)
+	}
+	ok, err := atomicregister.CheckAtomic(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("sequential run judged non-atomic")
+	}
+}
+
+func TestVerifyWithoutRecordingFails(t *testing.T) {
+	reg := atomicregister.New(1, 0)
+	if _, err := atomicregister.Certify(reg); err == nil {
+		t.Error("Certify without recording must fail")
+	}
+	if _, err := atomicregister.CheckAtomic(reg); err == nil {
+		t.Error("CheckAtomic without recording must fail")
+	}
+	if _, err := atomicregister.TimingDiagram(reg); err == nil {
+		t.Error("TimingDiagram without recording must fail")
+	}
+}
+
+func TestTimingDiagram(t *testing.T) {
+	reg := atomicregister.New(1, "v0", atomicregister.WithRecording[string]())
+	reg.Writer(0).Write("a")
+	_ = reg.Reader(1).Read()
+	out, err := atomicregister.TimingDiagram(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Wr0", "Rd1", "legend"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diagram lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLamportStackSubstrate(t *testing.T) {
+	domain := []string{"v0", "a", "b"}
+	init := atomicregister.Tagged[string]{Val: "v0"}
+	r0, err := atomicregister.NewLamportStack(2, domain, 8, init, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := atomicregister.NewLamportStack(2, domain, 8, init, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := atomicregister.New(1, "v0",
+		atomicregister.WithRegisters[string](r0, r1),
+		atomicregister.WithRecording[string]())
+	reg.Writer(0).Write("a")
+	reg.Writer(1).Write("b")
+	if got := reg.Reader(1).Read(); got != "b" {
+		t.Fatalf("read %q over the safe-bit stack", got)
+	}
+	ok, err := atomicregister.CheckAtomic(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("stack-backed run judged non-atomic")
+	}
+	// The stack cannot stamp linearization points, so Certify must
+	// refuse rather than guess.
+	if _, err := atomicregister.Certify(reg); err == nil {
+		t.Fatal("Certify over an unstamped substrate must fail")
+	}
+}
+
+func TestMRMWFacade(t *testing.T) {
+	m, err := atomicregister.NewMRMW(4, 2, "v0", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Writer(3).Write("c")
+	m.Writer(1).Write("d")
+	if got := m.Reader(0).Read(); got != "d" {
+		t.Fatalf("read %q", got)
+	}
+}
+
+func TestAccessCosts(t *testing.T) {
+	wr, ww, rr, wrMin, wrMax := atomicregister.AccessCosts()
+	if wr != 1 || ww != 1 || rr != 3 || wrMin != 1 || wrMax != 2 {
+		t.Fatalf("AccessCosts = %d %d %d %d %d", wr, ww, rr, wrMin, wrMax)
+	}
+}
+
+func TestWriterReaderFacade(t *testing.T) {
+	reg := atomicregister.New(0, 0, atomicregister.WithRecording[int]())
+	wr0 := reg.WriterReader(0)
+	wr1 := reg.WriterReader(1)
+	wr0.Write(1)
+	if got := wr1.Read(); got != 1 {
+		t.Fatalf("read %d", got)
+	}
+	wr1.Write(2)
+	if got := wr0.Read(); got != 2 {
+		t.Fatalf("read %d", got)
+	}
+	if _, err := atomicregister.Certify(reg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,281 @@
+// Package atomicity decides whether small register histories are atomic
+// (linearizable), regular, or safe.
+//
+// The exhaustive checker is a Wing–Gong-style depth-first search over
+// linearization orders with memoization on (set of linearized operations,
+// current register value). It is exponential in the worst case and is
+// intended for histories of at most a few dozen operations: model-checking
+// runs, scripted scenarios, and — crucially — *proving* the four-writer
+// counterexample of Section 8 non-atomic, which requires showing that no
+// linearization exists.
+//
+// Long histories produced by Bloom's protocol are certified instead by
+// package proof, which constructs an explicit witness in near-linear time
+// using the paper's Section 7 algorithm.
+package atomicity
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+// MaxOps is the largest number of operations the exhaustive checker
+// accepts; the search set is represented as a 64-bit mask.
+const MaxOps = 64
+
+// ErrTooLarge is returned when a history exceeds MaxOps operations.
+var ErrTooLarge = errors.New("atomicity: history too large for exhaustive checking")
+
+// Result reports the outcome of an exhaustive linearizability check.
+type Result[V comparable] struct {
+	// Linearizable is true if a witness exists.
+	Linearizable bool
+	// Order is a witness: operation IDs in linearization order
+	// (only when Linearizable).
+	Order []int
+	// StatesExplored counts distinct memoized search states.
+	StatesExplored int
+}
+
+type checker[V comparable] struct {
+	ops      []history.Op[V] // reads completed; pending reads dropped
+	init     V
+	required uint64 // mask of operations that must linearize
+	visited  map[stateKey[V]]struct{}
+	order    []int
+	found    bool
+}
+
+type stateKey[V comparable] struct {
+	mask uint64
+	val  V
+}
+
+// Check decides whether the completed operations of ops are linearizable
+// with respect to the sequential register specification, starting from
+// init.
+//
+// Pending writes (Res == history.PendingSeq) may linearize at any point
+// after their invocation or not at all; pending reads are ignored, since
+// they returned nothing and place no constraint on the history.
+func Check[V comparable](ops []history.Op[V], init V) (Result[V], error) {
+	kept := make([]history.Op[V], 0, len(ops))
+	for _, op := range ops {
+		if op.Pending() && !op.IsWrite {
+			continue
+		}
+		kept = append(kept, op)
+	}
+	if len(kept) > MaxOps {
+		return Result[V]{}, fmt.Errorf("%w: %d operations (max %d)", ErrTooLarge, len(kept), MaxOps)
+	}
+	// Sorting by invocation keeps the search order close to real time,
+	// which empirically finds witnesses quickly on valid histories.
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Inv < kept[j].Inv })
+
+	c := &checker[V]{
+		ops:     kept,
+		init:    init,
+		visited: make(map[stateKey[V]]struct{}),
+	}
+	for i, op := range kept {
+		if !op.Pending() {
+			c.required |= 1 << uint(i)
+		}
+	}
+	c.search(0, init)
+	res := Result[V]{Linearizable: c.found, StatesExplored: len(c.visited)}
+	if c.found {
+		res.Order = append([]int(nil), c.order...)
+	}
+	return res, nil
+}
+
+func (c *checker[V]) search(taken uint64, cur V) {
+	if c.found {
+		return
+	}
+	if taken&c.required == c.required {
+		c.found = true
+		return
+	}
+	key := stateKey[V]{taken, cur}
+	if _, seen := c.visited[key]; seen {
+		return
+	}
+	c.visited[key] = struct{}{}
+
+	for i, op := range c.ops {
+		bit := uint64(1) << uint(i)
+		if taken&bit != 0 {
+			continue
+		}
+		// op may be linearized next only if it is minimal: no other
+		// untaken operation entirely precedes it.
+		minimal := true
+		for j, p := range c.ops {
+			if i == j || taken&(1<<uint(j)) != 0 {
+				continue
+			}
+			if p.Precedes(op) {
+				minimal = false
+				break
+			}
+		}
+		if !minimal {
+			continue
+		}
+		next := cur
+		if op.IsWrite {
+			next = op.Arg
+		} else if op.Ret != cur {
+			continue // the read could not have returned cur
+		}
+		c.order = append(c.order, op.ID)
+		c.search(taken|bit, next)
+		if c.found {
+			return
+		}
+		c.order = c.order[:len(c.order)-1]
+	}
+}
+
+// CheckHistory extracts the operations of h and runs Check. It fails if the
+// history is not input-correct, since such a history signals a bug in the
+// harness rather than in the register.
+func CheckHistory[V comparable](h *history.History[V], init V) (Result[V], error) {
+	if err := h.InputCorrect(); err != nil {
+		return Result[V]{}, err
+	}
+	ops, err := h.Ops()
+	if err != nil {
+		return Result[V]{}, err
+	}
+	return Check(ops, init)
+}
+
+// CheckRegular reports whether every completed read in ops returns a value
+// it could legally see under regularity: the value of some write that does
+// not begin after the read ends and is not overwritten by another write
+// that completes before the read begins, or init if no write completes
+// before the read begins.
+func CheckRegular[V comparable](ops []history.Op[V], init V) error {
+	legal := spec.WritesPrecedingReads(ops, init)
+	for _, op := range ops {
+		if op.IsWrite || op.Pending() {
+			continue
+		}
+		ok := false
+		for _, v := range legal[op.ID] {
+			if v == op.Ret {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("atomicity: read %v returned %v, not among its regular-legal values %v",
+				op, op.Ret, legal[op.ID])
+		}
+	}
+	return nil
+}
+
+// CheckSafe reports whether every completed read that overlaps no write
+// returns the value of the latest write completing before it (or init).
+// Reads overlapping a write may return anything, so they are not checked.
+// The latest preceding write must be unique; if preceding writes overlap
+// one another the read is skipped, since "the last write" is then
+// undefined for a safe register.
+func CheckSafe[V comparable](ops []history.Op[V], init V) error {
+	for _, r := range ops {
+		if r.IsWrite || r.Pending() {
+			continue
+		}
+		overlapsWrite := false
+		var preceding []history.Op[V]
+		for _, w := range ops {
+			if !w.IsWrite {
+				continue
+			}
+			switch {
+			case w.Precedes(r):
+				preceding = append(preceding, w)
+			case w.Overlaps(r):
+				overlapsWrite = true
+			}
+		}
+		if overlapsWrite {
+			continue
+		}
+		want := init
+		if len(preceding) > 0 {
+			// The latest preceding write must be unique.
+			sort.Slice(preceding, func(i, j int) bool { return preceding[i].Res < preceding[j].Res })
+			last := preceding[len(preceding)-1]
+			unique := true
+			for _, w := range preceding[:len(preceding)-1] {
+				if !w.Precedes(last) {
+					unique = false
+					break
+				}
+			}
+			if !unique {
+				continue
+			}
+			want = last.Arg
+		}
+		if r.Ret != want {
+			return fmt.Errorf("atomicity: non-overlapped read %v returned %v, want %v", r, r.Ret, want)
+		}
+	}
+	return nil
+}
+
+// NewOldInversion looks for the classic atomicity violation in a history
+// with uniquely valued writes: two reads R1, R2 with R1 entirely preceding
+// R2, where R2 returns an older write than R1 ("older" meaning the write R2
+// read entirely precedes the write R1 read). It returns a description of
+// the first inversion found, or "" if none.
+//
+// This is a sound but incomplete violation detector: the four-writer
+// counterexample of Figure 5 manifests as exactly this kind of inversion
+// (value 'c' reappearing after 'd' superseded it).
+func NewOldInversion[V comparable](ops []history.Op[V], init V) string {
+	writeOf := make(map[V]history.Op[V])
+	for _, w := range ops {
+		if !w.IsWrite {
+			continue
+		}
+		if _, dup := writeOf[w.Arg]; dup {
+			return "" // values not unique; detector does not apply
+		}
+		writeOf[w.Arg] = w
+	}
+	var reads []history.Op[V]
+	for _, r := range ops {
+		if !r.IsWrite && !r.Pending() {
+			reads = append(reads, r)
+		}
+	}
+	for _, r1 := range reads {
+		for _, r2 := range reads {
+			if !r1.Precedes(r2) {
+				continue
+			}
+			w1, ok1 := writeOf[r1.Ret]
+			w2, ok2 := writeOf[r2.Ret]
+			if !ok1 || !ok2 {
+				continue
+			}
+			if w2.Precedes(w1) {
+				return fmt.Sprintf("new-old inversion: %v read %v (written by %v) but the later read %v returned the older %v (written by %v)",
+					r1, r1.Ret, w1, r2, r2.Ret, w2)
+			}
+		}
+	}
+	return ""
+}

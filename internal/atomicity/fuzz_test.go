@@ -1,0 +1,74 @@
+package atomicity
+
+import (
+	"testing"
+
+	"repro/internal/history"
+)
+
+// FuzzCheck decodes arbitrary bytes into a small operation history and
+// cross-checks invariants of the exhaustive checker:
+//
+//   - it never panics and never reports an error on well-formed input;
+//   - a reported witness, replayed, satisfies the register property;
+//   - linearizable implies regular (the Lamport hierarchy).
+func FuzzCheck(f *testing.F) {
+	f.Add([]byte{0x01, 0x42, 0x13, 0x37})
+	f.Add([]byte{0xff, 0x00, 0xaa, 0x55, 0x12, 0x34})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 40 {
+			data = data[:40]
+		}
+		// Decode: each pair of bytes is one operation.
+		var ops []history.Op[string]
+		now := int64(1)
+		for i := 0; i+1 < len(data); i += 2 {
+			a, b := data[i], data[i+1]
+			inv := now
+			now += int64(a%5) + 1
+			res := now
+			now++
+			op := history.Op[string]{
+				ID:   i / 2,
+				Proc: history.ProcID(a % 4),
+				Inv:  inv,
+				Res:  res,
+			}
+			if a%2 == 0 {
+				op.IsWrite = true
+				op.Arg = string(rune('a' + b%6))
+			} else {
+				op.Ret = string(rune('a' + b%6))
+				if b%7 == 0 {
+					op.Ret = "init"
+				}
+			}
+			ops = append(ops, op)
+		}
+		res, err := Check(ops, "init")
+		if err != nil {
+			t.Fatalf("well-formed input errored: %v", err)
+		}
+		if !res.Linearizable {
+			return
+		}
+		// Replay the witness.
+		byID := map[int]history.Op[string]{}
+		for _, op := range ops {
+			byID[op.ID] = op
+		}
+		cur := "init"
+		for _, id := range res.Order {
+			op := byID[id]
+			if op.IsWrite {
+				cur = op.Arg
+			} else if op.Ret != cur {
+				t.Fatalf("witness replay failed at op %d: read %q, register %q", id, op.Ret, cur)
+			}
+		}
+		// Atomic ⊆ regular.
+		if err := CheckRegular(ops, "init"); err != nil {
+			t.Fatalf("linearizable history not regular: %v", err)
+		}
+	})
+}

@@ -1,0 +1,57 @@
+package atomicity
+
+import (
+	"fmt"
+
+	"repro/internal/history"
+)
+
+// Minimize shrinks a non-linearizable history to a locally minimal
+// violating core: it greedily removes operations while the remainder stays
+// non-linearizable. The result explains a violation in as few operations
+// as possible — typically the three or four operations of a stale read or
+// new-old inversion — which turns a thousand-operation failure into a
+// readable counterexample.
+//
+// Minimize returns an error if ops is linearizable to begin with (there is
+// nothing to minimize) or exceeds the exhaustive checker's capacity.
+func Minimize[V comparable](ops []history.Op[V], init V) ([]history.Op[V], error) {
+	res, err := Check(ops, init)
+	if err != nil {
+		return nil, err
+	}
+	if res.Linearizable {
+		return nil, fmt.Errorf("atomicity: history is linearizable; nothing to minimize")
+	}
+	cur := append([]history.Op[V](nil), ops...)
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(cur); i++ {
+			cand := make([]history.Op[V], 0, len(cur)-1)
+			cand = append(cand, cur[:i]...)
+			cand = append(cand, cur[i+1:]...)
+			res, err := Check(cand, init)
+			if err != nil {
+				return nil, err
+			}
+			if !res.Linearizable {
+				cur = cand
+				changed = true
+				i--
+			}
+		}
+	}
+	return cur, nil
+}
+
+// Describe renders operations compactly for violation reports.
+func Describe[V comparable](ops []history.Op[V]) string {
+	out := ""
+	for i, op := range ops {
+		if i > 0 {
+			out += "  "
+		}
+		out += op.String()
+	}
+	return out
+}

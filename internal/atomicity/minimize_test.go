@@ -1,0 +1,97 @@
+package atomicity
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/history"
+)
+
+func TestMinimizeShrinksToCore(t *testing.T) {
+	// Bury a new-old inversion among harmless operations.
+	ops := []history.Op[string]{
+		wr(0, 0, "x1", 1, 2),
+		rd(1, 2, "x1", 3, 4),
+		wr(2, 0, "a", 5, 6),
+		wr(3, 0, "b", 7, 40),
+		rd(4, 2, "b", 8, 11),
+		rd(5, 2, "a", 12, 15), // inversion: a after b
+		rd(6, 3, "b", 41, 44),
+	}
+	min, err := Minimize(ops, "i")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(min) >= len(ops) {
+		t.Fatalf("minimization did not shrink: %d ops", len(min))
+	}
+	// The core must itself be non-linearizable and small (the inversion
+	// needs 4 ops: two writes, two reads).
+	res, err := Check(min, "i")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Linearizable {
+		t.Fatal("minimized history is linearizable")
+	}
+	if len(min) > 4 {
+		t.Fatalf("core has %d ops, want ≤ 4: %s", len(min), Describe(min))
+	}
+}
+
+func TestMinimizeRejectsLinearizable(t *testing.T) {
+	ops := []history.Op[string]{wr(0, 0, "a", 1, 2), rd(1, 2, "a", 3, 4)}
+	if _, err := Minimize(ops, "i"); err == nil {
+		t.Fatal("minimizing a linearizable history must fail")
+	}
+}
+
+func TestMinimizeIsStable(t *testing.T) {
+	// Property: for randomly padded violations, the core stays
+	// non-linearizable and no single op can be removed from it.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		var ops []history.Op[string]
+		seqv := int64(1)
+		next := func() int64 { seqv += 2; return seqv }
+		// Random harmless prefix.
+		id := 10
+		prev := "i"
+		for k := rng.Intn(4); k > 0; k-- {
+			v := "p" + string(rune('a'+id))
+			ops = append(ops, wr(id, 0, v, next(), next()))
+			prev = v
+			id++
+		}
+		_ = prev
+		// The violation: completed write then a stale read.
+		ops = append(ops, wr(id, 0, "fresh", next(), next()))
+		staleVal := "i"
+		if len(ops) > 1 {
+			staleVal = ops[len(ops)-2].Arg
+		}
+		ops = append(ops, rd(id+1, 2, staleVal, next(), next()))
+		min, err := Minimize(ops, "i")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range min {
+			cand := append(append([]history.Op[string]{}, min[:i]...), min[i+1:]...)
+			res, err := Check(cand, "i")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Linearizable {
+				t.Fatalf("trial %d: core not minimal; removing %v keeps it violating", trial, min[i])
+			}
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	ops := []history.Op[string]{wr(0, 0, "a", 1, 2), rd(1, 2, "a", 3, 4)}
+	s := Describe(ops)
+	if s == "" {
+		t.Fatal("empty description")
+	}
+}

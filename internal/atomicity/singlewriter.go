@@ -1,0 +1,99 @@
+package atomicity
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/history"
+)
+
+// CheckSingleWriterAtomic decides atomicity for single-writer histories in
+// O(n log n), using Lamport's characterization: a single-writer register
+// is atomic iff it is regular and free of new-old inversions. It requires
+//
+//   - exactly one writing processor (its writes are totally ordered by
+//     sequentiality), and
+//   - uniquely valued writes (so reads-from is a function).
+//
+// This is the workhorse for checking the 1-writer constructions of
+// package lamport at scales the exhaustive checker cannot touch. Pending
+// reads are ignored; pending writes are treated as overlapping everything
+// after their invocation.
+func CheckSingleWriterAtomic[V comparable](ops []history.Op[V], init V) error {
+	var writes []history.Op[V]
+	var reads []history.Op[V]
+	writerSeen := false
+	var writer history.ProcID
+	for _, op := range ops {
+		if op.IsWrite {
+			if writerSeen && op.Proc != writer {
+				return fmt.Errorf("atomicity: history has writes by processors %d and %d; single-writer checker does not apply", writer, op.Proc)
+			}
+			writer, writerSeen = op.Proc, true
+			writes = append(writes, op)
+		} else if !op.Pending() {
+			reads = append(reads, op)
+		}
+	}
+	// Writer order: by invocation (the writer is sequential, so this is
+	// also response order for completed writes).
+	sort.Slice(writes, func(i, j int) bool { return writes[i].Inv < writes[j].Inv })
+	idxOf := make(map[V]int, len(writes)+1)
+	idxOf[init] = 0
+	for i, w := range writes {
+		if i > 0 && writes[i-1].Overlaps(w) {
+			return fmt.Errorf("atomicity: writes %v and %v by one writer overlap; input is not a legal single-writer history", writes[i-1], w)
+		}
+		if _, dup := idxOf[w.Arg]; dup {
+			return fmt.Errorf("atomicity: write value %v is not unique; single-writer checker does not apply", w.Arg)
+		}
+		idxOf[w.Arg] = i + 1 // 0 is the initial value
+	}
+
+	// Per-read regularity: the write a read returns must not begin after
+	// the read ends, and no later write may complete before the read
+	// begins.
+	idx := make(map[int]int, len(reads)) // read opID → write index returned
+	for _, r := range reads {
+		j, ok := idxOf[r.Ret]
+		if !ok {
+			return fmt.Errorf("atomicity: read %v returned %v, which was never written", r, r.Ret)
+		}
+		idx[r.ID] = j
+		if j > 0 {
+			w := writes[j-1]
+			if r.Precedes(w) {
+				return fmt.Errorf("atomicity: read %v returned %v from the future (write %v begins after it ends)", r, r.Ret, w)
+			}
+		}
+		// Largest write index that completes before the read begins.
+		k := sort.Search(len(writes), func(i int) bool { return !writes[i].Precedes(r) })
+		if j < k {
+			return fmt.Errorf("atomicity: stale read: %v returned write #%d's value %v although write #%d (%v) completed before it began",
+				r, j, r.Ret, k, writes[k-1].Arg)
+		}
+	}
+
+	// New-old inversion: for reads r1 ≺ r2, idx(r2) ≥ idx(r1). Sweep
+	// reads by invocation, maintaining the maximal idx among reads whose
+	// response precedes the current invocation.
+	byInv := append([]history.Op[V](nil), reads...)
+	sort.Slice(byInv, func(i, j int) bool { return byInv[i].Inv < byInv[j].Inv })
+	byRes := append([]history.Op[V](nil), reads...)
+	sort.Slice(byRes, func(i, j int) bool { return byRes[i].Res < byRes[j].Res })
+	maxIdx, maxOp := -1, history.Op[V]{}
+	ri := 0
+	for _, r := range byInv {
+		for ri < len(byRes) && byRes[ri].Res < r.Inv {
+			if j := idx[byRes[ri].ID]; j > maxIdx {
+				maxIdx, maxOp = j, byRes[ri]
+			}
+			ri++
+		}
+		if idx[r.ID] < maxIdx {
+			return fmt.Errorf("atomicity: new-old inversion: %v returned write #%d's value after the earlier read %v returned write #%d's",
+				r, idx[r.ID], maxOp, maxIdx)
+		}
+	}
+	return nil
+}

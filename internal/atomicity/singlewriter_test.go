@@ -1,0 +1,158 @@
+package atomicity
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/history"
+)
+
+// genSingleWriter builds a random single-writer history: one writer
+// produces unique values; readers return values picked from plausible
+// candidates (sometimes illegally stale, to exercise rejections).
+func genSingleWriter(seed int64, pBad float64) []history.Op[string] {
+	rng := rand.New(rand.NewSource(seed))
+	now := int64(1)
+	tick := func() int64 { now += int64(1 + rng.Intn(3)); return now }
+	var ops []history.Op[string]
+	var written []string
+	cur := "init"
+	id := 0
+	for i := 0; i < 3+rng.Intn(8); i++ {
+		if rng.Intn(2) == 0 {
+			v := "w" + string(rune('a'+id))
+			inv := tick()
+			res := tick()
+			ops = append(ops, history.Op[string]{ID: id, Proc: 0, IsWrite: true, Arg: v, Inv: inv, Res: res})
+			written = append(written, v)
+			cur = v
+		} else {
+			ret := cur
+			if rng.Float64() < pBad && len(written) > 1 {
+				ret = written[rng.Intn(len(written))] // possibly stale
+			}
+			inv := tick()
+			res := tick()
+			ops = append(ops, history.Op[string]{ID: id, Proc: history.ProcID(1 + rng.Intn(3)), Ret: ret, Inv: inv, Res: res})
+		}
+		id++
+	}
+	return ops
+}
+
+// TestSingleWriterAgreesWithExhaustive is the cross-validation property:
+// on random single-writer histories — clean and corrupted — the
+// linear-time checker and the exhaustive search must return the same
+// verdict.
+func TestSingleWriterAgreesWithExhaustive(t *testing.T) {
+	f := func(seed int64, corrupt bool) bool {
+		p := 0.0
+		if corrupt {
+			p = 0.5
+		}
+		ops := genSingleWriter(seed, p)
+		fast := CheckSingleWriterAtomic(ops, "init") == nil
+		res, err := Check(ops, "init")
+		if err != nil {
+			return false
+		}
+		if fast != res.Linearizable {
+			t.Logf("disagreement on seed %d (corrupt %v): fast=%v exhaustive=%v\n%s",
+				seed, corrupt, fast, res.Linearizable, Describe(ops))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleWriterRejectsTwoWriters(t *testing.T) {
+	ops := []history.Op[string]{
+		wr(0, 0, "a", 1, 2),
+		wr(1, 1, "b", 3, 4),
+	}
+	if err := CheckSingleWriterAtomic(ops, "i"); err == nil {
+		t.Fatal("two writers accepted")
+	}
+}
+
+func TestSingleWriterRejectsDuplicateValues(t *testing.T) {
+	ops := []history.Op[string]{
+		wr(0, 0, "a", 1, 2),
+		wr(1, 0, "a", 3, 4),
+	}
+	if err := CheckSingleWriterAtomic(ops, "i"); err == nil {
+		t.Fatal("duplicate write values accepted")
+	}
+}
+
+func TestSingleWriterRejectsOverlappingWrites(t *testing.T) {
+	ops := []history.Op[string]{
+		wr(0, 0, "a", 1, 10),
+		wr(1, 0, "b", 5, 15),
+	}
+	if err := CheckSingleWriterAtomic(ops, "i"); err == nil {
+		t.Fatal("overlapping writes by one writer accepted")
+	}
+}
+
+func TestSingleWriterDetectsStaleRead(t *testing.T) {
+	ops := []history.Op[string]{
+		wr(0, 0, "a", 1, 2),
+		wr(1, 0, "b", 3, 4),
+		rd(2, 2, "a", 5, 6),
+	}
+	if err := CheckSingleWriterAtomic(ops, "i"); err == nil {
+		t.Fatal("stale read accepted")
+	}
+}
+
+func TestSingleWriterDetectsFutureRead(t *testing.T) {
+	ops := []history.Op[string]{
+		rd(0, 2, "a", 1, 2),
+		wr(1, 0, "a", 5, 6),
+	}
+	if err := CheckSingleWriterAtomic(ops, "i"); err == nil {
+		t.Fatal("read from the future accepted")
+	}
+}
+
+func TestSingleWriterDetectsInversion(t *testing.T) {
+	ops := []history.Op[string]{
+		wr(0, 0, "a", 1, 2),
+		wr(1, 0, "b", 3, 20),
+		rd(2, 2, "b", 4, 7),
+		rd(3, 2, "a", 8, 11),
+	}
+	if err := CheckSingleWriterAtomic(ops, "i"); err == nil {
+		t.Fatal("new-old inversion accepted")
+	}
+}
+
+func TestSingleWriterAcceptsCleanConcurrentHistory(t *testing.T) {
+	ops := []history.Op[string]{
+		wr(0, 0, "a", 1, 10),
+		rd(1, 2, "i", 2, 3),
+		rd(2, 2, "a", 4, 12),
+		wr(3, 0, "b", 11, 15),
+		rd(4, 3, "a", 12, 13),
+		rd(5, 2, "b", 16, 18),
+	}
+	if err := CheckSingleWriterAtomic(ops, "i"); err != nil {
+		t.Fatalf("clean history rejected: %v", err)
+	}
+}
+
+func TestSingleWriterIgnoresPendingReads(t *testing.T) {
+	ops := []history.Op[string]{
+		wr(0, 0, "a", 1, 2),
+		{ID: 1, Proc: 2, Inv: 3, Res: history.PendingSeq}, // pending read
+		rd(2, 2, "a", 5, 6),
+	}
+	if err := CheckSingleWriterAtomic(ops, "i"); err != nil {
+		t.Fatalf("pending read broke the checker: %v", err)
+	}
+}

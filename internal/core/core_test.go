@@ -1,0 +1,439 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/atomicity"
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/proof"
+	"repro/internal/register"
+	"repro/internal/spec"
+)
+
+// certify runs the Section 7 certifier on the recorded trace and
+// cross-validates the witness with the generic spec validator.
+func certify(t *testing.T, tw *core.TwoWriter[string]) *proof.Linearization[string] {
+	t.Helper()
+	tr := tw.Recorder().Trace(tw.InitialValue())
+	lin, err := proof.Certify(tr)
+	if err != nil {
+		t.Fatalf("certification failed: %v", err)
+	}
+	h := tw.Recorder().History()
+	ops, err := h.Ops()
+	if err != nil {
+		t.Fatalf("history extraction failed: %v", err)
+	}
+	scaled, wit, err := proof.AsWitness(ops, lin)
+	if err != nil {
+		t.Fatalf("witness flattening failed: %v", err)
+	}
+	if err := spec.ValidateWitness(scaled, tw.InitialValue(), wit); err != nil {
+		t.Fatalf("spec validation of certificate failed: %v", err)
+	}
+	return lin
+}
+
+func TestSequentialReadsAndWrites(t *testing.T) {
+	tw := core.New(2, "v0", core.WithRecording[string]())
+	w0, w1 := tw.Writer(0), tw.Writer(1)
+	r1, r2 := tw.Reader(1), tw.Reader(2)
+
+	if got := r1.Read(); got != "v0" {
+		t.Fatalf("initial read = %q, want v0", got)
+	}
+	w0.Write("a")
+	if got := r1.Read(); got != "a" {
+		t.Fatalf("read after w0 = %q, want a", got)
+	}
+	w1.Write("b")
+	if got := r2.Read(); got != "b" {
+		t.Fatalf("read after w1 = %q, want b", got)
+	}
+	w0.Write("c")
+	w0.Write("d")
+	if got := r1.Read(); got != "d" {
+		t.Fatalf("read after two w0 writes = %q, want d", got)
+	}
+	w1.Write("e")
+	w0.Write("f")
+	w1.Write("g")
+	if got := r2.Read(); got != "g" {
+		t.Fatalf("read after alternating writes = %q, want g", got)
+	}
+	certify(t, tw)
+}
+
+func TestArchitectureWiring(t *testing.T) {
+	// Figure 2: Wri writes only Regi; its protocol read goes to Reg¬i
+	// through port 0; reader j reads through port j.
+	tw := core.New(2, "v0", core.WithRecording[string]())
+	reg0 := tw.Reg(0).(*register.Atomic[core.Tagged[string]])
+	reg1 := tw.Reg(1).(*register.Atomic[core.Tagged[string]])
+
+	tw.Writer(0).Write("a")
+	if got := reg0.Counters().Writes(); got != 1 {
+		t.Errorf("writer 0 wrote Reg0 %d times, want 1", got)
+	}
+	if got := reg1.Counters().Writes(); got != 0 {
+		t.Errorf("writer 0 wrote Reg1 %d times, want 0", got)
+	}
+	if got := reg1.Counters().Reads(0); got != 1 {
+		t.Errorf("writer 0 read Reg1 through port 0 %d times, want 1", got)
+	}
+
+	tw.Writer(1).Write("b")
+	if got := reg1.Counters().Writes(); got != 1 {
+		t.Errorf("writer 1 wrote Reg1 %d times, want 1", got)
+	}
+	if got := reg0.Counters().Reads(0); got != 1 {
+		t.Errorf("writer 1 read Reg0 through port 0 %d times, want 1", got)
+	}
+
+	tw.Reader(2).Read()
+	if got := reg0.Counters().Reads(2) + reg1.Counters().Reads(2); got != 3 {
+		t.Errorf("reader 2 performed %d real reads, want 3", got)
+	}
+	if got := reg0.Counters().Reads(1) + reg1.Counters().Reads(1); got != 0 {
+		t.Errorf("reader 1 (never used) performed %d reads", got)
+	}
+	certify(t, tw)
+}
+
+func TestAccessCounts(t *testing.T) {
+	// Section 5 cost claims: a write costs exactly 1 real read + 1 real
+	// write; a read costs exactly 3 real reads.
+	tw := core.New(1, "v0")
+	reg0 := tw.Reg(0).(*register.Atomic[core.Tagged[string]])
+	reg1 := tw.Reg(1).(*register.Atomic[core.Tagged[string]])
+	totalReads := func() int64 { return reg0.Counters().TotalReads() + reg1.Counters().TotalReads() }
+	totalWrites := func() int64 { return reg0.Counters().Writes() + reg1.Counters().Writes() }
+
+	const writes = 10
+	for i := 0; i < writes; i++ {
+		tw.Writer(i % 2).Write(fmt.Sprintf("w%d", i))
+	}
+	if r, w := totalReads(), totalWrites(); r != writes || w != writes {
+		t.Errorf("after %d simulated writes: %d real reads, %d real writes; want %d each", writes, r, w, writes)
+	}
+
+	base := totalReads()
+	const reads = 10
+	for i := 0; i < reads; i++ {
+		tw.Reader(1).Read()
+	}
+	if got := totalReads() - base; got != 3*reads {
+		t.Errorf("%d simulated reads cost %d real reads, want %d", reads, got, 3*reads)
+	}
+}
+
+func TestWriterAsReaderAccessCounts(t *testing.T) {
+	// Section 5: "The number of real reads that such a writer performs
+	// in a simulated read may be reduced to one or two."
+	tw := core.New(0, "v0")
+	wr0 := tw.WriterReader(0)
+	reg0 := tw.Reg(0).(*register.Atomic[core.Tagged[string]])
+	reg1 := tw.Reg(1).(*register.Atomic[core.Tagged[string]])
+	totalReads := func() int64 { return reg0.Counters().TotalReads() + reg1.Counters().TotalReads() }
+
+	wr0.Write("a")
+	base := totalReads()
+	const reads = 20
+	for i := 0; i < reads; i++ {
+		if got := wr0.Read(); got != "a" {
+			t.Fatalf("writer-as-reader read %q, want a", got)
+		}
+	}
+	real := totalReads() - base
+	if real < reads || real > 2*reads {
+		t.Errorf("%d writer-as-reader reads cost %d real reads, want between %d and %d", reads, real, reads, 2*reads)
+	}
+	if tw.Writer(0).VirtualReads() == 0 {
+		t.Error("local-copy optimization never used")
+	}
+}
+
+func TestWriterAsReaderSeesOwnWrites(t *testing.T) {
+	tw := core.New(0, "v0", core.WithRecording[string]())
+	wr0, wr1 := tw.WriterReader(0), tw.WriterReader(1)
+	if got := wr0.Read(); got != "v0" {
+		t.Fatalf("initial writer read = %q", got)
+	}
+	wr0.Write("a")
+	if got := wr0.Read(); got != "a" {
+		t.Fatalf("writer 0 read %q after writing a", got)
+	}
+	wr1.Write("b")
+	if got := wr0.Read(); got != "b" {
+		t.Fatalf("writer 0 read %q after writer 1 wrote b", got)
+	}
+	if got := wr1.Read(); got != "b" {
+		t.Fatalf("writer 1 read %q after writing b", got)
+	}
+	certify(t, tw)
+}
+
+func TestConcurrentStressCertified(t *testing.T) {
+	// Two writers and several readers hammer the register; the run is
+	// then certified by the Section 7 construction. This is the paper's
+	// main theorem as a repeated machine-checked experiment.
+	const (
+		readers        = 4
+		writesPerW     = 300
+		readsPerReader = 300
+	)
+	for seed := int64(0); seed < 3; seed++ {
+		tw := core.New(readers, "v0", core.WithRecording[string]())
+		var wg sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				w := tw.Writer(i)
+				for k := 0; k < writesPerW; k++ {
+					w.Write(fmt.Sprintf("w%d-%d", i, k))
+				}
+			}(i)
+		}
+		for j := 1; j <= readers; j++ {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				r := tw.Reader(j)
+				for k := 0; k < readsPerReader; k++ {
+					_ = r.Read()
+				}
+			}(j)
+		}
+		wg.Wait()
+		lin := certify(t, tw)
+		rep := lin.Report
+		total := rep.PotentWrites + rep.ImpotentWrites
+		if total != 2*writesPerW {
+			t.Fatalf("classified %d writes, want %d", total, 2*writesPerW)
+		}
+		if rep.ReadsOfPotent+rep.ReadsOfImp+rep.ReadsOfInitial != readers*readsPerReader {
+			t.Fatalf("classified %d reads, want %d", rep.ReadsOfPotent+rep.ReadsOfImp+rep.ReadsOfInitial, readers*readsPerReader)
+		}
+	}
+}
+
+func TestConcurrentWriterReadersCertified(t *testing.T) {
+	// Both writers double as readers (the paper's combined automaton)
+	// while dedicated readers run too.
+	tw := core.New(2, "v0", core.WithRecording[string]())
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			wr := tw.WriterReader(i)
+			rng := rand.New(rand.NewSource(int64(i)))
+			for k := 0; k < 400; k++ {
+				if rng.Intn(2) == 0 {
+					wr.Write(fmt.Sprintf("w%d-%d", i, k))
+				} else {
+					_ = wr.Read()
+				}
+			}
+		}(i)
+	}
+	for j := 1; j <= 2; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			r := tw.Reader(j)
+			for k := 0; k < 400; k++ {
+				_ = r.Read()
+			}
+		}(j)
+	}
+	wg.Wait()
+	certify(t, tw)
+}
+
+func TestSmallConcurrentRunsCrossValidated(t *testing.T) {
+	// For small runs, confirm the certifier's verdict against the
+	// exhaustive checker: both must accept.
+	for seed := int64(0); seed < 10; seed++ {
+		tw := core.New(2, "v0", core.WithRecording[string]())
+		var wg sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				w := tw.Writer(i)
+				for k := 0; k < 5; k++ {
+					w.Write(fmt.Sprintf("w%d-%d", i, k))
+				}
+			}(i)
+		}
+		for j := 1; j <= 2; j++ {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				r := tw.Reader(j)
+				for k := 0; k < 5; k++ {
+					_ = r.Read()
+				}
+			}(j)
+		}
+		wg.Wait()
+		certify(t, tw)
+		h := tw.Recorder().History()
+		res, err := atomicity.CheckHistory(&h, "v0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Linearizable {
+			t.Fatal("exhaustive checker rejected a run the certifier accepted")
+		}
+	}
+}
+
+func TestWriterCrashLeavesRegisterConsistent(t *testing.T) {
+	// Section 5: "if the writer crashes at some point in the protocol,
+	// the write either occurs or does not occur; it does not leave the
+	// register in an inconsistent state."
+	for step := 0; step < core.WriterSteps; step++ {
+		tw := core.New(1, "v0", core.WithRecording[string]())
+		tw.Writer(0).Write("before")
+		took := tw.Writer(1).WriteCrashing("crashed", step)
+		if (step >= 2) != took {
+			t.Fatalf("crash at step %d: took=%v", step, took)
+		}
+		// The surviving writer and reader continue unaffected.
+		got := tw.Reader(1).Read()
+		switch got {
+		case "before", "crashed":
+		default:
+			t.Fatalf("crash at step %d: reader saw %q", step, got)
+		}
+		if step < 2 && got == "crashed" {
+			t.Fatalf("write crashed before its real write but was observed")
+		}
+		tw.Writer(0).Write("after")
+		if got := tw.Reader(1).Read(); got != "after" {
+			t.Fatalf("crash at step %d: register stuck, read %q after recovery write", step, got)
+		}
+		certify(t, tw)
+	}
+}
+
+func TestReaderCrashDisturbsNothing(t *testing.T) {
+	for step := 0; step < core.ReaderSteps; step++ {
+		tw := core.New(2, "v0", core.WithRecording[string]())
+		tw.Writer(0).Write("a")
+		tw.Reader(1).ReadCrashing(step)
+		if got := tw.Reader(2).Read(); got != "a" {
+			t.Fatalf("crash at step %d: surviving reader saw %q", step, got)
+		}
+		tw.Writer(1).Write("b")
+		if got := tw.Reader(2).Read(); got != "b" {
+			t.Fatalf("crash at step %d: register stuck after reader crash", step)
+		}
+		certify(t, tw)
+	}
+}
+
+func TestConcurrentCrashesCertified(t *testing.T) {
+	// Crash one writer mid-run while the other writer and readers keep
+	// going; the whole run must still certify.
+	for step := 0; step < core.WriterSteps; step++ {
+		tw := core.New(2, "v0", core.WithRecording[string]())
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := tw.Writer(0)
+			for k := 0; k < 50; k++ {
+				w.Write(fmt.Sprintf("w0-%d", k))
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := tw.Writer(1)
+			for k := 0; k < 25; k++ {
+				w.Write(fmt.Sprintf("w1-%d", k))
+			}
+			w.WriteCrashing("w1-crash", step)
+			// The automaton is dead from here on.
+		}()
+		for j := 1; j <= 2; j++ {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				r := tw.Reader(j)
+				for k := 0; k < 100; k++ {
+					_ = r.Read()
+				}
+			}(j)
+		}
+		wg.Wait()
+		lin := certify(t, tw)
+		if step < 2 && lin.Report.DroppedWrites != 1 {
+			t.Fatalf("crash at step %d: %d dropped writes, want 1", step, lin.Report.DroppedWrites)
+		}
+	}
+}
+
+func TestRecorderOffByDefault(t *testing.T) {
+	tw := core.New(1, "v0")
+	if tw.Recorder() != nil {
+		t.Fatal("recorder attached without WithRecording")
+	}
+	tw.Writer(0).Write("a") // must not panic on nil recorder
+	if got := tw.Reader(1).Read(); got != "a" {
+		t.Fatalf("unrecorded run read %q", got)
+	}
+}
+
+func TestCertifiable(t *testing.T) {
+	if !core.New(1, 0).Certifiable() {
+		t.Error("default substrate should be certifiable")
+	}
+	adv := register.NewSeededAdversary(1)
+	r0 := register.NewRegularOnly(2, core.Tagged[int]{}, adv)
+	r1 := register.NewRegularOnly(2, core.Tagged[int]{}, adv)
+	tw := core.New(1, 0, core.WithRegisters[int](r0, r1))
+	if tw.Certifiable() {
+		t.Error("regular-only substrate must not claim certifiability")
+	}
+}
+
+func TestInvalidIndicesPanic(t *testing.T) {
+	tw := core.New(1, 0)
+	for _, f := range []func(){
+		func() { tw.Writer(2) },
+		func() { tw.Writer(-1) },
+		func() { tw.Reader(0) },
+		func() { tw.Reader(2) },
+		func() { core.New(-1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestChannelIDs(t *testing.T) {
+	if core.ChanWriter0 != history.ProcID(0) || core.ChanWriter1 != history.ProcID(1) {
+		t.Error("writer channel IDs changed")
+	}
+	if core.ChanReader(1) != history.ProcID(2) || core.ChanReader(3) != history.ProcID(4) {
+		t.Error("reader channel IDs changed")
+	}
+	if core.ChanWriterRead(0) != history.ProcID(-1) || core.ChanWriterRead(1) != history.ProcID(-2) {
+		t.Error("writer read-channel IDs changed")
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/history"
+	"repro/internal/register"
+)
+
+// GateSystem replays exact interleavings through the production goroutine
+// implementation. It wraps the two real registers so that every access
+// blocks until the test scheduler releases it, which makes the concurrent
+// implementation fully deterministic: the same release script yields the
+// same γ schedule, byte for byte.
+//
+// This closes the verification gap between the step machines of package
+// sched (a model of the protocol) and the actual implementation in this
+// package: scripted scenarios can be driven through both and their
+// certified classifications compared.
+//
+// Protocol:
+//
+//	gs := core.NewGateSystem(readers, v0)
+//	go func() { gs.Register().Writer(0).Write("a") }()  // parks at its first access
+//	gs.Release(core.GateWriter0)                        // let Wr0 perform ONE real access
+//	...
+//
+// Release blocks until the released access has fully completed, so after
+// it returns the global state reflects the access. Each processor must
+// run in its own goroutine, as in production.
+type GateSystem[V comparable] struct {
+	tw    *TwoWriter[V]
+	gates map[int]chan gateTicket
+}
+
+// gateTicket releases one access and carries a channel to signal
+// completion.
+type gateTicket struct {
+	done chan struct{}
+}
+
+// Gate identities: writers gate on their protocol identity; readers gate
+// on their port.
+const (
+	// GateWriter0 and GateWriter1 gate the two writers' real accesses.
+	GateWriter0 = 0
+	GateWriter1 = 1
+)
+
+// GateReader returns the gate identity of reader j (1-based).
+func GateReader(j int) int { return 1 + j }
+
+// gatedReg wraps a stamped register, parking each access until released.
+type gatedReg[V comparable] struct {
+	inner *register.Atomic[Tagged[V]]
+	gs    *GateSystem[V]
+	reg   int
+}
+
+var _ register.Stamped[Tagged[int]] = (*gatedReg[int])(nil)
+
+func (g *gatedReg[V]) gateFor(port int) int {
+	if port == 0 {
+		// Port 0 of register r is the opposite writer.
+		return 1 - g.reg
+	}
+	return GateReader(port)
+}
+
+func (g *gatedReg[V]) await(gate int) gateTicket {
+	t := <-g.gs.gates[gate]
+	return t
+}
+
+// Read implements register.Reg.
+func (g *gatedReg[V]) Read(port int) Tagged[V] {
+	v, _ := g.ReadStamped(port)
+	return v
+}
+
+// ReadStamped implements register.Stamped.
+func (g *gatedReg[V]) ReadStamped(port int) (Tagged[V], int64) {
+	t := g.await(g.gateFor(port))
+	v, s := g.inner.ReadStamped(port)
+	close(t.done)
+	return v, s
+}
+
+// Write implements register.Reg.
+func (g *gatedReg[V]) Write(v Tagged[V]) { g.WriteStamped(v) }
+
+// WriteStamped implements register.Stamped.
+func (g *gatedReg[V]) WriteStamped(v Tagged[V]) int64 {
+	t := g.await(g.reg) // register r's writer is writer r
+	s := g.inner.WriteStamped(v)
+	close(t.done)
+	return s
+}
+
+// NewGateSystem builds a recording two-writer register over gated real
+// registers, with n dedicated readers.
+func NewGateSystem[V comparable](n int, v0 V) *GateSystem[V] {
+	gs := &GateSystem[V]{gates: make(map[int]chan gateTicket, n+2)}
+	gs.gates[GateWriter0] = make(chan gateTicket)
+	gs.gates[GateWriter1] = make(chan gateTicket)
+	for j := 1; j <= n; j++ {
+		gs.gates[GateReader(j)] = make(chan gateTicket)
+	}
+	seq := new(history.Sequencer)
+	r0 := &gatedReg[V]{inner: register.NewAtomic(n+1, Tagged[V]{Val: v0}, seq), gs: gs, reg: 0}
+	r1 := &gatedReg[V]{inner: register.NewAtomic(n+1, Tagged[V]{Val: v0}, seq), gs: gs, reg: 1}
+	gs.tw = New(n, v0,
+		WithRegisters[V](r0, r1),
+		WithSequencer[V](seq),
+		WithRecording[V]())
+	return gs
+}
+
+// Register returns the gated two-writer register; spawn its handles'
+// operations in goroutines and drive them with Release.
+func (gs *GateSystem[V]) Register() *TwoWriter[V] { return gs.tw }
+
+// Release lets the processor behind the given gate perform exactly one
+// real register access, and returns once that access has completed. It
+// blocks until the processor is parked at an access, so only release
+// processors that have an operation in flight.
+func (gs *GateSystem[V]) Release(gate int) {
+	ch, ok := gs.gates[gate]
+	if !ok {
+		panic(fmt.Sprintf("core: no gate %d", gate))
+	}
+	t := gateTicket{done: make(chan struct{})}
+	ch <- t
+	<-t.done
+}
+
+// ReleaseScript releases a whole schedule: one access per entry.
+func (gs *GateSystem[V]) ReleaseScript(gates ...int) {
+	for _, g := range gates {
+		gs.Release(g)
+	}
+}

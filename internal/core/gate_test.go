@@ -1,0 +1,202 @@
+package core_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/proof"
+	"repro/internal/sched"
+)
+
+// runGated spawns the configured operations as production goroutines and
+// releases their real accesses in the order given by script (sched
+// processor indices: 0,1 = writers, 2+j = reader j's gate — which equals
+// the gate identity, by construction).
+func runGated(t *testing.T, writes [2]int, readers []int, script []int) core.Trace[string] {
+	t.Helper()
+	gs := core.NewGateSystem(len(readers), "v0")
+	tw := gs.Register()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := tw.Writer(i)
+			for k := 0; k < writes[i]; k++ {
+				w.Write(fmt.Sprintf("w%d-%d", i+1, k+1))
+			}
+		}(i)
+	}
+	for j := 1; j <= len(readers); j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			r := tw.Reader(j)
+			for k := 0; k < readers[j-1]; k++ {
+				_ = r.Read()
+			}
+		}(j)
+	}
+	gs.ReleaseScript(script...)
+	wg.Wait()
+	return tw.Recorder().Trace("v0")
+}
+
+// TestGateReplaysSlowReader drives the paper's slow-reader scenario
+// through the production implementation, deterministically.
+func TestGateReplaysSlowReader(t *testing.T) {
+	script := []int{2, 2, 0, 1, 1, 0, 2}
+	tr := runGated(t, [2]int{1, 1}, []int{1}, script)
+	lin, err := proof.Certify(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := lin.Report
+	if rep.ImpotentWrites != 1 || rep.PotentWrites != 1 || rep.ReadsOfImp != 1 {
+		t.Fatalf("production replay classified %+v; want 1 potent, 1 impotent, 1 read-of-impotent", rep)
+	}
+}
+
+// reportKey summarizes the schedule-determined parts of a certification
+// report for equivalence comparison.
+func reportKey(rep proof.Report) string {
+	return fmt.Sprintf("p%d i%d rp%d ri%d r0%d",
+		rep.PotentWrites, rep.ImpotentWrites, rep.ReadsOfPotent, rep.ReadsOfImp, rep.ReadsOfInitial)
+}
+
+// TestProductionMatchesModelExhaustively is the implementation-vs-model
+// equivalence experiment: EVERY interleaving of a small configuration is
+// replayed both through the step machine (package sched) and through the
+// real goroutine implementation (via gates), and the Section 7
+// classifications must agree schedule by schedule. 210 schedules, each
+// spawning real goroutines.
+func TestProductionMatchesModelExhaustively(t *testing.T) {
+	cfg := sched.Config{Writes: [2]int{1, 1}, Readers: []int{1}}
+	n := 0
+	_, err := sched.Explore(cfg, sched.Faithful, func(r *sched.Result) error {
+		n++
+		modelLin, err := proof.Certify(r.Trace)
+		if err != nil {
+			return fmt.Errorf("model schedule %v: %w", r.Sched, err)
+		}
+		prodTrace := runGated(t, cfg.Writes, cfg.Readers, r.Sched)
+		prodLin, err := proof.Certify(prodTrace)
+		if err != nil {
+			return fmt.Errorf("production schedule %v: %w", r.Sched, err)
+		}
+		if got, want := reportKey(prodLin.Report), reportKey(modelLin.Report); got != want {
+			return fmt.Errorf("schedule %v: production classified %s, model %s", r.Sched, got, want)
+		}
+		// The model and production name written values differently, so
+		// compare the reads' observable structure: sampled tags and
+		// final-read targets must match exactly.
+		if err := compareReads(r.Trace, prodTrace); err != nil {
+			return fmt.Errorf("schedule %v: %w", r.Sched, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 210 {
+		t.Fatalf("explored %d schedules, want 210", n)
+	}
+}
+
+// TestProductionMatchesModelWriterReads extends the equivalence experiment
+// to the combined writer/reader automata: writer 0 performs a write then a
+// simulated read (local-copy optimization), writer 1 writes, a dedicated
+// reader reads. Every model interleaving is replayed through the gated
+// production implementation; virtual accesses are ungated in both, and
+// classifications and read structure must agree.
+func TestProductionMatchesModelWriterReads(t *testing.T) {
+	cfg := sched.Config{WriterSeq: [2]string{"wr", "w"}, Readers: []int{1}}
+	n := 0
+	_, err := sched.Explore(cfg, sched.Faithful, func(r *sched.Result) error {
+		n++
+		modelLin, err := proof.Certify(r.Trace)
+		if err != nil {
+			return fmt.Errorf("model schedule %v: %w", r.Sched, err)
+		}
+
+		gs := core.NewGateSystem(1, "v0")
+		tw := gs.Register()
+		var wg sync.WaitGroup
+		wg.Add(3)
+		go func() {
+			defer wg.Done()
+			wr := tw.WriterReader(0)
+			wr.Write("w1-1")
+			_ = wr.Read()
+		}()
+		go func() {
+			defer wg.Done()
+			tw.Writer(1).Write("w2-1")
+		}()
+		go func() {
+			defer wg.Done()
+			_ = tw.Reader(1).Read()
+		}()
+		gs.ReleaseScript(r.Sched...)
+		wg.Wait()
+
+		prodLin, err := proof.Certify(tw.Recorder().Trace("v0"))
+		if err != nil {
+			return fmt.Errorf("production schedule %v: %w", r.Sched, err)
+		}
+		if got, want := reportKey(prodLin.Report), reportKey(modelLin.Report); got != want {
+			return fmt.Errorf("schedule %v: production classified %s, model %s", r.Sched, got, want)
+		}
+		if err := compareReads(r.Trace, tw.Recorder().Trace("v0")); err != nil {
+			return fmt.Errorf("schedule %v: %w", r.Sched, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("replayed %d writer-read schedules through production code", n)
+}
+
+// compareReads pairs reads by channel and per-channel order (invocation
+// stamps race across channels in production, but within one sequential
+// channel the order is program order in both traces) and compares their
+// observable structure.
+func compareReads(model core.Trace[int], prod core.Trace[string]) error {
+	if len(model.Reads) != len(prod.Reads) {
+		return fmt.Errorf("model has %d reads, production %d", len(model.Reads), len(prod.Reads))
+	}
+	type key struct {
+		proc history.ProcID
+		k    int
+	}
+	perChan := map[history.ProcID]int{}
+	prodBy := map[key]core.ReadRec[string]{}
+	for _, p := range prod.Reads {
+		prodBy[key{p.Proc, perChan[p.Proc]}] = p
+		perChan[p.Proc]++
+	}
+	perChan = map[history.ProcID]int{}
+	for _, m := range model.Reads {
+		k := key{m.Proc, perChan[m.Proc]}
+		perChan[m.Proc]++
+		p, ok := prodBy[k]
+		if !ok {
+			return fmt.Errorf("production lacks read #%d on channel %d", k.k, k.proc)
+		}
+		if m.R2Reg != p.R2Reg {
+			return fmt.Errorf("channel %d read %d targeted Reg%d in the model, Reg%d in production", k.proc, k.k, m.R2Reg, p.R2Reg)
+		}
+		if (m.T0 != p.T0) || (m.T1 != p.T1) {
+			return fmt.Errorf("channel %d read %d sampled tags (%d,%d) in the model, (%d,%d) in production", k.proc, k.k, m.T0, m.T1, p.T0, p.T1)
+		}
+		if m.Virtual0 != p.Virtual0 || m.Virtual1 != p.Virtual1 || m.Virtual2 != p.Virtual2 {
+			return fmt.Errorf("channel %d read %d virtual pattern differs: model %v%v%v, production %v%v%v",
+				k.proc, k.k, m.Virtual0, m.Virtual1, m.Virtual2, p.Virtual0, p.Virtual1, p.Virtual2)
+		}
+	}
+	return nil
+}

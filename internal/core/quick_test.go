@@ -1,0 +1,147 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/proof"
+)
+
+// workload describes a randomized concurrent run shape; quick generates
+// instances and every run must certify. This is the main-theorem property
+// test: arbitrary mixes of writers, combined writer/readers, dedicated
+// readers, crash injections, and scheduling jitter all produce atomic
+// histories.
+type workload struct {
+	Seed        int64
+	Readers     uint8 // 0..4 dedicated readers
+	OpsPerProc  uint8 // 1..24 ops per processor
+	Combined    bool  // writers double as readers
+	CrashWriter bool  // writer 1 crashes at a random step at the end
+}
+
+func (w workload) normalize() workload {
+	w.Readers %= 5
+	w.OpsPerProc = 1 + w.OpsPerProc%24
+	return w
+}
+
+func runWorkload(w workload) error {
+	w = w.normalize()
+	readers := int(w.Readers)
+	ops := int(w.OpsPerProc)
+	tw := core.New(readers, "v0", core.WithRecording[string]())
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(w.Seed + int64(i)))
+			if w.Combined {
+				wr := tw.WriterReader(i)
+				for k := 0; k < ops; k++ {
+					if rng.Intn(2) == 0 {
+						wr.Write(fmt.Sprintf("w%d-%d", i, k))
+					} else {
+						_ = wr.Read()
+					}
+				}
+			} else {
+				h := tw.Writer(i)
+				for k := 0; k < ops; k++ {
+					h.Write(fmt.Sprintf("w%d-%d", i, k))
+				}
+			}
+			if i == 1 && w.CrashWriter {
+				tw.Writer(1).WriteCrashing("crash", int(w.Seed%3+3)%core.WriterSteps)
+			}
+		}(i)
+	}
+	for j := 1; j <= readers; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			r := tw.Reader(j)
+			for k := 0; k < ops; k++ {
+				_ = r.Read()
+			}
+		}(j)
+	}
+	wg.Wait()
+
+	_, err := proof.Certify(tw.Recorder().Trace("v0"))
+	return err
+}
+
+// TestRandomWorkloadsAlwaysCertify is the property-based main theorem:
+// whatever the workload shape, the Section 7 construction linearizes it.
+func TestRandomWorkloadsAlwaysCertify(t *testing.T) {
+	f := func(w workload) bool {
+		if err := runWorkload(w); err != nil {
+			t.Logf("workload %+v failed: %v", w.normalize(), err)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if testing.Short() {
+		cfg.MaxCount = 15
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPerWriterValuesReadInOrder is a derived-invariant property: because
+// the register is atomic and each writer's values are written in
+// increasing order, no reader may observe one writer's values out of
+// order.
+func TestPerWriterValuesReadInOrder(t *testing.T) {
+	const readers, writes, reads = 3, 200, 400
+	tw := core.New(readers, -1, core.WithRecording[int]())
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := tw.Writer(i)
+			for k := 0; k < writes; k++ {
+				w.Write(i*1000000 + k) // writer i's k-th value
+			}
+		}(i)
+	}
+	violations := make(chan string, readers)
+	for j := 1; j <= readers; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			r := tw.Reader(j)
+			last := map[int]int{0: -1, 1: -1}
+			for k := 0; k < reads; k++ {
+				v := r.Read()
+				if v < 0 {
+					continue // initial value
+				}
+				writer, gen := v/1000000, v%1000000
+				if gen < last[writer] {
+					violations <- fmt.Sprintf("reader %d saw writer %d's value %d after %d", j, writer, gen, last[writer])
+					return
+				}
+				last[writer] = gen
+			}
+		}(j)
+	}
+	wg.Wait()
+	close(violations)
+	for v := range violations {
+		t.Fatal(v)
+	}
+	if _, err := proof.Certify(tw.Recorder().Trace(-1)); err != nil {
+		t.Fatal(err)
+	}
+}

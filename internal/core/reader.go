@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/history"
+)
+
+// ReaderSteps is the number of protocol steps in a simulated read: three
+// real reads plus the acknowledgment.
+const ReaderSteps = 4
+
+// Reader is the handle for one of the n dedicated readers. A Reader models
+// a sequential automaton: calls on one Reader must not overlap.
+type Reader[V comparable] struct {
+	tw *TwoWriter[V]
+	j  int // reader index, 1..n; also the read port on each real register
+}
+
+// Index returns the reader's index j (1-based).
+func (r *Reader[V]) Index() int { return r.j }
+
+// Read performs one simulated read:
+//
+//	read t0, v0 from Reg0
+//	read t1, v1 from Reg1
+//	r := t0 ⊕ t1
+//	read t2, v2 from Regr
+//	return v2
+func (r *Reader[V]) Read() V {
+	v, _ := r.read(ReaderSteps)
+	return v
+}
+
+// ReadCrashing performs a read that halts after the given number of
+// protocol steps (0 ≤ steps < ReaderSteps, counting the three real reads
+// and then the acknowledgment). A crashed read returns nothing and places
+// no constraint on the register; the Reader must not be used again.
+func (r *Reader[V]) ReadCrashing(steps int) {
+	if steps < 0 || steps >= ReaderSteps {
+		panic(fmt.Sprintf("core: crash step %d out of range [0,%d)", steps, ReaderSteps))
+	}
+	r.read(steps)
+}
+
+func (r *Reader[V]) read(steps int) (V, bool) {
+	tw := r.tw
+	rec := tw.rec
+	ch := ChanReader(r.j)
+
+	var rr ReadRec[V]
+	var zero V
+	if rec != nil {
+		rr.Proc = ch
+		rr.ReaderIndex = r.j
+		rr.OpID, rr.InvokeSeq = rec.hist.InvokeRead(ch)
+		rr.RespondSeq = history.PendingSeq
+	}
+	if steps < 1 {
+		rr.Crashed = true
+		rec.addRead(rr)
+		return zero, false
+	}
+
+	a, s0 := tw.readReg(0, r.j)
+	rr.R0Seq, rr.T0 = s0, a.Tag
+	if rec != nil {
+		rec.addReal(RealEvent[V]{Seq: s0, Reg: 0, Port: r.j, Content: a, Chan: ch, OpID: rr.OpID})
+	}
+	if steps < 2 {
+		rr.Crashed = true
+		rec.addRead(rr)
+		return zero, false
+	}
+
+	b, s1 := tw.readReg(1, r.j)
+	rr.R1Seq, rr.T1 = s1, b.Tag
+	if rec != nil {
+		rec.addReal(RealEvent[V]{Seq: s1, Reg: 1, Port: r.j, Content: b, Chan: ch, OpID: rr.OpID})
+	}
+	if steps < 3 {
+		rr.Crashed = true
+		rec.addRead(rr)
+		return zero, false
+	}
+
+	target := int(a.Tag ^ b.Tag)
+	c, s2 := tw.readReg(target, r.j)
+	rr.R2Seq, rr.R2Reg, rr.Ret = s2, target, c.Val
+	if rec != nil {
+		rec.addReal(RealEvent[V]{Seq: s2, Reg: target, Port: r.j, Content: c, Chan: ch, OpID: rr.OpID})
+	}
+	if steps < 4 {
+		rr.Crashed = true
+		rec.addRead(rr)
+		return zero, false
+	}
+
+	if rec != nil {
+		rr.RespondSeq = rec.hist.RespondRead(ch, rr.OpID, c.Val)
+		rec.addRead(rr)
+	}
+	return c.Val, true
+}

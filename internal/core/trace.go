@@ -1,0 +1,197 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/history"
+)
+
+// WriteRec records everything the certifier (package proof) needs to know
+// about one simulated write: the external events plus the stamps and
+// contents of the two real accesses.
+type WriteRec[V comparable] struct {
+	// OpID identifies the operation in the external history.
+	OpID int
+	// Writer is the writer's index i (0 or 1).
+	Writer int
+	// Val is the value written.
+	Val V
+	// InvokeSeq and RespondSeq delimit the operation; RespondSeq is
+	// history.PendingSeq for a crashed write.
+	InvokeSeq, RespondSeq int64
+	// DidRead reports that the real read of Reg¬i completed; ReadSeq is
+	// its *-action stamp and ReadTag/ReadVal the content read.
+	DidRead bool
+	ReadSeq int64
+	ReadTag uint8
+	ReadVal V
+	// DidWrite reports that the real write of Regi completed (the write
+	// "occurred"); WriteSeq is its stamp and WriteTag the tag written.
+	DidWrite bool
+	WriteSeq int64
+	WriteTag uint8
+	// Crashed marks a write whose processor halted mid-protocol.
+	Crashed bool
+}
+
+// ReadRec records one simulated read with the stamps, tags and target of
+// its three register reads (virtual reads served from a writer's local
+// copy are marked).
+type ReadRec[V comparable] struct {
+	// OpID identifies the operation in the external history.
+	OpID int
+	// Proc is the operation's channel (ChanReader(j) or
+	// ChanWriterRead(i)).
+	Proc history.ProcID
+	// ReaderIndex is j for dedicated readers, -1 for writer-as-reader.
+	ReaderIndex int
+	// InvokeSeq and RespondSeq delimit the operation; RespondSeq is
+	// history.PendingSeq for a crashed read.
+	InvokeSeq, RespondSeq int64
+	// R0Seq/T0 describe the read of Reg0, R1Seq/T1 the read of Reg1.
+	R0Seq int64
+	T0    uint8
+	R1Seq int64
+	T1    uint8
+	// R2Seq/R2Reg/Ret describe the final read: register index t0⊕t1 and
+	// the value returned.
+	R2Seq int64
+	R2Reg int
+	Ret   V
+	// Virtual0/1/2 mark reads served from a writer's local copy.
+	Virtual0, Virtual1, Virtual2 bool
+	// Crashed marks a read whose processor halted mid-protocol. The
+	// stamps of steps not reached are zero.
+	Crashed bool
+}
+
+// RealEvent is one access to a real register, in γ-schedule form: the
+// *-action stamp plus the register, port, direction and content. The full
+// sorted list of real events is the paper's sequence γ restricted to the
+// real registers.
+type RealEvent[V comparable] struct {
+	// Seq is the *-action stamp of the access.
+	Seq int64
+	// Reg is the real register index (0 or 1).
+	Reg int
+	// Port is the read port used (0 for writers; reads only).
+	Port int
+	// IsWrite distinguishes real writes from real reads.
+	IsWrite bool
+	// Content is the value+tag read or written.
+	Content Tagged[V]
+	// Chan is the simulated-register channel on whose behalf the access
+	// happened, and OpID the simulated operation.
+	Chan history.ProcID
+	OpID int
+	// Virtual marks accesses served from a writer's local copy.
+	Virtual bool
+}
+
+// Trace is a complete record of one run: the external history of the
+// simulated register plus the γ-level real-register accesses, everything
+// sorted by stamp.
+type Trace[V comparable] struct {
+	// Init is the simulated register's initial value v0.
+	Init V
+	// Writes and Reads are the simulated operations, sorted by InvokeSeq.
+	Writes []WriteRec[V]
+	Reads  []ReadRec[V]
+	// Real is the γ schedule of real-register accesses, sorted by Seq.
+	Real []RealEvent[V]
+}
+
+// Ops converts the trace's simulated operations to history.Op form, for
+// the generic checkers in packages spec and atomicity. Crashed operations
+// become pending ops (Res = history.PendingSeq).
+func (t Trace[V]) Ops() []history.Op[V] {
+	ops := make([]history.Op[V], 0, len(t.Writes)+len(t.Reads))
+	for _, w := range t.Writes {
+		ops = append(ops, history.Op[V]{
+			ID:      w.OpID,
+			Proc:    history.ProcID(w.Writer),
+			IsWrite: true,
+			Arg:     w.Val,
+			Inv:     w.InvokeSeq,
+			Res:     w.RespondSeq,
+		})
+	}
+	for _, r := range t.Reads {
+		ops = append(ops, history.Op[V]{
+			ID:   r.OpID,
+			Proc: r.Proc,
+			Ret:  r.Ret,
+			Inv:  r.InvokeSeq,
+			Res:  r.RespondSeq,
+		})
+	}
+	return ops
+}
+
+// Recorder accumulates the trace of a run. All methods are safe for
+// concurrent use and for nil receivers (a nil recorder records nothing),
+// which keeps the protocol hot path free of double nil checks.
+type Recorder[V comparable] struct {
+	hist *history.Recorder[V]
+
+	mu     sync.Mutex
+	writes []WriteRec[V]
+	reads  []ReadRec[V]
+	real   []RealEvent[V]
+}
+
+func newRecorder[V comparable](seq *history.Sequencer) *Recorder[V] {
+	return &Recorder[V]{hist: history.NewRecorder[V](seq)}
+}
+
+func (r *Recorder[V]) addWrite(w WriteRec[V]) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.writes = append(r.writes, w)
+}
+
+func (r *Recorder[V]) addRead(rr ReadRec[V]) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.reads = append(r.reads, rr)
+}
+
+func (r *Recorder[V]) addReal(e RealEvent[V]) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.real = append(r.real, e)
+}
+
+// History returns the external history of the simulated register recorded
+// so far (requests and acknowledgments only), sorted by stamp.
+func (r *Recorder[V]) History() history.History[V] {
+	return r.hist.Snapshot()
+}
+
+// Trace returns a sorted copy of the full trace recorded so far. Call it
+// after all processor goroutines have finished (or crashed) for a
+// consistent picture.
+func (r *Recorder[V]) Trace(init V) Trace[V] {
+	r.mu.Lock()
+	t := Trace[V]{
+		Init:   init,
+		Writes: append([]WriteRec[V](nil), r.writes...),
+		Reads:  append([]ReadRec[V](nil), r.reads...),
+		Real:   append([]RealEvent[V](nil), r.real...),
+	}
+	r.mu.Unlock()
+	sort.Slice(t.Writes, func(i, j int) bool { return t.Writes[i].InvokeSeq < t.Writes[j].InvokeSeq })
+	sort.Slice(t.Reads, func(i, j int) bool { return t.Reads[i].InvokeSeq < t.Reads[j].InvokeSeq })
+	sort.Slice(t.Real, func(i, j int) bool { return t.Real[i].Seq < t.Real[j].Seq })
+	return t
+}

@@ -1,0 +1,116 @@
+package counterexample
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/atomicity"
+	"repro/internal/history"
+)
+
+// TableRow is one row of Figure 5's table.
+type TableRow struct {
+	Processor string // "Wr00", "Wr11", ... or "initial"
+	Action    string // "real reads", "sim. writes", "real writes"
+	Reg0      string // e.g. "'a',0"
+	Reg1      string
+	Value     string // the register's value as a fresh reader would see it
+}
+
+// Figure5Result is the outcome of the scripted replay.
+type Figure5Result struct {
+	// Rows reproduces the paper's table, including the initial row.
+	Rows []TableRow
+	// ReadBeforeCommit is what a reader saw after Wr01's write ('d').
+	ReadBeforeCommit string
+	// ReadAfterCommit is what a reader saw after Wr00's real write
+	// ('c' — the obsolete value, reappeared).
+	ReadAfterCommit string
+	// History is the external history of the run, for checking.
+	History history.History[string]
+	// Inversion is the new-old inversion diagnosis, non-empty on the
+	// expected failure.
+	Inversion string
+	// Linearizable is the exhaustive checker's verdict on History
+	// (false: the run proves the construction non-atomic).
+	Linearizable bool
+	// StatesExplored is the exhaustive checker's search effort.
+	StatesExplored int
+}
+
+// Figure5 replays the paper's counterexample schedule exactly and returns
+// the reconstructed table plus the machine-checked non-atomicity verdict.
+// With hardware true the inner two-writer registers are hardware-atomic
+// (footnote 6); otherwise they are real Bloom registers.
+//
+// Schedule (Figure 5): initial Reg0=('a',0), Reg1=('b',0), value 'a'.
+//
+//	Wr00  real reads   — computes its tag and goes to sleep
+//	Wr11  sim. writes 'c'
+//	Wr01  sim. writes 'd'      (makes 'c' obsolete)
+//	Wr00  real writes 'x'      ('c' reappears)
+func Figure5(hardware bool) (*Figure5Result, error) {
+	var opts []Option[string]
+	opts = append(opts, WithInitialContents[string]("a", "b"))
+	if hardware {
+		opts = append(opts, WithHardwareInner[string]())
+	}
+	t := NewTournament(1, "a", opts...)
+	res := &Figure5Result{}
+
+	row := func(proc, action string) {
+		c0, c1 := t.Contents(0), t.Contents(1)
+		res.Rows = append(res.Rows, TableRow{
+			Processor: proc,
+			Action:    action,
+			Reg0:      fmt.Sprintf("'%s',%d", c0.Val, c0.Tag),
+			Reg1:      fmt.Sprintf("'%s',%d", c1.Val, c1.Tag),
+			Value:     fmt.Sprintf("'%s'", t.Value()),
+		})
+	}
+
+	row("initial", "-")
+
+	wr00 := t.Writer(0, 0)
+	wr00.Begin("x")
+	row("Wr00", "real reads")
+
+	t.Writer(1, 1).Write("c")
+	row("Wr11", "sim. writes")
+
+	t.Writer(0, 1).Write("d")
+	row("Wr01", "sim. writes")
+
+	// A reader confirms 'd' is the register's value before Wr00 wakes.
+	res.ReadBeforeCommit = t.Reader(1).Read()
+
+	wr00.Commit()
+	row("Wr00", "real writes")
+
+	// And now the obsolete 'c' has reappeared.
+	res.ReadAfterCommit = t.Reader(1).Read()
+
+	res.History = t.History()
+	ops, err := res.History.Ops()
+	if err != nil {
+		return nil, fmt.Errorf("counterexample: history extraction: %w", err)
+	}
+	res.Inversion = atomicity.NewOldInversion(ops, "a")
+	check, err := atomicity.Check(ops, "a")
+	if err != nil {
+		return nil, fmt.Errorf("counterexample: exhaustive check: %w", err)
+	}
+	res.Linearizable = check.Linearizable
+	res.StatesExplored = check.StatesExplored
+	return res, nil
+}
+
+// FormatTable renders the rows in the paper's layout.
+func FormatTable(rows []TableRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-12s %-8s %-8s %s\n", "Processor", "Action", "Reg0", "Reg1", "Value")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-12s %-8s %-8s %s\n", r.Processor, r.Action, r.Reg0, r.Reg1, r.Value)
+	}
+	return b.String()
+}

@@ -1,0 +1,226 @@
+// Package counterexample implements Section 8 of Bloom (PODC 1987): the
+// natural tournament extension of the two-writer protocol to four writers,
+// which does not work, together with Lamport's counterexample (Figure 5)
+// showing why.
+//
+// Four writers Wr00, Wr01 (sharing register R0) and Wr10, Wr11 (sharing
+// R1) run the two-writer protocol one level up: a writer in pair p reads
+// R¬p, computes t := p ⊕ t', and writes (t, v) to Rp. Footnote 6 of the
+// paper notes the counterexample is independent of how the inner
+// two-writer registers are realized — it fails even with hardware-atomic
+// two-writer registers — so this package offers both a hardware-atomic
+// inner substrate and real Bloom two-writer registers (package core).
+//
+// The failure (Figure 5): Wr00 performs its reads and goes to sleep;
+// Wr11 writes 'c'; Wr01 writes 'd' (making 'c' obsolete); Wr00 wakes up
+// and performs its real write — and 'c' magically reappears as the
+// register's value. A reader that saw 'd' and then sees 'c' exhibits a
+// new-old inversion, so the construction is not atomic.
+package counterexample
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/register"
+)
+
+// Tagged is the content of a top-level register in the tournament
+// construction: a user value plus the tournament-level tag bit. (When the
+// inner registers are Bloom registers, each of those adds its own inner
+// tag bit; the levels nest without interference.)
+type Tagged[V comparable] = core.Tagged[V]
+
+// inner abstracts the two top-level registers: a two-writer register
+// writable by the members of one pair and readable by everyone else.
+type inner[V comparable] interface {
+	// write performs a (simulated) write by pair member m (0 or 1).
+	write(m int, v Tagged[V])
+	// read performs a (simulated) read through the given port:
+	// ports 0 and 1 belong to the opposite pair's members, ports 2+j to
+	// tournament reader j (1-based).
+	read(port int) Tagged[V]
+}
+
+// lockedInner is a hardware-atomic two-writer register (footnote 6).
+type lockedInner[V comparable] struct {
+	reg *register.LockedMRMW[Tagged[V]]
+}
+
+func (l *lockedInner[V]) write(m int, v Tagged[V]) { l.reg.Write(v) }
+func (l *lockedInner[V]) read(port int) Tagged[V]  { return l.reg.Read() }
+
+// bloomInner is a real Bloom two-writer register from package core.
+type bloomInner[V comparable] struct {
+	reg *core.TwoWriter[Tagged[V]]
+}
+
+func (b *bloomInner[V]) write(m int, v Tagged[V]) { b.reg.Writer(m).Write(v) }
+func (b *bloomInner[V]) read(port int) Tagged[V]  { return b.reg.Reader(port + 1).Read() }
+
+// Tournament is the (incorrect) four-writer register of Section 8.
+type Tournament[V comparable] struct {
+	regs    [2]inner[V]
+	n       int
+	rec     *history.Recorder[V]
+	writers [2][2]*Writer[V]
+	readers []*Reader[V]
+}
+
+// Option configures a Tournament.
+type Option[V comparable] func(*tconfig[V])
+
+type tconfig[V comparable] struct {
+	hardware bool
+	init     [2]V
+	initSet  bool
+}
+
+// WithHardwareInner builds the tournament over hardware-atomic two-writer
+// registers instead of Bloom registers, per footnote 6.
+func WithHardwareInner[V comparable]() Option[V] {
+	return func(c *tconfig[V]) { c.hardware = true }
+}
+
+// WithInitialContents sets the initial values of R0 and R1 separately
+// (Figure 5 starts from Reg0 = 'a', Reg1 = 'b'). Both tags start 0, so
+// the register's initial value is r0.
+func WithInitialContents[V comparable](r0, r1 V) Option[V] {
+	return func(c *tconfig[V]) { c.init = [2]V{r0, r1}; c.initSet = true }
+}
+
+// NewTournament builds the four-writer tournament register with n
+// dedicated readers, initialized to v0. The construction is faithful to
+// Section 8 — and therefore broken; it exists to demonstrate the failure.
+func NewTournament[V comparable](n int, v0 V, opts ...Option[V]) *Tournament[V] {
+	cfg := tconfig[V]{init: [2]V{v0, v0}}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	t := &Tournament[V]{n: n, rec: history.NewRecorder[V](nil)}
+	for p := 0; p < 2; p++ {
+		initial := Tagged[V]{Val: cfg.init[p]}
+		if cfg.hardware {
+			t.regs[p] = &lockedInner[V]{reg: register.NewLockedMRMW(initial)}
+		} else {
+			// Inner Bloom register: 2 opposite-pair readers + n
+			// tournament readers.
+			t.regs[p] = &bloomInner[V]{reg: core.New(n+2, initial)}
+		}
+	}
+	for p := 0; p < 2; p++ {
+		for m := 0; m < 2; m++ {
+			t.writers[p][m] = &Writer[V]{t: t, pair: p, member: m}
+		}
+	}
+	t.readers = make([]*Reader[V], n)
+	for j := 1; j <= n; j++ {
+		t.readers[j-1] = &Reader[V]{t: t, j: j}
+	}
+	return t
+}
+
+// Writer returns the handle for writer Wr<pair><member>.
+func (t *Tournament[V]) Writer(pair, member int) *Writer[V] {
+	if pair < 0 || pair > 1 || member < 0 || member > 1 {
+		panic(fmt.Sprintf("counterexample: no writer Wr%d%d", pair, member))
+	}
+	return t.writers[pair][member]
+}
+
+// Reader returns the handle for reader j (1-based).
+func (t *Tournament[V]) Reader(j int) *Reader[V] {
+	if j < 1 || j > t.n {
+		panic(fmt.Sprintf("counterexample: reader index %d out of range [1,%d]", j, t.n))
+	}
+	return t.readers[j-1]
+}
+
+// History returns the external history recorded so far (used to prove
+// runs non-atomic).
+func (t *Tournament[V]) History() history.History[V] { return t.rec.Snapshot() }
+
+// Contents returns the current content of top-level register p, for
+// inspection when rebuilding Figure 5's table. It reads through the
+// opposite pair's port 0 and must only be called from quiescent states.
+func (t *Tournament[V]) Contents(p int) Tagged[V] { return t.regs[p].read(0) }
+
+// Value returns the register's current value as a fresh reader would see
+// it, for quiescent-state inspection (the "Value" column of Figure 5).
+func (t *Tournament[V]) Value() V {
+	c0, c1 := t.Contents(0), t.Contents(1)
+	target := c0.Tag ^ c1.Tag
+	if target == 0 {
+		return c0.Val
+	}
+	return c1.Val
+}
+
+// Writer is one of the four tournament writers. Begin/Commit expose the
+// two protocol phases so tests can park a writer mid-protocol, exactly as
+// Figure 5 requires ("(reads)" ... sleep ... "real writes").
+type Writer[V comparable] struct {
+	t            *Tournament[V]
+	pair, member int
+
+	pendingVal V
+	pendingTag uint8
+	pendingOp  int
+	inFlight   bool
+}
+
+// Name returns the paper's name for the writer, e.g. "Wr01".
+func (w *Writer[V]) Name() string { return fmt.Sprintf("Wr%d%d", w.pair, w.member) }
+
+// chanID returns the writer's channel in the tournament history.
+func (w *Writer[V]) chanID() history.ProcID { return history.ProcID(10 + 2*w.pair + w.member) }
+
+// Begin starts a write of v: it reads R¬p, computes the tag the writer
+// will use, and stops — the writer is now "asleep" mid-protocol.
+func (w *Writer[V]) Begin(v V) {
+	if w.inFlight {
+		panic("counterexample: Begin while a write is in flight")
+	}
+	op, _ := w.t.rec.InvokeWrite(w.chanID(), v)
+	other := w.t.regs[1-w.pair].read(w.member)
+	w.pendingVal = v
+	w.pendingTag = uint8(w.pair) ^ other.Tag
+	w.pendingOp = op
+	w.inFlight = true
+}
+
+// Commit finishes the write begun by Begin: the single real write to Rp.
+func (w *Writer[V]) Commit() {
+	if !w.inFlight {
+		panic("counterexample: Commit without Begin")
+	}
+	w.t.regs[w.pair].write(w.member, Tagged[V]{Val: w.pendingVal, Tag: w.pendingTag})
+	w.t.rec.RespondWrite(w.chanID(), w.pendingOp)
+	w.inFlight = false
+}
+
+// Write performs a full write (Begin immediately followed by Commit).
+func (w *Writer[V]) Write(v V) {
+	w.Begin(v)
+	w.Commit()
+}
+
+// Reader is a tournament reader, running the two-writer read protocol one
+// level up.
+type Reader[V comparable] struct {
+	t *Tournament[V]
+	j int
+}
+
+// Read performs one simulated read.
+func (r *Reader[V]) Read() V {
+	ch := history.ProcID(20 + r.j)
+	op, _ := r.t.rec.InvokeRead(ch)
+	a := r.t.regs[0].read(1 + r.j)
+	b := r.t.regs[1].read(1 + r.j)
+	target := int(a.Tag ^ b.Tag)
+	c := r.t.regs[target].read(1 + r.j)
+	r.t.rec.RespondRead(ch, op, c.Val)
+	return c.Val
+}

@@ -1,0 +1,225 @@
+package counterexample
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/atomicity"
+)
+
+func TestFigure5OverBloomRegisters(t *testing.T) {
+	res, err := Figure5(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure5(t, res)
+}
+
+func TestFigure5OverHardwareRegisters(t *testing.T) {
+	// Footnote 6: the counterexample works even with hardware-atomic
+	// two-writer registers.
+	res, err := Figure5(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure5(t, res)
+}
+
+func checkFigure5(t *testing.T, res *Figure5Result) {
+	t.Helper()
+	// The paper's table, row for row (Figure 5).
+	want := []TableRow{
+		{"initial", "-", "'a',0", "'b',0", "'a'"},
+		{"Wr00", "real reads", "'a',0", "'b',0", "'a'"},
+		{"Wr11", "sim. writes", "'a',0", "'c',1", "'c'"},
+		{"Wr01", "sim. writes", "'d',1", "'c',1", "'d'"},
+		{"Wr00", "real writes", "'x',0", "'c',1", "'c'"},
+	}
+	if len(res.Rows) != len(want) {
+		t.Fatalf("got %d rows, want %d:\n%s", len(res.Rows), len(want), FormatTable(res.Rows))
+	}
+	for i, w := range want {
+		if res.Rows[i] != w {
+			t.Errorf("row %d = %+v, want %+v", i, res.Rows[i], w)
+		}
+	}
+	if res.ReadBeforeCommit != "d" {
+		t.Errorf("read before Wr00's commit = %q, want d", res.ReadBeforeCommit)
+	}
+	if res.ReadAfterCommit != "c" {
+		t.Errorf("read after Wr00's commit = %q, want c (the obsolete value reappearing)", res.ReadAfterCommit)
+	}
+	if res.Linearizable {
+		t.Error("the Figure 5 history was judged linearizable; it must not be")
+	}
+	if res.StatesExplored == 0 {
+		t.Error("exhaustive check did not run")
+	}
+	if !strings.Contains(res.Inversion, "new-old inversion") {
+		t.Errorf("no inversion diagnosed: %q", res.Inversion)
+	}
+}
+
+func TestTournamentSequentialWhenUncontended(t *testing.T) {
+	// With non-overlapping writes the tournament behaves correctly —
+	// the failure needs the Figure 5 overlap.
+	tour := NewTournament(1, "v0")
+	r := tour.Reader(1)
+	if got := r.Read(); got != "v0" {
+		t.Fatalf("initial read = %q", got)
+	}
+	tour.Writer(0, 0).Write("a")
+	if got := r.Read(); got != "a" {
+		t.Fatalf("after Wr00: %q", got)
+	}
+	tour.Writer(1, 1).Write("b")
+	if got := r.Read(); got != "b" {
+		t.Fatalf("after Wr11: %q", got)
+	}
+	tour.Writer(0, 1).Write("c")
+	if got := r.Read(); got != "c" {
+		t.Fatalf("after Wr01: %q", got)
+	}
+	tour.Writer(1, 0).Write("d")
+	if got := r.Read(); got != "d" {
+		t.Fatalf("after Wr10: %q", got)
+	}
+	// The sequential history must be atomic.
+	h := tour.History()
+	ops, err := h.Ops()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := atomicity.Check(ops, "v0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Linearizable {
+		t.Fatal("sequential tournament history not linearizable")
+	}
+}
+
+func TestDiscoverFindsViolation(t *testing.T) {
+	// The paper's participants: Wr00, Wr01, Wr11 (Wr10 sits out), plus
+	// a reader performing two reads.
+	cfg := DiscoverConfig{
+		WriterActive: [4]bool{true, true, false, true},
+		ReaderReads:  2,
+	}
+	d, err := Discover(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Found {
+		t.Fatalf("no violation found in %d schedules; Section 8 says one must exist", d.Schedules)
+	}
+	t.Logf("violating schedule after %d schedules: %v", d.Schedules, d.Sched)
+	t.Logf("diagnosis: %s", d.Inversion)
+	// Confirm the reported history really is non-linearizable.
+	res, err := atomicity.Check(d.Ops, DiscoverInit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Linearizable {
+		t.Fatal("Discover reported a linearizable history as violating")
+	}
+}
+
+func TestDiscoverTwoWritersIsClean(t *testing.T) {
+	// Control: with only one pair active the tournament degenerates to
+	// the two-writer protocol one level up, which is atomic — the
+	// search must find nothing.
+	cfg := DiscoverConfig{
+		WriterActive: [4]bool{true, true, false, false},
+		ReaderReads:  2,
+	}
+	d, err := Discover(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Found {
+		t.Fatalf("violation found with a single active pair: %v\n%s", d.Sched, d.Inversion)
+	}
+	if d.Schedules == 0 {
+		t.Fatal("search did not run")
+	}
+}
+
+func TestDiscoverSingleReadSuffices(t *testing.T) {
+	// Even a single read witnesses the failure: after Wr11's 'c' and
+	// Wr01's 'd' both complete and Wr00 commits its stale write, a
+	// fresh read returns the superseded 'c' — a stale read, with no
+	// inversion pair required.
+	cfg := DiscoverConfig{
+		WriterActive: [4]bool{true, true, false, true},
+		ReaderReads:  1,
+	}
+	d, err := Discover(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Found {
+		t.Fatalf("no violation found in %d schedules", d.Schedules)
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	out := FormatTable([]TableRow{{"Wr00", "real reads", "'a',0", "'b',0", "'a'"}})
+	if !strings.Contains(out, "Wr00") || !strings.Contains(out, "Processor") {
+		t.Fatalf("table malformed:\n%s", out)
+	}
+}
+
+func TestWriterMisusePanics(t *testing.T) {
+	tour := NewTournament(1, "v0")
+	w := tour.Writer(0, 0)
+	w.Begin("a")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double Begin did not panic")
+			}
+		}()
+		w.Begin("b")
+	}()
+	w.Commit()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Commit without Begin did not panic")
+			}
+		}()
+		w.Commit()
+	}()
+}
+
+func TestInvalidHandlesPanic(t *testing.T) {
+	tour := NewTournament(1, "v0")
+	for _, f := range []func(){
+		func() { tour.Writer(2, 0) },
+		func() { tour.Writer(0, 2) },
+		func() { tour.Reader(0) },
+		func() { tour.Reader(2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestWriterNames(t *testing.T) {
+	tour := NewTournament(1, "v0")
+	for p := 0; p < 2; p++ {
+		for m := 0; m < 2; m++ {
+			want := []string{"Wr00", "Wr01", "Wr10", "Wr11"}[2*p+m]
+			if got := tour.Writer(p, m).Name(); got != want {
+				t.Errorf("Name = %q, want %q", got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package counterexample
+
+import (
+	"fmt"
+
+	"repro/internal/register"
+)
+
+// Tree is the paper's full tournament construction for N = 2^D writers
+// ("Consider N = 2^n writers arranged in a tournament in the same way.
+// Divide the processors into pairs; each pair simulates a two-writer
+// register from two real one-writer registers. Each pair of pairs then
+// participates in the protocol, and so forth.") — which Section 8 proves
+// incorrect for D ≥ 2. It exists to demonstrate the failure at any depth.
+//
+// Each level d of the tree runs the two-writer protocol between its two
+// subtrees, using a per-level tag bit carried in the payload. The leaves
+// are the real one-writer registers (one per writer).
+type Tree struct {
+	depth  int
+	root   *treeNode
+	reads  int // real leaf reads performed (for cost accounting)
+	writes int
+}
+
+// MaxTreeDepth bounds the tree (payloads carry a fixed-size tag array).
+const MaxTreeDepth = 4
+
+// payload is what a leaf register holds: the user value plus the tag bit
+// chosen at every tournament level along the write's path.
+type payload struct {
+	Val  string
+	Tags [MaxTreeDepth]uint8
+}
+
+// treeNode is either an internal tournament node (two children) or a leaf
+// real register.
+type treeNode struct {
+	depth    int
+	children [2]*treeNode
+	leaf     *register.LockedMRMW[payload] // non-nil iff leaf
+}
+
+// NewTree builds a tournament for 2^depth writers, all leaves initialized
+// to v0 with all tags 0.
+func NewTree(depth int, v0 string) (*Tree, error) {
+	if depth < 1 || depth > MaxTreeDepth {
+		return nil, fmt.Errorf("counterexample: tree depth %d out of range [1,%d]", depth, MaxTreeDepth)
+	}
+	var build func(d int) *treeNode
+	build = func(d int) *treeNode {
+		if d == depth {
+			return &treeNode{depth: d, leaf: register.NewLockedMRMW(payload{Val: v0})}
+		}
+		return &treeNode{
+			depth:    d,
+			children: [2]*treeNode{build(d + 1), build(d + 1)},
+		}
+	}
+	return &Tree{depth: depth, root: build(0)}, nil
+}
+
+// Writers returns the number of writers, 2^depth.
+func (t *Tree) Writers() int { return 1 << t.depth }
+
+// LeafAccesses returns the cumulative number of real leaf reads and writes
+// performed so far.
+func (t *Tree) LeafAccesses() (reads, writes int) { return t.reads, t.writes }
+
+// readNode performs a simulated read of the register a node represents:
+// the two-writer read protocol at every internal level, a real read at a
+// leaf.
+func (t *Tree) readNode(n *treeNode) payload {
+	if n.leaf != nil {
+		t.reads++
+		return n.leaf.Read()
+	}
+	a := t.readNode(n.children[0])
+	b := t.readNode(n.children[1])
+	target := (a.Tags[n.depth] ^ b.Tags[n.depth]) & 1
+	return t.readNode(n.children[target])
+}
+
+// Read performs a simulated read of the full tournament register.
+// (Readers are stateless; any caller may read, one at a time per notional
+// port — this demonstration driver is sequentially scripted.)
+func (t *Tree) Read() string { return t.readNode(t.root).Val }
+
+// WriteState is an in-flight tournament write. The write descends the
+// tree one level per Step — each step is one sibling read and tag choice —
+// and finishes with a single real leaf write at Commit. Exposing the steps
+// lets Figure 5-style schedules park a writer between ANY two levels,
+// which is exactly what the nested construction's failure requires: the
+// writer must complete deeper levels late enough to win its inner
+// tournaments while its shallow tag choice is already stale.
+type WriteState struct {
+	t      *Tree
+	writer int
+	val    string
+	tags   [MaxTreeDepth]uint8
+	node   *treeNode
+	level  int
+}
+
+// StartWrite begins a write of v by writer w; no reads are performed yet.
+func (t *Tree) StartWrite(w int, v string) (*WriteState, error) {
+	if w < 0 || w >= t.Writers() {
+		return nil, fmt.Errorf("counterexample: writer %d out of range [0,%d)", w, t.Writers())
+	}
+	return &WriteState{t: t, writer: w, val: v, node: t.root}, nil
+}
+
+// Step performs the next level's sibling read and tag choice, descending
+// one level. It returns true while more steps remain before Commit.
+func (ws *WriteState) Step() bool {
+	if ws.level >= ws.t.depth {
+		return false
+	}
+	// The writer's side at this level is the level-th bit from the top.
+	side := (ws.writer >> (ws.t.depth - 1 - ws.level)) & 1
+	other := ws.t.readNode(ws.node.children[1-side])
+	ws.tags[ws.level] = uint8(side) ^ other.Tags[ws.level]
+	ws.node = ws.node.children[side]
+	ws.level++
+	return ws.level < ws.t.depth
+}
+
+// Commit performs the single real write at the leaf. All levels must have
+// been stepped first.
+func (ws *WriteState) Commit() error {
+	if ws.level != ws.t.depth {
+		return fmt.Errorf("counterexample: commit after %d of %d levels", ws.level, ws.t.depth)
+	}
+	ws.t.writes++
+	ws.node.leaf.Write(payload{Val: ws.val, Tags: ws.tags})
+	return nil
+}
+
+// Write performs a complete tournament write.
+func (t *Tree) Write(w int, v string) error {
+	ws, err := t.StartWrite(w, v)
+	if err != nil {
+		return err
+	}
+	for ws.Step() {
+	}
+	return ws.Commit()
+}

@@ -1,0 +1,214 @@
+package counterexample
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/atomicity"
+	"repro/internal/history"
+)
+
+func TestTreeDepthOneIsBloom(t *testing.T) {
+	// Depth 1 is exactly the two-writer construction over two real
+	// registers; it must behave correctly sequentially.
+	tree, err := NewTree(1, "v0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Writers() != 2 {
+		t.Fatal("writer count wrong")
+	}
+	if got := tree.Read(); got != "v0" {
+		t.Fatalf("initial read = %q", got)
+	}
+	for i, v := range []string{"a", "b", "c", "d"} {
+		if err := tree.Write(i%2, v); err != nil {
+			t.Fatal(err)
+		}
+		if got := tree.Read(); got != v {
+			t.Fatalf("read = %q, want %q", got, v)
+		}
+	}
+}
+
+func TestTreeSequentialAnyDepth(t *testing.T) {
+	for depth := 1; depth <= 3; depth++ {
+		tree, err := NewTree(depth, "v0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 2*tree.Writers(); k++ {
+			w := k % tree.Writers()
+			v := fmt.Sprintf("d%d-w%d-%d", depth, w, k)
+			if err := tree.Write(w, v); err != nil {
+				t.Fatal(err)
+			}
+			if got := tree.Read(); got != v {
+				t.Fatalf("depth %d: read %q after writer %d wrote %q", depth, got, w, v)
+			}
+		}
+	}
+}
+
+// TestTreeNestedFigure5 adapts Figure 5 to the fully nested construction
+// (no flattening): writer 0 performs its TOP-level sibling read, parks,
+// lets Wr11 write 'c' and Wr01 write 'd', then resumes — completing its
+// INNER level late enough to win the inner tournament — and commits. The
+// superseded 'c' reappears, and the recorded history is proved
+// non-atomic.
+func TestTreeNestedFigure5(t *testing.T) {
+	tree, err := NewTree(2, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := history.NewRecorder[string](nil)
+	readAt := func(proc history.ProcID) string {
+		op, _ := rec.InvokeRead(proc)
+		v := tree.Read()
+		rec.RespondRead(proc, op, v)
+		return v
+	}
+	writeFull := func(proc history.ProcID, w int, v string) {
+		op, _ := rec.InvokeWrite(proc, v)
+		if err := tree.Write(w, v); err != nil {
+			t.Fatal(err)
+		}
+		rec.RespondWrite(proc, op)
+	}
+
+	// Wr00 starts 'x' and performs only its top-level sibling read.
+	op00, _ := rec.InvokeWrite(10, "x")
+	ws, err := tree.StartWrite(0, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ws.Step() {
+		t.Fatal("depth-2 write should have 2 steps")
+	}
+
+	writeFull(13, 3, "c") // Wr11
+	writeFull(11, 1, "d") // Wr01
+	if got := readAt(20); got != "d" {
+		t.Fatalf("before the stale commit: read %q, want d", got)
+	}
+
+	// Wr00 wakes: completes its inner level (winning the inner
+	// tournament) and commits its single real write.
+	if ws.Step() {
+		t.Fatal("unexpected extra step")
+	}
+	if err := ws.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	rec.RespondWrite(10, op00)
+
+	got := readAt(20)
+	if got != "c" {
+		t.Fatalf("after the stale commit: read %q, want the resurrected c", got)
+	}
+
+	h := rec.Snapshot()
+	ops, err := h.Ops()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := atomicity.Check(ops, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Linearizable {
+		t.Fatal("nested tournament history judged linearizable; it must not be")
+	}
+	if inv := atomicity.NewOldInversion(ops, "a"); inv == "" {
+		t.Fatal("no inversion diagnosed")
+	}
+}
+
+// TestTreeNestedFigure5Depth3 embeds the same failure two levels down an
+// 8-writer tournament, confirming "and so forth" fails at every depth.
+func TestTreeNestedFigure5Depth3(t *testing.T) {
+	tree, err := NewTree(3, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Writers: 0 (000) stalls; 7 (111) and 1 (001) provide the c/d pair
+	// across the top-level boundary.
+	ws, err := tree.StartWrite(0, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws.Step() // top-level read only
+
+	if err := tree.Write(7, "c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Write(1, "d"); err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Read(); got != "d" {
+		t.Fatalf("read %q, want d", got)
+	}
+	for ws.Step() {
+	}
+	if err := ws.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Read(); got != "c" {
+		t.Fatalf("after stale commit: read %q, want the resurrected c", got)
+	}
+}
+
+func TestTreeValidation(t *testing.T) {
+	if _, err := NewTree(0, "v"); err == nil {
+		t.Error("depth 0 accepted")
+	}
+	if _, err := NewTree(MaxTreeDepth+1, "v"); err == nil {
+		t.Error("excessive depth accepted")
+	}
+	tree, err := NewTree(1, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.StartWrite(5, "x"); err == nil {
+		t.Error("out-of-range writer accepted")
+	}
+	if err := tree.Write(9, "x"); err == nil {
+		t.Error("out-of-range writer accepted by Write")
+	}
+	ws, err := tree.StartWrite(0, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.Commit(); err == nil {
+		t.Error("commit before stepping accepted")
+	}
+}
+
+func TestTreeCostAccounting(t *testing.T) {
+	tree, err := NewTree(2, "v0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, w0 := tree.LeafAccesses()
+	if r0 != 0 || w0 != 0 {
+		t.Fatal("fresh tree has accesses")
+	}
+	if err := tree.Write(0, "a"); err != nil {
+		t.Fatal(err)
+	}
+	r1, w1 := tree.LeafAccesses()
+	if w1 != 1 {
+		t.Fatalf("a tournament write performed %d real writes, want exactly 1", w1)
+	}
+	// Top-level sibling read costs 3 sub-reads of leaf pairs... at
+	// depth 2: sibling read = 3 leaf reads; inner sibling read = 1.
+	if r1 != 4 {
+		t.Fatalf("a depth-2 write performed %d real reads, want 4", r1)
+	}
+	_ = tree.Read()
+	r2, _ := tree.LeafAccesses()
+	// A depth-2 read: 3 simulated sub-reads, each 3 leaf reads = 9.
+	if r2-r1 != 9 {
+		t.Fatalf("a depth-2 read performed %d real reads, want 9", r2-r1)
+	}
+}

@@ -1,0 +1,86 @@
+package history
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpString(t *testing.T) {
+	w := Op[string]{ID: 0, Proc: 1, IsWrite: true, Arg: "v", Inv: 3, Res: 9}
+	if got := w.String(); got != "W1(v)[3,9]" {
+		t.Errorf("write String = %q", got)
+	}
+	r := Op[string]{ID: 1, Proc: 2, Ret: "v", Inv: 4, Res: 8}
+	if got := r.String(); got != "R2=v[4,8]" {
+		t.Errorf("read String = %q", got)
+	}
+	p := Op[string]{ID: 2, Proc: 0, IsWrite: true, Arg: "x", Inv: 5, Res: PendingSeq}
+	if got := p.String(); !strings.Contains(got, "pending") {
+		t.Errorf("pending String = %q", got)
+	}
+}
+
+func TestRecorderSequencerAccessor(t *testing.T) {
+	seq := new(Sequencer)
+	rec := NewRecorder[int](seq)
+	if rec.Sequencer() != seq {
+		t.Fatal("Sequencer accessor returned a different sequencer")
+	}
+}
+
+func TestRecorderStar(t *testing.T) {
+	rec := NewRecorder[string](nil)
+	op, _ := rec.InvokeWrite(0, "a")
+	starSeq := rec.Star(0, op, true, "a")
+	rec.RespondWrite(0, op)
+	h := rec.Snapshot()
+	var star *Event[string]
+	for i, e := range h.Events {
+		if e.Kind.IsStar() {
+			star = &h.Events[i]
+		}
+	}
+	if star == nil || star.Kind != StarWrite || star.Seq != starSeq || star.Value != "a" {
+		t.Fatalf("star event wrong: %+v", star)
+	}
+	// Read star too.
+	rop, _ := rec.InvokeRead(1)
+	rec.Star(1, rop, false, "a")
+	rec.RespondRead(1, rop, "a")
+	h = rec.Snapshot()
+	ops, err := h.Ops()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops {
+		if op.Star == 0 {
+			t.Fatalf("op %v has no star attached", op)
+		}
+	}
+	// The external schedule drops both stars.
+	ext := h.External()
+	if got := ext.Len(); got != h.Len()-2 {
+		t.Fatalf("external length %d, want %d", got, h.Len()-2)
+	}
+}
+
+func TestOpsErrorBranches(t *testing.T) {
+	// Duplicate operation ID.
+	h := History[int]{Events: []Event[int]{
+		{Seq: 1, Kind: InvokeWrite, Proc: 0, Op: 7, Value: 1},
+		{Seq: 2, Kind: RespondWrite, Proc: 0, Op: 7},
+		{Seq: 3, Kind: InvokeWrite, Proc: 1, Op: 7, Value: 2},
+	}}
+	if _, err := h.Ops(); err == nil {
+		t.Error("duplicate op id accepted")
+	}
+	// Response for unknown operation (matching passes per-channel but the
+	// op id never appeared): construct a star for an unknown op instead,
+	// since matching catches orphan responses first.
+	h = History[int]{Events: []Event[int]{
+		{Seq: 1, Kind: StarWrite, Proc: 0, Op: 9, Value: 1},
+	}}
+	if _, err := h.Ops(); err == nil {
+		t.Error("star for unknown op accepted")
+	}
+}

@@ -1,0 +1,296 @@
+// Package history models schedules of register actions in the style of
+// Section 3 of Bloom's "Constructing Two-Writer Atomic Registers" (PODC
+// 1987).
+//
+// A register's behaviour is described by a schedule: a sequence of actions
+// on channels. Each channel connects one processor to the register and
+// carries read requests R_start, read acknowledgments R_finish(v), write
+// requests W_start(v), and write acknowledgments W_finish (Figure 1 of the
+// paper). Internal *-actions R*(v) and W*(v) mark the instants at which
+// operations "actually occur"; a schedule together with a legal placement
+// of *-actions is a witness that the schedule is atomic.
+//
+// Events carry globally ordered sequence numbers. Following the paper, a
+// "time" is a prefix of the schedule; we represent times by the sequence
+// number of the last event in the prefix, so Seq values double as times and
+// strictly increase along the schedule.
+package history
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Kind classifies an event in a register schedule.
+type Kind uint8
+
+// Event kinds, mirroring Figure 1 of the paper. Enums start at 1 so the
+// zero Kind is invalid and cheap to detect.
+const (
+	// InvokeRead is R_start: a command to read.
+	InvokeRead Kind = iota + 1
+	// InvokeWrite is W_start(v): a command to write v.
+	InvokeWrite
+	// RespondRead is R_finish(v): communication of the read value v.
+	RespondRead
+	// RespondWrite is W_finish: acknowledgment of a write.
+	RespondWrite
+	// StarRead is R*(v): the internal event marking a read of v.
+	StarRead
+	// StarWrite is W*(v): the internal event marking a write of v.
+	StarWrite
+)
+
+// String returns the paper's notation for the kind.
+func (k Kind) String() string {
+	switch k {
+	case InvokeRead:
+		return "R_start"
+	case InvokeWrite:
+		return "W_start"
+	case RespondRead:
+		return "R_finish"
+	case RespondWrite:
+		return "W_finish"
+	case StarRead:
+		return "R*"
+	case StarWrite:
+		return "W*"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// IsInvoke reports whether the kind is a request (R_start or W_start).
+func (k Kind) IsInvoke() bool { return k == InvokeRead || k == InvokeWrite }
+
+// IsRespond reports whether the kind is an acknowledgment.
+func (k Kind) IsRespond() bool { return k == RespondRead || k == RespondWrite }
+
+// IsStar reports whether the kind is an internal *-action.
+func (k Kind) IsStar() bool { return k == StarRead || k == StarWrite }
+
+// HasValue reports whether events of this kind carry a value.
+func (k Kind) HasValue() bool {
+	return k == InvokeWrite || k == RespondRead || k == StarRead || k == StarWrite
+}
+
+// ProcID names a processor (equivalently, the channel from that processor
+// to the register, since each processor has exactly one channel per
+// register it can access).
+type ProcID int
+
+// PendingSeq is the Seq assigned to the response of an operation that never
+// responded (for example because its processor crashed). It orders after
+// every real event.
+const PendingSeq = int64(math.MaxInt64)
+
+// Event is one action in a schedule.
+type Event[V comparable] struct {
+	// Seq is the event's position in the global order; strictly
+	// increasing along a schedule. Seq values double as the paper's
+	// "times" (prefixes of the schedule).
+	Seq int64
+	// Kind classifies the action.
+	Kind Kind
+	// Proc is the processor whose channel carries the action.
+	Proc ProcID
+	// Op links the invoke, *-action, and response of one operation.
+	Op int
+	// Value is meaningful only when Kind.HasValue().
+	Value V
+}
+
+// String renders the event in the paper's notation, e.g. "W_start^3(v)".
+func (e Event[V]) String() string {
+	if e.Kind.HasValue() {
+		return fmt.Sprintf("%s^%d(%v)@%d", e.Kind, e.Proc, e.Value, e.Seq)
+	}
+	return fmt.Sprintf("%s^%d@%d", e.Kind, e.Proc, e.Seq)
+}
+
+// Op is a matched operation: an invocation and, unless the operation is
+// pending, its acknowledgment, with optional *-action.
+type Op[V comparable] struct {
+	// ID is the operation identifier, unique within a history.
+	ID int
+	// Proc is the processor that issued the operation.
+	Proc ProcID
+	// IsWrite distinguishes writes from reads.
+	IsWrite bool
+	// Arg is the written value (writes only).
+	Arg V
+	// Ret is the returned value (completed reads only).
+	Ret V
+	// Inv is the Seq of the invocation.
+	Inv int64
+	// Res is the Seq of the response, or PendingSeq if the operation
+	// never completed.
+	Res int64
+	// Star is the Seq of the *-action, or 0 if none has been assigned.
+	Star int64
+}
+
+// Pending reports whether the operation never received its acknowledgment.
+func (o Op[V]) Pending() bool { return o.Res == PendingSeq }
+
+// Precedes reports whether o entirely precedes p: o's acknowledgment occurs
+// before p's invocation. This is the paper's precedence partial order on
+// reads and writes.
+func (o Op[V]) Precedes(p Op[V]) bool { return !o.Pending() && o.Res < p.Inv }
+
+// Overlaps reports whether neither operation precedes the other.
+func (o Op[V]) Overlaps(p Op[V]) bool { return !o.Precedes(p) && !p.Precedes(o) }
+
+// String renders the operation compactly, e.g. "W3(v)[5,9]".
+func (o Op[V]) String() string {
+	res := "pending"
+	if !o.Pending() {
+		res = fmt.Sprintf("%d", o.Res)
+	}
+	if o.IsWrite {
+		return fmt.Sprintf("W%d(%v)[%d,%s]", o.Proc, o.Arg, o.Inv, res)
+	}
+	return fmt.Sprintf("R%d=%v[%d,%s]", o.Proc, o.Ret, o.Inv, res)
+}
+
+// History is a schedule of events on a single simulated register, sorted by
+// Seq.
+type History[V comparable] struct {
+	// Events is the schedule, in increasing Seq order.
+	Events []Event[V]
+}
+
+// Sort orders the events by sequence number. Recorders may append events
+// slightly out of order (a goroutine can be descheduled between obtaining a
+// sequence number and appending); Sort restores the canonical order.
+func (h *History[V]) Sort() {
+	sort.Slice(h.Events, func(i, j int) bool { return h.Events[i].Seq < h.Events[j].Seq })
+}
+
+// InputCorrect reports whether the schedule's input is correct in the sense
+// of Section 3: on each channel there are no two requests without an
+// intervening acknowledgment. (A non-input-correct schedule places no
+// obligation on the register.)
+func (h *History[V]) InputCorrect() error {
+	open := make(map[ProcID]Event[V])
+	for _, e := range h.Events {
+		switch {
+		case e.Kind.IsInvoke():
+			if prev, ok := open[e.Proc]; ok {
+				return fmt.Errorf("history: channel %d issued %v before %v was acknowledged", e.Proc, e, prev)
+			}
+			open[e.Proc] = e
+		case e.Kind.IsRespond():
+			if _, ok := open[e.Proc]; !ok {
+				return fmt.Errorf("history: channel %d acknowledged %v with no open request", e.Proc, e)
+			}
+			delete(open, e.Proc)
+		}
+	}
+	return nil
+}
+
+// Matching verifies condition 1 of the paper's atomicity definition: there
+// is a bijection between requests and acknowledgments along each channel
+// such that the acknowledgment corresponding to a request is the first
+// action on that channel following it. Pending requests (with no later
+// action on their channel) are permitted and reported, not rejected: they
+// correspond to crashed or still-running operations.
+//
+// It returns the number of matched pairs and the number of pending
+// requests.
+func (h *History[V]) Matching() (matched, pending int, err error) {
+	open := make(map[ProcID]Event[V])
+	for _, e := range h.Events {
+		switch {
+		case e.Kind.IsInvoke():
+			if prev, ok := open[e.Proc]; ok {
+				return 0, 0, fmt.Errorf("history: unmatched request %v followed by %v on channel %d", prev, e, e.Proc)
+			}
+			open[e.Proc] = e
+		case e.Kind.IsRespond():
+			req, ok := open[e.Proc]
+			if !ok {
+				return 0, 0, fmt.Errorf("history: acknowledgment %v with no matching request", e)
+			}
+			if (req.Kind == InvokeRead) != (e.Kind == RespondRead) {
+				return 0, 0, fmt.Errorf("history: acknowledgment %v does not match request %v", e, req)
+			}
+			if req.Op != e.Op {
+				return 0, 0, fmt.Errorf("history: acknowledgment %v matches request of a different operation %v", e, req)
+			}
+			delete(open, e.Proc)
+			matched++
+		}
+	}
+	return matched, len(open), nil
+}
+
+// Ops extracts the matched operations from the schedule, in invocation
+// order. Pending operations (invocations with no acknowledgment) are
+// included with Res = PendingSeq. Any *-actions present in the schedule are
+// attached to their operations.
+func (h *History[V]) Ops() ([]Op[V], error) {
+	if _, _, err := h.Matching(); err != nil {
+		return nil, err
+	}
+	byID := make(map[int]*Op[V])
+	order := make([]int, 0, len(h.Events)/2)
+	for _, e := range h.Events {
+		switch e.Kind {
+		case InvokeRead, InvokeWrite:
+			op := &Op[V]{
+				ID:      e.Op,
+				Proc:    e.Proc,
+				IsWrite: e.Kind == InvokeWrite,
+				Inv:     e.Seq,
+				Res:     PendingSeq,
+			}
+			if e.Kind == InvokeWrite {
+				op.Arg = e.Value
+			}
+			if _, dup := byID[e.Op]; dup {
+				return nil, fmt.Errorf("history: duplicate operation id %d", e.Op)
+			}
+			byID[e.Op] = op
+			order = append(order, e.Op)
+		case RespondRead, RespondWrite:
+			op := byID[e.Op]
+			if op == nil {
+				return nil, fmt.Errorf("history: response %v for unknown operation", e)
+			}
+			op.Res = e.Seq
+			if e.Kind == RespondRead {
+				op.Ret = e.Value
+			}
+		case StarRead, StarWrite:
+			op := byID[e.Op]
+			if op == nil {
+				return nil, fmt.Errorf("history: *-action %v for unknown operation", e)
+			}
+			op.Star = e.Seq
+		}
+	}
+	ops := make([]Op[V], 0, len(order))
+	for _, id := range order {
+		ops = append(ops, *byID[id])
+	}
+	return ops, nil
+}
+
+// External returns a copy of the history with all internal *-actions
+// removed, i.e. the external schedule in the sense of Section 2.
+func (h *History[V]) External() History[V] {
+	out := History[V]{Events: make([]Event[V], 0, len(h.Events))}
+	for _, e := range h.Events {
+		if !e.Kind.IsStar() {
+			out.Events = append(out.Events, e)
+		}
+	}
+	return out
+}
+
+// Len returns the number of events in the schedule.
+func (h *History[V]) Len() int { return len(h.Events) }

@@ -1,0 +1,312 @@
+package history
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		InvokeRead:   "R_start",
+		InvokeWrite:  "W_start",
+		RespondRead:  "R_finish",
+		RespondWrite: "W_finish",
+		StarRead:     "R*",
+		StarWrite:    "W*",
+		Kind(99):     "Kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestKindClassification(t *testing.T) {
+	for _, k := range []Kind{InvokeRead, InvokeWrite} {
+		if !k.IsInvoke() || k.IsRespond() || k.IsStar() {
+			t.Errorf("%v misclassified", k)
+		}
+	}
+	for _, k := range []Kind{RespondRead, RespondWrite} {
+		if k.IsInvoke() || !k.IsRespond() || k.IsStar() {
+			t.Errorf("%v misclassified", k)
+		}
+	}
+	for _, k := range []Kind{StarRead, StarWrite} {
+		if k.IsInvoke() || k.IsRespond() || !k.IsStar() {
+			t.Errorf("%v misclassified", k)
+		}
+	}
+	if !InvokeWrite.HasValue() || InvokeRead.HasValue() || RespondWrite.HasValue() || !RespondRead.HasValue() {
+		t.Error("HasValue misclassified")
+	}
+}
+
+func TestSequencerMonotonic(t *testing.T) {
+	var s Sequencer
+	if s.Current() != 0 {
+		t.Fatalf("fresh sequencer Current() = %d, want 0", s.Current())
+	}
+	prev := int64(0)
+	for i := 0; i < 1000; i++ {
+		n := s.Next()
+		if n <= prev {
+			t.Fatalf("Next() = %d not greater than previous %d", n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestSequencerConcurrent(t *testing.T) {
+	var s Sequencer
+	const goroutines, perG = 8, 1000
+	var wg sync.WaitGroup
+	results := make([][]int64, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out := make([]int64, 0, perG)
+			for i := 0; i < perG; i++ {
+				out = append(out, s.Next())
+			}
+			results[g] = out
+		}(g)
+	}
+	wg.Wait()
+	seen := make(map[int64]bool, goroutines*perG)
+	for _, out := range results {
+		for i, n := range out {
+			if i > 0 && out[i] <= out[i-1] {
+				t.Fatal("per-goroutine sequence not increasing")
+			}
+			if seen[n] {
+				t.Fatalf("duplicate sequence number %d", n)
+			}
+			seen[n] = true
+		}
+	}
+	if len(seen) != goroutines*perG {
+		t.Fatalf("got %d distinct numbers, want %d", len(seen), goroutines*perG)
+	}
+}
+
+func TestRecorderProducesInputCorrectHistory(t *testing.T) {
+	rec := NewRecorder[string](nil)
+	op, _ := rec.InvokeWrite(0, "a")
+	rec.RespondWrite(0, op)
+	op2, _ := rec.InvokeRead(1)
+	rec.RespondRead(1, op2, "a")
+	h := rec.Snapshot()
+	if err := h.InputCorrect(); err != nil {
+		t.Fatalf("InputCorrect: %v", err)
+	}
+	matched, pending, err := h.Matching()
+	if err != nil {
+		t.Fatalf("Matching: %v", err)
+	}
+	if matched != 2 || pending != 0 {
+		t.Fatalf("matched = %d, pending = %d; want 2, 0", matched, pending)
+	}
+}
+
+func TestOpsExtraction(t *testing.T) {
+	rec := NewRecorder[int](nil)
+	w, _ := rec.InvokeWrite(0, 42)
+	rec.RespondWrite(0, w)
+	r, _ := rec.InvokeRead(2)
+	rec.RespondRead(2, r, 42)
+	p, _ := rec.InvokeWrite(1, 7) // never acknowledged: pending
+	_ = p
+
+	h := rec.Snapshot()
+	ops, err := h.Ops()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 3 {
+		t.Fatalf("got %d ops, want 3", len(ops))
+	}
+	if !ops[0].IsWrite || ops[0].Arg != 42 || ops[0].Pending() {
+		t.Errorf("op0 = %v, want completed write of 42", ops[0])
+	}
+	if ops[1].IsWrite || ops[1].Ret != 42 {
+		t.Errorf("op1 = %v, want read of 42", ops[1])
+	}
+	if !ops[2].Pending() || !ops[2].IsWrite || ops[2].Arg != 7 {
+		t.Errorf("op2 = %v, want pending write of 7", ops[2])
+	}
+}
+
+func TestPrecedesAndOverlaps(t *testing.T) {
+	a := Op[int]{ID: 0, Inv: 1, Res: 4}
+	b := Op[int]{ID: 1, Inv: 5, Res: 8}
+	c := Op[int]{ID: 2, Inv: 3, Res: 6}
+	pending := Op[int]{ID: 3, Inv: 6, Res: PendingSeq}
+
+	if !a.Precedes(b) || b.Precedes(a) {
+		t.Error("a should precede b")
+	}
+	if a.Precedes(c) || c.Precedes(a) || !a.Overlaps(c) {
+		t.Error("a and c should overlap")
+	}
+	if pending.Precedes(b) {
+		t.Error("a pending op precedes nothing")
+	}
+	if !a.Precedes(pending) {
+		t.Error("a completed op can precede a pending one invoked later")
+	}
+}
+
+func TestPrecedenceIsStrictPartialOrder(t *testing.T) {
+	// Property: Precedes is irreflexive and transitive on arbitrary ops,
+	// and Overlaps is symmetric.
+	type triple struct{ AInv, ADur, BInv, BDur, CInv, CDur uint16 }
+	f := func(tr triple) bool {
+		mk := func(id int, inv, dur uint16) Op[int] {
+			return Op[int]{ID: id, Inv: int64(inv), Res: int64(inv) + int64(dur) + 1}
+		}
+		a, b, c := mk(0, tr.AInv, tr.ADur), mk(1, tr.BInv, tr.BDur), mk(2, tr.CInv, tr.CDur)
+		if a.Precedes(a) {
+			return false
+		}
+		if a.Precedes(b) && b.Precedes(c) && !a.Precedes(c) {
+			return false
+		}
+		if a.Overlaps(b) != b.Overlaps(a) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInputCorrectRejectsDoubleRequest(t *testing.T) {
+	h := History[int]{Events: []Event[int]{
+		{Seq: 1, Kind: InvokeRead, Proc: 0, Op: 0},
+		{Seq: 2, Kind: InvokeRead, Proc: 0, Op: 1},
+	}}
+	if err := h.InputCorrect(); err == nil {
+		t.Fatal("two requests without acknowledgment should not be input-correct")
+	}
+}
+
+func TestInputCorrectRejectsOrphanAck(t *testing.T) {
+	h := History[int]{Events: []Event[int]{
+		{Seq: 1, Kind: RespondWrite, Proc: 0, Op: 0},
+	}}
+	if err := h.InputCorrect(); err == nil {
+		t.Fatal("acknowledgment with no request should not be input-correct")
+	}
+}
+
+func TestMatchingRejectsKindMismatch(t *testing.T) {
+	h := History[int]{Events: []Event[int]{
+		{Seq: 1, Kind: InvokeRead, Proc: 0, Op: 0},
+		{Seq: 2, Kind: RespondWrite, Proc: 0, Op: 0},
+	}}
+	if _, _, err := h.Matching(); err == nil {
+		t.Fatal("read request acknowledged by write ack should fail matching")
+	}
+}
+
+func TestMatchingRejectsOpIDMismatch(t *testing.T) {
+	h := History[int]{Events: []Event[int]{
+		{Seq: 1, Kind: InvokeRead, Proc: 0, Op: 0},
+		{Seq: 2, Kind: RespondRead, Proc: 0, Op: 9},
+	}}
+	if _, _, err := h.Matching(); err == nil {
+		t.Fatal("ack for a different operation should fail matching")
+	}
+}
+
+func TestExternalStripsStars(t *testing.T) {
+	h := History[int]{Events: []Event[int]{
+		{Seq: 1, Kind: InvokeWrite, Proc: 0, Op: 0, Value: 1},
+		{Seq: 2, Kind: StarWrite, Proc: 0, Op: 0, Value: 1},
+		{Seq: 3, Kind: RespondWrite, Proc: 0, Op: 0},
+	}}
+	ext := h.External()
+	if ext.Len() != 2 {
+		t.Fatalf("external history has %d events, want 2", ext.Len())
+	}
+	for _, e := range ext.Events {
+		if e.Kind.IsStar() {
+			t.Fatalf("external history contains *-action %v", e)
+		}
+	}
+	if h.Len() != 3 {
+		t.Fatal("External must not mutate the original")
+	}
+}
+
+func TestSortRestoresOrder(t *testing.T) {
+	h := History[int]{Events: []Event[int]{
+		{Seq: 3, Kind: RespondWrite, Proc: 0, Op: 0},
+		{Seq: 1, Kind: InvokeWrite, Proc: 0, Op: 0, Value: 1},
+	}}
+	h.Sort()
+	if h.Events[0].Seq != 1 || h.Events[1].Seq != 3 {
+		t.Fatalf("Sort failed: %v", h.Events)
+	}
+	if err := h.InputCorrect(); err != nil {
+		t.Fatalf("sorted history should be input-correct: %v", err)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	rec := NewRecorder[int](nil)
+	const procs, ops = 8, 200
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				if i%2 == 0 {
+					op, _ := rec.InvokeWrite(ProcID(p), i)
+					rec.RespondWrite(ProcID(p), op)
+				} else {
+					op, _ := rec.InvokeRead(ProcID(p))
+					rec.RespondRead(ProcID(p), op, i)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	h := rec.Snapshot()
+	if err := h.InputCorrect(); err != nil {
+		t.Fatalf("concurrent recording broke input-correctness: %v", err)
+	}
+	matched, pending, err := h.Matching()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matched != procs*ops || pending != 0 {
+		t.Fatalf("matched = %d, pending = %d; want %d, 0", matched, pending, procs*ops)
+	}
+	if rec.OpCount() != procs*ops {
+		t.Fatalf("OpCount = %d, want %d", rec.OpCount(), procs*ops)
+	}
+	// Sequence numbers must be strictly increasing after Sort.
+	for i := 1; i < len(h.Events); i++ {
+		if h.Events[i].Seq <= h.Events[i-1].Seq {
+			t.Fatal("duplicate or non-increasing sequence numbers")
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event[string]{Seq: 7, Kind: InvokeWrite, Proc: 2, Op: 1, Value: "x"}
+	if got := e.String(); got != "W_start^2(x)@7" {
+		t.Errorf("Event.String() = %q", got)
+	}
+	e2 := Event[string]{Seq: 9, Kind: RespondWrite, Proc: 2, Op: 1}
+	if got := e2.String(); got != "W_finish^2@9" {
+		t.Errorf("Event.String() = %q", got)
+	}
+}

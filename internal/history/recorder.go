@@ -1,0 +1,128 @@
+package history
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Sequencer issues globally ordered sequence numbers. A single Sequencer is
+// shared by every component of one simulated system (the simulated
+// register's ports and all underlying real registers) so that sequence
+// numbers define one total order over all events, consistent with real
+// time: if action A returns before action B starts, A's number is smaller.
+//
+// The zero value is ready to use; numbering starts at 1 so that 0 can mean
+// "no sequence number assigned".
+type Sequencer struct {
+	n atomic.Int64
+}
+
+// Next returns the next sequence number.
+func (s *Sequencer) Next() int64 { return s.n.Add(1) }
+
+// Current returns the most recently issued sequence number (0 if none).
+func (s *Sequencer) Current() int64 { return s.n.Load() }
+
+// Recorder accumulates the external schedule of a simulated register from
+// concurrently executing processors. It is safe for concurrent use.
+//
+// A Recorder shares a Sequencer with the rest of the system; events are
+// appended in the order goroutines reach the recorder, which may differ
+// slightly from sequence-number order, so Snapshot sorts before returning.
+type Recorder[V comparable] struct {
+	seq *Sequencer
+
+	mu     sync.Mutex
+	events []Event[V]
+	nextOp int
+}
+
+// NewRecorder returns a recorder drawing sequence numbers from seq.
+// If seq is nil, the recorder allocates a private Sequencer.
+func NewRecorder[V comparable](seq *Sequencer) *Recorder[V] {
+	if seq == nil {
+		seq = new(Sequencer)
+	}
+	return &Recorder[V]{seq: seq}
+}
+
+// Sequencer returns the sequencer this recorder draws from, so other
+// components (e.g. real registers) can share the global order.
+func (r *Recorder[V]) Sequencer() *Sequencer { return r.seq }
+
+func (r *Recorder[V]) append(e Event[V]) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, e)
+}
+
+// InvokeRead records an R_start on proc's channel and returns the new
+// operation's ID along with the event's sequence number.
+func (r *Recorder[V]) InvokeRead(proc ProcID) (opID int, seq int64) {
+	r.mu.Lock()
+	opID = r.nextOp
+	r.nextOp++
+	r.mu.Unlock()
+	seq = r.seq.Next()
+	r.append(Event[V]{Seq: seq, Kind: InvokeRead, Proc: proc, Op: opID})
+	return opID, seq
+}
+
+// InvokeWrite records a W_start(v) on proc's channel.
+func (r *Recorder[V]) InvokeWrite(proc ProcID, v V) (opID int, seq int64) {
+	r.mu.Lock()
+	opID = r.nextOp
+	r.nextOp++
+	r.mu.Unlock()
+	seq = r.seq.Next()
+	r.append(Event[V]{Seq: seq, Kind: InvokeWrite, Proc: proc, Op: opID, Value: v})
+	return opID, seq
+}
+
+// RespondRead records an R_finish(v) acknowledging operation opID.
+func (r *Recorder[V]) RespondRead(proc ProcID, opID int, v V) int64 {
+	seq := r.seq.Next()
+	r.append(Event[V]{Seq: seq, Kind: RespondRead, Proc: proc, Op: opID, Value: v})
+	return seq
+}
+
+// RespondWrite records a W_finish acknowledging operation opID.
+func (r *Recorder[V]) RespondWrite(proc ProcID, opID int) int64 {
+	seq := r.seq.Next()
+	r.append(Event[V]{Seq: seq, Kind: RespondWrite, Proc: proc, Op: opID})
+	return seq
+}
+
+// Star records an internal *-action for operation opID. isWrite selects
+// W*(v) versus R*(v). It is used by components that can identify their own
+// linearization points (such as the mutex-backed base registers).
+func (r *Recorder[V]) Star(proc ProcID, opID int, isWrite bool, v V) int64 {
+	seq := r.seq.Next()
+	k := StarRead
+	if isWrite {
+		k = StarWrite
+	}
+	r.append(Event[V]{Seq: seq, Kind: k, Proc: proc, Op: opID, Value: v})
+	return seq
+}
+
+// Snapshot returns a copy of the history recorded so far, sorted by
+// sequence number. It may be called while processors are still running;
+// the copy is a consistent prefix-plus-stragglers view suitable for
+// post-run analysis once all processors have stopped.
+func (r *Recorder[V]) Snapshot() History[V] {
+	r.mu.Lock()
+	events := make([]Event[V], len(r.events))
+	copy(events, r.events)
+	r.mu.Unlock()
+	h := History[V]{Events: events}
+	h.Sort()
+	return h
+}
+
+// OpCount returns the number of operations started so far.
+func (r *Recorder[V]) OpCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.nextOp
+}

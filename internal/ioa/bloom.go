@@ -1,0 +1,390 @@
+package ioa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file encodes Bloom's construction in the formal model: the writer
+// and reader protocols of Section 5 as I/O automata, wired per Figure 2 to
+// two RegisterAutomaton instances playing the "real" 1-writer atomic
+// registers. Composing them with user automata yields a closed system
+// whose simulated-register schedules can be extracted and checked — the
+// paper's architecture realized inside its own formalism, independent of
+// the production implementation in package core.
+
+// TaggedEncode encodes a (value, tag) pair as a register-automaton value
+// string.
+func TaggedEncode(v string, tag uint8) string { return fmt.Sprintf("%s|%d", v, tag) }
+
+// TaggedDecode splits a register-automaton value string into value and
+// tag. Missing tags decode as tag 0.
+func TaggedDecode(s string) (string, uint8) {
+	i := strings.LastIndexByte(s, '|')
+	if i < 0 {
+		return s, 0
+	}
+	var tag uint8
+	if s[i+1:] == "1" {
+		tag = 1
+	}
+	return s[:i], tag
+}
+
+// BloomChannels fixes the channel layout of the Figure 2 composition for
+// n readers (n ≤ 2, limited by MaxRegisterChannels):
+//
+//	Reg0 serves: Wr0's write channel, Wr1's read channel, readers.
+//	Reg1 serves: Wr1's write channel, Wr0's read channel, readers.
+//	Simulated-register ports (to the environment): 100+i for writer i,
+//	200+j for reader j.
+type BloomChannels struct {
+	n int
+}
+
+// NewBloomChannels lays out channels for n readers.
+func NewBloomChannels(n int) (BloomChannels, error) {
+	// Reg1's last channel is 3+2n; RegisterAutomaton needs it < MaxRegisterChannels.
+	if n < 0 || 3+2*n >= MaxRegisterChannels {
+		return BloomChannels{}, fmt.Errorf("ioa: %d readers exceed the channel space", n)
+	}
+	return BloomChannels{n: n}, nil
+}
+
+// WriteChan returns writer i's channel to its own register Regi.
+func (c BloomChannels) WriteChan(i int) int {
+	if i == 0 {
+		return 0
+	}
+	return 2 + c.n
+}
+
+// ReadChan returns writer i's read channel to Reg¬i.
+func (c BloomChannels) ReadChan(i int) int {
+	if i == 0 {
+		return 3 + c.n // on Reg1
+	}
+	return 1 // on Reg0
+}
+
+// ReaderChan returns reader j's (1-based) channel to register reg.
+func (c BloomChannels) ReaderChan(reg, j int) int {
+	if reg == 0 {
+		return 1 + j
+	}
+	return 3 + c.n + j
+}
+
+// RegChannels returns all channels register reg serves.
+func (c BloomChannels) RegChannels(reg int) []int {
+	var out []int
+	if reg == 0 {
+		out = append(out, c.WriteChan(0), c.ReadChan(1))
+	} else {
+		out = append(out, c.WriteChan(1), c.ReadChan(0))
+	}
+	for j := 1; j <= c.n; j++ {
+		out = append(out, c.ReaderChan(reg, j))
+	}
+	return out
+}
+
+// SimWriterChan returns writer i's simulated-register port.
+func (c BloomChannels) SimWriterChan(i int) int { return 100 + i }
+
+// SimReaderChan returns reader j's simulated-register port.
+func (c BloomChannels) SimReaderChan(j int) int { return 200 + j }
+
+// bwPhase is a BloomWriter protocol phase.
+type bwPhase uint8
+
+const (
+	bwIdle      bwPhase = iota
+	bwWantRead          // must issue R_start on the read channel
+	bwReading           // waiting for R_finish
+	bwWantWrite         // must issue W_start on the write channel
+	bwWriting           // waiting for W_finish
+	bwWantAck           // must acknowledge on the simulated port
+)
+
+// bwState is a BloomWriter state (comparable).
+type bwState struct {
+	phase bwPhase
+	val   string // value being written
+	tag   uint8  // tag chosen after the real read
+}
+
+// BloomWriter is writer Wri of Section 5 as an I/O automaton.
+type BloomWriter struct {
+	i  int
+	ch BloomChannels
+}
+
+var _ Automaton = (*BloomWriter)(nil)
+
+// NewBloomWriter builds writer i (0 or 1) over the channel layout.
+func NewBloomWriter(i int, ch BloomChannels) *BloomWriter {
+	return &BloomWriter{i: i, ch: ch}
+}
+
+// Name implements Automaton.
+func (w *BloomWriter) Name() string { return fmt.Sprintf("Wr%d", w.i) }
+
+// Sig implements Automaton.
+func (w *BloomWriter) Sig() Signature {
+	sim, rd, wr := w.ch.SimWriterChan(w.i), w.ch.ReadChan(w.i), w.ch.WriteChan(w.i)
+	return func(a Action) Class {
+		switch a.Channel {
+		case sim:
+			switch a.Name {
+			case NameWStart:
+				return Input
+			case NameWFinish:
+				return Output
+			}
+		case rd:
+			switch a.Name {
+			case NameRStart:
+				return Output
+			case NameRFinish:
+				return Input
+			}
+		case wr:
+			switch a.Name {
+			case NameWStart:
+				return Output
+			case NameWFinish:
+				return Input
+			}
+		}
+		return NotInSignature
+	}
+}
+
+// Initial implements Automaton.
+func (w *BloomWriter) Initial() State { return bwState{} }
+
+// Step implements Automaton.
+func (w *BloomWriter) Step(s State, a Action) (State, bool) {
+	st, ok := s.(bwState)
+	if !ok {
+		return nil, false
+	}
+	sim, rd, wr := w.ch.SimWriterChan(w.i), w.ch.ReadChan(w.i), w.ch.WriteChan(w.i)
+	switch {
+	case a.Channel == sim && a.Name == NameWStart:
+		if st.phase != bwIdle {
+			return st, true // improper input: ignore (input-enabled)
+		}
+		return bwState{phase: bwWantRead, val: a.Value}, true
+	case a.Channel == rd && a.Name == NameRStart:
+		if st.phase != bwWantRead {
+			return nil, false
+		}
+		st.phase = bwReading
+		return st, true
+	case a.Channel == rd && a.Name == NameRFinish:
+		if st.phase != bwReading {
+			return st, true // stale ack: ignore
+		}
+		_, t := TaggedDecode(a.Value)
+		st.tag = uint8(w.i) ^ t
+		st.phase = bwWantWrite
+		return st, true
+	case a.Channel == wr && a.Name == NameWStart:
+		if st.phase != bwWantWrite || a.Value != TaggedEncode(st.val, st.tag) {
+			return nil, false
+		}
+		st.phase = bwWriting
+		return st, true
+	case a.Channel == wr && a.Name == NameWFinish:
+		if st.phase != bwWriting {
+			return st, true
+		}
+		st.phase = bwWantAck
+		return st, true
+	case a.Channel == sim && a.Name == NameWFinish:
+		if st.phase != bwWantAck {
+			return nil, false
+		}
+		return bwState{}, true
+	}
+	return nil, false
+}
+
+// Enabled implements Automaton.
+func (w *BloomWriter) Enabled(s State) []Action {
+	st, ok := s.(bwState)
+	if !ok {
+		return nil
+	}
+	switch st.phase {
+	case bwWantRead:
+		return []Action{RStart(w.ch.ReadChan(w.i))}
+	case bwWantWrite:
+		return []Action{WStart(w.ch.WriteChan(w.i), TaggedEncode(st.val, st.tag))}
+	case bwWantAck:
+		return []Action{WFinish(w.ch.SimWriterChan(w.i))}
+	}
+	return nil
+}
+
+// brPhase is a BloomReader protocol phase.
+type brPhase uint8
+
+const (
+	brIdle  brPhase = iota
+	brWant0         // must issue the read of Reg0
+	brRead0
+	brWant1 // must issue the read of Reg1
+	brRead1
+	brWant2 // must issue the final read of Reg(t0⊕t1)
+	brRead2
+	brWantAck
+)
+
+// brState is a BloomReader state (comparable).
+type brState struct {
+	phase  brPhase
+	t0, t1 uint8
+	ret    string
+}
+
+// BloomReader is reader Rdj of Section 5 as an I/O automaton.
+type BloomReader struct {
+	j  int // 1-based
+	ch BloomChannels
+}
+
+var _ Automaton = (*BloomReader)(nil)
+
+// NewBloomReader builds reader j (1-based) over the channel layout.
+func NewBloomReader(j int, ch BloomChannels) *BloomReader {
+	return &BloomReader{j: j, ch: ch}
+}
+
+// Name implements Automaton.
+func (r *BloomReader) Name() string { return fmt.Sprintf("Rd%d", r.j) }
+
+// regChan returns the channel for this reader's access to register reg.
+func (r *BloomReader) regChan(reg int) int { return r.ch.ReaderChan(reg, r.j) }
+
+// Sig implements Automaton.
+func (r *BloomReader) Sig() Signature {
+	sim := r.ch.SimReaderChan(r.j)
+	c0, c1 := r.regChan(0), r.regChan(1)
+	return func(a Action) Class {
+		switch a.Channel {
+		case sim:
+			switch a.Name {
+			case NameRStart:
+				return Input
+			case NameRFinish:
+				return Output
+			}
+		case c0, c1:
+			switch a.Name {
+			case NameRStart:
+				return Output
+			case NameRFinish:
+				return Input
+			}
+		}
+		return NotInSignature
+	}
+}
+
+// Initial implements Automaton.
+func (r *BloomReader) Initial() State { return brState{} }
+
+// target returns the register the final read goes to.
+func (st brState) target() int { return int(st.t0 ^ st.t1) }
+
+// Step implements Automaton.
+func (r *BloomReader) Step(s State, a Action) (State, bool) {
+	st, ok := s.(brState)
+	if !ok {
+		return nil, false
+	}
+	sim := r.ch.SimReaderChan(r.j)
+	switch {
+	case a.Channel == sim && a.Name == NameRStart:
+		if st.phase != brIdle {
+			return st, true
+		}
+		return brState{phase: brWant0}, true
+	case a.Name == NameRStart && a.Channel == r.regChan(0) && st.phase == brWant0:
+		st.phase = brRead0
+		return st, true
+	case a.Name == NameRFinish && a.Channel == r.regChan(0) && st.phase == brRead0:
+		_, st.t0 = TaggedDecode(a.Value)
+		st.phase = brWant1
+		return st, true
+	case a.Name == NameRStart && a.Channel == r.regChan(1) && st.phase == brWant1:
+		st.phase = brRead1
+		return st, true
+	case a.Name == NameRFinish && a.Channel == r.regChan(1) && st.phase == brRead1:
+		_, st.t1 = TaggedDecode(a.Value)
+		st.phase = brWant2
+		return st, true
+	case a.Name == NameRStart && st.phase == brWant2 && a.Channel == r.regChan(st.target()):
+		st.phase = brRead2
+		return st, true
+	case a.Name == NameRFinish && st.phase == brRead2 && a.Channel == r.regChan(st.target()):
+		st.ret, _ = TaggedDecode(a.Value)
+		st.phase = brWantAck
+		return st, true
+	case a.Channel == sim && a.Name == NameRFinish:
+		if st.phase != brWantAck || a.Value != st.ret {
+			return nil, false
+		}
+		return brState{}, true
+	case a.Name == NameRFinish:
+		return st, true // stale/foreign ack on one of our channels: ignore
+	}
+	return nil, false
+}
+
+// Enabled implements Automaton.
+func (r *BloomReader) Enabled(s State) []Action {
+	st, ok := s.(brState)
+	if !ok {
+		return nil
+	}
+	switch st.phase {
+	case brWant0:
+		return []Action{RStart(r.regChan(0))}
+	case brWant1:
+		return []Action{RStart(r.regChan(1))}
+	case brWant2:
+		return []Action{RStart(r.regChan(st.target()))}
+	case brWantAck:
+		return []Action{RFinish(r.ch.SimReaderChan(r.j), st.ret)}
+	}
+	return nil
+}
+
+// NewBloomSystem wires the Figure 2 architecture for n readers: two real
+// register automata (initialized to (v0, tag 0)), two writers, and n
+// readers. The returned composition is open at the simulated-register
+// ports; compose it further with user automata (or drive it with
+// Runner.Inject) to close it.
+func NewBloomSystem(n int, v0 string) (*Composition, BloomChannels, error) {
+	ch, err := NewBloomChannels(n)
+	if err != nil {
+		return nil, BloomChannels{}, err
+	}
+	reg0, err := NewRegisterAutomaton("Reg0", ch.RegChannels(0), TaggedEncode(v0, 0))
+	if err != nil {
+		return nil, BloomChannels{}, err
+	}
+	reg1, err := NewRegisterAutomaton("Reg1", ch.RegChannels(1), TaggedEncode(v0, 0))
+	if err != nil {
+		return nil, BloomChannels{}, err
+	}
+	comps := []Automaton{reg0, reg1, NewBloomWriter(0, ch), NewBloomWriter(1, ch)}
+	for j := 1; j <= n; j++ {
+		comps = append(comps, NewBloomReader(j, ch))
+	}
+	return Compose("BloomSystem", comps...), ch, nil
+}

@@ -1,0 +1,221 @@
+package ioa
+
+import (
+	"testing"
+
+	"repro/internal/atomicity"
+)
+
+func TestTaggedCodec(t *testing.T) {
+	for _, v := range []string{"a", "", "with|pipe"} {
+		for _, tag := range []uint8{0, 1} {
+			got, gotTag := TaggedDecode(TaggedEncode(v, tag))
+			if got != v || gotTag != tag {
+				t.Errorf("roundtrip (%q,%d) → (%q,%d)", v, tag, got, gotTag)
+			}
+		}
+	}
+	if v, tag := TaggedDecode("bare"); v != "bare" || tag != 0 {
+		t.Error("missing tag should decode as 0")
+	}
+}
+
+func TestBloomChannelsLayout(t *testing.T) {
+	ch, err := NewBloomChannels(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All register channels distinct and within range.
+	seen := map[int]bool{}
+	for reg := 0; reg < 2; reg++ {
+		for _, c := range ch.RegChannels(reg) {
+			if c < 0 || c >= MaxRegisterChannels {
+				t.Errorf("channel %d out of range", c)
+			}
+			if seen[c] {
+				t.Errorf("channel %d reused", c)
+			}
+			seen[c] = true
+		}
+	}
+	// Wri writes Regi and reads Reg¬i (Figure 2).
+	in := func(c int, reg int) bool {
+		for _, x := range ch.RegChannels(reg) {
+			if x == c {
+				return true
+			}
+		}
+		return false
+	}
+	if !in(ch.WriteChan(0), 0) || !in(ch.ReadChan(0), 1) {
+		t.Error("writer 0 wiring wrong")
+	}
+	if !in(ch.WriteChan(1), 1) || !in(ch.ReadChan(1), 0) {
+		t.Error("writer 1 wiring wrong")
+	}
+	if _, err := NewBloomChannels(5); err == nil {
+		t.Error("too many readers accepted")
+	}
+}
+
+// simInterface filters a schedule down to the simulated register's ports.
+func simInterface(sched []Action) []Action {
+	var out []Action
+	for _, a := range sched {
+		if a.Channel >= 100 {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// TestBloomSystemFairExecutionsAtomic composes the Figure 2 architecture
+// (two spec register automata, two protocol writers, n protocol readers)
+// with user automata and checks that every seeded fair execution's
+// simulated-register schedule is atomic. This verifies the construction
+// inside the paper's own formalism, independently of the goroutine
+// implementation in package core.
+func TestBloomSystemFairExecutionsAtomic(t *testing.T) {
+	sys, ch, err := NewBloomSystem(2, "v0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u0 := NewUserAutomaton("U-Wr0", ch.SimWriterChan(0), []UserOp{
+		{IsWrite: true, Value: "a"}, {IsWrite: true, Value: "b"},
+	})
+	u1 := NewUserAutomaton("U-Wr1", ch.SimWriterChan(1), []UserOp{
+		{IsWrite: true, Value: "c"}, {IsWrite: true, Value: "d"},
+	})
+	ur1 := NewUserAutomaton("U-Rd1", ch.SimReaderChan(1), []UserOp{{}, {}, {}})
+	ur2 := NewUserAutomaton("U-Rd2", ch.SimReaderChan(2), []UserOp{{}, {}, {}})
+	closed := Compose("closed", append([]Automaton{u0, u1, ur1, ur2}, sys.Components()...)...)
+
+	for seed := int64(0); seed < 40; seed++ {
+		exec, err := NewRunner(closed, seed).Run(columnLimit)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(closed.EnabledBy(exec.Final)) != 0 {
+			t.Fatalf("seed %d: system did not quiesce", seed)
+		}
+		ext := simInterface(exec.Schedule())
+		// 4 writes + 6 reads, two events each.
+		if len(ext) != 20 {
+			t.Fatalf("seed %d: %d interface events, want 20: %v", seed, len(ext), ext)
+		}
+		h, err := ScheduleToHistory(ext)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := atomicity.CheckHistory(&h, "v0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Linearizable {
+			t.Fatalf("seed %d: Figure 2 composition produced a non-atomic schedule:\n%v", seed, ext)
+		}
+	}
+}
+
+// columnLimit bounds fair executions in tests (well above the ~70 steps a
+// full run of the scripted users takes).
+const columnLimit = 500
+
+// TestBloomWriterProtocolSequence drives one writer through its protocol
+// by hand and checks each phase.
+func TestBloomWriterProtocolSequence(t *testing.T) {
+	ch, err := NewBloomChannels(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewBloomWriter(0, ch)
+	s := w.Initial()
+
+	if got := w.Enabled(s); len(got) != 0 {
+		t.Fatalf("idle writer enabled %v", got)
+	}
+	s, ok := w.Step(s, WStart(ch.SimWriterChan(0), "x"))
+	if !ok {
+		t.Fatal("W_start rejected")
+	}
+	// The writer must now want to read Reg1.
+	en := w.Enabled(s)
+	if len(en) != 1 || en[0] != RStart(ch.ReadChan(0)) {
+		t.Fatalf("enabled = %v, want R_start on the read channel", en)
+	}
+	s, _ = w.Step(s, en[0])
+	// Deliver the read result: Reg1 holds ("v0", tag 1) → tag = 0⊕1 = 1.
+	s, ok = w.Step(s, RFinish(ch.ReadChan(0), TaggedEncode("v0", 1)))
+	if !ok {
+		t.Fatal("R_finish rejected")
+	}
+	en = w.Enabled(s)
+	want := WStart(ch.WriteChan(0), TaggedEncode("x", 1))
+	if len(en) != 1 || en[0] != want {
+		t.Fatalf("enabled = %v, want %v (tag rule i⊕t')", en, want)
+	}
+	s, _ = w.Step(s, en[0])
+	s, _ = w.Step(s, WFinish(ch.WriteChan(0)))
+	en = w.Enabled(s)
+	if len(en) != 1 || en[0] != WFinish(ch.SimWriterChan(0)) {
+		t.Fatalf("enabled = %v, want the simulated acknowledgment", en)
+	}
+	s, _ = w.Step(s, en[0])
+	if got := w.Enabled(s); len(got) != 0 {
+		t.Fatalf("writer not idle after ack: %v", got)
+	}
+}
+
+// TestBloomReaderTargetsThirdRead checks the reader's t0⊕t1 dispatch.
+func TestBloomReaderTargetsThirdRead(t *testing.T) {
+	ch, err := NewBloomChannels(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewBloomReader(1, ch)
+	for _, tc := range []struct {
+		t0, t1 uint8
+		target int
+	}{{0, 0, 0}, {0, 1, 1}, {1, 0, 1}, {1, 1, 0}} {
+		s := r.Initial()
+		s, _ = r.Step(s, RStart(ch.SimReaderChan(1)))
+		s, _ = r.Step(s, RStart(ch.ReaderChan(0, 1)))
+		s, _ = r.Step(s, RFinish(ch.ReaderChan(0, 1), TaggedEncode("p", tc.t0)))
+		s, _ = r.Step(s, RStart(ch.ReaderChan(1, 1)))
+		s, _ = r.Step(s, RFinish(ch.ReaderChan(1, 1), TaggedEncode("q", tc.t1)))
+		en := r.Enabled(s)
+		want := RStart(ch.ReaderChan(tc.target, 1))
+		if len(en) != 1 || en[0] != want {
+			t.Fatalf("tags (%d,%d): enabled %v, want %v", tc.t0, tc.t1, en, want)
+		}
+	}
+}
+
+// TestBloomAutomataInputEnabled samples input-enabledness of the protocol
+// automata.
+func TestBloomAutomataInputEnabled(t *testing.T) {
+	ch, err := NewBloomChannels(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewBloomWriter(0, ch)
+	mid, _ := w.Step(w.Initial(), WStart(ch.SimWriterChan(0), "x"))
+	if err := CheckInputEnabled(w, []State{w.Initial(), mid},
+		[]Action{
+			WStart(ch.SimWriterChan(0), "y"),
+			RFinish(ch.ReadChan(0), TaggedEncode("v", 0)),
+			WFinish(ch.WriteChan(0)),
+		}); err != nil {
+		t.Fatal(err)
+	}
+	r := NewBloomReader(1, ch)
+	rmid, _ := r.Step(r.Initial(), RStart(ch.SimReaderChan(1)))
+	if err := CheckInputEnabled(r, []State{r.Initial(), rmid},
+		[]Action{
+			RStart(ch.SimReaderChan(1)),
+			RFinish(ch.ReaderChan(0, 1), TaggedEncode("v", 0)),
+			RFinish(ch.ReaderChan(1, 1), TaggedEncode("v", 1)),
+		}); err != nil {
+		t.Fatal(err)
+	}
+}

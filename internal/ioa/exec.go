@@ -1,0 +1,172 @@
+package ioa
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ExecStep is one action occurrence in an execution.
+type ExecStep struct {
+	// Action is the label taken.
+	Action Action
+	// Class is the action's class in the executing (composed) automaton.
+	Class Class
+	// Component is the index of the component whose locally controlled
+	// action fired (-1 for environment-injected inputs).
+	Component int
+}
+
+// Execution is an alternating state/action sequence, stored as the start
+// state plus steps (the intermediate states are reproducible via Step).
+type Execution struct {
+	Start CompState
+	Steps []ExecStep
+	Final CompState
+}
+
+// Schedule returns the execution's action sequence.
+func (e *Execution) Schedule() []Action {
+	out := make([]Action, len(e.Steps))
+	for i, s := range e.Steps {
+		out[i] = s.Action
+	}
+	return out
+}
+
+// External returns the schedule with internal actions removed.
+func (e *Execution) External() []Action {
+	var out []Action
+	for _, s := range e.Steps {
+		if s.Class != Internal {
+			out = append(out, s.Action)
+		}
+	}
+	return out
+}
+
+// Runner generates fair executions of a composition. Fairness is
+// implemented by round-robin polling with randomized choice among a
+// component's enabled actions: a component with a continuously enabled
+// locally controlled action is scheduled within one round, so every finite
+// prefix extends to a fair execution.
+type Runner struct {
+	comp *Composition
+	rng  *rand.Rand
+}
+
+// NewRunner returns a runner using a seeded source, so executions are
+// reproducible.
+func NewRunner(c *Composition, seed int64) *Runner {
+	return &Runner{comp: c, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Run executes up to maxSteps locally controlled steps from the initial
+// state, stopping early when the composition quiesces (no component has an
+// enabled action). The execution is fair for its length: components are
+// polled round-robin starting from a rotating index.
+func (r *Runner) Run(maxSteps int) (*Execution, error) {
+	s := r.comp.Initial()
+	exec := &Execution{Start: append(CompState(nil), s...)}
+	start := 0
+	for len(exec.Steps) < maxSteps {
+		enabled := r.comp.EnabledBy(s)
+		if len(enabled) == 0 {
+			break
+		}
+		// Round-robin: first component at or after `start` with an
+		// enabled action.
+		chosen := -1
+		n := len(r.comp.components)
+		for k := 0; k < n; k++ {
+			i := (start + k) % n
+			if len(enabled[i]) > 0 {
+				chosen = i
+				break
+			}
+		}
+		start = (chosen + 1) % n
+		acts := enabled[chosen]
+		a := acts[r.rng.Intn(len(acts))]
+		cls, _, err := r.comp.Classify(a)
+		if err != nil {
+			return nil, err
+		}
+		next, ok, err := r.comp.Step(s, a)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("ioa: component %d enabled %v but the composition cannot step it", chosen, a)
+		}
+		exec.Steps = append(exec.Steps, ExecStep{Action: a, Class: cls, Component: chosen})
+		s = next
+	}
+	exec.Final = s
+	return exec, nil
+}
+
+// Inject applies an environment input action to the state (for driving
+// open systems in tests).
+func (r *Runner) Inject(e *Execution, a Action) error {
+	cls, _, err := r.comp.Classify(a)
+	if err != nil {
+		return err
+	}
+	if cls != Input {
+		return fmt.Errorf("ioa: %v is not an input of the composition (class %v)", a, cls)
+	}
+	s := e.Final
+	if s == nil {
+		s = r.comp.Initial()
+	}
+	next, ok, err := r.comp.Step(s, a)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("ioa: composition rejected input %v (not input-enabled)", a)
+	}
+	e.Steps = append(e.Steps, ExecStep{Action: a, Class: Input, Component: -1})
+	e.Final = next
+	return nil
+}
+
+// Resume continues a paused execution for up to maxSteps more locally
+// controlled steps (used interleaved with Inject).
+func (r *Runner) Resume(e *Execution, maxSteps int) error {
+	s := e.Final
+	if s == nil {
+		s = r.comp.Initial()
+		e.Start = append(CompState(nil), s...)
+	}
+	for k := 0; k < maxSteps; k++ {
+		enabled := r.comp.EnabledBy(s)
+		if len(enabled) == 0 {
+			break
+		}
+		var candidates []int
+		for i := range r.comp.components {
+			if len(enabled[i]) > 0 {
+				candidates = append(candidates, i)
+			}
+		}
+		i := candidates[r.rng.Intn(len(candidates))]
+		acts := enabled[i]
+		a := acts[r.rng.Intn(len(acts))]
+		cls, _, err := r.comp.Classify(a)
+		if err != nil {
+			return err
+		}
+		next, ok, err := r.comp.Step(s, a)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("ioa: component %d enabled %v but the composition cannot step it", i, a)
+		}
+		e.Steps = append(e.Steps, ExecStep{Action: a, Class: cls, Component: i})
+		s = next
+	}
+	e.Final = s
+	return nil
+}

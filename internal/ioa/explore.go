@@ -1,0 +1,70 @@
+package ioa
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrStopExploration ends an exploration early without error.
+var ErrStopExploration = errors.New("ioa: stop exploration")
+
+// ExploreAll enumerates every execution of a closed composition: from each
+// state it branches over every enabled locally controlled action of every
+// component, until the system quiesces (a terminal execution) or maxDepth
+// actions have been taken (an error: the bound is meant to be slack, so
+// hitting it indicates a livelock or an undersized bound).
+//
+// The visitor receives each terminal execution. Unlike the step machines
+// in package sched, this explores at the full action granularity of the
+// I/O-automaton model — requests, internal *-actions, and acknowledgments
+// each interleave separately — so even tiny configurations produce tens of
+// thousands of schedules; size accordingly.
+func ExploreAll(c *Composition, maxDepth int, visit func(*Execution) error) (int64, error) {
+	var count int64
+	var steps []ExecStep
+	initial := c.Initial()
+
+	var dfs func(s CompState, depth int) error
+	dfs = func(s CompState, depth int) error {
+		enabled := c.EnabledBy(s)
+		if len(enabled) == 0 {
+			count++
+			exec := &Execution{
+				Start: append(CompState(nil), initial...),
+				Steps: append([]ExecStep(nil), steps...),
+				Final: append(CompState(nil), s...),
+			}
+			return visit(exec)
+		}
+		if depth >= maxDepth {
+			return fmt.Errorf("ioa: exploration exceeded depth %d without quiescing", maxDepth)
+		}
+		for i := 0; i < len(c.components); i++ {
+			for _, a := range enabled[i] {
+				cls, _, err := c.Classify(a)
+				if err != nil {
+					return err
+				}
+				next, ok, err := c.Step(s, a)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return fmt.Errorf("ioa: component %d enabled %v but the composition cannot step it", i, a)
+				}
+				steps = append(steps, ExecStep{Action: a, Class: cls, Component: i})
+				err = dfs(next, depth+1)
+				steps = steps[:len(steps)-1]
+				if err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	err := dfs(initial, 0)
+	if errors.Is(err, ErrStopExploration) {
+		err = nil
+	}
+	return count, err
+}

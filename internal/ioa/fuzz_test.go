@@ -1,0 +1,57 @@
+package ioa
+
+import (
+	"testing"
+)
+
+// FuzzTaggedCodec checks the tagged-value encoding against arbitrary
+// strings (pipes, newlines, empty, unicode): decode(encode(v,t)) must
+// round-trip exactly.
+func FuzzTaggedCodec(f *testing.F) {
+	f.Add("", uint8(0))
+	f.Add("plain", uint8(1))
+	f.Add("with|pipe", uint8(0))
+	f.Add("with\nnewline", uint8(1))
+	f.Add("ünïcødé|", uint8(0))
+	f.Fuzz(func(t *testing.T, v string, tag uint8) {
+		tag &= 1
+		got, gotTag := TaggedDecode(TaggedEncode(v, tag))
+		if got != v || gotTag != tag {
+			t.Fatalf("roundtrip (%q,%d) → (%q,%d)", v, tag, got, gotTag)
+		}
+	})
+}
+
+// FuzzScheduleToHistory feeds arbitrary action sequences to the
+// schedule-to-history converter: it must never panic, and whenever it
+// succeeds the resulting history must be input-correct with matching
+// request/acknowledgment pairs.
+func FuzzScheduleToHistory(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3}, "ab")
+	f.Add([]byte{0, 2, 1, 3, 0, 2}, "xy")
+	f.Fuzz(func(t *testing.T, kinds []byte, vals string) {
+		if len(kinds) > 64 {
+			return
+		}
+		names := []string{NameRStart, NameRFinish, NameWStart, NameWFinish, NameRStar}
+		var sched []Action
+		for i, k := range kinds {
+			name := names[int(k)%len(names)]
+			val := ""
+			if name != NameRStart && name != NameWFinish && len(vals) > 0 {
+				val = string(vals[i%len(vals)])
+			}
+			sched = append(sched, Action{Name: name, Channel: int(k) % 3, Value: val})
+		}
+		h, err := ScheduleToHistory(sched)
+		if err != nil {
+			return // malformed schedules are rejected, not crashed on
+		}
+		if err := h.InputCorrect(); err != nil {
+			t.Fatalf("accepted schedule is not input-correct: %v", err)
+		}
+		if _, _, err := h.Matching(); err != nil {
+			t.Fatalf("accepted schedule does not match: %v", err)
+		}
+	})
+}

@@ -1,0 +1,234 @@
+// Package ioa implements the simplified Lynch–Tuttle I/O automaton model
+// of Section 2 of Bloom (PODC 1987).
+//
+// A process is an automaton with (possibly infinitely many) states and
+// transitions labeled by actions. The automaton's alphabet is split into
+// Input, Output, and Internal sub-alphabets; Input and Output actions are
+// signals the automaton can accept and produce, Internal actions are
+// invisible to other processes. An I/O automaton must be input-enabled:
+// from every state there is a transition for every input action.
+//
+// Automata compose: if components have disjoint output and internal
+// alphabets, the composition steps one component at a time, except that an
+// action that is one component's output and another's input moves both and
+// becomes internal to the composition (Section 2's composition rule).
+//
+// Executions alternate states and actions; a fair execution eventually
+// lets every component that wants to take a locally controlled step take
+// one. A schedule is an execution's action sequence; an external schedule
+// omits internal actions. Protocol correctness is a property of the set of
+// external fair schedules — for registers, the atomicity property checked
+// by packages spec and atomicity.
+package ioa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Action is a transition label. Actions are compared by value: two actions
+// are the same signal iff all fields are equal. Channel identifies the
+// point-to-point channel the signal travels on (0 if none), and Value an
+// attached value (empty if none); both are part of the action's identity,
+// so W_start("a") and W_start("b") are distinct members of the alphabet,
+// as in the paper.
+type Action struct {
+	// Name is the action's label, e.g. "W_start".
+	Name string
+	// Channel names the channel convention the action belongs to.
+	Channel int
+	// Value is the action's attached value, encoded as a string.
+	Value string
+}
+
+// String renders the action, e.g. `W_start^2(a)`.
+func (a Action) String() string {
+	var b strings.Builder
+	b.WriteString(a.Name)
+	fmt.Fprintf(&b, "^%d", a.Channel)
+	if a.Value != "" {
+		fmt.Fprintf(&b, "(%s)", a.Value)
+	}
+	return b.String()
+}
+
+// Class classifies an action within an automaton's signature.
+type Class uint8
+
+// Action classes.
+const (
+	// NotInSignature marks actions foreign to the automaton.
+	NotInSignature Class = iota
+	// Input actions can be accepted at any time (input-enabledness).
+	Input
+	// Output actions are produced by the automaton.
+	Output
+	// Internal actions are invisible outside the automaton.
+	Internal
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case NotInSignature:
+		return "not-in-signature"
+	case Input:
+		return "input"
+	case Output:
+		return "output"
+	case Internal:
+		return "internal"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Signature assigns a class to every action. Alphabets may be infinite
+// (e.g. W_start(v) for every v in an unbounded value set), so the
+// signature is a function, not a set.
+type Signature func(Action) Class
+
+// State is an automaton state. Implementations should use comparable
+// values so states can be deduplicated.
+type State any
+
+// Automaton is the simplified Lynch–Tuttle I/O automaton.
+type Automaton interface {
+	// Name identifies the automaton in diagnostics.
+	Name() string
+	// Sig returns the automaton's signature.
+	Sig() Signature
+	// Initial returns the start state.
+	Initial() State
+	// Step performs action a from state s, returning the successor
+	// state. ok is false if the action is not enabled in s (never for
+	// input actions of an input-enabled automaton: they must always be
+	// accepted, if only by ignoring them).
+	Step(s State, a Action) (next State, ok bool)
+	// Enabled returns the locally controlled (output and internal)
+	// actions enabled in s. The result may be empty (quiescence).
+	Enabled(s State) []Action
+}
+
+// CheckInputEnabled probes that the automaton accepts each of the given
+// input actions in each of the given states. It is a sampling check (the
+// state space may be infinite), used by tests.
+func CheckInputEnabled(a Automaton, states []State, inputs []Action) error {
+	sig := a.Sig()
+	for _, in := range inputs {
+		if sig(in) != Input {
+			return fmt.Errorf("ioa: %v is not an input action of %s", in, a.Name())
+		}
+		for _, s := range states {
+			if _, ok := a.Step(s, in); !ok {
+				return fmt.Errorf("ioa: automaton %s rejects input %v in state %v (not input-enabled)", a.Name(), in, s)
+			}
+		}
+	}
+	return nil
+}
+
+// Composition composes automata per Section 2. The components must have
+// pairwise disjoint output alphabets and internal alphabets disjoint from
+// everyone else's alphabets; Compose verifies this on the actions it can
+// see (signatures are functions, so the check happens lazily per action
+// during execution as well).
+type Composition struct {
+	name       string
+	components []Automaton
+}
+
+// Compose builds the composition of the given automata.
+func Compose(name string, components ...Automaton) *Composition {
+	return &Composition{name: name, components: components}
+}
+
+// Name returns the composition's name.
+func (c *Composition) Name() string { return c.name }
+
+// Components returns the component automata.
+func (c *Composition) Components() []Automaton { return c.components }
+
+// CompState is a composition state: one state per component.
+type CompState []State
+
+// Initial returns the tuple of component initial states.
+func (c *Composition) Initial() CompState {
+	s := make(CompState, len(c.components))
+	for i, a := range c.components {
+		s[i] = a.Initial()
+	}
+	return s
+}
+
+// Classify returns the action's class in the composition and the indices
+// of the components that participate in it. Per the paper: if one
+// component outputs a and another inputs it, a is internal to the
+// composition; otherwise a keeps the classification its single owner
+// gives it.
+func (c *Composition) Classify(a Action) (Class, []int, error) {
+	var outputs, inputs, internals []int
+	for i, comp := range c.components {
+		switch comp.Sig()(a) {
+		case Output:
+			outputs = append(outputs, i)
+		case Input:
+			inputs = append(inputs, i)
+		case Internal:
+			internals = append(internals, i)
+		}
+	}
+	if len(outputs) > 1 {
+		return NotInSignature, nil, fmt.Errorf("ioa: action %v is an output of %d components; outputs must be disjoint", a, len(outputs))
+	}
+	if len(internals) > 0 {
+		if len(outputs)+len(inputs) > 0 || len(internals) > 1 {
+			return NotInSignature, nil, fmt.Errorf("ioa: internal action %v shared by multiple components", a)
+		}
+		return Internal, internals, nil
+	}
+	switch {
+	case len(outputs) == 1 && len(inputs) > 0:
+		// Matched output/input: both move; internal to the composition.
+		return Internal, append(outputs, inputs...), nil
+	case len(outputs) == 1:
+		return Output, outputs, nil
+	case len(inputs) > 0:
+		return Input, inputs, nil
+	default:
+		return NotInSignature, nil, nil
+	}
+}
+
+// Step performs action a from composition state s.
+func (c *Composition) Step(s CompState, a Action) (CompState, bool, error) {
+	_, movers, err := c.Classify(a)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(movers) == 0 {
+		return nil, false, nil
+	}
+	next := make(CompState, len(s))
+	copy(next, s)
+	for _, i := range movers {
+		n, ok := c.components[i].Step(s[i], a)
+		if !ok {
+			return nil, false, nil
+		}
+		next[i] = n
+	}
+	return next, true, nil
+}
+
+// EnabledBy returns, for each component index, the locally controlled
+// actions that component enables in s.
+func (c *Composition) EnabledBy(s CompState) map[int][]Action {
+	out := make(map[int][]Action)
+	for i, comp := range c.components {
+		if acts := comp.Enabled(s[i]); len(acts) > 0 {
+			out[i] = acts
+		}
+	}
+	return out
+}

@@ -1,0 +1,314 @@
+package ioa
+
+import (
+	"testing"
+
+	"repro/internal/atomicity"
+)
+
+func mustRegister(t *testing.T, name string, chans []int, v0 string) *RegisterAutomaton {
+	t.Helper()
+	r, err := NewRegisterAutomaton(name, chans, v0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestActionString(t *testing.T) {
+	if got := WStart(2, "a").String(); got != "W_start^2(a)" {
+		t.Errorf("String = %q", got)
+	}
+	if got := WFinish(1).String(); got != "W_finish^1" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c, want := range map[Class]string{
+		NotInSignature: "not-in-signature",
+		Input:          "input",
+		Output:         "output",
+		Internal:       "internal",
+		Class(9):       "Class(9)",
+	} {
+		if got := c.String(); got != want {
+			t.Errorf("Class(%d) = %q, want %q", c, got, want)
+		}
+	}
+}
+
+func TestRegisterSignature(t *testing.T) {
+	sig := RegisterSignature([]int{1, 2})
+	cases := []struct {
+		a    Action
+		want Class
+	}{
+		{RStart(1), Input},
+		{WStart(2, "v"), Input},
+		{RFinish(1, "v"), Output},
+		{WFinish(2), Output},
+		{RStar(1, "v"), Internal},
+		{WStar(2, "v"), Internal},
+		{RStart(3), NotInSignature},
+		{Action{Name: "bogus", Channel: 1}, NotInSignature},
+	}
+	for _, c := range cases {
+		if got := sig(c.a); got != c.want {
+			t.Errorf("sig(%v) = %v, want %v", c.a, got, c.want)
+		}
+	}
+}
+
+func TestRegisterAutomatonInputEnabled(t *testing.T) {
+	r := mustRegister(t, "Reg", []int{0, 1}, "v0")
+	// Probe the initial state and a few states with pending operations.
+	states := []State{r.Initial()}
+	s, _ := r.Step(r.Initial(), WStart(0, "a"))
+	states = append(states, s)
+	s2, _ := r.Step(s, RStart(1))
+	states = append(states, s2)
+	inputs := []Action{RStart(0), RStart(1), WStart(0, "x"), WStart(1, "y")}
+	if err := CheckInputEnabled(r, states, inputs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegisterAutomatonSequentialRun(t *testing.T) {
+	r := mustRegister(t, "Reg", []int{0}, "v0")
+	s := r.Initial()
+	step := func(a Action) {
+		t.Helper()
+		next, ok := r.Step(s, a)
+		if !ok {
+			t.Fatalf("action %v rejected in state %v", a, s)
+		}
+		s = next
+	}
+	step(WStart(0, "a"))
+	step(WStar(0, "a"))
+	step(WFinish(0))
+	step(RStart(0))
+	// The only enabled action must be R*(a).
+	enabled := r.Enabled(s)
+	if len(enabled) != 1 || enabled[0] != RStar(0, "a") {
+		t.Fatalf("enabled = %v, want [R*(a)]", enabled)
+	}
+	step(RStar(0, "a"))
+	step(RFinish(0, "a"))
+	if len(r.Enabled(s)) != 0 {
+		t.Fatal("register should be quiescent")
+	}
+}
+
+func TestRegisterAutomatonRejectsWrongStar(t *testing.T) {
+	r := mustRegister(t, "Reg", []int{0}, "v0")
+	s, _ := r.Step(r.Initial(), RStart(0))
+	if _, ok := r.Step(s, RStar(0, "not-current")); ok {
+		t.Fatal("R* with a wrong value accepted")
+	}
+	if _, ok := r.Step(s, RFinish(0, "v0")); ok {
+		t.Fatal("R_finish before R* accepted")
+	}
+}
+
+func TestRegisterAutomatonIgnoresImproperInput(t *testing.T) {
+	r := mustRegister(t, "Reg", []int{0}, "v0")
+	s, _ := r.Step(r.Initial(), RStart(0))
+	// A second request on the same channel is improper; the automaton
+	// must accept (input-enabledness) but may ignore it.
+	next, ok := r.Step(s, RStart(0))
+	if !ok {
+		t.Fatal("improper input rejected (not input-enabled)")
+	}
+	if next != s {
+		t.Fatal("improper input changed state")
+	}
+}
+
+func TestNewRegisterAutomatonValidation(t *testing.T) {
+	if _, err := NewRegisterAutomaton("r", []int{0, 1, 2, 3, 4, 5, 6, 7, 8}, "v"); err == nil {
+		t.Error("too many channels accepted")
+	}
+	if _, err := NewRegisterAutomaton("r", []int{MaxRegisterChannels}, "v"); err == nil {
+		t.Error("out-of-range channel accepted")
+	}
+}
+
+func TestComposeClassification(t *testing.T) {
+	reg := mustRegister(t, "Reg", []int{0, 1}, "v0")
+	u0 := NewUserAutomaton("U0", 0, []UserOp{{IsWrite: true, Value: "a"}})
+	comp := Compose("sys", reg, u0)
+
+	// U0's W_start is matched with Reg's input: internal to the system.
+	cls, movers, err := comp.Classify(WStart(0, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls != Internal || len(movers) != 2 {
+		t.Fatalf("W_start^0: class %v movers %v", cls, movers)
+	}
+
+	// Channel 1 has no user component: the register's ack is an output.
+	cls, _, err = comp.Classify(WFinish(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls != Output {
+		t.Fatalf("W_finish^1 classified %v, want output", cls)
+	}
+
+	// The register's *-action stays internal.
+	cls, _, err = comp.Classify(WStar(0, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls != Internal {
+		t.Fatalf("W*^0 classified %v, want internal", cls)
+	}
+
+	// Foreign actions are not in the signature.
+	cls, movers, err = comp.Classify(Action{Name: "bogus", Channel: 9})
+	if err != nil || cls != NotInSignature || movers != nil {
+		t.Fatalf("bogus action: %v %v %v", cls, movers, err)
+	}
+}
+
+func TestComposeRejectsSharedOutputs(t *testing.T) {
+	u1 := NewUserAutomaton("U", 0, []UserOp{{IsWrite: true, Value: "a"}})
+	u2 := NewUserAutomaton("U'", 0, []UserOp{{IsWrite: true, Value: "a"}})
+	comp := Compose("bad", u1, u2)
+	if _, _, err := comp.Classify(WStart(0, "a")); err == nil {
+		t.Fatal("two components sharing an output must be rejected")
+	}
+}
+
+// TestFairExecutionsAreAtomic is Figure 1 + Section 3 in executable form:
+// users compose with the canonical register automaton; every fair
+// execution's external schedule, checked by the generic linearizability
+// checker, is atomic.
+func TestFairExecutionsAreAtomic(t *testing.T) {
+	reg := mustRegister(t, "Reg", []int{0, 1, 2}, "v0")
+	u0 := NewUserAutomaton("W0", 0, []UserOp{
+		{IsWrite: true, Value: "a"}, {IsWrite: true, Value: "b"}, {},
+	})
+	u1 := NewUserAutomaton("W1", 1, []UserOp{
+		{IsWrite: true, Value: "c"}, {}, {IsWrite: true, Value: "d"},
+	})
+	u2 := NewUserAutomaton("R", 2, []UserOp{{}, {}, {}, {}})
+	comp := Compose("sys", reg, u0, u1, u2)
+
+	for seed := int64(0); seed < 25; seed++ {
+		exec, err := NewRunner(comp, seed).Run(200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(comp.EnabledBy(exec.Final)) != 0 {
+			t.Fatal("execution did not quiesce")
+		}
+		// The composition is closed (register plus users), so every
+		// action is internal to it; the register's interface events
+		// are recovered by filtering.
+		if got := exec.External(); len(got) != 0 {
+			t.Fatalf("closed system has external actions: %v", got)
+		}
+		ext := FilterRegisterInterface(exec.Schedule())
+		h, err := ScheduleToHistory(ext)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := atomicity.CheckHistory(&h, "v0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Linearizable {
+			t.Fatalf("seed %d: fair execution not atomic:\n%v", seed, ext)
+		}
+		// 10 operations, 2 events each.
+		if len(ext) != 20 {
+			t.Fatalf("seed %d: external schedule has %d events, want 20", seed, len(ext))
+		}
+		// The full schedule additionally contains one *-action per op.
+		if got := len(exec.Schedule()); got != 30 {
+			t.Fatalf("seed %d: schedule has %d events, want 30", seed, got)
+		}
+	}
+}
+
+func TestRunnerDeterministicPerSeed(t *testing.T) {
+	reg := mustRegister(t, "Reg", []int{0}, "v0")
+	u := NewUserAutomaton("U", 0, []UserOp{{IsWrite: true, Value: "a"}, {}})
+	mk := func() []Action {
+		exec, err := NewRunner(Compose("sys", reg, u), 99).Run(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return exec.Schedule()
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatal("same seed diverged")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestInjectAndResume(t *testing.T) {
+	// Drive the register as an open system: inject requests by hand.
+	reg := mustRegister(t, "Reg", []int{0}, "v0")
+	comp := Compose("sys", reg)
+	r := NewRunner(comp, 1)
+	exec := &Execution{}
+	if err := r.Inject(exec, WStart(0, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Resume(exec, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Inject(exec, RStart(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Resume(exec, 10); err != nil {
+		t.Fatal(err)
+	}
+	ext := exec.External()
+	want := []Action{WStart(0, "a"), WFinish(0), RStart(0), RFinish(0, "a")}
+	if len(ext) != len(want) {
+		t.Fatalf("external = %v", ext)
+	}
+	for i := range want {
+		if ext[i] != want[i] {
+			t.Fatalf("external[%d] = %v, want %v", i, ext[i], want[i])
+		}
+	}
+	// Injecting a non-input action must fail.
+	if err := r.Inject(exec, WFinish(0)); err == nil {
+		t.Fatal("injecting an output action accepted")
+	}
+}
+
+func TestScheduleToHistoryRejectsBadSchedules(t *testing.T) {
+	if _, err := ScheduleToHistory([]Action{RFinish(0, "v")}); err == nil {
+		t.Error("orphan ack accepted")
+	}
+	// Kind mismatch (regression: found by FuzzScheduleToHistory): a read
+	// request must not be closed by a write acknowledgment.
+	if _, err := ScheduleToHistory([]Action{RStart(0), WFinish(0)}); err == nil {
+		t.Error("R_start closed by W_finish accepted")
+	}
+	if _, err := ScheduleToHistory([]Action{WStart(0, "v"), RFinish(0, "v")}); err == nil {
+		t.Error("W_start closed by R_finish accepted")
+	}
+	if _, err := ScheduleToHistory([]Action{RStart(0), RStart(0)}); err == nil {
+		t.Error("double request accepted")
+	}
+	if _, err := ScheduleToHistory([]Action{RStar(0, "v")}); err == nil {
+		t.Error("internal action accepted in external schedule")
+	}
+	if _, err := ScheduleToHistory([]Action{{Name: "bogus"}}); err == nil {
+		t.Error("unknown action accepted")
+	}
+}

@@ -1,0 +1,369 @@
+package ioa
+
+import (
+	"fmt"
+
+	"repro/internal/history"
+)
+
+// Action names for the register signature (Figure 1 of the paper).
+const (
+	NameRStart  = "R_start"  // command to read
+	NameRStar   = "R*"       // internal event marking a read of v
+	NameRFinish = "R_finish" // communication of the read value v
+	NameWStart  = "W_start"  // command to write value v
+	NameWStar   = "W*"       // internal event marking a write of v
+	NameWFinish = "W_finish" // acknowledgment of a write
+)
+
+// RStart builds the R_start action on channel c.
+func RStart(c int) Action { return Action{Name: NameRStart, Channel: c} }
+
+// RStar builds the internal R*(v) action on channel c.
+func RStar(c int, v string) Action { return Action{Name: NameRStar, Channel: c, Value: v} }
+
+// RFinish builds the R_finish(v) acknowledgment on channel c.
+func RFinish(c int, v string) Action { return Action{Name: NameRFinish, Channel: c, Value: v} }
+
+// WStart builds the W_start(v) action on channel c.
+func WStart(c int, v string) Action { return Action{Name: NameWStart, Channel: c, Value: v} }
+
+// WStar builds the internal W*(v) action on channel c.
+func WStar(c int, v string) Action { return Action{Name: NameWStar, Channel: c, Value: v} }
+
+// WFinish builds the W_finish acknowledgment on channel c.
+func WFinish(c int) Action { return Action{Name: NameWFinish, Channel: c} }
+
+// RegisterSignature returns the signature of a process "with the signature
+// of a register" (Section 3) serving the given channels: requests are
+// inputs, acknowledgments outputs, *-actions internal.
+func RegisterSignature(channels []int) Signature {
+	chanSet := make(map[int]bool, len(channels))
+	for _, c := range channels {
+		chanSet[c] = true
+	}
+	return func(a Action) Class {
+		if !chanSet[a.Channel] {
+			return NotInSignature
+		}
+		switch a.Name {
+		case NameRStart, NameWStart:
+			return Input
+		case NameRFinish, NameWFinish:
+			return Output
+		case NameRStar, NameWStar:
+			return Internal
+		default:
+			return NotInSignature
+		}
+	}
+}
+
+// MaxRegisterChannels bounds the canonical register automaton's channel
+// count (its state uses a fixed-size array so states stay comparable).
+const MaxRegisterChannels = 8
+
+// pendPhase tracks a channel's pending operation.
+type pendPhase uint8
+
+const (
+	idle      pendPhase = iota
+	readWait            // R_start received, R* not yet taken
+	readDone            // R* taken, R_finish not yet emitted
+	writeWait           // W_start received, W* not yet taken
+	writeDone           // W* taken, W_finish not yet emitted
+)
+
+// pendSlot is one channel's pending operation.
+type pendSlot struct {
+	phase pendPhase
+	val   string // value to return (reads) or to write (writes)
+}
+
+// regState is the canonical register automaton's state. It is a
+// comparable value.
+type regState struct {
+	cur  string
+	pend [MaxRegisterChannels]pendSlot
+}
+
+// RegisterAutomaton is the canonical atomic register as an I/O automaton:
+// each operation takes effect at its internal *-action, so every fair
+// external schedule is atomic by construction. It is the specification
+// automaton against which implementations are compared, and a worked
+// example of the model of Section 2.
+type RegisterAutomaton struct {
+	name     string
+	channels []int
+	initial  string
+}
+
+var _ Automaton = (*RegisterAutomaton)(nil)
+
+// NewRegisterAutomaton builds a register automaton named name serving the
+// given channels (at most MaxRegisterChannels, each in [0,
+// MaxRegisterChannels)), initialized to v0.
+func NewRegisterAutomaton(name string, channels []int, v0 string) (*RegisterAutomaton, error) {
+	if len(channels) > MaxRegisterChannels {
+		return nil, fmt.Errorf("ioa: %d channels exceed the maximum %d", len(channels), MaxRegisterChannels)
+	}
+	for _, c := range channels {
+		if c < 0 || c >= MaxRegisterChannels {
+			return nil, fmt.Errorf("ioa: channel %d out of range [0,%d)", c, MaxRegisterChannels)
+		}
+	}
+	return &RegisterAutomaton{name: name, channels: channels, initial: v0}, nil
+}
+
+// Name implements Automaton.
+func (r *RegisterAutomaton) Name() string { return r.name }
+
+// Sig implements Automaton.
+func (r *RegisterAutomaton) Sig() Signature { return RegisterSignature(r.channels) }
+
+// Initial implements Automaton.
+func (r *RegisterAutomaton) Initial() State { return regState{cur: r.initial} }
+
+// Step implements Automaton. Input actions are always accepted; a request
+// arriving while another is pending on the same channel (a non-input-
+// correct usage) is ignored, which keeps the automaton input-enabled as
+// Section 2 requires.
+func (r *RegisterAutomaton) Step(s State, a Action) (State, bool) {
+	st, ok := s.(regState)
+	if !ok {
+		return nil, false
+	}
+	if r.Sig()(a) == NotInSignature {
+		return nil, false
+	}
+	c := a.Channel
+	slot := st.pend[c]
+	switch a.Name {
+	case NameRStart:
+		if slot.phase != idle {
+			return st, true // ignore improper input (input-enabled)
+		}
+		st.pend[c] = pendSlot{phase: readWait}
+		return st, true
+	case NameWStart:
+		if slot.phase != idle {
+			return st, true
+		}
+		st.pend[c] = pendSlot{phase: writeWait, val: a.Value}
+		return st, true
+	case NameRStar:
+		if slot.phase != readWait || a.Value != st.cur {
+			return nil, false
+		}
+		st.pend[c] = pendSlot{phase: readDone, val: st.cur}
+		return st, true
+	case NameWStar:
+		if slot.phase != writeWait || a.Value != slot.val {
+			return nil, false
+		}
+		st.cur = slot.val
+		st.pend[c] = pendSlot{phase: writeDone, val: slot.val}
+		return st, true
+	case NameRFinish:
+		if slot.phase != readDone || a.Value != slot.val {
+			return nil, false
+		}
+		st.pend[c] = pendSlot{}
+		return st, true
+	case NameWFinish:
+		if slot.phase != writeDone {
+			return nil, false
+		}
+		st.pend[c] = pendSlot{}
+		return st, true
+	}
+	return nil, false
+}
+
+// Enabled implements Automaton.
+func (r *RegisterAutomaton) Enabled(s State) []Action {
+	st, ok := s.(regState)
+	if !ok {
+		return nil
+	}
+	var out []Action
+	for _, c := range r.channels {
+		switch st.pend[c].phase {
+		case readWait:
+			out = append(out, RStar(c, st.cur))
+		case readDone:
+			out = append(out, RFinish(c, st.pend[c].val))
+		case writeWait:
+			out = append(out, WStar(c, st.pend[c].val))
+		case writeDone:
+			out = append(out, WFinish(c))
+		}
+	}
+	return out
+}
+
+// userState is a UserAutomaton state.
+type userState struct {
+	next    int  // index into the script
+	waiting bool // a request is outstanding
+}
+
+// UserOp is one scripted operation for a UserAutomaton.
+type UserOp struct {
+	// IsWrite selects W_start(Value) versus R_start.
+	IsWrite bool
+	// Value is the value to write (writes only).
+	Value string
+}
+
+// UserAutomaton is a sequential environment process: it issues its
+// scripted operations on one channel, each after the previous one's
+// acknowledgment — so the input it generates is always input-correct.
+type UserAutomaton struct {
+	name    string
+	channel int
+	script  []UserOp
+}
+
+var _ Automaton = (*UserAutomaton)(nil)
+
+// NewUserAutomaton builds a user issuing script on the given channel.
+func NewUserAutomaton(name string, channel int, script []UserOp) *UserAutomaton {
+	return &UserAutomaton{name: name, channel: channel, script: script}
+}
+
+// Name implements Automaton.
+func (u *UserAutomaton) Name() string { return u.name }
+
+// Sig implements Automaton: the user's outputs are the register's inputs
+// and vice versa, restricted to its own channel.
+func (u *UserAutomaton) Sig() Signature {
+	return func(a Action) Class {
+		if a.Channel != u.channel {
+			return NotInSignature
+		}
+		switch a.Name {
+		case NameRStart, NameWStart:
+			return Output
+		case NameRFinish, NameWFinish:
+			return Input
+		default:
+			return NotInSignature
+		}
+	}
+}
+
+// Initial implements Automaton.
+func (u *UserAutomaton) Initial() State { return userState{} }
+
+// Step implements Automaton.
+func (u *UserAutomaton) Step(s State, a Action) (State, bool) {
+	st, ok := s.(userState)
+	if !ok {
+		return nil, false
+	}
+	switch u.Sig()(a) {
+	case Input: // an acknowledgment
+		if st.waiting {
+			st.waiting = false
+			st.next++
+		}
+		return st, true // always accept inputs
+	case Output: // one of our requests
+		if st.waiting || st.next >= len(u.script) {
+			return nil, false
+		}
+		op := u.script[st.next]
+		want := RStart(u.channel)
+		if op.IsWrite {
+			want = WStart(u.channel, op.Value)
+		}
+		if a != want {
+			return nil, false
+		}
+		st.waiting = true
+		return st, true
+	}
+	return nil, false
+}
+
+// Enabled implements Automaton.
+func (u *UserAutomaton) Enabled(s State) []Action {
+	st, ok := s.(userState)
+	if !ok || st.waiting || st.next >= len(u.script) {
+		return nil
+	}
+	op := u.script[st.next]
+	if op.IsWrite {
+		return []Action{WStart(u.channel, op.Value)}
+	}
+	return []Action{RStart(u.channel)}
+}
+
+// FilterRegisterInterface keeps only the register-interface events
+// (requests and acknowledgments) of a schedule, dropping *-actions. In a
+// closed composition (register plus users) every action is internal to the
+// composition, so "the register's external schedule" is recovered by
+// filtering the full schedule down to the interface actions.
+func FilterRegisterInterface(sched []Action) []Action {
+	var out []Action
+	for _, a := range sched {
+		switch a.Name {
+		case NameRStart, NameWStart, NameRFinish, NameWFinish:
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ScheduleToHistory converts an external register schedule (R_start,
+// W_start, R_finish, W_finish actions) into a history.History for the
+// checkers, assigning sequence numbers by position and operation IDs by
+// matching order per channel.
+func ScheduleToHistory(sched []Action) (history.History[string], error) {
+	var h history.History[string]
+	type pending struct {
+		op     int
+		isRead bool
+	}
+	open := make(map[int]pending) // channel → open request
+	nextOp := 0
+	for i, a := range sched {
+		e := history.Event[string]{Seq: int64(i + 1), Proc: history.ProcID(a.Channel), Value: a.Value}
+		switch a.Name {
+		case NameRStart, NameWStart:
+			if _, dup := open[a.Channel]; dup {
+				return h, fmt.Errorf("ioa: schedule not input-correct at %v", a)
+			}
+			e.Op = nextOp
+			open[a.Channel] = pending{op: nextOp, isRead: a.Name == NameRStart}
+			nextOp++
+			if a.Name == NameRStart {
+				e.Kind = history.InvokeRead
+			} else {
+				e.Kind = history.InvokeWrite
+			}
+		case NameRFinish, NameWFinish:
+			p, ok := open[a.Channel]
+			if !ok {
+				return h, fmt.Errorf("ioa: acknowledgment %v with no open request", a)
+			}
+			if p.isRead != (a.Name == NameRFinish) {
+				return h, fmt.Errorf("ioa: acknowledgment %v does not match the open request's kind", a)
+			}
+			e.Op = p.op
+			delete(open, a.Channel)
+			if a.Name == NameRFinish {
+				e.Kind = history.RespondRead
+			} else {
+				e.Kind = history.RespondWrite
+			}
+		case NameRStar, NameWStar:
+			return h, fmt.Errorf("ioa: internal action %v in an external schedule", a)
+		default:
+			return h, fmt.Errorf("ioa: unknown action %v", a)
+		}
+		h.Events = append(h.Events, e)
+	}
+	return h, nil
+}

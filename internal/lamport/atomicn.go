@@ -1,0 +1,113 @@
+package lamport
+
+import (
+	"fmt"
+
+	"repro/internal/register"
+)
+
+// AtomicN is a 1-writer, n-reader atomic register built from 1W1R atomic
+// cells with reader write-back: the standard unbounded-timestamp
+// construction (in the spirit of [VA]) that closes the gap replication
+// (Construction 2) leaves open.
+//
+// Layout: the writer owns one cell per reader (wcell[r]); each reader r
+// owns one report cell per other reader (rcell[r][s], written by r, read
+// by s).
+//
+//	write(v): seq++; write (seq,v) to every wcell[r].
+//	read by r: collect (seq,val) from wcell[r] and from rcell[s][r] for
+//	           all s ≠ r; pick the pair with the largest seq; report it
+//	           to rcell[r][s] for all s ≠ r; return its value.
+//
+// The write-back is what prevents new-old inversion between readers: once
+// reader A returns a value, every later read by any reader sees at least
+// A's sequence number (via A's report cells), so no later read returns an
+// older value.
+//
+// AtomicN satisfies register.Reg, so it can serve directly as one of the
+// two "real" registers underneath Bloom's two-writer construction — the
+// full footnote-3 stack from safe bits up.
+type AtomicN[V comparable] struct {
+	n     int
+	wcell []*Cell[V]
+	rcell [][]*Cell[V]
+	seq   int // writer-owned
+}
+
+var _ register.Reg[int] = (*AtomicN[int])(nil)
+
+// NewAtomicN builds the register for n readers over fresh safe bits.
+// domain is the finite set of values the register may hold (including
+// initial); maxWrites bounds the number of writes the instance supports
+// (the documented bounded-run substitution for unbounded sequence
+// numbers). adv resolves the safe bits' nondeterminism.
+func NewAtomicN[V comparable](n int, domain []V, maxWrites int, initial V, adv register.Adversary) (*AtomicN[V], error) {
+	if n < 1 {
+		return nil, fmt.Errorf("lamport: AtomicN needs at least one reader, got %d", n)
+	}
+	codec, err := NewCodec(domain, maxWrites)
+	if err != nil {
+		return nil, err
+	}
+	a := &AtomicN[V]{n: n}
+	a.wcell = make([]*Cell[V], n)
+	for r := 0; r < n; r++ {
+		a.wcell[r] = NewCell(codec, initial, adv)
+	}
+	a.rcell = make([][]*Cell[V], n)
+	for r := 0; r < n; r++ {
+		a.rcell[r] = make([]*Cell[V], n)
+		for s := 0; s < n; s++ {
+			if s == r {
+				continue
+			}
+			a.rcell[r][s] = NewCell(codec, initial, adv)
+		}
+	}
+	return a, nil
+}
+
+// Readers returns n.
+func (a *AtomicN[V]) Readers() int { return a.n }
+
+// Write stores v (single writer, sequential calls).
+func (a *AtomicN[V]) Write(v V) {
+	a.seq++
+	p := Pair[V]{Seq: a.seq, Val: v}
+	for r := 0; r < a.n; r++ {
+		a.wcell[r].WritePair(p)
+	}
+}
+
+// Read returns the register's value as seen by reader port (0-based).
+// Each port must be used by at most one sequential reader.
+func (a *AtomicN[V]) Read(port int) V {
+	if port < 0 || port >= a.n {
+		panic(fmt.Sprintf("lamport: reader port %d out of range [0,%d)", port, a.n))
+	}
+	best := a.wcell[port].ReadPair()
+	for s := 0; s < a.n; s++ {
+		if s == port {
+			continue
+		}
+		if p := a.rcell[s][port].ReadPair(); p.Seq > best.Seq {
+			best = p
+		}
+	}
+	for s := 0; s < a.n; s++ {
+		if s == port {
+			continue
+		}
+		a.rcell[port][s].WritePair(best)
+	}
+	return best.Val
+}
+
+// BitCount reports how many underlying safe bits the instance uses, for
+// cost accounting in experiments.
+func (a *AtomicN[V]) BitCount() int {
+	perCell := a.wcell[0].codec.Indices()
+	cells := a.n + a.n*(a.n-1)
+	return cells * perCell
+}

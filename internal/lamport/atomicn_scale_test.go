@@ -1,0 +1,126 @@
+package lamport_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/atomicity"
+	"repro/internal/history"
+	"repro/internal/lamport"
+	"repro/internal/register"
+)
+
+// TestAtomicNLargeConcurrentAtomic runs the reader-write-back construction
+// under heavy goroutine concurrency and checks the full recorded history
+// with the linear-time single-writer atomicity checker — a scale the
+// exhaustive checker cannot reach (thousands of operations).
+func TestAtomicNLargeConcurrentAtomic(t *testing.T) {
+	// Sizing note: the unary encoding makes cost quadratic-ish in the
+	// write budget (bits per cell = (budget+1) × domain size, and every
+	// read scans them), so "large" here means large for a safe-bit
+	// substrate — a few thousand recorded operations is the useful
+	// ceiling.
+	const (
+		readers = 3
+		writes  = 40
+		reads   = 60
+	)
+	domain := make([]int, writes+1)
+	for i := range domain {
+		domain[i] = i
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		a, err := lamport.NewAtomicN(readers, domain, writes+1, 0, register.NewSeededAdversary(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := history.NewRecorder[int](nil)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 1; k <= writes; k++ {
+				op, _ := rec.InvokeWrite(0, k)
+				a.Write(k)
+				rec.RespondWrite(0, op)
+			}
+		}()
+		for p := 0; p < readers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				proc := history.ProcID(1 + p)
+				for k := 0; k < reads; k++ {
+					op, _ := rec.InvokeRead(proc)
+					v := a.Read(p)
+					rec.RespondRead(proc, op, v)
+				}
+			}(p)
+		}
+		wg.Wait()
+
+		h := rec.Snapshot()
+		ops, err := h.Ops()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := atomicity.CheckSingleWriterAtomic(ops, 0); err != nil {
+			t.Fatalf("seed %d: AtomicN over safe bits violated atomicity: %v", seed, err)
+		}
+	}
+}
+
+// TestReplicationInversionCaughtAtScale drives Construction 2 (replication
+// without write-back) concurrently and lets the fast checker hunt for the
+// new-old inversion it permits. Replication is regular, so any violation
+// found must be an inversion, and the run must still pass the regularity
+// checker.
+func TestReplicationInversionCaughtAtScale(t *testing.T) {
+	found := false
+	for seed := int64(1); seed <= 40 && !found; seed++ {
+		r := lamport.NewReplicated(
+			lamport.NewRegularBit(false, register.NewSeededAdversary(seed)),
+			lamport.NewRegularBit(false, register.NewSeededAdversary(seed+100)),
+		)
+		rec := history.NewRecorder[int](nil)
+		// Deterministic interleaving that produces the inversion: the
+		// writer parks between copies while reader 0 then reader 1 read.
+		wop, _ := rec.InvokeWrite(0, 1)
+		r.WriteCopies(true, 0, 1)
+		rop0, _ := rec.InvokeRead(1)
+		v0 := b2i(r.Read(0))
+		rec.RespondRead(1, rop0, v0)
+		rop1, _ := rec.InvokeRead(2)
+		v1 := b2i(r.Read(1))
+		rec.RespondRead(2, rop1, v1)
+		r.WriteCopies(true, 1, 2)
+		rec.RespondWrite(0, wop)
+
+		h := rec.Snapshot()
+		ops, err := h.Ops()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Regularity must hold...
+		if err := atomicity.CheckRegular(ops, 0); err != nil {
+			t.Fatalf("replication violated regularity: %v", err)
+		}
+		// ...but atomicity must not, whenever the inversion fired.
+		if v0 == 1 && v1 == 0 {
+			found = true
+			if err := atomicity.CheckSingleWriterAtomic(ops, 0); err == nil {
+				t.Fatal("inversion not caught by the single-writer checker")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("the replication inversion never fired")
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,126 @@
+// Package lamport implements the register constructions of Lamport's "On
+// interprocess communication" [L2], the substrate below Bloom's two-writer
+// protocol. Footnote 3 of the paper notes that the "real" 1-writer atomic
+// registers of the simulation "may be simulated using more primitive
+// regular and safe one-reader, one-writer registers, using protocols from
+// Lamport and others"; this package supplies that simulation, so the
+// two-writer register can run on nothing stronger than safe bits:
+//
+//	safe 1W1R bit                                (register.SafeOnly)
+//	→ regular 1W1R bit        (Construction 3: write only on change)
+//	→ regular 1W1R k-valued   (Construction 4: unary encoding)
+//	→ atomic 1W1R cell        (Construction 5: sequence numbers, reader cache)
+//	→ atomic 1WnR register    (reader write-back over 1W1R cells)
+//
+// Replication (Construction 2: 1WnR safe/regular from n copies) is also
+// provided, together with the classic demonstration that replication alone
+// is *not* atomic.
+//
+// Sequence numbers are unbounded in principle; because the unary encoding
+// of Construction 4 needs a finite domain, each stack instance declares a
+// write budget (MaxWrites) and panics beyond it. This is the documented
+// bounded-run substitution: bounded-timestamp constructions exist in the
+// literature but are far outside this paper's scope.
+package lamport
+
+import (
+	"fmt"
+
+	"repro/internal/register"
+)
+
+// BoolReg is a single-writer boolean register; the reader passes its port
+// (always 0 for one-reader registers).
+type BoolReg interface {
+	Read(port int) bool
+	Write(v bool)
+}
+
+// safeBoolDomain is the domain handed to safe bits.
+var safeBoolDomain = []bool{false, true}
+
+// NewSafeBit returns a 1W1R safe boolean register (the weakest primitive,
+// Lamport's Construction 1 stands in for hardware).
+func NewSafeBit(initial bool, adv register.Adversary) *register.SafeOnly[bool] {
+	return register.NewSafeOnly(1, initial, safeBoolDomain, adv)
+}
+
+// RegularBit is Lamport's Construction 3: a regular 1W1R boolean register
+// from a safe one. The writer suppresses writes that would not change the
+// value; every physical write then changes the bit, so a concurrent read's
+// "arbitrary" result — necessarily one of the two booleans — is always
+// either the old or the new value, which is exactly regularity.
+type RegularBit struct {
+	safe *register.SafeOnly[bool]
+	last bool // writer-local shadow of the committed value
+
+	physicalWrites int64 // for tests: how many writes reached the safe bit
+}
+
+var _ BoolReg = (*RegularBit)(nil)
+
+// NewRegularBit builds a regular bit over a fresh safe bit.
+func NewRegularBit(initial bool, adv register.Adversary) *RegularBit {
+	return &RegularBit{safe: NewSafeBit(initial, adv), last: initial}
+}
+
+// Read returns the bit (port must be 0).
+func (b *RegularBit) Read(port int) bool { return b.safe.Read(port) }
+
+// Write stores v, touching the safe bit only when the value changes.
+func (b *RegularBit) Write(v bool) {
+	if v == b.last {
+		return
+	}
+	b.safe.Write(v)
+	b.last = v
+	b.physicalWrites++
+}
+
+// PhysicalWrites reports how many writes reached the underlying safe bit.
+func (b *RegularBit) PhysicalWrites() int64 { return b.physicalWrites }
+
+// Replicated is Lamport's Construction 2: an n-reader register from n
+// one-reader copies. The writer writes every copy; reader r reads its own.
+// Replication preserves safety and regularity but not atomicity: reader A
+// may see the new value in its copy while reader B still sees the old one
+// later — a new-old inversion across readers.
+type Replicated struct {
+	copies []BoolReg
+}
+
+var _ BoolReg = (*Replicated)(nil)
+
+// NewReplicated builds an n-reader register from the given one-reader
+// copies (one per reader).
+func NewReplicated(copies ...BoolReg) *Replicated {
+	if len(copies) == 0 {
+		panic("lamport: replication needs at least one copy")
+	}
+	return &Replicated{copies: copies}
+}
+
+// Read returns reader port's copy.
+func (r *Replicated) Read(port int) bool { return r.copies[port].Read(0) }
+
+// Write stores v in every copy, in ascending port order.
+func (r *Replicated) Write(v bool) {
+	for _, c := range r.copies {
+		c.Write(v)
+	}
+}
+
+// WriteCopies writes v to the copies in [from, to) only. Exposed so tests
+// can park the writer mid-replication and demonstrate the inversion that
+// makes Construction 2 non-atomic.
+func (r *Replicated) WriteCopies(v bool, from, to int) {
+	if from < 0 || to > len(r.copies) || from > to {
+		panic(fmt.Sprintf("lamport: WriteCopies range [%d,%d) out of bounds", from, to))
+	}
+	for _, c := range r.copies[from:to] {
+		c.Write(v)
+	}
+}
+
+// NumCopies returns the number of reader copies.
+func (r *Replicated) NumCopies() int { return len(r.copies) }

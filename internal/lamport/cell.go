@@ -1,0 +1,140 @@
+package lamport
+
+import (
+	"fmt"
+
+	"repro/internal/register"
+)
+
+// Pair is a sequence-numbered value, the currency of Construction 5.
+type Pair[V comparable] struct {
+	// Seq is the writer's sequence number, strictly increasing per
+	// logical value generation.
+	Seq int
+	// Val is the user value.
+	Val V
+}
+
+// Codec maps a finite value domain and a write budget onto the unary
+// index space of a RegularVal: index = seq*len(domain) + indexOf(val).
+type Codec[V comparable] struct {
+	domain  []V
+	index   map[V]int
+	maxSeq  int
+	indices int
+}
+
+// NewCodec builds a codec for the given domain (non-empty, duplicate-free)
+// and maximum sequence number.
+func NewCodec[V comparable](domain []V, maxSeq int) (*Codec[V], error) {
+	if len(domain) == 0 {
+		return nil, fmt.Errorf("lamport: empty value domain")
+	}
+	if maxSeq < 0 {
+		return nil, fmt.Errorf("lamport: negative sequence budget %d", maxSeq)
+	}
+	idx := make(map[V]int, len(domain))
+	for i, v := range domain {
+		if _, dup := idx[v]; dup {
+			return nil, fmt.Errorf("lamport: duplicate domain value %v", v)
+		}
+		idx[v] = i
+	}
+	return &Codec[V]{
+		domain:  append([]V(nil), domain...),
+		index:   idx,
+		maxSeq:  maxSeq,
+		indices: (maxSeq + 1) * len(domain),
+	}, nil
+}
+
+// Indices returns the size of the unary index space (the number of
+// regular bits one cell needs).
+func (c *Codec[V]) Indices() int { return c.indices }
+
+// MaxSeq returns the sequence budget.
+func (c *Codec[V]) MaxSeq() int { return c.maxSeq }
+
+// Domain returns a copy of the value domain.
+func (c *Codec[V]) Domain() []V { return append([]V(nil), c.domain...) }
+
+// Encode maps a pair to its unary index.
+func (c *Codec[V]) Encode(p Pair[V]) int {
+	i, ok := c.index[p.Val]
+	if !ok {
+		panic(fmt.Sprintf("lamport: value %v outside the declared domain", p.Val))
+	}
+	if p.Seq < 0 || p.Seq > c.maxSeq {
+		panic(fmt.Sprintf("lamport: sequence number %d exhausts the write budget %d — "+
+			"this run is longer than the bounded-domain stack was built for", p.Seq, c.maxSeq))
+	}
+	return p.Seq*len(c.domain) + i
+}
+
+// Decode maps a unary index back to its pair.
+func (c *Codec[V]) Decode(idx int) Pair[V] {
+	return Pair[V]{Seq: idx / len(c.domain), Val: c.domain[idx%len(c.domain)]}
+}
+
+// Cell is Lamport's Construction 5: a 1-writer, 1-reader atomic register
+// carrying sequence-numbered pairs, built from a regular register (itself
+// built from regular bits in unary). The reader caches the
+// highest-sequence pair it has returned and never goes backwards, which
+// upgrades regularity to atomicity for a single reader.
+//
+// Sequence numbers are supplied by the caller and must be nondecreasing,
+// with equal numbers only for identical pairs (the enclosing multi-reader
+// construction reuses one top-level number across its cells).
+type Cell[V comparable] struct {
+	codec *Codec[V]
+	reg   *RegularVal
+
+	// Reader-side state (owned by the single reader).
+	cached Pair[V]
+
+	// Writer-side state (owned by the single writer).
+	lastSeq int
+}
+
+// NewCell builds a cell over fresh safe bits, initialized to (0, initial).
+func NewCell[V comparable](codec *Codec[V], initial V, adv register.Adversary) *Cell[V] {
+	init := codec.Encode(Pair[V]{Seq: 0, Val: initial})
+	bits := make([]BoolReg, codec.Indices())
+	for i := range bits {
+		bits[i] = NewRegularBit(i == init, adv)
+	}
+	return &Cell[V]{
+		codec:  codec,
+		reg:    NewRegularVal(bits),
+		cached: Pair[V]{Seq: 0, Val: initial},
+	}
+}
+
+// ReadPair returns the highest-sequence pair the reader has evidence for:
+// the regular register's current content, or the cached pair if the
+// regular read surfaced an older one (the new-old inversion Construction 5
+// exists to suppress).
+func (c *Cell[V]) ReadPair() Pair[V] {
+	p := c.codec.Decode(c.reg.Read(0))
+	if p.Seq >= c.cached.Seq {
+		c.cached = p
+	}
+	return c.cached
+}
+
+// WritePair stores p. Sequence numbers must not decrease.
+func (c *Cell[V]) WritePair(p Pair[V]) {
+	if p.Seq < c.lastSeq {
+		panic(fmt.Sprintf("lamport: sequence number %d decreased below %d", p.Seq, c.lastSeq))
+	}
+	c.lastSeq = p.Seq
+	c.reg.Write(c.codec.Encode(p))
+}
+
+// Read returns the cell's current value (dropping the sequence number).
+func (c *Cell[V]) Read() V { return c.ReadPair().Val }
+
+// Write stores v under the next sequence number (for standalone 1W1R use).
+func (c *Cell[V]) Write(v V) {
+	c.WritePair(Pair[V]{Seq: c.lastSeq + 1, Val: v})
+}

@@ -1,0 +1,336 @@
+package lamport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/register"
+)
+
+func adv(seed int64) register.Adversary { return register.NewSeededAdversary(seed) }
+
+func TestRegularBitSequential(t *testing.T) {
+	b := NewRegularBit(false, adv(1))
+	if b.Read(0) {
+		t.Fatal("initial bit not false")
+	}
+	b.Write(true)
+	if !b.Read(0) {
+		t.Fatal("bit not true after write")
+	}
+	b.Write(false)
+	if b.Read(0) {
+		t.Fatal("bit not false after write")
+	}
+}
+
+func TestRegularBitSuppressesNoopWrites(t *testing.T) {
+	b := NewRegularBit(false, adv(1))
+	b.Write(false)
+	b.Write(false)
+	if got := b.PhysicalWrites(); got != 0 {
+		t.Fatalf("no-op writes reached the safe bit %d times", got)
+	}
+	b.Write(true)
+	b.Write(true)
+	if got := b.PhysicalWrites(); got != 1 {
+		t.Fatalf("physical writes = %d, want 1", got)
+	}
+}
+
+func TestRegularBitOverlapIsOldOrNew(t *testing.T) {
+	// Drive the safe bit's window directly: during a physical write the
+	// safe bit returns arbitrary values, but because the regular bit
+	// only physically writes on change, "arbitrary boolean" is always
+	// old-or-new. Here we just confirm the safe layer is exercised.
+	b := NewRegularBit(false, register.NewScriptedAdversary(1, 0))
+	b.safe.BeginWrite(true)
+	first := b.Read(0)  // scripted: arbitrary picks domain[1] = true (new)
+	second := b.Read(0) // scripted: arbitrary picks domain[0] = false (old)
+	b.safe.EndWrite(true)
+	if first != true || second != false {
+		t.Fatalf("overlapped reads = %v, %v; want true, false", first, second)
+	}
+}
+
+func TestReplicatedBasics(t *testing.T) {
+	r := NewReplicated(NewRegularBit(false, adv(1)), NewRegularBit(false, adv(2)))
+	if r.NumCopies() != 2 {
+		t.Fatal("copy count wrong")
+	}
+	r.Write(true)
+	if !r.Read(0) || !r.Read(1) {
+		t.Fatal("write did not reach all copies")
+	}
+}
+
+func TestReplicationIsNotAtomic(t *testing.T) {
+	// Construction 2 preserves regularity but not atomicity: park the
+	// writer between copies and observe a new-old inversion across
+	// readers — reader 0 sees the new value, then reader 1 (strictly
+	// later) sees the old one.
+	r := NewReplicated(NewRegularBit(false, adv(1)), NewRegularBit(false, adv(2)))
+	r.WriteCopies(true, 0, 1) // write copy 0, park before copy 1
+	if got := r.Read(0); !got {
+		t.Fatal("reader 0 should see the new value")
+	}
+	if got := r.Read(1); got {
+		t.Fatal("reader 1 should still see the old value: the inversion")
+	}
+	r.WriteCopies(true, 1, 2) // resume
+	if !r.Read(1) {
+		t.Fatal("reader 1 should see the new value after the write completes")
+	}
+}
+
+func TestReplicatedWriteCopiesBounds(t *testing.T) {
+	r := NewReplicated(NewRegularBit(false, adv(1)))
+	for _, rng := range [][2]int{{-1, 1}, {0, 2}, {1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("range %v did not panic", rng)
+				}
+			}()
+			r.WriteCopies(true, rng[0], rng[1])
+		}()
+	}
+}
+
+func TestRegularValSequential(t *testing.T) {
+	const k = 5
+	bits := make([]BoolReg, k)
+	for i := range bits {
+		bits[i] = NewRegularBit(i == 2, adv(int64(i)))
+	}
+	r := NewRegularVal(bits)
+	if r.K() != k {
+		t.Fatal("K wrong")
+	}
+	if got := r.Read(0); got != 2 {
+		t.Fatalf("initial read = %d, want 2", got)
+	}
+	for _, v := range []int{0, 4, 1, 3, 0, 0, 4} {
+		r.Write(v)
+		if got := r.Read(0); got != v {
+			t.Fatalf("read = %d, want %d", got, v)
+		}
+	}
+}
+
+func TestRegularValShadowing(t *testing.T) {
+	// Stale high bits are shadowed by the upward scan.
+	bits := make([]BoolReg, 4)
+	for i := range bits {
+		bits[i] = NewRegularBit(i == 3, adv(int64(i)))
+	}
+	r := NewRegularVal(bits)
+	r.Write(0) // sets bit 0, clears nothing below; bit 3 remains set
+	if got := r.Read(0); got != 0 {
+		t.Fatalf("read = %d, want 0 (stale bit 3 must be shadowed)", got)
+	}
+	if !bits[3].Read(0) {
+		t.Fatal("test premise broken: bit 3 should still be set")
+	}
+}
+
+func TestRegularValDomainPanics(t *testing.T) {
+	bits := []BoolReg{NewRegularBit(true, adv(1))}
+	r := NewRegularVal(bits)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-domain write did not panic")
+		}
+	}()
+	r.Write(1)
+}
+
+func TestCodec(t *testing.T) {
+	c, err := NewCodec([]string{"a", "b", "c"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Indices() != 15 || c.MaxSeq() != 4 {
+		t.Fatalf("Indices = %d, MaxSeq = %d", c.Indices(), c.MaxSeq())
+	}
+	for seq := 0; seq <= 4; seq++ {
+		for _, v := range []string{"a", "b", "c"} {
+			p := Pair[string]{Seq: seq, Val: v}
+			if got := c.Decode(c.Encode(p)); got != p {
+				t.Fatalf("roundtrip %v → %v", p, got)
+			}
+		}
+	}
+	if _, err := NewCodec([]string{}, 1); err == nil {
+		t.Error("empty domain accepted")
+	}
+	if _, err := NewCodec([]string{"a", "a"}, 1); err == nil {
+		t.Error("duplicate domain accepted")
+	}
+	if _, err := NewCodec([]string{"a"}, -1); err == nil {
+		t.Error("negative budget accepted")
+	}
+}
+
+func TestCodecBudgetExhaustionPanics(t *testing.T) {
+	c, err := NewCodec([]string{"a"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("budget exhaustion did not panic")
+		}
+	}()
+	c.Encode(Pair[string]{Seq: 2, Val: "a"})
+}
+
+func TestCellSequential(t *testing.T) {
+	c, err := NewCodec([]string{"x", "y", "z"}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := NewCell(c, "x", adv(3))
+	if got := cell.Read(); got != "x" {
+		t.Fatalf("initial = %q", got)
+	}
+	cell.Write("y")
+	if got := cell.Read(); got != "y" {
+		t.Fatalf("after write = %q", got)
+	}
+	cell.Write("z")
+	cell.Write("x")
+	if got := cell.Read(); got != "x" {
+		t.Fatalf("after writes = %q", got)
+	}
+}
+
+func TestCellMonotoneCache(t *testing.T) {
+	// The reader cache must never go backwards even if the regular
+	// layer serves an old pair during overlap.
+	c, err := NewCodec([]string{"x", "y"}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := NewCell(c, "x", adv(4))
+	cell.WritePair(Pair[string]{Seq: 5, Val: "y"})
+	if got := cell.ReadPair(); got.Seq != 5 || got.Val != "y" {
+		t.Fatalf("ReadPair = %+v", got)
+	}
+	// Manually regress the regular layer (as an overlapping read might
+	// observe); the cache must still answer with seq 5.
+	cell.reg.Write(c.Encode(Pair[string]{Seq: 3, Val: "x"}))
+	if got := cell.ReadPair(); got.Seq != 5 || got.Val != "y" {
+		t.Fatalf("cache went backwards: %+v", got)
+	}
+}
+
+func TestCellSeqDecreasePanics(t *testing.T) {
+	c, err := NewCodec([]string{"x"}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := NewCell(c, "x", adv(5))
+	cell.WritePair(Pair[string]{Seq: 4, Val: "x"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("decreasing seq did not panic")
+		}
+	}()
+	cell.WritePair(Pair[string]{Seq: 3, Val: "x"})
+}
+
+func TestAtomicNSequential(t *testing.T) {
+	a, err := NewAtomicN(3, []string{"v0", "a", "b"}, 8, "v0", adv(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Readers() != 3 {
+		t.Fatal("Readers wrong")
+	}
+	for port := 0; port < 3; port++ {
+		if got := a.Read(port); got != "v0" {
+			t.Fatalf("initial read port %d = %q", port, got)
+		}
+	}
+	a.Write("a")
+	for port := 0; port < 3; port++ {
+		if got := a.Read(port); got != "a" {
+			t.Fatalf("port %d read %q, want a", port, got)
+		}
+	}
+	a.Write("b")
+	if got := a.Read(1); got != "b" {
+		t.Fatalf("read %q, want b", got)
+	}
+	if a.BitCount() == 0 {
+		t.Fatal("BitCount should be positive")
+	}
+}
+
+func TestAtomicNValidation(t *testing.T) {
+	if _, err := NewAtomicN(0, []string{"a"}, 1, "a", adv(1)); err == nil {
+		t.Error("zero readers accepted")
+	}
+	if _, err := NewAtomicN(1, nil, 1, "a", adv(1)); err == nil {
+		t.Error("empty domain accepted")
+	}
+}
+
+func TestAtomicNPortBounds(t *testing.T) {
+	a, err := NewAtomicN(2, []string{"a"}, 1, "a", adv(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad port did not panic")
+		}
+	}()
+	a.Read(2)
+}
+
+// TestAtomicNConcurrentMonotone runs one writer and several readers
+// concurrently (under -race in CI runs): each reader must observe a
+// nondecreasing sequence of values given monotone writes.
+func TestAtomicNConcurrentMonotone(t *testing.T) {
+	const readers, writes = 3, 30
+	domain := make([]int, writes+1)
+	for i := range domain {
+		domain[i] = i
+	}
+	a, err := NewAtomicN(readers, domain, writes+1, 0, adv(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= writes; i++ {
+			a.Write(i)
+		}
+	}()
+	errs := make(chan error, readers)
+	for p := 0; p < readers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			prev := -1
+			for i := 0; i < writes; i++ {
+				v := a.Read(p)
+				if v < prev {
+					errs <- fmt.Errorf("reader %d regressed: %d after %d", p, v, prev)
+					return
+				}
+				prev = v
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,63 @@
+package lamport
+
+import (
+	"fmt"
+)
+
+// RegularVal is Lamport's Construction 4: a k-valued regular register from
+// k regular boolean registers, in unary. Value index v is represented by
+// bit v being the lowest set bit.
+//
+//	write v: set bit v to true, then clear bits v-1 … 0, in that
+//	         (descending) order;
+//	read:    scan bits 0, 1, 2, … and return the first set one.
+//
+// Stale set bits above the current value are harmless: the upward scan
+// shadows them. A read overlapping writes may catch intermediate patterns,
+// but the value it returns is always one a current-or-overlapping write
+// put there — regularity, per Lamport's proof.
+type RegularVal struct {
+	bits []BoolReg
+}
+
+// NewRegularVal builds a k-valued regular register over the given bit
+// registers (one per value index), initialized to value index initial.
+// The bits must themselves be initialized to the unary pattern for
+// initial: exactly bit `initial` set. NewRegularValFromBits trusts the
+// caller; use NewRegularValStack to get a correctly initialized one from
+// fresh safe bits.
+func NewRegularVal(bits []BoolReg) *RegularVal {
+	if len(bits) == 0 {
+		panic("lamport: k-valued register needs at least one bit")
+	}
+	return &RegularVal{bits: bits}
+}
+
+// K returns the domain size.
+func (r *RegularVal) K() int { return len(r.bits) }
+
+// Read returns the current value index as seen through the reader's port.
+func (r *RegularVal) Read(port int) int {
+	for i, b := range r.bits {
+		if b.Read(port) {
+			return i
+		}
+	}
+	// Unreachable with a correct writer: the scan passed every bit
+	// while each was momentarily false. Lamport's construction
+	// guarantees some bit reads true because the writer sets the new
+	// bit before clearing lower ones. Returning the top index keeps the
+	// register total; the checkers would flag it if it ever happened.
+	return len(r.bits) - 1
+}
+
+// Write stores value index v.
+func (r *RegularVal) Write(v int) {
+	if v < 0 || v >= len(r.bits) {
+		panic(fmt.Sprintf("lamport: value index %d outside domain [0,%d)", v, len(r.bits)))
+	}
+	r.bits[v].Write(true)
+	for i := v - 1; i >= 0; i-- {
+		r.bits[i].Write(false)
+	}
+}

@@ -1,0 +1,171 @@
+package netreg
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/register"
+)
+
+var _ register.Stamped[int] = (*Reg[int])(nil)
+
+// Client accesses a remote register. One Client holds one connection and
+// serializes its requests; since every register user (a writer or one
+// reader port) is a sequential automaton, a client per user is the
+// natural arrangement.
+//
+// Transport errors are returned from ReadErr/WriteErr. The Reg adapter
+// (for plugging into core.WithRegisters, whose interface is error-free
+// shared memory) panics on transport failure — the demo transport treats
+// a broken link like broken hardware. Production-grade retry or failover
+// is out of scope; the paper's registers never fail partially either.
+type Client[V any] struct {
+	mu   sync.Mutex
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+	done bool
+}
+
+// Dial connects to a register server.
+func Dial[V any](addr string) (*Client[V], error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netreg: dial %s: %w", addr, err)
+	}
+	return &Client[V]{
+		conn: conn,
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+		enc:  json.NewEncoder(conn),
+	}, nil
+}
+
+// Close releases the connection.
+func (c *Client[V]) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done {
+		return nil
+	}
+	c.done = true
+	return c.conn.Close()
+}
+
+func (c *Client[V]) roundTrip(req request) (response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done {
+		return response{}, ErrClosed
+	}
+	if err := c.enc.Encode(&req); err != nil {
+		return response{}, fmt.Errorf("netreg: send: %w", err)
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		return response{}, fmt.Errorf("netreg: receive: %w", err)
+	}
+	if resp.Err != "" {
+		return response{}, fmt.Errorf("netreg: server: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+// ReadErr performs a remote read through the given port.
+func (c *Client[V]) ReadErr(port int) (V, int64, error) {
+	var v V
+	resp, err := c.roundTrip(request{Op: "read", Port: port})
+	if err != nil {
+		return v, 0, err
+	}
+	if err := json.Unmarshal(resp.Val, &v); err != nil {
+		return v, 0, fmt.Errorf("netreg: decoding value: %w", err)
+	}
+	return v, resp.Stamp, nil
+}
+
+// WriteErr performs a remote write (single-writer discipline applies).
+func (c *Client[V]) WriteErr(v V) (int64, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return 0, fmt.Errorf("netreg: encoding value: %w", err)
+	}
+	resp, err := c.roundTrip(request{Op: "write", Val: raw})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Stamp, nil
+}
+
+// Reg is a register.Stamped adapter over one or more clients: reads fan
+// in through per-port clients (each port is one sequential user, so each
+// gets its own connection), writes go through the writer's client.
+type Reg[V any] struct {
+	// ReadClients[port] serves reads for that port; WriteClient serves
+	// the single writer. Entries may alias when one process plays
+	// several roles in tests.
+	ReadClients []*Client[V]
+	WriteClient *Client[V]
+}
+
+// NewReg dials one connection per read port plus one for the writer.
+func NewReg[V any](addr string, ports int) (*Reg[V], error) {
+	r := &Reg[V]{}
+	for p := 0; p < ports; p++ {
+		c, err := Dial[V](addr)
+		if err != nil {
+			r.Close()
+			return nil, err
+		}
+		r.ReadClients = append(r.ReadClients, c)
+	}
+	w, err := Dial[V](addr)
+	if err != nil {
+		r.Close()
+		return nil, err
+	}
+	r.WriteClient = w
+	return r, nil
+}
+
+// Close releases all connections.
+func (r *Reg[V]) Close() {
+	for _, c := range r.ReadClients {
+		if c != nil {
+			c.Close()
+		}
+	}
+	if r.WriteClient != nil {
+		r.WriteClient.Close()
+	}
+}
+
+// Read implements register.Reg; it panics on transport failure (see the
+// Client doc comment).
+func (r *Reg[V]) Read(port int) V {
+	v, _ := r.ReadStamped(port)
+	return v
+}
+
+// ReadStamped implements register.Stamped.
+func (r *Reg[V]) ReadStamped(port int) (V, int64) {
+	v, stamp, err := r.ReadClients[port].ReadErr(port)
+	if err != nil {
+		panic(fmt.Sprintf("netreg: remote read failed: %v", err))
+	}
+	return v, stamp
+}
+
+// Write implements register.Reg; it panics on transport failure.
+func (r *Reg[V]) Write(v V) { r.WriteStamped(v) }
+
+// WriteStamped implements register.Stamped.
+func (r *Reg[V]) WriteStamped(v V) int64 {
+	stamp, err := r.WriteClient.WriteErr(v)
+	if err != nil {
+		panic(fmt.Sprintf("netreg: remote write failed: %v", err))
+	}
+	return stamp
+}

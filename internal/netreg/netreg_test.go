@@ -1,0 +1,289 @@
+package netreg_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/netreg"
+	"repro/internal/proof"
+)
+
+func TestRoundTrip(t *testing.T) {
+	srv, err := netreg.NewServer("127.0.0.1:0", "initial", 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := netreg.Dial[string](srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	v, s1, err := c.ReadErr(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "initial" {
+		t.Fatalf("initial read = %q", v)
+	}
+	s2, err := c.WriteErr("hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, s3, err := c.ReadErr(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "hello" {
+		t.Fatalf("read after write = %q", v)
+	}
+	if !(s1 < s2 && s2 < s3) {
+		t.Fatalf("stamps not increasing: %d %d %d", s1, s2, s3)
+	}
+}
+
+func TestStructValues(t *testing.T) {
+	type point struct {
+		X, Y int
+		Name string
+	}
+	srv, err := netreg.NewServer("127.0.0.1:0", point{1, 2, "origin-ish"}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := netreg.Dial[point](srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got, _, err := c.ReadErr(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != (point{1, 2, "origin-ish"}) {
+		t.Fatalf("struct roundtrip = %+v", got)
+	}
+	if _, err := c.WriteErr(point{3, 4, "moved"}); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err = c.ReadErr(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != (point{3, 4, "moved"}) {
+		t.Fatalf("struct after write = %+v", got)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	srv, err := netreg.NewServer("127.0.0.1:0", 0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := netreg.Dial[int](srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.ReadErr(5); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("out-of-range port: %v", err)
+	}
+	// The connection survives a server-side error.
+	if _, _, err := c.ReadErr(0); err != nil {
+		t.Fatalf("connection did not survive: %v", err)
+	}
+}
+
+func TestClientClosed(t *testing.T) {
+	srv, err := netreg.NewServer("127.0.0.1:0", 0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := netreg.Dial[int](srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal("Close is not idempotent")
+	}
+	if _, _, err := c.ReadErr(0); err == nil {
+		t.Fatal("read on closed client succeeded")
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, err := netreg.NewServer("127.0.0.1:0", 0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal("second Close errored")
+	}
+}
+
+// TestBloomOverNetworkCertified is the paper's opening scenario end to
+// end: two register servers (each node's "file system"), remote clients,
+// the two-writer protocol on top, real goroutine concurrency — and the
+// run is certified by the Section 7 construction, because the servers
+// share a sequencer and stamp every access inside its critical section.
+func TestBloomOverNetworkCertified(t *testing.T) {
+	const readers = 2
+	seq := new(history.Sequencer)
+	type val = core.Tagged[string]
+	init := val{Val: "v0"}
+
+	srv0, err := netreg.NewServer("127.0.0.1:0", init, readers+1, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv0.Close()
+	srv1, err := netreg.NewServer("127.0.0.1:0", init, readers+1, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv1.Close()
+
+	r0, err := netreg.NewReg[val](srv0.Addr(), readers+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r0.Close()
+	r1, err := netreg.NewReg[val](srv1.Addr(), readers+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1.Close()
+
+	tw := core.New(readers, "v0",
+		core.WithRegisters[string](r0, r1),
+		core.WithSequencer[string](seq),
+		core.WithRecording[string]())
+	if !tw.Certifiable() {
+		t.Fatal("network registers should be certifiable")
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := tw.Writer(i)
+			for k := 0; k < 30; k++ {
+				w.Write(fmt.Sprintf("w%d-%d", i, k))
+			}
+		}(i)
+	}
+	for j := 1; j <= readers; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			r := tw.Reader(j)
+			for k := 0; k < 30; k++ {
+				_ = r.Read()
+			}
+		}(j)
+	}
+	wg.Wait()
+
+	lin, err := proof.Certify(tw.Recorder().Trace("v0"))
+	if err != nil {
+		t.Fatalf("network-backed run failed certification: %v", err)
+	}
+	if got := lin.Report.PotentWrites + lin.Report.ImpotentWrites; got != 60 {
+		t.Fatalf("classified %d writes, want 60", got)
+	}
+}
+
+func TestAwkwardValues(t *testing.T) {
+	srv, err := netreg.NewServer("127.0.0.1:0", "", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := netreg.Dial[string](srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Newlines, quotes and unicode must survive the line-oriented
+	// transport (JSON escapes them).
+	for _, v := range []string{"", "line1\nline2", `quo"ted`, "ünïcødé", "\x00nul"} {
+		if _, err := c.WriteErr(v); err != nil {
+			t.Fatalf("write %q: %v", v, err)
+		}
+		got, _, err := c.ReadErr(0)
+		if err != nil {
+			t.Fatalf("read after %q: %v", v, err)
+		}
+		if got != v {
+			t.Fatalf("roundtrip %q → %q", v, got)
+		}
+	}
+}
+
+func TestManyConcurrentClients(t *testing.T) {
+	srv, err := netreg.NewServer("127.0.0.1:0", 0, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for p := 0; p < 8; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			c, err := netreg.Dial[int](srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for k := 0; k < 100; k++ {
+				if _, _, err := c.ReadErr(p); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestRegAdapterPanicsOnDeadServer(t *testing.T) {
+	srv, err := netreg.NewServer("127.0.0.1:0", 0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := netreg.NewReg[int](srv.Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	srv.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("read against a dead server did not panic")
+		}
+	}()
+	r.Read(0)
+}

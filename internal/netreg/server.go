@@ -1,0 +1,160 @@
+// Package netreg hosts the paper's "real" registers on the network,
+// realizing the introduction's motivating scenario: each node exposes the
+// register it alone writes, every other node reads it remotely, and the
+// two-writer protocol on top turns the pair into one shared atomic
+// register — no locks held across machines, no node ever waiting on a
+// peer's progress to finish its own operation.
+//
+// The transport is deliberately simple (newline-delimited JSON over TCP):
+// the point is the register semantics, not the RPC framework. Each access
+// is one request/response exchange; the server assigns the access's
+// *-action stamp inside its register's critical section, so runs over the
+// network remain certifiable by package proof when the servers share a
+// sequencer (as in-process tests do).
+package netreg
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/history"
+	"repro/internal/register"
+)
+
+// request is the wire format of one access.
+type request struct {
+	// Op is "read" or "write".
+	Op string `json:"op"`
+	// Port is the reader's port (reads only).
+	Port int `json:"port,omitempty"`
+	// Val is the value written (writes only), as raw JSON.
+	Val json.RawMessage `json:"val,omitempty"`
+}
+
+// response is the wire format of an access result.
+type response struct {
+	// Val is the value read (reads only), as raw JSON.
+	Val json.RawMessage `json:"val,omitempty"`
+	// Stamp is the access's *-action stamp.
+	Stamp int64 `json:"stamp"`
+	// Err reports a server-side failure.
+	Err string `json:"err,omitempty"`
+}
+
+// Server hosts one single-writer register. Values travel and are stored
+// as canonical JSON, so the server is value-type agnostic.
+type Server struct {
+	reg *register.Atomic[string]
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	handlers sync.WaitGroup
+}
+
+// NewServer starts a register server on addr (use "127.0.0.1:0" for an
+// ephemeral test port). The register is initialized to initial's JSON and
+// draws stamps from seq (nil for a private sequencer).
+func NewServer[V any](addr string, initial V, ports int, seq *history.Sequencer) (*Server, error) {
+	raw, err := json.Marshal(initial)
+	if err != nil {
+		return nil, fmt.Errorf("netreg: encoding initial value: %w", err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netreg: listen: %w", err)
+	}
+	s := &Server{
+		reg:   register.NewAtomic(ports, string(raw), seq),
+		ln:    ln,
+		conns: make(map[net.Conn]struct{}),
+	}
+	s.handlers.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and its connections, waiting for handlers to
+// drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.handlers.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.handlers.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.handlers.Add(1)
+		s.mu.Unlock()
+		go s.serve(conn)
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer s.handlers.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return // client went away (or sent garbage; drop the link)
+		}
+		var resp response
+		switch req.Op {
+		case "read":
+			if req.Port < 0 || req.Port >= s.reg.Counters().Ports() {
+				resp.Err = fmt.Sprintf("port %d out of range", req.Port)
+				break
+			}
+			v, stamp := s.reg.ReadStamped(req.Port)
+			resp.Val = json.RawMessage(v)
+			resp.Stamp = stamp
+		case "write":
+			resp.Stamp = s.reg.WriteStamped(string(req.Val))
+		default:
+			resp.Err = fmt.Sprintf("unknown op %q", req.Op)
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// ErrClosed is returned by clients after Close.
+var ErrClosed = errors.New("netreg: client closed")

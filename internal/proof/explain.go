@@ -1,0 +1,40 @@
+package proof
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders a linearization as a human-readable listing: one line
+// per operation in *-action order, with its classification and, for
+// impotent writes, the prefinisher relationship. Used by cmd/trace and in
+// test failure output.
+func Explain[V comparable](lin *Linearization[V]) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "linearization of %d operations (initial value %v):\n", len(lin.Ops), lin.Init)
+	for i, op := range lin.Ops {
+		kind := "R"
+		if op.IsWrite {
+			kind = "W"
+		}
+		fmt.Fprintf(&b, "%3d. %s op %d on channel %d = %v  [%s, anchored at γ stamp %d",
+			i+1, kind, op.OpID, op.Chan, op.Val, op.Class, op.Key.Anchor)
+		if op.Class == ImpotentWrite {
+			if pf, ok := lin.Report.Prefinisher[op.OpID]; ok {
+				fmt.Fprintf(&b, ", prefinished by op %d", pf)
+			}
+		}
+		if !op.IsWrite && op.ReadsFrom >= 0 {
+			fmt.Fprintf(&b, ", reads from op %d", op.ReadsFrom)
+		}
+		if !op.IsWrite && op.ReadsFrom < 0 {
+			b.WriteString(", reads the initial value")
+		}
+		b.WriteString("]\n")
+	}
+	fmt.Fprintf(&b, "classification: %d potent + %d impotent writes; %d/%d/%d reads of potent/impotent/initial; %d writes and %d reads dropped (crashed)\n",
+		lin.Report.PotentWrites, lin.Report.ImpotentWrites,
+		lin.Report.ReadsOfPotent, lin.Report.ReadsOfImp, lin.Report.ReadsOfInitial,
+		lin.Report.DroppedWrites, lin.Report.DroppedReads)
+	return b.String()
+}

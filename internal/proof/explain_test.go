@@ -1,0 +1,73 @@
+package proof
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestExplainListsEverything(t *testing.T) {
+	lin, err := Certify(impotentWriteTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Explain(lin)
+	for _, want := range []string{
+		"linearization of 3 operations",
+		"impotent write",
+		"prefinished by op 2",
+		"reads from op 0",
+		"potent write",
+		"classification:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainReadOfInitial(t *testing.T) {
+	tr := potentWriteTrace()
+	tr.Writes = nil
+	tr.Reads[0].Ret = "v0"
+	lin, err := Certify(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := Explain(lin); !strings.Contains(out, "reads the initial value") {
+		t.Errorf("Explain output lacks initial-value note:\n%s", out)
+	}
+}
+
+// TestKeyLessIsStrictTotalOrder property-checks Key.Less: irreflexive,
+// asymmetric, transitive, and total (trichotomy).
+func TestKeyLessIsStrictTotalOrder(t *testing.T) {
+	type triple struct {
+		A1, A2, A3 int16
+		R1, R2, R3 int8
+		T1, T2, T3 int16
+	}
+	mk := func(a int16, r int8, tie int16) Key {
+		return Key{Anchor: int64(a), Rank: r % 3, Tie: int32(tie)}
+	}
+	f := func(tr triple) bool {
+		a, b, c := mk(tr.A1, tr.R1, tr.T1), mk(tr.A2, tr.R2, tr.T2), mk(tr.A3, tr.R3, tr.T3)
+		if a.Less(a) {
+			return false
+		}
+		if a.Less(b) && b.Less(a) {
+			return false
+		}
+		if a.Less(b) && b.Less(c) && !a.Less(c) {
+			return false
+		}
+		// Trichotomy.
+		if a != b && !a.Less(b) && !b.Less(a) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

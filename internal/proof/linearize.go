@@ -1,0 +1,282 @@
+package proof
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+// classifyWrites computes each effective write's potency and, for impotent
+// writes, its prefinisher, checking Lemmas 1 and 2 along the way.
+func (c *certifier[V]) classifyWrites() error {
+	for _, w := range c.t.Writes {
+		if !w.DidWrite {
+			continue
+		}
+		// Potency (Section 7): W by Wri is potent iff the mod-2 sum of
+		// the tag bits immediately after W's real write is i.
+		other, _ := c.contentAt(1-w.Writer, w.WriteSeq)
+		sum := w.WriteTag ^ other.Tag
+		potent := int(sum) == w.Writer
+		c.potent[w.OpID] = potent
+
+		// The writer's real read must have seen the content Reg¬i held
+		// at that instant (substrate-atomicity coherence).
+		atRead, _ := c.contentAt(1-w.Writer, w.ReadSeq)
+		if atRead.Tag != w.ReadTag || atRead.Val != w.ReadVal {
+			return fmt.Errorf("proof: write op %d read (%v,%d) from Reg%d at %d, but γ implies content (%v,%d)",
+				w.OpID, w.ReadVal, w.ReadTag, 1-w.Writer, w.ReadSeq, atRead.Val, atRead.Tag)
+		}
+
+		// Prefinisher: the last real write by Wr¬i between W's real
+		// read and W's real write (Definition 1).
+		pf := c.lastWriteIn(1-w.Writer, w.ReadSeq, w.WriteSeq)
+		if pf != nil {
+			c.prefin[w.OpID] = pf.idx
+		}
+		if !potent && pf == nil {
+			// Lemma 1: every impotent write is prefinished.
+			return fmt.Errorf("proof: Lemma 1 violated: impotent write op %d (writer %d) has no prefinisher", w.OpID, w.Writer)
+		}
+	}
+
+	// Substrate coherence for reads: the tags each read observed must
+	// match the register contents γ implies at the read's stamps.
+	for _, r := range c.t.Reads {
+		if r.Crashed {
+			continue
+		}
+		if got, _ := c.contentAt(0, r.R0Seq); got.Tag != r.T0 {
+			return fmt.Errorf("proof: read op %d saw tag %d on Reg0 at %d, but γ implies %d", r.OpID, r.T0, r.R0Seq, got.Tag)
+		}
+		if got, _ := c.contentAt(1, r.R1Seq); got.Tag != r.T1 {
+			return fmt.Errorf("proof: read op %d saw tag %d on Reg1 at %d, but γ implies %d", r.OpID, r.T1, r.R1Seq, got.Tag)
+		}
+	}
+
+	// Lemma 2: the prefinisher of an impotent write is potent.
+	for opID, pfIdx := range c.prefin {
+		if c.potent[opID] {
+			continue // potent writes may have a "prefinisher"; it is unused
+		}
+		pf := c.t.Writes[pfIdx]
+		if !c.potent[pf.OpID] {
+			return fmt.Errorf("proof: Lemma 2 violated: impotent write op %d has impotent prefinisher op %d", opID, pf.OpID)
+		}
+	}
+	return nil
+}
+
+// lastWriteIn returns the last real write to reg with stamp in the open
+// interval (lo, hi), or nil.
+func (c *certifier[V]) lastWriteIn(reg int, lo, hi int64) *realWrite[V] {
+	ws := c.byReg[reg]
+	i := sort.Search(len(ws), func(i int) bool { return ws[i].seq >= hi })
+	if i == 0 {
+		return nil
+	}
+	w := &ws[i-1]
+	if w.seq <= lo {
+		return nil
+	}
+	return w
+}
+
+// place runs Steps 1–4, producing the ordered linearization.
+func (c *certifier[V]) place() (*Linearization[V], error) {
+	lin := &Linearization[V]{Init: c.t.Init}
+	lin.Report.Prefinisher = make(map[int]int)
+
+	// Steps 1: writes.
+	for _, w := range c.t.Writes {
+		if !w.DidWrite {
+			lin.Report.DroppedWrites++
+			continue
+		}
+		op := Op[V]{
+			OpID:      w.OpID,
+			Chan:      history.ProcID(w.Writer),
+			IsWrite:   true,
+			Val:       w.Val,
+			Inv:       w.InvokeSeq,
+			Res:       w.RespondSeq,
+			ReadsFrom: -1,
+		}
+		if c.potent[w.OpID] {
+			op.Class = PotentWrite
+			op.Key = Key{Anchor: w.WriteSeq, Rank: rankPotent}
+			lin.Report.PotentWrites++
+		} else {
+			pf := c.t.Writes[c.prefin[w.OpID]]
+			op.Class = ImpotentWrite
+			op.Key = Key{Anchor: pf.WriteSeq, Rank: rankImpotent}
+			lin.Report.ImpotentWrites++
+			lin.Report.Prefinisher[w.OpID] = pf.OpID
+
+			// Legitimacy of Step 1 (Section 7.1): the prefinisher's
+			// real write lies inside the impotent write's interval,
+			// so the assigned point does too.
+			if pf.WriteSeq <= w.ReadSeq || pf.WriteSeq >= w.WriteSeq {
+				return nil, fmt.Errorf("proof: prefinisher op %d real write at %d outside (read %d, write %d) of impotent op %d",
+					pf.OpID, pf.WriteSeq, w.ReadSeq, w.WriteSeq, w.OpID)
+			}
+		}
+		lin.Ops = append(lin.Ops, op)
+	}
+
+	// Steps 2–4: reads.
+	for _, r := range c.t.Reads {
+		if r.Crashed {
+			lin.Report.DroppedReads++
+			continue
+		}
+		op := Op[V]{
+			OpID:      r.OpID,
+			Chan:      r.Proc,
+			Val:       r.Ret,
+			Inv:       r.InvokeSeq,
+			Res:       r.RespondSeq,
+			ReadsFrom: -1,
+		}
+		// "R reads the value written by W" (Section 6): W's real write
+		// is the last real write to Reg_j before R's final real read.
+		_, from := c.contentAt(r.R2Reg, r.R2Seq)
+		if from == nil {
+			// Read of the initial value. Lemma 6 implies this can only
+			// happen through Reg0 with no preceding real writes at all.
+			if r.R2Reg != 0 {
+				return nil, fmt.Errorf("proof: Lemma 6 violated: read op %d returned the initial value through Reg1", r.OpID)
+			}
+			if w := c.lastWriteIn(1, 0, r.R1Seq); w != nil {
+				return nil, fmt.Errorf("proof: Lemma 6 violated: read op %d of the initial value follows a real write to Reg1 at %d", r.OpID, w.seq)
+			}
+			if r.Ret != c.t.Init {
+				return nil, fmt.Errorf("proof: read op %d returned %v, but γ implies the initial value %v", r.OpID, r.Ret, c.t.Init)
+			}
+			op.Class = ReadOfInitial
+			op.Key = Key{Anchor: r.R1Seq, Rank: rankReadAfter} // Step 4: after the second real read
+			lin.Report.ReadsOfInitial++
+			lin.Ops = append(lin.Ops, op)
+			continue
+		}
+		if r.Ret != from.val {
+			return nil, fmt.Errorf("proof: read op %d returned %v, but γ implies it read %v from write op %d",
+				r.OpID, r.Ret, from.val, from.opID)
+		}
+		op.ReadsFrom = from.opID
+		if c.potent[from.opID] {
+			// Step 2: immediately after the later of R's first real
+			// read and W's *-action (which sits at W's real write).
+			op.Class = ReadOfPotent
+			anchor := from.seq
+			if r.R0Seq > anchor {
+				anchor = r.R0Seq
+			}
+			op.Key = Key{Anchor: anchor, Rank: rankReadAfter}
+			lin.Report.ReadsOfPotent++
+		} else {
+			// Step 3: immediately after W0's *-action, which sits just
+			// before its prefinisher's (anchor = prefinisher's real
+			// write, between ranks -2 and 0).
+			pf := c.t.Writes[c.prefin[from.opID]]
+			op.Class = ReadOfImpotent
+			op.Key = Key{Anchor: pf.WriteSeq, Rank: rankReadImpotent}
+			lin.Report.ReadsOfImp++
+
+			// Lemma 4: the impotent write's point falls inside the
+			// read's interval.
+			if pf.WriteSeq < r.InvokeSeq || pf.WriteSeq >= r.RespondSeq {
+				return nil, fmt.Errorf("proof: Lemma 4 violated: *-action of impotent write op %d (at prefinisher write %d) outside read op %d's interval [%d,%d]",
+					from.opID, pf.WriteSeq, r.OpID, r.InvokeSeq, r.RespondSeq)
+			}
+		}
+		lin.Ops = append(lin.Ops, op)
+	}
+
+	// Tie-break operations that share (Anchor, Rank): the paper inserts
+	// them in arbitrary order; we use OpID for determinism.
+	sort.Slice(lin.Ops, func(i, j int) bool {
+		a, b := lin.Ops[i], lin.Ops[j]
+		if a.Key.Anchor != b.Key.Anchor {
+			return a.Key.Anchor < b.Key.Anchor
+		}
+		if a.Key.Rank != b.Key.Rank {
+			return a.Key.Rank < b.Key.Rank
+		}
+		return a.OpID < b.OpID
+	})
+	var tie int32
+	for i := range lin.Ops {
+		if i > 0 && lin.Ops[i].Key.Anchor == lin.Ops[i-1].Key.Anchor && lin.Ops[i].Key.Rank == lin.Ops[i-1].Key.Rank {
+			tie++
+		} else {
+			tie = 0
+		}
+		lin.Ops[i].Key.Tie = tie
+	}
+	return lin, nil
+}
+
+// Validate checks a linearization against the paper's atomicity
+// definition: every *-action lies within its operation's interval, keys
+// are strictly increasing, and replaying the sequence satisfies the
+// register property. Certify calls it automatically; it is exported so
+// tests can validate hand-built or mutated linearizations.
+func Validate[V comparable](lin *Linearization[V]) error {
+	cur := lin.Init
+	for i, op := range lin.Ops {
+		if i > 0 && !lin.Ops[i-1].Key.Less(op.Key) {
+			return fmt.Errorf("proof: *-actions of ops %d and %d out of order", lin.Ops[i-1].OpID, op.OpID)
+		}
+		// The point (Anchor, Rank, Tie) occurs strictly after the γ
+		// event with stamp Anchor and strictly before the next one, so
+		// it lies inside (Inv, Res) iff Anchor ≥ Inv and Anchor < Res.
+		if op.Key.Anchor < op.Inv {
+			return fmt.Errorf("proof: *-action of op %d at anchor %d precedes its invocation at %d", op.OpID, op.Key.Anchor, op.Inv)
+		}
+		if op.Key.Anchor >= op.Res {
+			return fmt.Errorf("proof: *-action of op %d at anchor %d does not precede its acknowledgment at %d", op.OpID, op.Key.Anchor, op.Res)
+		}
+		if op.IsWrite {
+			cur = op.Val
+			continue
+		}
+		if op.Val != cur {
+			return fmt.Errorf("proof: register property violated: read op %d (%s) returned %v but the preceding write left %v",
+				op.OpID, op.Class, op.Val, cur)
+		}
+	}
+	return nil
+}
+
+// witnessScale spreads γ stamps out so that sub-event positions (rank,
+// tie) fit between consecutive events when flattening a linearization to
+// a spec.Witness.
+const witnessScale = 1 << 20
+
+// AsWitness flattens lin onto a single int64 scale and returns rescaled
+// operations plus a spec.Witness, so the generic validator in package spec
+// can independently confirm the certificate. Ties beyond witnessScale/4
+// operations at one anchor cannot be flattened and return an error.
+func AsWitness[V comparable](ops []history.Op[V], lin *Linearization[V]) ([]history.Op[V], spec.Witness, error) {
+	scaled := make([]history.Op[V], len(ops))
+	for i, op := range ops {
+		op.Inv *= witnessScale
+		if op.Res != history.PendingSeq {
+			op.Res *= witnessScale
+		}
+		op.Star = 0
+		scaled[i] = op
+	}
+	w := make(spec.Witness, len(lin.Ops))
+	for _, op := range lin.Ops {
+		if op.Key.Tie >= witnessScale/4 {
+			return nil, nil, fmt.Errorf("proof: %d ties at anchor %d exceed the witness scale", op.Key.Tie, op.Key.Anchor)
+		}
+		pt := op.Key.Anchor*witnessScale + int64(op.Key.Rank+2)*(witnessScale/4) + int64(op.Key.Tie)
+		w[op.OpID] = pt
+	}
+	return scaled, w, nil
+}

@@ -1,0 +1,356 @@
+package proof
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/history"
+)
+
+// potentWriteTrace is a minimal sequential trace: Wr0 writes "a", a reader
+// reads it.
+func potentWriteTrace() core.Trace[string] {
+	return core.Trace[string]{
+		Init: "v0",
+		Writes: []core.WriteRec[string]{{
+			OpID: 0, Writer: 0, Val: "a",
+			InvokeSeq: 1, RespondSeq: 4,
+			DidRead: true, ReadSeq: 2, ReadTag: 0, ReadVal: "v0",
+			DidWrite: true, WriteSeq: 3, WriteTag: 0,
+		}},
+		Reads: []core.ReadRec[string]{{
+			OpID: 1, Proc: core.ChanReader(1), ReaderIndex: 1,
+			InvokeSeq: 5, RespondSeq: 10,
+			R0Seq: 6, T0: 0, R1Seq: 7, T1: 0,
+			R2Seq: 8, R2Reg: 0, Ret: "a",
+		}},
+	}
+}
+
+// impotentWriteTrace reproduces the paper's slow-reader situation: a
+// reader samples both tags, then Wr0's write is prefinished by Wr1's, and
+// the reader's final read lands on the impotent write's value.
+//
+// γ timeline (stamps):
+//
+//	 1  W0 invoked (Wr0, value "x")
+//	 2  R invoked (reader 1)
+//	 3  R reads Reg0: tag 0
+//	 4  R reads Reg1: tag 0      → target Reg0
+//	 5  W0 real-reads Reg1: tag 0 → will write tag 0
+//	 6  W1 invoked (Wr1, value "c")
+//	 7  W1 real-reads Reg0: tag 0 → will write tag 1
+//	 8  W1 real-writes Reg1 = ("c",1)   [potent: 0⊕1 = 1 = index]
+//	 9  W1 acknowledged
+//	10  W0 real-writes Reg0 = ("x",0)   [impotent: 0⊕1 = 1 ≠ 0]
+//	11  W0 acknowledged
+//	12  R final-reads Reg0 = ("x",0)    → returns "x", an impotent write's value
+//	13  R acknowledged
+func impotentWriteTrace() core.Trace[string] {
+	return core.Trace[string]{
+		Init: "v0",
+		Writes: []core.WriteRec[string]{
+			{
+				OpID: 0, Writer: 0, Val: "x",
+				InvokeSeq: 1, RespondSeq: 11,
+				DidRead: true, ReadSeq: 5, ReadTag: 0, ReadVal: "v0",
+				DidWrite: true, WriteSeq: 10, WriteTag: 0,
+			},
+			{
+				OpID: 2, Writer: 1, Val: "c",
+				InvokeSeq: 6, RespondSeq: 9,
+				DidRead: true, ReadSeq: 7, ReadTag: 0, ReadVal: "v0",
+				DidWrite: true, WriteSeq: 8, WriteTag: 1,
+			},
+		},
+		Reads: []core.ReadRec[string]{{
+			OpID: 1, Proc: core.ChanReader(1), ReaderIndex: 1,
+			InvokeSeq: 2, RespondSeq: 13,
+			R0Seq: 3, T0: 0, R1Seq: 4, T1: 0,
+			R2Seq: 12, R2Reg: 0, Ret: "x",
+		}},
+	}
+}
+
+func TestKeyLess(t *testing.T) {
+	cases := []struct {
+		a, b Key
+		want bool
+	}{
+		{Key{1, 0, 0}, Key{2, 0, 0}, true},
+		{Key{2, 0, 0}, Key{1, 0, 0}, false},
+		{Key{1, -2, 0}, Key{1, -1, 0}, true},
+		{Key{1, -1, 0}, Key{1, 0, 0}, true},
+		{Key{1, 0, 0}, Key{1, 1, 0}, true},
+		{Key{1, 1, 0}, Key{1, 1, 1}, true},
+		{Key{1, 1, 1}, Key{1, 1, 1}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.want {
+			t.Errorf("%v.Less(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c, want := range map[Class]string{
+		PotentWrite:    "potent write",
+		ImpotentWrite:  "impotent write",
+		ReadOfPotent:   "read of potent write",
+		ReadOfImpotent: "read of impotent write",
+		ReadOfInitial:  "read of initial value",
+		Class(77):      "Class(77)",
+	} {
+		if got := c.String(); got != want {
+			t.Errorf("Class(%d).String() = %q, want %q", c, got, want)
+		}
+	}
+}
+
+func TestCertifyPotentWrite(t *testing.T) {
+	lin, err := Certify(potentWriteTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lin.Report.PotentWrites != 1 || lin.Report.ImpotentWrites != 0 {
+		t.Fatalf("report = %+v, want 1 potent write", lin.Report)
+	}
+	if lin.Report.ReadsOfPotent != 1 {
+		t.Fatalf("report = %+v, want 1 read of potent", lin.Report)
+	}
+	if len(lin.Ops) != 2 || !lin.Ops[0].IsWrite || lin.Ops[1].IsWrite {
+		t.Fatalf("linearization order wrong: %+v", lin.Ops)
+	}
+	if lin.Ops[1].ReadsFrom != 0 {
+		t.Fatalf("read should read from op 0, got %d", lin.Ops[1].ReadsFrom)
+	}
+}
+
+func TestCertifyImpotentWrite(t *testing.T) {
+	lin, err := Certify(impotentWriteTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := lin.Report
+	if rep.PotentWrites != 1 || rep.ImpotentWrites != 1 || rep.ReadsOfImp != 1 {
+		t.Fatalf("report = %+v, want 1 potent, 1 impotent, 1 read-of-impotent", rep)
+	}
+	if pf := rep.Prefinisher[0]; pf != 2 {
+		t.Fatalf("prefinisher of op 0 = %d, want 2 (W1)", pf)
+	}
+	// Section 7 placement: W0* < R* < W1*, all anchored at W1's real
+	// write (stamp 8).
+	if len(lin.Ops) != 3 {
+		t.Fatalf("got %d ops", len(lin.Ops))
+	}
+	if lin.Ops[0].Class != ImpotentWrite || lin.Ops[1].Class != ReadOfImpotent || lin.Ops[2].Class != PotentWrite {
+		t.Fatalf("order = %v %v %v", lin.Ops[0].Class, lin.Ops[1].Class, lin.Ops[2].Class)
+	}
+	for _, op := range lin.Ops {
+		if op.Key.Anchor != 8 {
+			t.Fatalf("op %d anchored at %d, want 8", op.OpID, op.Key.Anchor)
+		}
+	}
+}
+
+func TestCertifyReadOfInitial(t *testing.T) {
+	tr := core.Trace[string]{
+		Init: "v0",
+		Reads: []core.ReadRec[string]{{
+			OpID: 0, Proc: core.ChanReader(1), ReaderIndex: 1,
+			InvokeSeq: 1, RespondSeq: 6,
+			R0Seq: 2, T0: 0, R1Seq: 3, T1: 0,
+			R2Seq: 4, R2Reg: 0, Ret: "v0",
+		}},
+	}
+	lin, err := Certify(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lin.Report.ReadsOfInitial != 1 {
+		t.Fatalf("report = %+v", lin.Report)
+	}
+	// Step 4: anchored at the second real read.
+	if lin.Ops[0].Key.Anchor != 3 {
+		t.Fatalf("read of initial anchored at %d, want 3", lin.Ops[0].Key.Anchor)
+	}
+}
+
+func TestCertifyRejectsWrongReturnValue(t *testing.T) {
+	tr := potentWriteTrace()
+	tr.Reads[0].Ret = "tampered"
+	if _, err := Certify(tr); err == nil || !strings.Contains(err.Error(), "returned") {
+		t.Fatalf("tampered return value not caught: %v", err)
+	}
+}
+
+func TestCertifyRejectsWrongTarget(t *testing.T) {
+	tr := potentWriteTrace()
+	tr.Reads[0].R2Reg = 1
+	if _, err := Certify(tr); err == nil || !strings.Contains(err.Error(), "t0⊕t1") {
+		t.Fatalf("wrong final-read target not caught: %v", err)
+	}
+}
+
+func TestCertifyRejectsProtocolTagViolation(t *testing.T) {
+	tr := potentWriteTrace()
+	tr.Writes[0].WriteTag = 1 // protocol requires i⊕t' = 0
+	if _, err := Certify(tr); err == nil || !strings.Contains(err.Error(), "i⊕t'") {
+		t.Fatalf("tag-rule violation not caught: %v", err)
+	}
+}
+
+func TestCertifyRejectsStaleWriterRead(t *testing.T) {
+	tr := impotentWriteTrace()
+	// Claim W1 read tag 1 although γ implies tag 0 at stamp 7: the tag
+	// rule then wants WriteTag = 1⊕1 = 0; keep the pair self-consistent
+	// so only the substrate-coherence check can catch it.
+	tr.Writes[1].ReadTag = 1
+	tr.Writes[1].WriteTag = 0
+	if _, err := Certify(tr); err == nil || !strings.Contains(err.Error(), "γ implies content") {
+		t.Fatalf("stale writer read not caught: %v", err)
+	}
+}
+
+func TestCertifyRejectsStaleReaderTag(t *testing.T) {
+	tr := potentWriteTrace()
+	tr.Reads[0].T0 = 1
+	tr.Reads[0].R2Reg = 1 // keep t0⊕t1 consistent
+	if _, err := Certify(tr); err == nil || !strings.Contains(err.Error(), "saw tag") {
+		t.Fatalf("stale reader tag not caught: %v", err)
+	}
+}
+
+func TestCertifyRejectsDuplicateStamps(t *testing.T) {
+	tr := potentWriteTrace()
+	tr.Reads[0].R1Seq = tr.Reads[0].R0Seq
+	if _, err := Certify(tr); err == nil {
+		t.Fatal("duplicate stamps not caught")
+	}
+}
+
+func TestCertifyRejectsUnstamped(t *testing.T) {
+	tr := potentWriteTrace()
+	tr.Writes[0].ReadSeq = 0
+	if _, err := Certify(tr); err == nil || !strings.Contains(err.Error(), "stamp") {
+		t.Fatalf("unstamped trace not caught: %v", err)
+	}
+}
+
+func TestCertifyRejectsDisorderedStamps(t *testing.T) {
+	tr := potentWriteTrace()
+	tr.Writes[0].WriteSeq, tr.Writes[0].ReadSeq = tr.Writes[0].ReadSeq, tr.Writes[0].WriteSeq
+	if _, err := Certify(tr); err == nil {
+		t.Fatal("real write before real read not caught")
+	}
+}
+
+func TestCertifyCrashedWriteBeforeRealWrite(t *testing.T) {
+	tr := potentWriteTrace()
+	tr.Writes[0].DidWrite = false
+	tr.Writes[0].Crashed = true
+	tr.Writes[0].RespondSeq = history.PendingSeq
+	// The read can no longer return "a"; make it a read of the initial value.
+	tr.Reads[0].Ret = "v0"
+	lin, err := Certify(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lin.Report.DroppedWrites != 1 || lin.Report.ReadsOfInitial != 1 {
+		t.Fatalf("report = %+v", lin.Report)
+	}
+}
+
+func TestCertifyCrashedWriteAfterRealWrite(t *testing.T) {
+	tr := potentWriteTrace()
+	tr.Writes[0].Crashed = true
+	tr.Writes[0].RespondSeq = history.PendingSeq
+	lin, err := Certify(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The write took effect and is readable even though never acknowledged.
+	if lin.Report.PotentWrites != 1 || lin.Report.ReadsOfPotent != 1 {
+		t.Fatalf("report = %+v", lin.Report)
+	}
+}
+
+func TestCertifyCrashedRead(t *testing.T) {
+	tr := potentWriteTrace()
+	tr.Reads[0].Crashed = true
+	lin, err := Certify(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lin.Report.DroppedReads != 1 {
+		t.Fatalf("report = %+v", lin.Report)
+	}
+}
+
+func TestValidateRejectsMutatedCertificate(t *testing.T) {
+	lin, err := Certify(impotentWriteTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap the read's value: the register property must fail.
+	for i := range lin.Ops {
+		if !lin.Ops[i].IsWrite {
+			lin.Ops[i].Val = "c"
+		}
+	}
+	if err := Validate(lin); err == nil {
+		t.Fatal("mutated certificate accepted")
+	}
+}
+
+func TestValidateRejectsOutOfOrderKeys(t *testing.T) {
+	lin, err := Certify(impotentWriteTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin.Ops[0], lin.Ops[1] = lin.Ops[1], lin.Ops[0]
+	if err := Validate(lin); err == nil {
+		t.Fatal("out-of-order certificate accepted")
+	}
+}
+
+func TestStepTwoAnchorsAtLaterOfReadAndWrite(t *testing.T) {
+	// Case T0 > Tw: the read's first real read happens after the potent
+	// write's real write; anchor must be the first real read.
+	lin, err := Certify(potentWriteTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := lin.Ops[1]
+	if read.Key.Anchor != 6 { // R0Seq = 6 > WriteSeq = 3
+		t.Fatalf("anchor = %d, want 6 (the first real read)", read.Key.Anchor)
+	}
+
+	// Case T0 < Tw: the write lands between the read's first and final
+	// real reads; anchor must be the write.
+	tr := core.Trace[string]{
+		Init: "v0",
+		Writes: []core.WriteRec[string]{{
+			OpID: 0, Writer: 0, Val: "a",
+			InvokeSeq: 4, RespondSeq: 9,
+			DidRead: true, ReadSeq: 5, ReadTag: 0, ReadVal: "v0",
+			DidWrite: true, WriteSeq: 7, WriteTag: 0,
+		}},
+		Reads: []core.ReadRec[string]{{
+			OpID: 1, Proc: core.ChanReader(1), ReaderIndex: 1,
+			InvokeSeq: 1, RespondSeq: 11,
+			R0Seq: 2, T0: 0, R1Seq: 3, T1: 0,
+			R2Seq: 8, R2Reg: 0, Ret: "a",
+		}},
+	}
+	lin, err = Certify(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range lin.Ops {
+		if !op.IsWrite && op.Key.Anchor != 7 {
+			t.Fatalf("anchor = %d, want 7 (the potent write)", op.Key.Anchor)
+		}
+	}
+}

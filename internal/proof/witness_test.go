@@ -1,0 +1,80 @@
+package proof
+
+import (
+	"testing"
+
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+func TestAsWitnessValidatesUnderSpec(t *testing.T) {
+	tr := impotentWriteTrace()
+	lin, err := Certify(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := tr.Ops()
+	scaled, wit, err := AsWitness(ops, lin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wit) != len(lin.Ops) {
+		t.Fatalf("witness has %d points, want %d", len(wit), len(lin.Ops))
+	}
+	if err := spec.ValidateWitness(scaled, "v0", wit); err != nil {
+		t.Fatalf("spec rejected the flattened certificate: %v", err)
+	}
+}
+
+func TestAsWitnessPreservesPending(t *testing.T) {
+	tr := potentWriteTrace()
+	tr.Writes[0].Crashed = true
+	tr.Writes[0].RespondSeq = history.PendingSeq
+	lin, err := Certify(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, wit, err := AsWitness(tr.Ops(), lin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range scaled {
+		if op.IsWrite && op.Res != history.PendingSeq {
+			t.Fatalf("pending write's response was scaled: %v", op)
+		}
+	}
+	if err := spec.ValidateWitness(scaled, "v0", wit); err != nil {
+		t.Fatalf("spec rejected pending-write certificate: %v", err)
+	}
+}
+
+func TestAsWitnessTieOverflow(t *testing.T) {
+	lin, err := Certify(potentWriteTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin.Ops[0].Key.Tie = witnessScale / 4
+	if _, _, err := AsWitness(nil, lin); err == nil {
+		t.Fatal("tie overflow not caught")
+	}
+}
+
+func TestValidateIntervalBranches(t *testing.T) {
+	lin, err := Certify(potentWriteTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Anchor before invocation.
+	bad := *lin
+	bad.Ops = append([]Op[string](nil), lin.Ops...)
+	bad.Ops[0].Key.Anchor = bad.Ops[0].Inv - 1
+	if err := Validate(&bad); err == nil {
+		t.Fatal("anchor before invocation accepted")
+	}
+	// Anchor at/after response.
+	bad.Ops = append([]Op[string](nil), lin.Ops...)
+	bad.Ops[1].Key.Anchor = bad.Ops[1].Res
+	if err := Validate(&bad); err == nil {
+		t.Fatal("anchor past acknowledgment accepted")
+	}
+}

@@ -1,0 +1,168 @@
+// Package register provides the shared-memory primitives underneath the
+// constructions in this repository.
+//
+// The central model is the paper's "real" register: a 1-writer, n-reader
+// register that some lower level (hardware, or a weaker construction, cf.
+// footnote 3 of the paper) provides. Three strengths are modeled, after
+// Lamport [L2]:
+//
+//   - Atomic: reads and writes behave as if they occur at a single instant.
+//     The mutex-backed implementation additionally hands out a globally
+//     ordered stamp from inside its critical section; that stamp is a valid
+//     placement of the access's *-action, which lets package proof certify
+//     arbitrarily long runs.
+//   - RegularOnly: a read overlapping a write returns either the old or the
+//     new value, chosen adversarially; non-overlapping reads are correct.
+//   - SafeOnly: a read overlapping a write returns an arbitrary value of
+//     the type; non-overlapping reads are correct.
+//
+// The weak registers exist to (a) serve as the base of the Lamport
+// construction stack in package lamport and (b) provide known-broken inputs
+// against which the atomicity checkers are validated.
+package register
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/history"
+)
+
+// Reg is a single-writer multi-reader register. Read takes the caller's
+// port number (0-based) for access accounting and port-discipline checks;
+// Write may be called only by the register's single owning writer, one
+// write at a time.
+type Reg[T any] interface {
+	Read(port int) T
+	Write(v T)
+}
+
+// Stamped is implemented by registers that can identify the linearization
+// point (*-action) of each access. The returned stamp is drawn from a
+// history.Sequencer shared across the whole system, inside the access's
+// critical section, so stamps order accesses consistently with real time
+// and with the register's serialization.
+type Stamped[T any] interface {
+	Reg[T]
+	ReadStamped(port int) (T, int64)
+	WriteStamped(v T) int64
+}
+
+// Counters tallies accesses per port. All methods are safe for concurrent
+// use.
+type Counters struct {
+	reads  []atomic.Int64
+	writes atomic.Int64
+}
+
+func newCounters(ports int) *Counters {
+	return &Counters{reads: make([]atomic.Int64, ports)}
+}
+
+// Reads returns the number of reads performed through port.
+func (c *Counters) Reads(port int) int64 { return c.reads[port].Load() }
+
+// TotalReads returns the number of reads across all ports.
+func (c *Counters) TotalReads() int64 {
+	var n int64
+	for i := range c.reads {
+		n += c.reads[i].Load()
+	}
+	return n
+}
+
+// Writes returns the number of writes performed.
+func (c *Counters) Writes() int64 { return c.writes.Load() }
+
+// Ports returns the number of read ports.
+func (c *Counters) Ports() int { return len(c.reads) }
+
+// Atomic is a 1-writer, n-reader atomic register. It models the "real"
+// registers Bloom's construction consumes: in a multiprocessor they would
+// be hardware or a lower-level simulation; here a mutex serializes
+// accesses, which realizes atomicity exactly (every access has an obvious
+// instant at which it occurs — its critical section).
+//
+// The zero value is not usable; use NewAtomic.
+type Atomic[T any] struct {
+	mu      sync.Mutex
+	val     T
+	seq     *history.Sequencer
+	writing atomic.Bool // single-writer discipline check
+	c       *Counters
+}
+
+var _ Stamped[int] = (*Atomic[int])(nil)
+
+// NewAtomic returns an atomic register over ports read ports, initialized
+// to initial. If seq is nil the register allocates a private sequencer
+// (stamps then order accesses of this register only).
+func NewAtomic[T any](ports int, initial T, seq *history.Sequencer) *Atomic[T] {
+	if seq == nil {
+		seq = new(history.Sequencer)
+	}
+	return &Atomic[T]{val: initial, seq: seq, c: newCounters(ports)}
+}
+
+// Read returns the register's value as seen through port.
+func (r *Atomic[T]) Read(port int) T {
+	v, _ := r.ReadStamped(port)
+	return v
+}
+
+// ReadStamped returns the value and the stamp of the read's *-action.
+func (r *Atomic[T]) ReadStamped(port int) (T, int64) {
+	r.c.reads[port].Add(1)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.val, r.seq.Next()
+}
+
+// Write stores v. Only the owning writer may call Write, and a writer is
+// sequential, so concurrent Writes indicate a harness bug; they panic.
+func (r *Atomic[T]) Write(v T) { r.WriteStamped(v) }
+
+// WriteStamped stores v and returns the stamp of the write's *-action.
+func (r *Atomic[T]) WriteStamped(v T) int64 {
+	if !r.writing.CompareAndSwap(false, true) {
+		panic("register: concurrent writes to a single-writer register")
+	}
+	defer r.writing.Store(false)
+	r.c.writes.Add(1)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.val = v
+	return r.seq.Next()
+}
+
+// Counters exposes the register's access counters.
+func (r *Atomic[T]) Counters() *Counters { return r.c }
+
+// LockedMRMW is a multi-writer multi-reader register protected by a single
+// mutex. It is trivially atomic and serves as the "what you would do with
+// locks" baseline in benchmarks; unlike the register constructions it is
+// not wait-free — a crashed or descheduled lock holder blocks everyone,
+// which is precisely the failure mode register protocols avoid.
+type LockedMRMW[T any] struct {
+	mu  sync.Mutex
+	val T
+}
+
+// NewLockedMRMW returns a locked register initialized to initial.
+func NewLockedMRMW[T any](initial T) *LockedMRMW[T] {
+	return &LockedMRMW[T]{val: initial}
+}
+
+// Read returns the current value.
+func (r *LockedMRMW[T]) Read() T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.val
+}
+
+// Write stores v.
+func (r *LockedMRMW[T]) Write(v T) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.val = v
+}

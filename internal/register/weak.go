@@ -1,0 +1,231 @@
+package register
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Adversary supplies the nondeterministic choices weak registers are
+// allowed to make when a read overlaps a write. Implementations must be
+// safe for concurrent use.
+type Adversary interface {
+	// Flip returns an arbitrary boolean (used by RegularOnly to pick the
+	// old or new value).
+	Flip() bool
+	// Intn returns an arbitrary integer in [0, n) (used by SafeOnly to
+	// pick an arbitrary value from the register's domain).
+	Intn(n int) int
+}
+
+// SeededAdversary resolves weak-register nondeterminism with a seeded
+// pseudo-random stream; the same seed yields the same adversarial choices
+// for a fixed sequence of queries.
+type SeededAdversary struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+var _ Adversary = (*SeededAdversary)(nil)
+
+// NewSeededAdversary returns an adversary driven by the given seed.
+func NewSeededAdversary(seed int64) *SeededAdversary {
+	return &SeededAdversary{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Flip returns a pseudo-random boolean.
+func (a *SeededAdversary) Flip() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.rng.Intn(2) == 1
+}
+
+// Intn returns a pseudo-random integer in [0, n).
+func (a *SeededAdversary) Intn(n int) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.rng.Intn(n)
+}
+
+// ScriptedAdversary replays a fixed sequence of choices, cycling when
+// exhausted. It makes weak-register misbehaviour reproducible in tests:
+// Flip consumes one scripted value (!=0 means true); Intn consumes one and
+// reduces it mod n.
+type ScriptedAdversary struct {
+	mu     sync.Mutex
+	script []int
+	pos    int
+}
+
+var _ Adversary = (*ScriptedAdversary)(nil)
+
+// NewScriptedAdversary returns an adversary replaying script. The script
+// must be non-empty.
+func NewScriptedAdversary(script ...int) *ScriptedAdversary {
+	if len(script) == 0 {
+		panic("register: empty adversary script")
+	}
+	return &ScriptedAdversary{script: script}
+}
+
+func (a *ScriptedAdversary) next() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	v := a.script[a.pos%len(a.script)]
+	a.pos++
+	return v
+}
+
+// Flip returns the next scripted choice as a boolean.
+func (a *ScriptedAdversary) Flip() bool { return a.next() != 0 }
+
+// Intn returns the next scripted choice reduced modulo n.
+func (a *ScriptedAdversary) Intn(n int) int {
+	v := a.next() % n
+	if v < 0 {
+		v += n
+	}
+	return v
+}
+
+// RegularOnly is a 1-writer, n-reader regular register: a read overlapping
+// a write returns either the value being written or the previous value, at
+// the adversary's choice; a read overlapping no write returns the current
+// value. Regular registers permit new-old inversion — two sequential reads
+// inside one write may see new then old — which is exactly what separates
+// them from atomic registers, and what the checkers must be able to
+// detect.
+type RegularOnly[T any] struct {
+	mu      sync.Mutex
+	val     T // committed value
+	pending T // value being written, valid while writing
+	writing bool
+	adv     Adversary
+	c       *Counters
+}
+
+var _ Reg[int] = (*RegularOnly[int])(nil)
+
+// NewRegularOnly returns a regular register with the given adversary.
+func NewRegularOnly[T any](ports int, initial T, adv Adversary) *RegularOnly[T] {
+	return &RegularOnly[T]{val: initial, adv: adv, c: newCounters(ports)}
+}
+
+// Read returns the committed value, or — while a write is in progress —
+// the old or new value at the adversary's choice.
+func (r *RegularOnly[T]) Read(port int) T {
+	r.c.reads[port].Add(1)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.writing && r.adv.Flip() {
+		return r.pending
+	}
+	return r.val
+}
+
+// Write stores v in two phases so that reads can observe the overlap
+// window. The yield between phases widens the window under real
+// concurrency; under scripted tests the two phases are driven explicitly.
+func (r *RegularOnly[T]) Write(v T) {
+	r.BeginWrite(v)
+	r.EndWrite()
+}
+
+// BeginWrite opens the overlap window for a write of v. Exposed (together
+// with EndWrite) so deterministic tests can interleave reads inside the
+// window.
+func (r *RegularOnly[T]) BeginWrite(v T) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.writing {
+		panic("register: concurrent writes to a single-writer register")
+	}
+	r.writing = true
+	r.pending = v
+}
+
+// EndWrite commits the pending value and closes the window.
+func (r *RegularOnly[T]) EndWrite() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.writing {
+		panic("register: EndWrite without BeginWrite")
+	}
+	r.val = r.pending
+	r.writing = false
+	r.c.writes.Add(1)
+}
+
+// Counters exposes the register's access counters.
+func (r *RegularOnly[T]) Counters() *Counters { return r.c }
+
+// SafeOnly is a 1-writer, n-reader safe register over a finite domain: a
+// read overlapping a write returns an arbitrary domain value chosen by the
+// adversary; a read overlapping no write returns the value of the latest
+// preceding write. This is the weakest register Lamport considers and the
+// base of the construction stack in package lamport.
+type SafeOnly[T any] struct {
+	mu      sync.Mutex
+	val     T
+	writing bool
+	domain  []T
+	adv     Adversary
+	c       *Counters
+}
+
+var _ Reg[int] = (*SafeOnly[int])(nil)
+
+// NewSafeOnly returns a safe register whose arbitrary reads are drawn from
+// domain (which must be non-empty and should contain every value the
+// register can legally hold).
+func NewSafeOnly[T any](ports int, initial T, domain []T, adv Adversary) *SafeOnly[T] {
+	if len(domain) == 0 {
+		panic("register: safe register needs a non-empty domain")
+	}
+	d := make([]T, len(domain))
+	copy(d, domain)
+	return &SafeOnly[T]{val: initial, domain: d, adv: adv, c: newCounters(ports)}
+}
+
+// Read returns the committed value or, during a write, an arbitrary domain
+// value.
+func (r *SafeOnly[T]) Read(port int) T {
+	r.c.reads[port].Add(1)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.writing {
+		return r.domain[r.adv.Intn(len(r.domain))]
+	}
+	return r.val
+}
+
+// Write stores v.
+func (r *SafeOnly[T]) Write(v T) {
+	r.BeginWrite(v)
+	r.EndWrite(v)
+}
+
+// BeginWrite opens the overlap window.
+func (r *SafeOnly[T]) BeginWrite(v T) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.writing {
+		panic("register: concurrent writes to a single-writer register")
+	}
+	_ = v
+	r.writing = true
+}
+
+// EndWrite commits v and closes the window.
+func (r *SafeOnly[T]) EndWrite(v T) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.writing {
+		panic("register: EndWrite without BeginWrite")
+	}
+	r.val = v
+	r.writing = false
+	r.c.writes.Add(1)
+}
+
+// Counters exposes the register's access counters.
+func (r *SafeOnly[T]) Counters() *Counters { return r.c }

@@ -1,0 +1,161 @@
+package register
+
+import (
+	"testing"
+)
+
+func TestSeededAdversaryDeterministic(t *testing.T) {
+	a := NewSeededAdversary(42)
+	b := NewSeededAdversary(42)
+	for i := 0; i < 100; i++ {
+		if a.Flip() != b.Flip() {
+			t.Fatal("same seed diverged on Flip")
+		}
+		if a.Intn(7) != b.Intn(7) {
+			t.Fatal("same seed diverged on Intn")
+		}
+	}
+}
+
+func TestScriptedAdversary(t *testing.T) {
+	a := NewScriptedAdversary(1, 0, 5)
+	if !a.Flip() {
+		t.Fatal("script[0]=1 should flip true")
+	}
+	if a.Flip() {
+		t.Fatal("script[1]=0 should flip false")
+	}
+	if got := a.Intn(3); got != 2 {
+		t.Fatalf("Intn(3) with script 5 = %d, want 2", got)
+	}
+	// Cycles.
+	if !a.Flip() {
+		t.Fatal("script should cycle back to 1")
+	}
+}
+
+func TestScriptedAdversaryNegativeModulo(t *testing.T) {
+	a := NewScriptedAdversary(-1)
+	if got := a.Intn(3); got < 0 || got >= 3 {
+		t.Fatalf("Intn out of range: %d", got)
+	}
+}
+
+func TestScriptedAdversaryEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty script did not panic")
+		}
+	}()
+	NewScriptedAdversary()
+}
+
+func TestRegularOnlyQuiescentReadsCorrect(t *testing.T) {
+	r := NewRegularOnly(2, 10, NewSeededAdversary(1))
+	if got := r.Read(0); got != 10 {
+		t.Fatalf("initial read = %d", got)
+	}
+	r.Write(20)
+	if got := r.Read(1); got != 20 {
+		t.Fatalf("read after write = %d", got)
+	}
+	if r.Counters().Writes() != 1 || r.Counters().TotalReads() != 2 {
+		t.Fatal("counters wrong")
+	}
+}
+
+func TestRegularOnlyOverlapReturnsOldOrNew(t *testing.T) {
+	// Force both choices with a scripted adversary.
+	adv := NewScriptedAdversary(0, 1)
+	r := NewRegularOnly(1, 1, adv)
+	r.BeginWrite(2)
+	if got := r.Read(0); got != 1 {
+		t.Fatalf("scripted old choice returned %d, want 1", got)
+	}
+	if got := r.Read(0); got != 2 {
+		t.Fatalf("scripted new choice returned %d, want 2", got)
+	}
+	r.EndWrite()
+	if got := r.Read(0); got != 2 {
+		t.Fatalf("committed value = %d, want 2", got)
+	}
+}
+
+func TestRegularOnlyNewOldInversion(t *testing.T) {
+	// The separating behaviour from atomicity: inside one write window,
+	// read new then old.
+	adv := NewScriptedAdversary(1, 0)
+	r := NewRegularOnly(1, "old", adv)
+	r.BeginWrite("new")
+	first := r.Read(0)
+	second := r.Read(0)
+	r.EndWrite()
+	if first != "new" || second != "old" {
+		t.Fatalf("expected new-old inversion, got %q then %q", first, second)
+	}
+}
+
+func TestRegularOnlyDoubleBeginPanics(t *testing.T) {
+	r := NewRegularOnly(1, 0, NewSeededAdversary(1))
+	r.BeginWrite(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double BeginWrite did not panic")
+		}
+	}()
+	r.BeginWrite(2)
+}
+
+func TestRegularOnlyEndWithoutBeginPanics(t *testing.T) {
+	r := NewRegularOnly(1, 0, NewSeededAdversary(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EndWrite without BeginWrite did not panic")
+		}
+	}()
+	r.EndWrite()
+}
+
+func TestSafeOnlyQuiescentReadsCorrect(t *testing.T) {
+	r := NewSafeOnly(1, 0, []int{0, 1, 2, 3}, NewSeededAdversary(1))
+	if got := r.Read(0); got != 0 {
+		t.Fatalf("initial read = %d", got)
+	}
+	r.Write(3)
+	if got := r.Read(0); got != 3 {
+		t.Fatalf("read after write = %d", got)
+	}
+}
+
+func TestSafeOnlyOverlapReturnsDomainValue(t *testing.T) {
+	adv := NewScriptedAdversary(2)
+	r := NewSafeOnly(1, 0, []int{10, 20, 30}, adv)
+	r.BeginWrite(99)
+	if got := r.Read(0); got != 30 {
+		t.Fatalf("overlapped read = %d, want scripted domain value 30", got)
+	}
+	r.EndWrite(99)
+	if got := r.Read(0); got != 99 {
+		t.Fatalf("committed read = %d, want 99", got)
+	}
+}
+
+func TestSafeOnlyEmptyDomainPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty domain did not panic")
+		}
+	}()
+	NewSafeOnly[int](1, 0, nil, NewSeededAdversary(1))
+}
+
+func TestSafeOnlyDomainCopied(t *testing.T) {
+	domain := []int{1, 2}
+	r := NewSafeOnly(1, 1, domain, NewScriptedAdversary(0))
+	domain[0] = 99 // mutating the caller's slice must not affect the register
+	r.BeginWrite(2)
+	if got := r.Read(0); got != 1 {
+		t.Fatalf("domain not copied at boundary: got %d", got)
+	}
+	r.EndWrite(2)
+}

@@ -1,0 +1,143 @@
+package sched
+
+import (
+	"errors"
+
+	"repro/internal/core"
+	"repro/internal/history"
+)
+
+// Crash exploration: in addition to taking a protocol step, any processor
+// may crash — permanently halting with its current operation (if any) left
+// pending. ExploreWithCrashes enumerates every interleaving of steps AND
+// crash points, certifying that the construction tolerates the failure of
+// any set of readers and writers at any moment, as the abstract claims
+// ("can survive the failure of any set of readers and writers").
+
+// crashMachine wraps machine with crash bookkeeping.
+type crashMachine struct {
+	*machine
+	crashed []bool // per processor
+	crashes int    // crashes taken so far
+}
+
+func newCrashMachine(cfg Config, v Variant) *crashMachine {
+	m := newMachine(cfg, v)
+	return &crashMachine{machine: m, crashed: make([]bool, m.numProcs())}
+}
+
+func (c *crashMachine) clone() *crashMachine {
+	return &crashMachine{
+		machine: c.machine.clone(),
+		crashed: append([]bool(nil), c.crashed...),
+		crashes: c.crashes,
+	}
+}
+
+// enabledLive reports whether p can take a protocol step.
+func (c *crashMachine) enabledLive(p int) bool {
+	return !c.crashed[p] && c.machine.enabled(p)
+}
+
+// canCrash reports whether crashing p is a distinct, interesting event:
+// the processor must still have work (crashing an already-finished
+// processor changes nothing) and not be crashed already.
+func (c *crashMachine) canCrash(p int) bool {
+	return !c.crashed[p] && c.machine.enabled(p)
+}
+
+// crash halts processor p, flushing its in-flight operation (if any) as a
+// crashed record.
+func (c *crashMachine) crash(p int) {
+	c.crashed[p] = true
+	c.crashes++
+	if p < 2 {
+		w := &c.ws[p]
+		switch w.phase {
+		case 1:
+			// In-flight write: the real read happened (or, for the
+			// WriteFirst ablation, the real write); record it pending.
+			w.rec.Crashed = true
+			w.rec.RespondSeq = history.PendingSeq
+			c.writes = append(c.writes, w.rec)
+		case 2:
+			// In-flight writer-read awaiting its second real access.
+			w.rrec.Crashed = true
+			w.rrec.RespondSeq = history.PendingSeq
+			c.reads = append(c.reads, w.rrec)
+		}
+		return
+	}
+	r := &c.rs[p-2]
+	if r.phase != 0 {
+		r.rec.Crashed = true
+		r.rec.RespondSeq = history.PendingSeq
+		c.reads = append(c.reads, r.rec)
+	}
+}
+
+// done reports whether every live processor has finished.
+func (c *crashMachine) done() bool {
+	for p := 0; p < c.numProcs(); p++ {
+		if c.enabledLive(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// CrashResult is one completed schedule of a crash exploration.
+type CrashResult struct {
+	// Trace is the run, including pending (crashed) operations.
+	Trace core.Trace[int]
+	// Sched is the interleaving; crashes appear as ^p (encoded as
+	// -(p+1)).
+	Sched []int
+	// Crashed lists which processors crashed.
+	Crashed []bool
+}
+
+// CrashEvent encodes "processor p crashes" in a schedule.
+func CrashEvent(p int) int { return -(p + 1) }
+
+// ExploreWithCrashes enumerates every interleaving of the configuration
+// in which up to maxCrashes processors crash, at every possible point.
+// Crashing a processor that has finished all its operations is not
+// explored separately (it is indistinguishable from not crashing).
+func ExploreWithCrashes(cfg Config, v Variant, maxCrashes int, visit func(*CrashResult) error) (int64, error) {
+	var count int64
+	var dfs func(m *crashMachine) error
+	dfs = func(m *crashMachine) error {
+		if m.done() {
+			count++
+			return visit(&CrashResult{
+				Trace:   m.trace(),
+				Sched:   m.sched,
+				Crashed: m.crashed,
+			})
+		}
+		for p := 0; p < m.numProcs(); p++ {
+			if m.enabledLive(p) {
+				c := m.clone()
+				c.doStep(p)
+				if err := dfs(c); err != nil {
+					return err
+				}
+			}
+			if m.crashes < maxCrashes && m.canCrash(p) {
+				c := m.clone()
+				c.crash(p)
+				c.sched = append(c.sched, CrashEvent(p))
+				if err := dfs(c); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	err := dfs(newCrashMachine(cfg, v))
+	if errors.Is(err, ErrStop) {
+		err = nil
+	}
+	return count, err
+}

@@ -1,0 +1,107 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/atomicity"
+	"repro/internal/proof"
+)
+
+// TestExploreWithCrashesCertifies is the abstract's fault-tolerance claim
+// ("can survive the failure of any set of readers and writers") checked
+// exhaustively: every interleaving of protocol steps and crash points
+// still certifies atomic. (Crashes interrupt processors between real
+// accesses; the crash-after-real-write-before-ack case is merged into one
+// step here and is covered by the goroutine tests in internal/core.)
+func TestExploreWithCrashesCertifies(t *testing.T) {
+	cfg := Config{Writes: [2]int{1, 1}, Readers: []int{1}}
+	var withDrops int64
+	n, err := ExploreWithCrashes(cfg, Faithful, 2, func(r *CrashResult) error {
+		lin, err := proof.Certify(r.Trace)
+		if err != nil {
+			t.Logf("failing schedule: %v", r.Sched)
+			return err
+		}
+		if lin.Report.DroppedWrites > 0 {
+			withDrops++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := CountSchedules(cfg, Faithful)
+	if n <= baseline {
+		t.Fatalf("crash exploration visited %d schedules, no more than the %d crash-free ones", n, baseline)
+	}
+	if withDrops == 0 {
+		t.Fatal("no schedule dropped a crashed write; crash points unexercised")
+	}
+	t.Logf("explored %d schedules (%d crash-free), %d with dropped writes", n, baseline, withDrops)
+}
+
+// TestExploreWithCrashesCrossCheck validates crash schedules against the
+// generic checker as well: pending operations may or may not take effect,
+// and both checkers must agree the histories are linearizable.
+func TestExploreWithCrashesCrossCheck(t *testing.T) {
+	cfg := Config{Writes: [2]int{1, 1}, Readers: []int{1}}
+	_, err := ExploreWithCrashes(cfg, Faithful, 1, func(r *CrashResult) error {
+		res, err := atomicity.Check(r.Trace.Ops(), InitValue)
+		if err != nil {
+			return err
+		}
+		if !res.Linearizable {
+			t.Fatalf("generic checker rejected crash schedule %v", r.Sched)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashEventEncoding pins the schedule encoding of crashes.
+func TestCrashEventEncoding(t *testing.T) {
+	if CrashEvent(0) != -1 || CrashEvent(3) != -4 {
+		t.Fatal("CrashEvent encoding changed")
+	}
+}
+
+// TestExploreWithCrashesZeroBudgetMatchesExplore confirms that with no
+// crash budget the exploration degenerates to the crash-free one.
+func TestExploreWithCrashesZeroBudgetMatchesExplore(t *testing.T) {
+	cfg := Config{Writes: [2]int{1, 1}, Readers: []int{1}}
+	n, err := ExploreWithCrashes(cfg, Faithful, 0, func(r *CrashResult) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := CountSchedules(cfg, Faithful); n != want {
+		t.Fatalf("zero-budget crash exploration visited %d schedules, want %d", n, want)
+	}
+}
+
+// TestCrashedReaderLeavesPendingRead confirms a reader crash mid-read
+// produces a pending read record that the certifier drops.
+func TestCrashedReaderLeavesPendingRead(t *testing.T) {
+	cfg := Config{Writes: [2]int{0, 0}, Readers: []int{1}}
+	found := false
+	_, err := ExploreWithCrashes(cfg, Faithful, 1, func(r *CrashResult) error {
+		if len(r.Trace.Reads) == 1 && r.Trace.Reads[0].Crashed {
+			found = true
+			lin, err := proof.Certify(r.Trace)
+			if err != nil {
+				return err
+			}
+			if lin.Report.DroppedReads != 1 {
+				t.Fatalf("report = %+v, want 1 dropped read", lin.Report)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("no schedule crashed the reader mid-read")
+	}
+}

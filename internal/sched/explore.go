@@ -1,0 +1,134 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// Result is one completed schedule.
+type Result struct {
+	// Trace is the run in certifier form.
+	Trace core.Trace[int]
+	// Sched is the interleaving: the processor index (0, 1 = writers;
+	// 2+j = reader j) that took each step.
+	Sched []int
+}
+
+// ErrStop can be returned by a visitor to end exploration early without
+// reporting an error.
+var ErrStop = errors.New("sched: stop exploration")
+
+// Explore enumerates every interleaving of the configuration under the
+// given protocol variant, invoking visit on each completed schedule. It
+// returns the number of schedules visited. If visit returns an error,
+// exploration stops; ErrStop stops silently.
+//
+// The number of interleavings is the multinomial coefficient of the
+// processors' step counts; keep configurations small (a few hundred
+// thousand schedules explore in about a second).
+func Explore(cfg Config, v Variant, visit func(*Result) error) (int64, error) {
+	var count int64
+	var dfs func(m *machine) error
+	dfs = func(m *machine) error {
+		if m.done() {
+			count++
+			return visit(&Result{Trace: m.trace(), Sched: m.sched})
+		}
+		for p := 0; p < m.numProcs(); p++ {
+			if !m.enabled(p) {
+				continue
+			}
+			c := m.clone()
+			c.doStep(p)
+			if err := dfs(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	err := dfs(newMachine(cfg, v))
+	if errors.Is(err, ErrStop) {
+		err = nil
+	}
+	return count, err
+}
+
+// CountSchedules returns the number of interleavings Explore would visit,
+// computed combinatorially (without running them). It returns -1 for
+// configurations with writer reads, whose step counts are data-dependent.
+func CountSchedules(cfg Config, v Variant) int64 {
+	if cfg.hasWriterReads() {
+		return -1
+	}
+	perWrite, perRead := 2, 3
+	if v == NoThirdRead {
+		perRead = 2
+	}
+	var steps []int
+	for i := 0; i < 2; i++ {
+		steps = append(steps, len(cfg.seqFor(i))*perWrite)
+	}
+	for _, r := range cfg.Readers {
+		steps = append(steps, r*perRead)
+	}
+	// Multinomial (sum steps)! / prod(steps!) computed incrementally.
+	result := int64(1)
+	total := 0
+	for _, s := range steps {
+		for i := 1; i <= s; i++ {
+			total++
+			result = result * int64(total) / int64(i)
+		}
+	}
+	return result
+}
+
+// Sample runs n schedules with uniformly random interleavings drawn from
+// the given seed, invoking visit on each. It is the large-configuration
+// complement of Explore.
+func Sample(cfg Config, v Variant, n int, seed int64, visit func(*Result) error) error {
+	rng := rand.New(rand.NewSource(seed))
+	for run := 0; run < n; run++ {
+		m := newMachine(cfg, v)
+		for !m.done() {
+			// Choose uniformly among enabled processors.
+			var enabled []int
+			for p := 0; p < m.numProcs(); p++ {
+				if m.enabled(p) {
+					enabled = append(enabled, p)
+				}
+			}
+			m.doStep(enabled[rng.Intn(len(enabled))])
+		}
+		if err := visit(&Result{Trace: m.trace(), Sched: m.sched}); err != nil {
+			if errors.Is(err, ErrStop) {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// RunScript executes one exact interleaving: script[k] is the processor
+// that takes step k. The script must schedule every processor exactly
+// through all its operations.
+func RunScript(cfg Config, v Variant, script []int) (*Result, error) {
+	m := newMachine(cfg, v)
+	for k, p := range script {
+		if p < 0 || p >= m.numProcs() {
+			return nil, fmt.Errorf("sched: step %d schedules unknown processor %d", k, p)
+		}
+		if !m.enabled(p) {
+			return nil, fmt.Errorf("sched: step %d schedules processor %d, which has no step to take", k, p)
+		}
+		m.doStep(p)
+	}
+	if !m.done() {
+		return nil, fmt.Errorf("sched: script ended after %d steps but the run is incomplete (up to %d needed)", len(script), cfg.TotalSteps(v))
+	}
+	return &Result{Trace: m.trace(), Sched: m.sched}, nil
+}

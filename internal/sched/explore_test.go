@@ -1,0 +1,278 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/atomicity"
+	"repro/internal/proof"
+)
+
+func TestCountSchedulesMatchesExplore(t *testing.T) {
+	cfg := Config{Writes: [2]int{1, 1}, Readers: []int{1}}
+	want := CountSchedules(cfg, Faithful)
+	got, err := Explore(cfg, Faithful, func(*Result) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("Explore visited %d schedules, CountSchedules says %d", got, want)
+	}
+	// 2+2+3 steps: 7!/(2!2!3!) = 210.
+	if want != 210 {
+		t.Fatalf("CountSchedules = %d, want 210", want)
+	}
+}
+
+// TestEveryScheduleCertifies is the paper's main theorem, checked
+// exhaustively: over every interleaving of the configuration, the Section
+// 7 construction produces a valid linearization. It also confirms that the
+// state space actually exercises the interesting cases (impotent writes,
+// reads of impotent writes — Figures 3 and 4 territory) rather than
+// vacuously passing.
+func TestEveryScheduleCertifies(t *testing.T) {
+	cfg := Config{Writes: [2]int{2, 2}, Readers: []int{2}}
+	if testing.Short() {
+		cfg = Config{Writes: [2]int{2, 1}, Readers: []int{1}}
+	}
+	var agg proof.Report
+	n, err := Explore(cfg, Faithful, func(r *Result) error {
+		lin, err := proof.Certify(r.Trace)
+		if err != nil {
+			t.Logf("failing schedule: %v", r.Sched)
+			return err
+		}
+		rep := lin.Report
+		agg.PotentWrites += rep.PotentWrites
+		agg.ImpotentWrites += rep.ImpotentWrites
+		agg.ReadsOfPotent += rep.ReadsOfPotent
+		agg.ReadsOfImp += rep.ReadsOfImp
+		agg.ReadsOfInitial += rep.ReadsOfInitial
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("a schedule failed certification: %v", err)
+	}
+	if n != CountSchedules(cfg, Faithful) {
+		t.Fatalf("visited %d schedules, want %d", n, CountSchedules(cfg, Faithful))
+	}
+	t.Logf("explored %d schedules: %+v", n, agg)
+	if agg.ImpotentWrites == 0 {
+		t.Error("no schedule produced an impotent write; state space too small to be meaningful")
+	}
+	if agg.ReadsOfImp == 0 {
+		t.Error("no schedule produced a read of an impotent write (Figure 4 case unexercised)")
+	}
+	if agg.ReadsOfInitial == 0 || agg.ReadsOfPotent == 0 || agg.PotentWrites == 0 {
+		t.Error("some Section 7 case was never exercised")
+	}
+}
+
+// TestExhaustiveAgreement cross-checks the certifier against the generic
+// exhaustive linearizability checker on every schedule of a small
+// configuration: both must accept.
+func TestExhaustiveAgreement(t *testing.T) {
+	cfg := Config{Writes: [2]int{1, 1}, Readers: []int{2}}
+	_, err := Explore(cfg, Faithful, func(r *Result) error {
+		if _, err := proof.Certify(r.Trace); err != nil {
+			return err
+		}
+		res, err := atomicity.Check(r.Trace.Ops(), InitValue)
+		if err != nil {
+			return err
+		}
+		if !res.Linearizable {
+			t.Fatalf("generic checker rejected schedule %v that the certifier accepted", r.Sched)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAblationsBreakAtomicity verifies that every protocol mutant has at
+// least one reachable non-atomic schedule — i.e., each protocol element is
+// load-bearing — while the faithful protocol has none.
+func TestAblationsBreakAtomicity(t *testing.T) {
+	// NoThirdRead is the subtlest mutation: a single read cannot exhibit
+	// an inversion (the sampled value is always current at some instant
+	// inside the read), so it needs two writes per writer and two
+	// sequential reads before a stale two-generations-old value can
+	// escape. The other mutations fail in the minimal configuration.
+	cfgFor := func(v Variant) Config {
+		if v == NoThirdRead {
+			return Config{Writes: [2]int{2, 2}, Readers: []int{2}}
+		}
+		return Config{Writes: [2]int{1, 1}, Readers: []int{1}}
+	}
+	for _, v := range []Variant{NoThirdRead, WrongTagRule, WriteFirst, NoTagBit} {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			var badSched []int
+			_, err := Explore(cfgFor(v), v, func(r *Result) error {
+				res, err := atomicity.Check(r.Trace.Ops(), InitValue)
+				if err != nil {
+					return err
+				}
+				if !res.Linearizable {
+					badSched = r.Sched
+					return ErrStop
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if badSched == nil {
+				t.Fatalf("ablation %v: no non-atomic schedule found; the mutation is not load-bearing", v)
+			}
+			t.Logf("ablation %v: non-atomic schedule %v", v, badSched)
+		})
+	}
+
+	// Control: the faithful protocol survives the same exhaustive search.
+	bad := false
+	_, err := Explore(cfgFor(Faithful), Faithful, func(r *Result) error {
+		res, err := atomicity.Check(r.Trace.Ops(), InitValue)
+		if err != nil {
+			return err
+		}
+		if !res.Linearizable {
+			bad = true
+			return ErrStop
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad {
+		t.Fatal("faithful protocol produced a non-atomic schedule")
+	}
+}
+
+// TestSlowReaderScript drives the paper's slow-reader scenario (the
+// situation of Figure 4 / Section 7.2's discussion): a reader samples both
+// tags, sleeps through a prefinished write, and ends up returning an
+// impotent write's value — legally.
+func TestSlowReaderScript(t *testing.T) {
+	cfg := Config{Writes: [2]int{1, 1}, Readers: []int{1}}
+	// reader, reader, W0 read, W1 read, W1 write, W0 write, reader.
+	script := []int{2, 2, 0, 1, 1, 0, 2}
+	res, err := RunScript(cfg, Faithful, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := proof.Certify(res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := lin.Report
+	if rep.ImpotentWrites != 1 || rep.PotentWrites != 1 {
+		t.Fatalf("report = %+v, want exactly one impotent and one potent write", rep)
+	}
+	if rep.ReadsOfImp != 1 {
+		t.Fatalf("report = %+v, want the read to return the impotent write", rep)
+	}
+	// The impotent write is W0 (writer 0's only write), prefinished by W1.
+	w0ID, w1ID := opID(0, 0), opID(1, 0)
+	if got := rep.Prefinisher[w0ID]; got != w1ID {
+		t.Fatalf("prefinisher of W0 = op %d, want op %d (W1)", got, w1ID)
+	}
+}
+
+func TestRunScriptRejectsBadScripts(t *testing.T) {
+	cfg := Config{Writes: [2]int{1, 0}, Readers: nil}
+	if _, err := RunScript(cfg, Faithful, []int{5}); err == nil {
+		t.Error("unknown processor accepted")
+	}
+	if _, err := RunScript(cfg, Faithful, []int{1}); err == nil {
+		t.Error("disabled processor accepted")
+	}
+	if _, err := RunScript(cfg, Faithful, []int{0}); err == nil {
+		t.Error("incomplete script accepted")
+	}
+	if _, err := RunScript(cfg, Faithful, []int{0, 0}); err != nil {
+		t.Errorf("complete script rejected: %v", err)
+	}
+}
+
+func TestSampleCertifies(t *testing.T) {
+	cfg := Config{Writes: [2]int{5, 5}, Readers: []int{4, 4}}
+	runs := 0
+	err := Sample(cfg, Faithful, 200, 42, func(r *Result) error {
+		runs++
+		_, err := proof.Certify(r.Trace)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 200 {
+		t.Fatalf("ran %d samples, want 200", runs)
+	}
+}
+
+func TestSampleDeterministicForSeed(t *testing.T) {
+	cfg := Config{Writes: [2]int{2, 2}, Readers: []int{2}}
+	collect := func(seed int64) [][]int {
+		var scheds [][]int
+		if err := Sample(cfg, Faithful, 5, seed, func(r *Result) error {
+			scheds = append(scheds, append([]int(nil), r.Sched...))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return scheds
+	}
+	a, b := collect(7), collect(7)
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatal("same seed, different schedules")
+		}
+		for k := range a[i] {
+			if a[i][k] != b[i][k] {
+				t.Fatal("same seed, different schedules")
+			}
+		}
+	}
+}
+
+func TestWriteValueUnique(t *testing.T) {
+	seen := map[int]bool{InitValue: true}
+	for i := 0; i < 2; i++ {
+		for k := 0; k < 100; k++ {
+			v := WriteValue(i, k)
+			if seen[v] {
+				t.Fatalf("WriteValue(%d,%d) = %d collides", i, k, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestTotalSteps(t *testing.T) {
+	cfg := Config{Writes: [2]int{2, 1}, Readers: []int{3, 1}}
+	if got := cfg.TotalSteps(Faithful); got != 2*2+1*2+3*3+1*3 {
+		t.Fatalf("TotalSteps faithful = %d", got)
+	}
+	if got := cfg.TotalSteps(NoThirdRead); got != 2*2+1*2+3*2+1*2 {
+		t.Fatalf("TotalSteps no-third-read = %d", got)
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	names := map[Variant]string{
+		Faithful:     "faithful",
+		NoThirdRead:  "no-third-read",
+		WrongTagRule: "wrong-tag-rule",
+		WriteFirst:   "write-first",
+		NoTagBit:     "no-tag-bit",
+		Variant(42):  "Variant(42)",
+	}
+	for v, want := range names {
+		if got := v.String(); got != want {
+			t.Errorf("Variant(%d).String() = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,441 @@
+// Package sched explores interleavings of Bloom's two-writer protocol as a
+// deterministic step machine: the "formal mode" counterpart of the
+// goroutine implementation in package core.
+//
+// Each processor (two writers, n readers) is compiled to its I/O-automaton
+// step function; one step is one real-register access. An interleaving is
+// a sequence of processor indices; the explorer enumerates all of them
+// (exhaustively for small configurations, by seeded sampling for larger
+// ones) and hands each completed schedule to a visitor as a core.Trace, so
+// the Section 7 certifier and the exhaustive checker can pass judgment on
+// every reachable schedule.
+//
+// Writers can be configured as the paper's combined writer/reader automata
+// (WriterSeq), exercising the local-copy optimization: their simulated
+// reads serve the own-register accesses virtually and cost one or two real
+// reads.
+//
+// The machine also implements deliberately broken protocol variants
+// (ablations): removing the tag bit, dropping the third read, writing
+// before reading, or using the wrong tag rule. Exploring these finds
+// concrete non-atomic schedules, demonstrating why each element of the
+// protocol is necessary.
+package sched
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/history"
+)
+
+// Variant selects the protocol the step machine runs.
+type Variant int
+
+// Protocol variants. Faithful is the paper's protocol; the others are
+// ablations that each break atomicity.
+const (
+	// Faithful is the protocol of Section 5.
+	Faithful Variant = iota + 1
+	// NoThirdRead makes the reader return v0 or v1 (the value it read
+	// alongside the chosen tag) instead of performing the third real
+	// read. Ablation: the re-read is what protects against a write
+	// landing between the tag sample and the return.
+	NoThirdRead
+	// WrongTagRule makes the writer set t := t' instead of t := i ⊕ t'.
+	// Ablation: writers no longer "pull" the tag sum toward their own
+	// index, so readers are directed to stale registers.
+	WrongTagRule
+	// WriteFirst makes the writer write (with the tag it last observed)
+	// before performing its read. Ablation: the single-real-write-last
+	// discipline is what makes writes take effect atomically.
+	WriteFirst
+	// NoTagBit freezes both tags at 0, so readers always read Reg0.
+	// Ablation: without the tag, Wr1's writes are invisible.
+	NoTagBit
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	switch v {
+	case Faithful:
+		return "faithful"
+	case NoThirdRead:
+		return "no-third-read"
+	case WrongTagRule:
+		return "wrong-tag-rule"
+	case WriteFirst:
+		return "write-first"
+	case NoTagBit:
+		return "no-tag-bit"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Config sizes a scenario. Writer i performs Writes[i] simulated writes
+// with distinct values WriteValue(i, k); reader j performs Readers[j]
+// simulated reads. The register starts at InitValue.
+//
+// WriterSeq optionally turns writer i into the paper's combined
+// writer/reader automaton: a string over 'w' (simulated write) and 'r'
+// (simulated read with the local-copy optimization), performed in order.
+// When WriterSeq[i] is empty it defaults to Writes[i] × 'w'.
+type Config struct {
+	Writes    [2]int
+	Readers   []int
+	WriterSeq [2]string
+}
+
+// seqFor returns writer i's operation sequence.
+func (c Config) seqFor(i int) string {
+	if c.WriterSeq[i] != "" {
+		return c.WriterSeq[i]
+	}
+	return strings.Repeat("w", c.Writes[i])
+}
+
+// hasWriterReads reports whether any writer performs simulated reads
+// (which makes schedule lengths data-dependent).
+func (c Config) hasWriterReads() bool {
+	return strings.ContainsRune(c.WriterSeq[0], 'r') || strings.ContainsRune(c.WriterSeq[1], 'r')
+}
+
+// InitValue is the simulated register's initial value in explorer runs.
+const InitValue = 0
+
+// WriteValue returns the value writer i writes in its k-th simulated write
+// (0-based). Values are globally unique so reads-from is unambiguous.
+func WriteValue(i, k int) int { return (i+1)*1000 + k + 1 }
+
+// TotalSteps returns the maximum number of machine steps a full run takes
+// (exact when no writer performs simulated reads; a writer read takes one
+// or two steps depending on the tags it encounters).
+func (c Config) TotalSteps(v Variant) int {
+	perWrite := 2 // real read + real write
+	perRead := 3  // three real reads
+	if v == NoThirdRead {
+		perRead = 2
+	}
+	var n int
+	for i := 0; i < 2; i++ {
+		for _, op := range c.seqFor(i) {
+			if op == 'w' {
+				n += perWrite
+			} else {
+				n += 2 // upper bound: a writer read is 1–2 real accesses
+			}
+		}
+	}
+	for _, r := range c.Readers {
+		n += r * perRead
+	}
+	return n
+}
+
+// Stamp layout: each machine step s performs exactly one real access at
+// stamp 16s+16. Around an access at stamp a, sub-events take fixed slots:
+//
+//	a-7  invocation (when this is the operation's first access)
+//	a-2  virtual read served from the local copy, ordered before a
+//	a    the real access
+//	a+2  virtual read ordered after a
+//	a+3  second virtual read ordered after a
+//	a+7  acknowledgment (when this is the operation's last access)
+//
+// All slots are distinct across steps (16 > 7+7+1), so stamps form one
+// total order. This is the "narrow interval" convention: invocations and
+// acknowledgments hug the operation's real accesses, which only shrinks
+// intervals relative to the goroutine implementation and therefore makes
+// the atomicity check strictly harder to pass, never easier.
+const (
+	stampStride   = 16
+	slotInvoke    = -7
+	slotVirtBefor = -2
+	slotVirtAfter = 2
+	slotVirtAftr2 = 3
+	slotRespond   = 7
+)
+
+// cell is a real register's content.
+type cell struct {
+	val int
+	tag uint8
+}
+
+// wstate is a writer's automaton state.
+type wstate struct {
+	done       int // completed simulated operations (index into seqFor)
+	writesDone int // completed simulated writes (for value numbering)
+	// phase: 0 = between operations / before a write's real read;
+	// 1 = write in flight, real read done; 2 = writer-read in flight,
+	// first pass done, second real read of Reg¬i needed.
+	phase   int
+	readTag uint8
+	readVal int
+	rec     core.WriteRec[int] // write record under construction
+	rrec    core.ReadRec[int]  // writer-read record under construction
+}
+
+// rstate is a reader's automaton state.
+type rstate struct {
+	done   int
+	phase  int // 0,1,2: next real read to perform
+	t0, t1 uint8
+	v0, v1 int
+	rec    core.ReadRec[int]
+}
+
+// machine is the composed system state.
+type machine struct {
+	cfg     Config
+	variant Variant
+	regs    [2]cell
+	ws      [2]wstate
+	rs      []rstate
+	step    int // machine steps taken so far
+
+	writes []core.WriteRec[int]
+	reads  []core.ReadRec[int]
+	sched  []int // processor index per step, for replay/diagnostics
+}
+
+func newMachine(cfg Config, v Variant) *machine {
+	return &machine{
+		cfg:     cfg,
+		variant: v,
+		regs:    [2]cell{{val: InitValue}, {val: InitValue}},
+		rs:      make([]rstate, len(cfg.Readers)),
+	}
+}
+
+// numProcs returns the number of processors: writers 0 and 1, then readers.
+func (m *machine) numProcs() int { return 2 + len(m.rs) }
+
+// enabled reports whether processor p has a step to take.
+func (m *machine) enabled(p int) bool {
+	if p < 2 {
+		return m.ws[p].done < len(m.cfg.seqFor(p))
+	}
+	j := p - 2
+	return m.rs[j].done < m.cfg.Readers[j]
+}
+
+// done reports whether every processor has finished all its operations.
+func (m *machine) done() bool {
+	for p := 0; p < m.numProcs(); p++ {
+		if m.enabled(p) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *machine) accessStamp() int64 { return int64(m.step)*stampStride + stampStride }
+
+// doStep advances processor p by one step. The caller must ensure p is
+// enabled.
+func (m *machine) doStep(p int) {
+	stamp := m.accessStamp()
+	if p < 2 {
+		m.writerStep(p, stamp)
+	} else {
+		m.readerStep(p-2, stamp)
+	}
+	m.sched = append(m.sched, p)
+	m.step++
+}
+
+func (m *machine) writerStep(i int, stamp int64) {
+	w := &m.ws[i]
+	if w.phase == 2 || (w.phase == 0 && m.cfg.seqFor(i)[w.done] == 'r') {
+		m.writerReadStep(i, stamp)
+		return
+	}
+	val := WriteValue(i, w.writesDone)
+	writeFirst := m.variant == WriteFirst
+
+	if w.phase == 0 {
+		w.rec = core.WriteRec[int]{
+			OpID:       opID(i, w.done),
+			Writer:     i,
+			Val:        val,
+			InvokeSeq:  stamp + slotInvoke,
+			RespondSeq: history.PendingSeq,
+		}
+		if writeFirst {
+			// Ablation: perform the real write first, using the tag
+			// the writer would have computed from its previous read
+			// (stale; initially 0).
+			t := m.mutTag(i, w.readTag)
+			m.regs[i] = cell{val: val, tag: t}
+			w.rec.DidWrite = true
+			w.rec.WriteSeq = stamp
+			w.rec.WriteTag = t
+			w.phase = 1
+			return
+		}
+		other := m.regs[1-i]
+		w.readTag, w.readVal = other.tag, other.val
+		w.rec.DidRead = true
+		w.rec.ReadSeq = stamp
+		w.rec.ReadTag = other.tag
+		w.rec.ReadVal = other.val
+		w.phase = 1
+		return
+	}
+
+	// Second phase of a write.
+	if writeFirst {
+		// The (now useless) read.
+		other := m.regs[1-i]
+		w.readTag, w.readVal = other.tag, other.val
+		w.rec.DidRead = true
+		w.rec.ReadSeq = stamp
+		w.rec.ReadTag = other.tag
+		w.rec.ReadVal = other.val
+	} else {
+		t := m.mutTag(i, w.readTag)
+		m.regs[i] = cell{val: val, tag: t}
+		w.rec.DidWrite = true
+		w.rec.WriteSeq = stamp
+		w.rec.WriteTag = t
+	}
+	w.rec.RespondSeq = stamp + slotRespond
+	m.writes = append(m.writes, w.rec)
+	w.phase = 0
+	w.done++
+	w.writesDone++
+}
+
+// writerReadStep performs one step of a combined writer/reader simulated
+// read (Section 5's optimization): the own-register accesses are served
+// from the machine's register state — which IS the writer's local copy,
+// since only this writer mutates it — at virtual stamps adjacent to the
+// real access.
+func (m *machine) writerReadStep(i int, stamp int64) {
+	w := &m.ws[i]
+	if w.phase == 2 {
+		// Second real read of Reg¬i.
+		other := m.regs[1-i]
+		w.rrec.R2Seq, w.rrec.R2Reg, w.rrec.Ret = stamp, 1-i, other.val
+		w.rrec.RespondSeq = stamp + slotRespond
+		m.reads = append(m.reads, w.rrec)
+		w.phase = 0
+		w.done++
+		return
+	}
+
+	own, other := m.regs[i], m.regs[1-i]
+	rr := core.ReadRec[int]{
+		OpID:        opID(i, w.done),
+		Proc:        core.ChanWriterRead(i),
+		ReaderIndex: -1,
+		InvokeSeq:   stamp + slotInvoke,
+		RespondSeq:  history.PendingSeq,
+	}
+	if i == 0 {
+		// R0 is the virtual read of Reg0 (own), R1 the real read of Reg1.
+		rr.R0Seq, rr.T0, rr.Virtual0 = stamp+slotVirtBefor, own.tag, true
+		rr.R1Seq, rr.T1 = stamp, other.tag
+	} else {
+		rr.R0Seq, rr.T0 = stamp, other.tag
+		rr.R1Seq, rr.T1, rr.Virtual1 = stamp+slotVirtAfter, own.tag, true
+	}
+	target := int(rr.T0 ^ rr.T1)
+	if target == i {
+		// Serve the final read locally too: one real access total.
+		rr.R2Seq, rr.R2Reg, rr.Virtual2, rr.Ret = stamp+slotVirtAftr2, i, true, own.val
+		rr.RespondSeq = stamp + slotRespond
+		m.reads = append(m.reads, rr)
+		w.done++
+		return
+	}
+	// The target is the other register: a second real access is needed.
+	rr.R2Reg = 1 - i
+	w.rrec = rr
+	w.phase = 2
+}
+
+// mutTag applies the variant's tag rule.
+func (m *machine) mutTag(i int, readTag uint8) uint8 {
+	switch m.variant {
+	case WrongTagRule:
+		return readTag
+	case NoTagBit:
+		return 0
+	default:
+		return uint8(i) ^ readTag
+	}
+}
+
+func (m *machine) readerStep(j int, stamp int64) {
+	r := &m.rs[j]
+	switch r.phase {
+	case 0:
+		r.rec = core.ReadRec[int]{
+			OpID:        opID(2+j, r.done),
+			Proc:        core.ChanReader(j + 1),
+			ReaderIndex: j + 1,
+			InvokeSeq:   stamp + slotInvoke,
+			RespondSeq:  history.PendingSeq,
+		}
+		c := m.regs[0]
+		r.t0, r.v0 = c.tag, c.val
+		r.rec.R0Seq, r.rec.T0 = stamp, c.tag
+		r.phase = 1
+	case 1:
+		c := m.regs[1]
+		r.t1, r.v1 = c.tag, c.val
+		r.rec.R1Seq, r.rec.T1 = stamp, c.tag
+		if m.variant == NoThirdRead {
+			// Ablation: return the value sampled alongside the tag.
+			target := int(r.t0 ^ r.t1)
+			ret := r.v0
+			if target == 1 {
+				ret = r.v1
+			}
+			// Fabricate the "third read" just after the second so
+			// downstream consumers see a structurally complete record;
+			// the certifier will reject it (correctly).
+			r.rec.R2Seq, r.rec.R2Reg, r.rec.Ret = stamp+slotVirtAfter, target, ret
+			r.rec.RespondSeq = stamp + slotRespond
+			m.reads = append(m.reads, r.rec)
+			r.phase = 0
+			r.done++
+			return
+		}
+		r.phase = 2
+	case 2:
+		target := int(r.t0 ^ r.t1)
+		c := m.regs[target]
+		r.rec.R2Seq, r.rec.R2Reg, r.rec.Ret = stamp, target, c.val
+		r.rec.RespondSeq = stamp + slotRespond
+		m.reads = append(m.reads, r.rec)
+		r.phase = 0
+		r.done++
+	}
+}
+
+// opID assigns globally unique operation IDs per (processor, op index).
+func opID(proc, k int) int { return proc*10000 + k }
+
+// trace packages the completed run.
+func (m *machine) trace() core.Trace[int] {
+	return core.Trace[int]{
+		Init:   InitValue,
+		Writes: append([]core.WriteRec[int](nil), m.writes...),
+		Reads:  append([]core.ReadRec[int](nil), m.reads...),
+	}
+}
+
+// clone deep-copies the machine for branching search.
+func (m *machine) clone() *machine {
+	c := *m
+	c.rs = append([]rstate(nil), m.rs...)
+	c.writes = append([]core.WriteRec[int](nil), m.writes...)
+	c.reads = append([]core.ReadRec[int](nil), m.reads...)
+	c.sched = append([]int(nil), m.sched...)
+	return &c
+}

@@ -1,0 +1,123 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ExploreParallel enumerates the same schedule space as Explore but fans
+// the search out over workers goroutines (0 = GOMAXPROCS). The frontier is
+// split at the root: each first-step branch becomes one task, and workers
+// run depth-first searches over disjoint subtrees, so no state is shared
+// except the visit callback, which must therefore be safe for concurrent
+// use.
+//
+// If any visit returns an error, the exploration cancels and returns it
+// (ErrStop cancels silently). On a full run the schedule count is exact;
+// after an early stop it counts only the schedules visited before
+// cancellation took effect.
+func ExploreParallel(cfg Config, v Variant, workers int, visit func(*Result) error) (int64, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	root := newMachine(cfg, v)
+	if root.done() {
+		// Zero-operation configuration: one empty schedule.
+		if err := visit(&Result{Trace: root.trace()}); err != nil && !errors.Is(err, ErrStop) {
+			return 0, err
+		}
+		return 1, nil
+	}
+
+	// Seed tasks: expand the root two levels deep to get enough
+	// independent subtrees to balance across workers.
+	var frontier []*machine
+	expand := func(ms []*machine) []*machine {
+		var out []*machine
+		for _, m := range ms {
+			if m.done() {
+				out = append(out, m) // keep terminal nodes as tasks
+				continue
+			}
+			for p := 0; p < m.numProcs(); p++ {
+				if !m.enabled(p) {
+					continue
+				}
+				c := m.clone()
+				c.doStep(p)
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+	frontier = expand(expand([]*machine{root}))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	tasks := make(chan *machine)
+	var count atomic.Int64
+	var firstErr atomic.Value // error
+	var wg sync.WaitGroup
+
+	worker := func() {
+		defer wg.Done()
+		var dfs func(m *machine) error
+		dfs = func(m *machine) error {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if m.done() {
+				count.Add(1)
+				return visit(&Result{Trace: m.trace(), Sched: m.sched})
+			}
+			for p := 0; p < m.numProcs(); p++ {
+				if !m.enabled(p) {
+					continue
+				}
+				c := m.clone()
+				c.doStep(p)
+				if err := dfs(c); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for m := range tasks {
+			if err := dfs(m); err != nil {
+				if !errors.Is(err, context.Canceled) {
+					firstErr.CompareAndSwap(nil, &err)
+				}
+				cancel()
+				return
+			}
+		}
+	}
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+feed:
+	for _, m := range frontier {
+		select {
+		case tasks <- m:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(tasks)
+	wg.Wait()
+
+	if ep := firstErr.Load(); ep != nil {
+		err := *ep.(*error)
+		if errors.Is(err, ErrStop) {
+			return count.Load(), nil
+		}
+		return count.Load(), fmt.Errorf("sched: parallel exploration: %w", err)
+	}
+	return count.Load(), nil
+}

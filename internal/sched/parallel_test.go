@@ -1,0 +1,103 @@
+package sched
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/proof"
+)
+
+func TestExploreParallelMatchesSequentialCount(t *testing.T) {
+	cfg := Config{Writes: [2]int{2, 1}, Readers: []int{2}}
+	want, err := Explore(cfg, Faithful, func(*Result) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ExploreParallel(cfg, Faithful, 4, func(*Result) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("parallel visited %d schedules, sequential %d", got, want)
+	}
+}
+
+func TestExploreParallelCertifiesEverything(t *testing.T) {
+	cfg := Config{Writes: [2]int{2, 2}, Readers: []int{2}}
+	n, err := ExploreParallel(cfg, Faithful, 0, func(r *Result) error {
+		_, err := proof.Certify(r.Trace)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := CountSchedules(cfg, Faithful); n != want {
+		t.Fatalf("visited %d schedules, want %d", n, want)
+	}
+}
+
+func TestExploreParallelPropagatesError(t *testing.T) {
+	cfg := Config{Writes: [2]int{1, 1}, Readers: []int{1}}
+	boom := errors.New("boom")
+	var fired atomic.Int64
+	_, err := ExploreParallel(cfg, Faithful, 4, func(*Result) error {
+		if fired.Add(1) == 10 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestExploreParallelStopsSilently(t *testing.T) {
+	cfg := Config{Writes: [2]int{1, 1}, Readers: []int{1}}
+	var fired atomic.Int64
+	n, err := ExploreParallel(cfg, Faithful, 4, func(*Result) error {
+		if fired.Add(1) == 5 {
+			return ErrStop
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ErrStop leaked: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("no schedules counted before stop")
+	}
+}
+
+func TestExploreParallelEmptyConfig(t *testing.T) {
+	n, err := ExploreParallel(Config{}, Faithful, 2, func(r *Result) error {
+		if len(r.Trace.Writes)+len(r.Trace.Reads) != 0 {
+			t.Fatal("empty config produced operations")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("empty config visited %d schedules, want 1", n)
+	}
+}
+
+func TestExploreParallelWriterReads(t *testing.T) {
+	cfg := Config{WriterSeq: [2]string{"wr", "w"}, Readers: []int{1}}
+	want, err := Explore(cfg, Faithful, func(*Result) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ExploreParallel(cfg, Faithful, 3, func(r *Result) error {
+		_, err := proof.Certify(r.Trace)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("parallel visited %d, sequential %d", got, want)
+	}
+}

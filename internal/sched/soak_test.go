@@ -1,0 +1,35 @@
+package sched
+
+import (
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/proof"
+)
+
+// TestSoakExhaustive is the opt-in deep exploration: millions of
+// schedules, certified in parallel. It runs only when SOAK=1 is set,
+// keeping the default suite fast:
+//
+//	SOAK=1 go test ./internal/sched -run TestSoakExhaustive -v -timeout 30m
+func TestSoakExhaustive(t *testing.T) {
+	if os.Getenv("SOAK") == "" {
+		t.Skip("set SOAK=1 to run the deep exhaustive exploration")
+	}
+	cfgs := []Config{
+		{Writes: [2]int{2, 2}, Readers: []int{1, 1}}, // 4,204,200 schedules
+		{Writes: [2]int{3, 2}, Readers: []int{2}},
+		{WriterSeq: [2]string{"wrw", "rwr"}, Readers: []int{2}},
+	}
+	for _, cfg := range cfgs {
+		n, err := ExploreParallel(cfg, Faithful, runtime.GOMAXPROCS(0), func(r *Result) error {
+			_, err := proof.Certify(r.Trace)
+			return err
+		})
+		if err != nil {
+			t.Fatalf("config %+v: %v", cfg, err)
+		}
+		t.Logf("config %+v: %d schedules certified", cfg, n)
+	}
+}

@@ -1,0 +1,160 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/atomicity"
+	"repro/internal/proof"
+)
+
+// TestWriterReadsCertifyExhaustively verifies the Section 5 local-copy
+// optimization over EVERY interleaving: both writers interleave writes and
+// reads (as combined automata) against a dedicated reader, and each
+// schedule — including the virtual own-register accesses — certifies.
+func TestWriterReadsCertifyExhaustively(t *testing.T) {
+	cfg := Config{
+		WriterSeq: [2]string{"wr", "rw"},
+		Readers:   []int{2},
+	}
+	var agg proof.Report
+	var virtuals int64
+	n, err := Explore(cfg, Faithful, func(r *Result) error {
+		lin, err := proof.Certify(r.Trace)
+		if err != nil {
+			t.Logf("failing schedule: %v", r.Sched)
+			return err
+		}
+		agg.ReadsOfPotent += lin.Report.ReadsOfPotent
+		agg.ReadsOfImp += lin.Report.ReadsOfImp
+		agg.ReadsOfInitial += lin.Report.ReadsOfInitial
+		agg.ImpotentWrites += lin.Report.ImpotentWrites
+		for _, rr := range r.Trace.Reads {
+			if rr.Virtual0 || rr.Virtual1 {
+				virtuals++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no schedules explored")
+	}
+	if virtuals == 0 {
+		t.Fatal("no virtual reads occurred; the optimization was unexercised")
+	}
+	t.Logf("explored %d schedules; virtual-read ops %d; classification %+v", n, virtuals, agg)
+	if agg.ImpotentWrites == 0 || agg.ReadsOfImp == 0 {
+		t.Error("interesting cases unexercised with writer-readers present")
+	}
+}
+
+// TestWriterReadsCrossChecked confirms the generic checker agrees on a
+// smaller writer-read configuration.
+func TestWriterReadsCrossChecked(t *testing.T) {
+	cfg := Config{
+		WriterSeq: [2]string{"wr", "w"},
+		Readers:   []int{1},
+	}
+	_, err := Explore(cfg, Faithful, func(r *Result) error {
+		if _, err := proof.Certify(r.Trace); err != nil {
+			return err
+		}
+		res, err := atomicity.Check(r.Trace.Ops(), InitValue)
+		if err != nil {
+			return err
+		}
+		if !res.Linearizable {
+			t.Fatalf("generic checker rejected writer-read schedule %v", r.Sched)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriterReadSeesOwnWriteImmediately pins the one-real-read fast path:
+// right after writer 0 writes, the tag sum equals its index, so its next
+// read costs a single real access (the read of Reg1); the own-register
+// accesses — the first sample and the final read — are virtual.
+func TestWriterReadSeesOwnWriteImmediately(t *testing.T) {
+	cfg := Config{WriterSeq: [2]string{"wr", ""}, Readers: nil}
+	// Writer 0 alone: write (2 steps), then read (must take 1 step).
+	res, err := RunScript(cfg, Faithful, []int{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace.Reads) != 1 {
+		t.Fatalf("got %d reads", len(res.Trace.Reads))
+	}
+	rr := res.Trace.Reads[0]
+	if !rr.Virtual0 || !rr.Virtual2 || rr.Virtual1 {
+		t.Fatalf("virtual pattern wrong: %+v", rr)
+	}
+	if rr.Ret != WriteValue(0, 0) {
+		t.Fatalf("writer read %d, want its own write %d", rr.Ret, WriteValue(0, 0))
+	}
+	if _, err := proof.Certify(res.Trace); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriterReadTwoRealReads pins the two-real-read slow path: after the
+// OTHER writer's write flips the tag sum, writer 0's read targets Reg1 and
+// needs a second real access.
+func TestWriterReadTwoRealReads(t *testing.T) {
+	cfg := Config{WriterSeq: [2]string{"r", "w"}, Readers: nil}
+	// Writer 1 completes its write (2 steps), then writer 0 reads: the
+	// sum of tags is now 1 ≠ 0, so the read takes 2 steps.
+	res, err := RunScript(cfg, Faithful, []int{1, 1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := res.Trace.Reads[0]
+	if rr.Virtual2 {
+		t.Fatalf("final read should be real: %+v", rr)
+	}
+	if rr.R2Reg != 1 || rr.Ret != WriteValue(1, 0) {
+		t.Fatalf("read %d from Reg%d, want writer 1's value from Reg1", rr.Ret, rr.R2Reg)
+	}
+	if _, err := proof.Certify(res.Trace); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriterReadCrashExploration crashes combined automata mid-read too.
+func TestWriterReadCrashExploration(t *testing.T) {
+	cfg := Config{WriterSeq: [2]string{"r", "w"}, Readers: []int{1}}
+	crashedReads := 0
+	_, err := ExploreWithCrashes(cfg, Faithful, 1, func(r *CrashResult) error {
+		for _, rr := range r.Trace.Reads {
+			if rr.Crashed && rr.ReaderIndex == -1 {
+				crashedReads++
+			}
+		}
+		_, err := proof.Certify(r.Trace)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crashedReads == 0 {
+		t.Fatal("no writer-read crashed mid-operation; crash path unexercised")
+	}
+}
+
+// TestCountSchedulesWriterReads pins the -1 sentinel.
+func TestCountSchedulesWriterReads(t *testing.T) {
+	cfg := Config{WriterSeq: [2]string{"r", ""}, Readers: nil}
+	if got := CountSchedules(cfg, Faithful); got != -1 {
+		t.Fatalf("CountSchedules = %d, want -1 for data-dependent configs", got)
+	}
+	// And WriterSeq of all-'w' agrees with Writes.
+	a := Config{Writes: [2]int{2, 1}, Readers: []int{1}}
+	b := Config{WriterSeq: [2]string{"ww", "w"}, Readers: []int{1}}
+	if CountSchedules(a, Faithful) != CountSchedules(b, Faithful) {
+		t.Fatal("WriterSeq all-w disagrees with Writes")
+	}
+}

@@ -1,0 +1,179 @@
+// Package spec encodes the register specification of Section 3 of Bloom
+// (PODC 1987) as checkable predicates.
+//
+// A schedule is "atomic initialized to v0" if either it is not
+// input-correct, or (1) requests and acknowledgments match along each
+// channel, and (2) the reads and writes can be shrunk to points: *-actions
+// can be inserted, one inside each request/acknowledgment pair, such that
+// each read's R*(v) returns the value of the latest preceding W*(v'), or v0
+// if there is none. This package validates proposed witnesses (placements
+// of *-actions); searching for a witness is the job of package atomicity,
+// and constructing one for Bloom's protocol is the job of package proof.
+package spec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/history"
+)
+
+// Witness assigns each operation a linearization point. Points must be
+// distinct; they are compared as int64 "times" on the same scale as the
+// history's sequence numbers (a point may share its value with an existing
+// event's sequence number, in which case the *-action is taken to occur
+// immediately after that event; distinct operations must still receive
+// distinct points).
+type Witness map[int]int64
+
+// ValidateWitness checks that w demonstrates that the operations ops (from
+// an input-correct history) form an atomic schedule initialized to init.
+//
+// It verifies, per the paper's definition:
+//
+//  1. every completed operation has a point, and the point lies within the
+//     operation's request/acknowledgment interval;
+//  2. pending writes may have a point (the write "occurred") or none (it
+//     did not); pending reads must have none;
+//  3. points are distinct;
+//  4. replaying the operations in point order satisfies the register
+//     property: every read returns the latest previously written value, or
+//     init if there is none.
+//
+// The point of an operation is interpreted as occurring after all events
+// with Seq <= point and before all events with Seq > point; since points
+// are distinct int64s, they induce a strict total order on operations.
+func ValidateWitness[V comparable](ops []history.Op[V], init V, w Witness) error {
+	type pointed struct {
+		op history.Op[V]
+		pt int64
+	}
+	seen := make(map[int64]int, len(w))
+	var seq []pointed
+	for _, op := range ops {
+		pt, ok := w[op.ID]
+		if !ok {
+			if !op.Pending() {
+				return fmt.Errorf("spec: completed operation %v has no *-action", op)
+			}
+			continue // a pending operation that never took effect
+		}
+		if op.Pending() && !op.IsWrite {
+			return fmt.Errorf("spec: pending read %v must not have a *-action", op)
+		}
+		if pt < op.Inv {
+			return fmt.Errorf("spec: *-action of %v at %d precedes its request at %d", op, pt, op.Inv)
+		}
+		if !op.Pending() && pt >= op.Res {
+			return fmt.Errorf("spec: *-action of %v at %d does not precede its acknowledgment at %d", op, pt, op.Res)
+		}
+		if prev, dup := seen[pt]; dup {
+			return fmt.Errorf("spec: operations %d and %d share *-action time %d", prev, op.ID, pt)
+		}
+		seen[pt] = op.ID
+		seq = append(seq, pointed{op, pt})
+	}
+	sort.Slice(seq, func(i, j int) bool { return seq[i].pt < seq[j].pt })
+
+	cur := init
+	for _, p := range seq {
+		if p.op.IsWrite {
+			cur = p.op.Arg
+			continue
+		}
+		if p.op.Ret != cur {
+			return fmt.Errorf("spec: read %v returns %v but the latest write before its *-action wrote %v",
+				p.op, p.op.Ret, cur)
+		}
+	}
+	return nil
+}
+
+// ValidateHistory is a convenience wrapper: it checks input-correctness and
+// matching of h, extracts its operations, and validates w against them.
+func ValidateHistory[V comparable](h *history.History[V], init V, w Witness) error {
+	if err := h.InputCorrect(); err != nil {
+		// Per the definition, a non-input-correct schedule is vacuously
+		// atomic: the user broke the interface. We still surface the
+		// anomaly, because in this codebase the harness is the only
+		// user and must never produce such schedules.
+		return fmt.Errorf("spec: schedule is not input-correct (vacuously atomic, but the harness is buggy): %w", err)
+	}
+	ops, err := h.Ops()
+	if err != nil {
+		return err
+	}
+	return ValidateWitness(ops, init, w)
+}
+
+// CheckSequential verifies the register property on an already-serial
+// operation sequence: every read returns the value of the latest preceding
+// write, or init. It is the single-processor "register property" of the
+// paper's introduction, and is used to sanity-check sequential runs.
+func CheckSequential[V comparable](ops []history.Op[V], init V) error {
+	cur := init
+	for _, op := range ops {
+		if op.Pending() {
+			return fmt.Errorf("spec: sequential run contains pending operation %v", op)
+		}
+		if op.IsWrite {
+			cur = op.Arg
+			continue
+		}
+		if op.Ret != cur {
+			return fmt.Errorf("spec: sequential read %v returned %v, want %v", op, op.Ret, cur)
+		}
+	}
+	return nil
+}
+
+// WritesPrecedingReads reports, for diagnostics, the set of write values a
+// read R could legally return under atomicity: the values of writes that do
+// not begin after R ends and are not succeeded by another write that
+// completes before R begins, plus init if no write completes before R
+// begins. This is not a full atomicity check (it ignores cross-read
+// constraints); it is a fast necessary condition used in error messages and
+// property tests.
+func WritesPrecedingReads[V comparable](ops []history.Op[V], init V) map[int][]V {
+	var writes []history.Op[V]
+	for _, op := range ops {
+		if op.IsWrite {
+			writes = append(writes, op)
+		}
+	}
+	out := make(map[int][]V)
+	for _, r := range ops {
+		if r.IsWrite || r.Pending() {
+			continue
+		}
+		var legal []V
+		anyCompletedBefore := false
+		for _, w := range writes {
+			if w.Precedes(r) {
+				anyCompletedBefore = true
+			}
+		}
+		for _, w := range writes {
+			if r.Precedes(w) {
+				continue // w begins after r ends
+			}
+			// w is legal unless some other write w2 follows w and
+			// completes before r begins.
+			overwritten := false
+			for _, w2 := range writes {
+				if w2.ID != w.ID && w.Precedes(w2) && w2.Precedes(r) {
+					overwritten = true
+					break
+				}
+			}
+			if !overwritten {
+				legal = append(legal, w.Arg)
+			}
+		}
+		if !anyCompletedBefore {
+			legal = append(legal, init)
+		}
+		out[r.ID] = legal
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/history"
+)
+
+// op builds a test operation.
+func wr(id int, proc history.ProcID, v string, inv, res int64) history.Op[string] {
+	return history.Op[string]{ID: id, Proc: proc, IsWrite: true, Arg: v, Inv: inv, Res: res}
+}
+
+func rd(id int, proc history.ProcID, v string, inv, res int64) history.Op[string] {
+	return history.Op[string]{ID: id, Proc: proc, Ret: v, Inv: inv, Res: res}
+}
+
+func TestValidateWitnessAccepts(t *testing.T) {
+	// W(a)[1,4]  R=a[5,8]  — points 2 and 6.
+	ops := []history.Op[string]{
+		wr(0, 0, "a", 1, 4),
+		rd(1, 2, "a", 5, 8),
+	}
+	if err := ValidateWitness(ops, "init", Witness{0: 2, 1: 6}); err != nil {
+		t.Fatalf("valid witness rejected: %v", err)
+	}
+}
+
+func TestValidateWitnessInitialValue(t *testing.T) {
+	ops := []history.Op[string]{rd(0, 2, "init", 1, 3)}
+	if err := ValidateWitness(ops, "init", Witness{0: 2}); err != nil {
+		t.Fatalf("read of initial value rejected: %v", err)
+	}
+	if err := ValidateWitness(ops, "other", Witness{0: 2}); err == nil {
+		t.Fatal("read of wrong initial value accepted")
+	}
+}
+
+func TestValidateWitnessRejectsPointOutsideInterval(t *testing.T) {
+	ops := []history.Op[string]{wr(0, 0, "a", 5, 9)}
+	for _, pt := range []int64{3, 4, 9, 12} {
+		if err := ValidateWitness(ops, "i", Witness{0: pt}); err == nil {
+			t.Errorf("point %d outside [5,9) accepted", pt)
+		}
+	}
+	for _, pt := range []int64{5, 6, 8} {
+		if err := ValidateWitness(ops, "i", Witness{0: pt}); err != nil {
+			t.Errorf("point %d inside interval rejected: %v", pt, err)
+		}
+	}
+}
+
+func TestValidateWitnessRejectsMissingPoint(t *testing.T) {
+	ops := []history.Op[string]{wr(0, 0, "a", 1, 4)}
+	err := ValidateWitness(ops, "i", Witness{})
+	if err == nil || !strings.Contains(err.Error(), "no *-action") {
+		t.Fatalf("completed op without point accepted: %v", err)
+	}
+}
+
+func TestValidateWitnessRejectsDuplicatePoints(t *testing.T) {
+	ops := []history.Op[string]{
+		wr(0, 0, "a", 1, 10),
+		wr(1, 1, "b", 1, 10),
+	}
+	if err := ValidateWitness(ops, "i", Witness{0: 5, 1: 5}); err == nil {
+		t.Fatal("duplicate points accepted")
+	}
+}
+
+func TestValidateWitnessRejectsWrongReadValue(t *testing.T) {
+	ops := []history.Op[string]{
+		wr(0, 0, "a", 1, 4),
+		wr(1, 1, "b", 5, 8),
+		rd(2, 2, "a", 9, 12), // reads a after b took effect
+	}
+	if err := ValidateWitness(ops, "i", Witness{0: 2, 1: 6, 2: 10}); err == nil {
+		t.Fatal("read of overwritten value accepted")
+	}
+}
+
+func TestValidateWitnessPendingWrite(t *testing.T) {
+	pendingW := history.Op[string]{ID: 0, IsWrite: true, Arg: "a", Inv: 1, Res: history.PendingSeq}
+	read := rd(1, 2, "a", 5, 9)
+	// The pending write may take effect...
+	if err := ValidateWitness([]history.Op[string]{pendingW, read}, "i", Witness{0: 3, 1: 6}); err != nil {
+		t.Fatalf("pending write with point rejected: %v", err)
+	}
+	// ...or never occur.
+	readInit := rd(1, 2, "i", 5, 9)
+	if err := ValidateWitness([]history.Op[string]{pendingW, readInit}, "i", Witness{1: 6}); err != nil {
+		t.Fatalf("pending write without point rejected: %v", err)
+	}
+	// But a pending read must not linearize.
+	pendingR := history.Op[string]{ID: 2, Inv: 10, Res: history.PendingSeq}
+	if err := ValidateWitness([]history.Op[string]{pendingR}, "i", Witness{2: 11}); err == nil {
+		t.Fatal("pending read with a point accepted")
+	}
+}
+
+func TestValidateHistoryWrapsInputCorrectness(t *testing.T) {
+	h := &history.History[string]{Events: []history.Event[string]{
+		{Seq: 1, Kind: history.InvokeRead, Proc: 0, Op: 0},
+		{Seq: 2, Kind: history.InvokeRead, Proc: 0, Op: 1},
+	}}
+	if err := ValidateHistory(h, "i", Witness{}); err == nil {
+		t.Fatal("non-input-correct history must be flagged")
+	}
+}
+
+func TestValidateHistoryEndToEnd(t *testing.T) {
+	rec := history.NewRecorder[string](nil)
+	w, _ := rec.InvokeWrite(0, "a")
+	rec.RespondWrite(0, w)
+	r, _ := rec.InvokeRead(2)
+	rec.RespondRead(2, r, "a")
+	h := rec.Snapshot()
+	// Points: writes at seq of its invoke (allowed: >= Inv), read after.
+	ops, err := h.Ops()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wit := Witness{ops[0].ID: ops[0].Inv, ops[1].ID: ops[1].Inv}
+	if err := ValidateHistory(&h, "i", wit); err != nil {
+		t.Fatalf("end-to-end witness rejected: %v", err)
+	}
+}
+
+func TestCheckSequential(t *testing.T) {
+	ops := []history.Op[string]{
+		wr(0, 0, "a", 1, 2),
+		rd(1, 2, "a", 3, 4),
+		wr(2, 1, "b", 5, 6),
+		rd(3, 2, "b", 7, 8),
+	}
+	if err := CheckSequential(ops, "i"); err != nil {
+		t.Fatalf("valid sequential run rejected: %v", err)
+	}
+	bad := []history.Op[string]{wr(0, 0, "a", 1, 2), rd(1, 2, "i", 3, 4)}
+	if err := CheckSequential(bad, "i"); err == nil {
+		t.Fatal("stale sequential read accepted")
+	}
+	pend := []history.Op[string]{{ID: 0, IsWrite: true, Arg: "a", Inv: 1, Res: history.PendingSeq}}
+	if err := CheckSequential(pend, "i"); err == nil {
+		t.Fatal("pending op in sequential run accepted")
+	}
+}
+
+func TestWritesPrecedingReads(t *testing.T) {
+	// W(a)[1,2]  W(b)[3,4]  R[5,6]: only b is legal (a overwritten).
+	ops := []history.Op[string]{
+		wr(0, 0, "a", 1, 2),
+		wr(1, 1, "b", 3, 4),
+		rd(2, 2, "?", 5, 6),
+	}
+	legal := WritesPrecedingReads(ops, "i")[2]
+	if len(legal) != 1 || legal[0] != "b" {
+		t.Fatalf("legal = %v, want [b]", legal)
+	}
+
+	// Overlapping write: W(a)[1,2]  W(b)[3,10]  R[5,6]: a or b, not init.
+	ops = []history.Op[string]{
+		wr(0, 0, "a", 1, 2),
+		wr(1, 1, "b", 3, 10),
+		rd(2, 2, "?", 5, 6),
+	}
+	legal = WritesPrecedingReads(ops, "i")[2]
+	if len(legal) != 2 {
+		t.Fatalf("legal = %v, want two values", legal)
+	}
+
+	// No completed write before the read: init is legal.
+	ops = []history.Op[string]{
+		wr(0, 0, "a", 4, 9),
+		rd(1, 2, "?", 5, 6),
+	}
+	legal = WritesPrecedingReads(ops, "i")[1]
+	found := map[string]bool{}
+	for _, v := range legal {
+		found[v] = true
+	}
+	if !found["a"] || !found["i"] || len(legal) != 2 {
+		t.Fatalf("legal = %v, want [a i]", legal)
+	}
+}

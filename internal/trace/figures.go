@@ -1,0 +1,46 @@
+package trace
+
+// Figure3 reproduces the paper's Figure 3: the timing diagram used in the
+// proof of Lemma 2 (by contradiction). It depicts a hypothetical schedule
+// in which the impotent write W0 has an impotent prefinisher W1, which in
+// turn is prefinished by W1'. The proof orders the five marked times as
+// T1r' < T1r ... and derives a contradiction; the schedule below is
+// therefore IMPOSSIBLE — no execution of the protocol realizes it, which
+// the exhaustive explorer confirms (see EXPERIMENTS.md, F3).
+func Figure3() string {
+	return `Figure 3 (Lemma 2, proof by contradiction — this schedule is IMPOSSIBLE):
+
+  time          T1r'  T1r   T0r   T1w   T0w
+  Reg0 tag        0     1     1     1     0
+                              |           |
+  Wr0                         [ read Reg1 ........ write Reg0 ]   = W0 (impotent)
+  Wr1           [ read Reg0 . write Reg1 ]                        = W1 (impotent?)
+  Wr1'    [ ... write Reg0 ]                                      = W1' prefinishes W1
+  Reg1 tag        0     0     0     1     1
+
+  W1 prefinishes W0 (its real write falls between W0's read and write);
+  the proof assumes W1 is itself impotent and derives that Reg0's tag bit
+  must be both 0 and 1 at time T1r — contradiction. Hence every impotent
+  write's prefinisher is potent (Lemma 2).`
+}
+
+// Figure4 reproduces the paper's Figure 4: the timing used in the proof of
+// Lemma 4. If a read R returns the value of an impotent write W0 whose
+// assigned *-action (just before its prefinisher W1's) fell BEFORE R
+// began, the tag bits would have to sum to 0 and 1 simultaneously;
+// impossible. Hence the impotent write's *-action always lands inside the
+// reader's interval, and Step 3's placement is legitimate.
+func Figure4() string {
+	return `Figure 4 (Lemma 4, proof by contradiction — this schedule is IMPOSSIBLE):
+
+  time        Ts0   Ts1   T0    T1    T2
+               |     |    |     |     |
+  W0*  ........*     |    |     |     |    (impotent write's assigned point)
+  W1*  ..............*    |     |     |    (its potent prefinisher's point)
+  Rd           .          [ a ... b ... c ]  = R, reads W0's value at T2
+
+  With both write points before the read's first sample T0, the reader's
+  two tag samples force t0 ⊕ t1 = 0 while W1's potency forces t0 ⊕ t1 = 1.
+  Contradiction: so Ts0 lies inside [T0, T2] and Step 3 may place the
+  read's *-action immediately after W0's.`
+}

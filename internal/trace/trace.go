@@ -1,0 +1,291 @@
+// Package trace renders recorded runs as ASCII timing diagrams in the
+// style of Figures 3 and 4 of Bloom (PODC 1987): one lane per processor
+// showing operation intervals and real-register accesses, plus one lane
+// per real register tracking its tag bit over time.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/proof"
+)
+
+// mark is one labeled point on a lane.
+type mark struct {
+	seq   int64
+	label string
+}
+
+// lane is one row of the diagram.
+type lane struct {
+	name  string
+	marks []mark
+	// spans are [start,end] seq pairs drawn as dashes (operation
+	// intervals).
+	spans [][2]int64
+}
+
+// Diagram is a renderable timing diagram.
+type Diagram struct {
+	lanes []lane
+	// tag transitions per register: seq → new tag.
+	tags [2][]mark
+	seqs []int64
+	// points counts certified *-actions per anchor stamp (optional).
+	points map[int64]int
+}
+
+// AttachPoints adds a certified linearization's *-action anchors to the
+// diagram: the rendering gains a lane showing how many simulated
+// operations take effect immediately after each γ event.
+func AttachPoints[V comparable](d *Diagram, lin *proof.Linearization[V]) {
+	d.points = make(map[int64]int, len(lin.Ops))
+	for _, op := range lin.Ops {
+		d.points[op.Key.Anchor]++
+	}
+}
+
+// laneName renders a channel as the paper's processor names.
+func laneName(ch history.ProcID) string {
+	switch {
+	case ch == 0:
+		return "Wr0"
+	case ch == 1:
+		return "Wr1"
+	case ch < 0:
+		return fmt.Sprintf("Wr%d(read)", -int(ch)-1)
+	default:
+		return fmt.Sprintf("Rd%d", int(ch)-1)
+	}
+}
+
+// Build assembles a diagram from a recorded trace. Only stamped traces
+// render usefully; unstamped accesses (stamp 0) are skipped.
+func Build[V comparable](tr core.Trace[V]) *Diagram {
+	d := &Diagram{}
+	byChan := make(map[history.ProcID]*lane)
+	getLane := func(ch history.ProcID) *lane {
+		if l, ok := byChan[ch]; ok {
+			return l
+		}
+		l := &lane{name: laneName(ch)}
+		byChan[ch] = l
+		return l
+	}
+	addSeq := func(s int64) {
+		if s > 0 {
+			d.seqs = append(d.seqs, s)
+		}
+	}
+
+	for _, w := range tr.Writes {
+		l := getLane(history.ProcID(w.Writer))
+		end := w.RespondSeq
+		if w.Crashed {
+			// Draw crashed ops to their last completed access.
+			end = w.InvokeSeq
+			if w.DidRead {
+				end = w.ReadSeq
+			}
+			if w.DidWrite {
+				end = w.WriteSeq
+			}
+		}
+		l.spans = append(l.spans, [2]int64{w.InvokeSeq, end})
+		addSeq(w.InvokeSeq)
+		if !w.Crashed {
+			addSeq(w.RespondSeq)
+		}
+		if w.DidRead {
+			l.marks = append(l.marks, mark{w.ReadSeq, fmt.Sprintf("r%d", 1-w.Writer)})
+			addSeq(w.ReadSeq)
+		}
+		if w.DidWrite {
+			l.marks = append(l.marks, mark{w.WriteSeq, "W"})
+			addSeq(w.WriteSeq)
+			d.tags[w.Writer] = append(d.tags[w.Writer], mark{w.WriteSeq, fmt.Sprintf("%d", w.WriteTag)})
+		}
+		if w.Crashed {
+			// Applied after the access marks so the crash stays visible.
+			l.marks = append(l.marks, mark{end, "X "})
+		}
+	}
+	for _, r := range tr.Reads {
+		l := getLane(r.Proc)
+		end := r.RespondSeq
+		if r.Crashed {
+			end = r.InvokeSeq
+			for _, s := range []int64{r.R0Seq, r.R1Seq, r.R2Seq} {
+				if s > end {
+					end = s
+				}
+			}
+		}
+		l.spans = append(l.spans, [2]int64{r.InvokeSeq, end})
+		addSeq(r.InvokeSeq)
+		if !r.Crashed {
+			addSeq(r.RespondSeq)
+		}
+		if r.R0Seq > 0 {
+			l.marks = append(l.marks, mark{r.R0Seq, "a"})
+			addSeq(r.R0Seq)
+		}
+		if r.R1Seq > 0 {
+			l.marks = append(l.marks, mark{r.R1Seq, "b"})
+			addSeq(r.R1Seq)
+		}
+		if r.R2Seq > 0 {
+			l.marks = append(l.marks, mark{r.R2Seq, fmt.Sprintf("c%d", r.R2Reg)})
+			addSeq(r.R2Seq)
+		}
+		if r.Crashed {
+			l.marks = append(l.marks, mark{end, "X "})
+		}
+	}
+
+	// Stable lane order: Wr0, Wr1, writer read-channels, readers.
+	keys := make([]history.ProcID, 0, len(byChan))
+	for ch := range byChan {
+		keys = append(keys, ch)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		rank := func(ch history.ProcID) int {
+			if ch >= 0 {
+				return int(ch) * 2
+			}
+			return (-int(ch)-1)*2 + 1
+		}
+		return rank(keys[i]) < rank(keys[j])
+	})
+	for _, ch := range keys {
+		d.lanes = append(d.lanes, *byChan[ch])
+	}
+
+	sort.Slice(d.seqs, func(i, j int) bool { return d.seqs[i] < d.seqs[j] })
+	d.seqs = dedupe(d.seqs)
+	return d
+}
+
+func dedupe(s []int64) []int64 {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// colWidth is the width of one timeline column.
+const colWidth = 4
+
+// Render draws the diagram. Columns are γ stamps in order; each processor
+// lane shows its operation intervals as dashes with access marks:
+//
+//	r0/r1 = a writer's real read of Reg0/Reg1, W = its real write,
+//	a/b   = a reader's first/second real read, cN = its final read of RegN,
+//	X     = crash.
+//
+// Tag lanes show each register's tag bit at every write that sets it.
+func (d *Diagram) Render() string {
+	col := make(map[int64]int, len(d.seqs))
+	for i, s := range d.seqs {
+		col[s] = i
+	}
+	width := len(d.seqs) * colWidth
+
+	var b strings.Builder
+	writeRow := func(name string, cells []string) {
+		fmt.Fprintf(&b, "%-10s", name)
+		for _, c := range cells {
+			fmt.Fprintf(&b, "%-*s", colWidth, c)
+		}
+		b.WriteString("\n")
+	}
+
+	// Header: stamps.
+	head := make([]string, len(d.seqs))
+	for i, s := range d.seqs {
+		head[i] = fmt.Sprintf("%d", s)
+	}
+	writeRow("time", head)
+
+	// *-action lane (when a linearization is attached): how many
+	// simulated operations take effect just after each γ event.
+	if d.points != nil {
+		cells := make([]string, len(d.seqs))
+		for i, s := range d.seqs {
+			switch n := d.points[s]; {
+			case n == 0:
+			case n <= 3:
+				cells[i] = strings.Repeat("*", n)
+			default:
+				cells[i] = fmt.Sprintf("*%d", n) // keep within the column
+			}
+		}
+		writeRow("*-acts", cells)
+	}
+
+	// Tag lanes.
+	for reg := 0; reg < 2; reg++ {
+		cells := make([]string, len(d.seqs))
+		cur := "0"
+		marks := append([]mark(nil), d.tags[reg]...)
+		sort.Slice(marks, func(i, j int) bool { return marks[i].seq < marks[j].seq })
+		mi := 0
+		for i, s := range d.seqs {
+			for mi < len(marks) && marks[mi].seq <= s {
+				cur = marks[mi].label
+				mi++
+			}
+			cells[i] = cur
+		}
+		writeRow(fmt.Sprintf("Reg%d tag", reg), cells)
+	}
+
+	// Processor lanes.
+	for _, l := range d.lanes {
+		row := make([]rune, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		for _, sp := range l.spans {
+			start, end := 0, width-1
+			if c, ok := col[sp[0]]; ok {
+				start = c * colWidth
+			}
+			if c, ok := col[sp[1]]; ok {
+				end = c*colWidth + 1
+			}
+			for i := start; i <= end && i < width; i++ {
+				row[i] = '-'
+			}
+			if start < width {
+				row[start] = '['
+			}
+			if _, ok := col[sp[1]]; ok && end < width {
+				row[end] = ']'
+			}
+		}
+		cells := string(row)
+		for _, m := range l.marks {
+			c, ok := col[m.seq]
+			if !ok {
+				continue
+			}
+			pos := c * colWidth
+			cells = cells[:pos] + m.label + cells[pos+len(m.label):]
+		}
+		fmt.Fprintf(&b, "%-10s%s\n", l.name, strings.TrimRight(cells, " "))
+	}
+	return b.String()
+}
+
+// Legend explains the rendering symbols.
+const Legend = `legend: [---] operation interval   rN writer's real read of RegN
+        W real write   a/b reader's 1st/2nd read   cN final read of RegN
+        X crash point  RegN tag rows show the tag bit over time`

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/proof"
+	"repro/internal/sched"
+)
+
+// slowReaderTrace reproduces the paper's slow-reader scenario via the
+// deterministic step machine.
+func slowReaderTrace(t *testing.T) core.Trace[int] {
+	t.Helper()
+	cfg := sched.Config{Writes: [2]int{1, 1}, Readers: []int{1}}
+	res, err := sched.RunScript(cfg, sched.Faithful, []int{2, 2, 0, 1, 1, 0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Trace
+}
+
+func TestRenderContainsLanes(t *testing.T) {
+	d := Build(slowReaderTrace(t))
+	out := d.Render()
+	for _, want := range []string{"time", "Reg0 tag", "Reg1 tag", "Wr0", "Wr1", "Rd1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering lacks %q:\n%s", want, out)
+		}
+	}
+	// The writer's real write and read marks appear.
+	if !strings.Contains(out, "W") {
+		t.Errorf("no real-write mark:\n%s", out)
+	}
+	for _, m := range []string{"a", "b", "c0"} {
+		if !strings.Contains(out, m) {
+			t.Errorf("no %q reader mark:\n%s", m, out)
+		}
+	}
+}
+
+func TestRenderTagTransition(t *testing.T) {
+	out := Build(slowReaderTrace(t)).Render()
+	// Reg1's tag flips to 1 at W1's real write; the tag lane must show
+	// both values.
+	lines := strings.Split(out, "\n")
+	var reg1 string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "Reg1 tag") {
+			reg1 = l
+		}
+	}
+	if !strings.Contains(reg1, "0") || !strings.Contains(reg1, "1") {
+		t.Fatalf("Reg1 tag lane missing transition: %q", reg1)
+	}
+}
+
+func TestRenderCrashMark(t *testing.T) {
+	tw := core.New(1, "v0", core.WithRecording[string]())
+	tw.Writer(0).Write("a")
+	tw.Writer(1).WriteCrashing("b", 1)
+	_ = tw.Reader(1).Read()
+	out := Build(tw.Recorder().Trace("v0")).Render()
+	if !strings.Contains(out, "X") {
+		t.Fatalf("crash mark missing:\n%s", out)
+	}
+}
+
+func TestRenderWriterReaderLane(t *testing.T) {
+	tw := core.New(0, "v0", core.WithRecording[string]())
+	wr := tw.WriterReader(0)
+	wr.Write("a")
+	_ = wr.Read()
+	out := Build(tw.Recorder().Trace("v0")).Render()
+	if !strings.Contains(out, "Wr0(read)") {
+		t.Fatalf("writer read-channel lane missing:\n%s", out)
+	}
+}
+
+func TestAttachPoints(t *testing.T) {
+	tr := slowReaderTrace(t)
+	lin, err := proof.Certify(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Build(tr)
+	AttachPoints(d, lin)
+	out := d.Render()
+	if !strings.Contains(out, "*-acts") {
+		t.Fatalf("points lane missing:\n%s", out)
+	}
+	// The slow-reader run anchors three *-actions at W1's real write
+	// (the impotent write, the read of it, and W1 itself).
+	if !strings.Contains(out, "***") {
+		t.Fatalf("triple anchor not rendered:\n%s", out)
+	}
+}
+
+func TestLaneName(t *testing.T) {
+	cases := map[history.ProcID]string{
+		0:  "Wr0",
+		1:  "Wr1",
+		2:  "Rd1",
+		5:  "Rd4",
+		-1: "Wr0(read)",
+		-2: "Wr1(read)",
+	}
+	for ch, want := range cases {
+		if got := laneName(ch); got != want {
+			t.Errorf("laneName(%d) = %q, want %q", ch, got, want)
+		}
+	}
+}
+
+func TestStaticFigures(t *testing.T) {
+	f3 := Figure3()
+	if !strings.Contains(f3, "IMPOSSIBLE") || !strings.Contains(f3, "Lemma 2") {
+		t.Error("Figure3 text incomplete")
+	}
+	f4 := Figure4()
+	if !strings.Contains(f4, "IMPOSSIBLE") || !strings.Contains(f4, "Lemma 4") {
+		t.Error("Figure4 text incomplete")
+	}
+	if Legend == "" {
+		t.Error("empty legend")
+	}
+}
+
+func TestDedupe(t *testing.T) {
+	got := dedupe([]int64{1, 1, 2, 3, 3, 3, 4})
+	want := []int64{1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("dedupe = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dedupe = %v", got)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package vitanyi implements an unbounded-timestamp multi-writer,
+// multi-reader atomic register in the style of Vitányi–Awerbuch [VA], the
+// reference the paper cites for protocols that actually do extend past two
+// writers (Section 8 shows the natural tournament extension fails; this
+// construction is the classic approach that works).
+//
+// Layout: one single-writer, all-reader atomic register per writer,
+// holding (timestamp, writer, value). A write collects all registers,
+// picks a timestamp one larger than the maximum it saw, and publishes. A
+// read collects all registers and returns the value of the lexicographically
+// largest (timestamp, writer) pair.
+//
+// Timestamps grow without bound — the price of simplicity that the
+// bounded-construction literature ([PB] and successors) works to remove;
+// bounded versions are out of scope here (see DESIGN.md).
+package vitanyi
+
+import (
+	"fmt"
+
+	"repro/internal/history"
+	"repro/internal/register"
+)
+
+// entry is the content of one per-writer register.
+type entry[V comparable] struct {
+	seq    int64
+	writer int
+	val    V
+}
+
+// newer reports whether a supersedes b in the (timestamp, writer)
+// lexicographic order.
+func newer[V comparable](a, b entry[V]) bool {
+	if a.seq != b.seq {
+		return a.seq > b.seq
+	}
+	return a.writer > b.writer
+}
+
+// MRMW is the multi-writer multi-reader atomic register.
+type MRMW[V comparable] struct {
+	writers int
+	readers int
+	regs    []*register.Atomic[entry[V]]
+	init    V
+	rec     *history.Recorder[V]
+}
+
+// New builds a register with the given numbers of writers and readers,
+// initialized to v0. If record is true, an external history is collected
+// for post-run atomicity checking.
+func New[V comparable](writers, readers int, v0 V, record bool) (*MRMW[V], error) {
+	if writers < 1 || readers < 0 {
+		return nil, fmt.Errorf("vitanyi: invalid configuration: %d writers, %d readers", writers, readers)
+	}
+	seq := new(history.Sequencer)
+	m := &MRMW[V]{writers: writers, readers: readers, init: v0}
+	ports := writers + readers
+	m.regs = make([]*register.Atomic[entry[V]], writers)
+	for w := range m.regs {
+		m.regs[w] = register.NewAtomic(ports, entry[V]{val: v0, writer: -1}, seq)
+	}
+	if record {
+		m.rec = history.NewRecorder[V](seq)
+	}
+	return m, nil
+}
+
+// Writers returns the number of writers.
+func (m *MRMW[V]) Writers() int { return m.writers }
+
+// Readers returns the number of dedicated readers.
+func (m *MRMW[V]) Readers() int { return m.readers }
+
+// History returns the external history recorded so far; it panics if the
+// register was built without recording.
+func (m *MRMW[V]) History() history.History[V] {
+	if m.rec == nil {
+		panic("vitanyi: register built without recording")
+	}
+	return m.rec.Snapshot()
+}
+
+// InitialValue returns v0.
+func (m *MRMW[V]) InitialValue() V { return m.init }
+
+// collect reads every per-writer register through the given port and
+// returns the lexicographically largest entry.
+func (m *MRMW[V]) collect(port int) entry[V] {
+	best := m.regs[0].Read(port)
+	for _, r := range m.regs[1:] {
+		if e := r.Read(port); newer(e, best) {
+			best = e
+		}
+	}
+	return best
+}
+
+// Writer is the handle for one writer; it is one sequential automaton.
+type Writer[V comparable] struct {
+	m *MRMW[V]
+	i int
+}
+
+// Writer returns the handle for writer i (0-based).
+func (m *MRMW[V]) Writer(i int) *Writer[V] {
+	if i < 0 || i >= m.writers {
+		panic(fmt.Sprintf("vitanyi: writer %d out of range [0,%d)", i, m.writers))
+	}
+	return &Writer[V]{m: m, i: i}
+}
+
+// chan IDs: writers 0..w-1; readers w..w+r-1.
+func (w *Writer[V]) chanID() history.ProcID { return history.ProcID(w.i) }
+
+// Write performs one write: collect, bump the max timestamp, publish.
+func (w *Writer[V]) Write(v V) {
+	var op int
+	if w.m.rec != nil {
+		op, _ = w.m.rec.InvokeWrite(w.chanID(), v)
+	}
+	best := w.m.collect(w.i)
+	w.m.regs[w.i].Write(entry[V]{seq: best.seq + 1, writer: w.i, val: v})
+	if w.m.rec != nil {
+		w.m.rec.RespondWrite(w.chanID(), op)
+	}
+}
+
+// Reader is the handle for one reader; it is one sequential automaton.
+type Reader[V comparable] struct {
+	m *MRMW[V]
+	j int
+}
+
+// Reader returns the handle for reader j (0-based).
+func (m *MRMW[V]) Reader(j int) *Reader[V] {
+	if j < 0 || j >= m.readers {
+		panic(fmt.Sprintf("vitanyi: reader %d out of range [0,%d)", j, m.readers))
+	}
+	return &Reader[V]{m: m, j: j}
+}
+
+func (r *Reader[V]) chanID() history.ProcID { return history.ProcID(r.m.writers + r.j) }
+
+// Read returns the value of the largest (timestamp, writer) pair.
+func (r *Reader[V]) Read() V {
+	var op int
+	if r.m.rec != nil {
+		op, _ = r.m.rec.InvokeRead(r.chanID())
+	}
+	best := r.m.collect(r.m.writers + r.j)
+	if r.m.rec != nil {
+		r.m.rec.RespondRead(r.chanID(), op, best.val)
+	}
+	return best.val
+}
+
+// AccessesPerOp returns the number of real-register accesses one
+// operation costs: a read collects n registers; a write collects n and
+// publishes once. Contrast with Bloom's two-writer costs (3 and 2).
+func (m *MRMW[V]) AccessesPerOp() (read, write int) {
+	return m.writers, m.writers + 1
+}

@@ -1,0 +1,207 @@
+package vitanyi
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/atomicity"
+)
+
+func TestSequential(t *testing.T) {
+	m, err := New(4, 2, "v0", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Writers() != 4 || m.Readers() != 2 || m.InitialValue() != "v0" {
+		t.Fatal("accessors wrong")
+	}
+	if got := m.Reader(0).Read(); got != "v0" {
+		t.Fatalf("initial read = %q", got)
+	}
+	// The Figure 5 sequence, non-overlapping: a correct multi-writer
+	// register handles it trivially.
+	m.Writer(3).Write("c")
+	if got := m.Reader(0).Read(); got != "c" {
+		t.Fatalf("read = %q, want c", got)
+	}
+	m.Writer(1).Write("d")
+	if got := m.Reader(1).Read(); got != "d" {
+		t.Fatalf("read = %q, want d", got)
+	}
+	m.Writer(0).Write("x")
+	if got := m.Reader(0).Read(); got != "x" {
+		t.Fatalf("read = %q, want x", got)
+	}
+
+	h := m.History()
+	res, err := atomicity.CheckHistory(&h, "v0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Linearizable {
+		t.Fatal("sequential history not linearizable")
+	}
+}
+
+// TestFigure5ShapeSurvives replays the overlap pattern that kills the
+// tournament construction: one writer stalls mid-write while two others
+// complete. The [VA]-style register stays atomic because the stalled
+// writer's eventual publish carries a timestamp that the later writes
+// supersede — its value cannot "reappear".
+func TestFigure5ShapeSurvives(t *testing.T) {
+	m, err := New(4, 1, "a", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive the stalled writer by hand: collect now, publish later.
+	w0 := m.Writer(0)
+	op, _ := m.rec.InvokeWrite(w0.chanID(), "x")
+	stale := m.collect(0) // Wr00's "real reads"
+
+	m.Writer(3).Write("c")
+	m.Writer(1).Write("d")
+	if got := m.Reader(0).Read(); got != "d" {
+		t.Fatalf("read before stalled publish = %q, want d", got)
+	}
+
+	// Wr00 wakes up and publishes with its stale timestamp.
+	m.regs[0].Write(entry[string]{seq: stale.seq + 1, writer: 0, val: "x"})
+	m.rec.RespondWrite(w0.chanID(), op)
+
+	// The superseded values do NOT reappear: 'd' (ts 2) still wins over
+	// 'x' (ts 1).
+	if got := m.Reader(0).Read(); got != "d" {
+		t.Fatalf("read after stalled publish = %q, want d (no reappearance)", got)
+	}
+
+	h := m.History()
+	res, err := atomicity.CheckHistory(&h, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Linearizable {
+		t.Fatal("the Figure 5 overlap broke the [VA]-style register")
+	}
+}
+
+func TestConcurrentStressChecked(t *testing.T) {
+	for seed := 0; seed < 5; seed++ {
+		m, err := New(4, 2, "v0", true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				w := m.Writer(i)
+				for k := 0; k < 5; k++ {
+					w.Write(fmt.Sprintf("w%d-%d", i, k))
+				}
+			}(i)
+		}
+		for j := 0; j < 2; j++ {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				r := m.Reader(j)
+				for k := 0; k < 8; k++ {
+					_ = r.Read()
+				}
+			}(j)
+		}
+		wg.Wait()
+		h := m.History()
+		res, err := atomicity.CheckHistory(&h, "v0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Linearizable {
+			t.Fatalf("seed %d: concurrent history not linearizable", seed)
+		}
+	}
+}
+
+func TestConcurrentLargeUnchecked(t *testing.T) {
+	// A larger unrecorded run under -race: readers must see
+	// nondecreasing per-writer generations.
+	m, err := New(3, 3, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writes = 200
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := m.Writer(i)
+			for k := 1; k <= writes; k++ {
+				w.Write(k)
+			}
+		}(i)
+	}
+	for j := 0; j < 3; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			r := m.Reader(j)
+			for k := 0; k < writes; k++ {
+				_ = r.Read()
+			}
+		}(j)
+	}
+	wg.Wait()
+}
+
+func TestAccessesPerOp(t *testing.T) {
+	m, err := New(4, 1, "v", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, w := m.AccessesPerOp()
+	if r != 4 || w != 5 {
+		t.Fatalf("AccessesPerOp = %d, %d; want 4, 5", r, w)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(0, 1, "v", false); err == nil {
+		t.Error("zero writers accepted")
+	}
+	if _, err := New(1, -1, "v", false); err == nil {
+		t.Error("negative readers accepted")
+	}
+	m, _ := New(1, 1, "v", false)
+	for _, f := range []func(){
+		func() { m.Writer(1) },
+		func() { m.Reader(1) },
+		func() { m.History() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNewerOrder(t *testing.T) {
+	a := entry[string]{seq: 2, writer: 0}
+	b := entry[string]{seq: 1, writer: 3}
+	if !newer(a, b) || newer(b, a) {
+		t.Error("timestamp order wrong")
+	}
+	c := entry[string]{seq: 2, writer: 1}
+	if !newer(c, a) || newer(a, c) {
+		t.Error("writer tiebreak wrong")
+	}
+	if newer(a, a) {
+		t.Error("newer must be irreflexive")
+	}
+}

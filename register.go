@@ -1,0 +1,94 @@
+package atomicregister
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/lamport"
+	"repro/internal/register"
+	"repro/internal/vitanyi"
+)
+
+// TwoWriter is the simulated 2-writer, n-reader atomic register — the
+// paper's contribution. See core.TwoWriter for protocol details.
+type TwoWriter[V comparable] = core.TwoWriter[V]
+
+// Writer is a two-writer register's writer handle.
+type Writer[V comparable] = core.Writer[V]
+
+// Reader is a two-writer register's reader handle.
+type Reader[V comparable] = core.Reader[V]
+
+// WriterReader is a combined writer/reader handle using the local-copy
+// optimization (1–2 real reads per simulated read instead of 3).
+type WriterReader[V comparable] = core.WriterReader[V]
+
+// Tagged is the content of a real register: a value plus the protocol's
+// tag bit.
+type Tagged[V comparable] = core.Tagged[V]
+
+// Option configures New.
+type Option[V comparable] = core.Option[V]
+
+// WithRecording enables history and trace recording (required by Certify
+// and CheckAtomic).
+func WithRecording[V comparable]() Option[V] { return core.WithRecording[V]() }
+
+// WithRegisters substitutes the two underlying real registers; each must
+// be a 1-writer, (n+1)-reader register initialized to (v0, tag 0).
+func WithRegisters[V comparable](r0, r1 register.Reg[Tagged[V]]) Option[V] {
+	return core.WithRegisters[V](r0, r1)
+}
+
+// New constructs a two-writer register with n dedicated readers,
+// initialized to v0. The default substrate is a pair of mutex-backed
+// atomic registers whose runs Certify can machine-check.
+func New[V comparable](n int, v0 V, opts ...Option[V]) *TwoWriter[V] {
+	return core.New(n, v0, opts...)
+}
+
+// NewLamportStack builds one 1-writer, readers-reader atomic register for
+// values (v0 must be in domain, and every value later written must be too)
+// entirely from safe boolean bits, via Lamport's constructions — the
+// paper's footnote 3 realized. maxWrites bounds how many writes the
+// instance supports (sequence numbers are encoded in unary, so the domain
+// must be finite; see DESIGN.md's bounded-run substitution). seed drives
+// the safe bits' adversarial nondeterminism.
+//
+// To run a two-writer register on safe bits, build two stacks with
+// readers = n+1 and pass them to WithRegisters:
+//
+//	r0, _ := atomicregister.NewLamportStack(n+1, domain, 100, init, 1)
+//	r1, _ := atomicregister.NewLamportStack(n+1, domain, 100, init, 2)
+//	reg := atomicregister.New(n, v0, atomicregister.WithRegisters[V](r0, r1))
+func NewLamportStack[V comparable](readers int, domain []V, maxWrites int, v0 Tagged[V], seed int64) (register.Reg[Tagged[V]], error) {
+	tagged := make([]Tagged[V], 0, 2*len(domain))
+	for _, v := range domain {
+		tagged = append(tagged, Tagged[V]{Val: v, Tag: 0}, Tagged[V]{Val: v, Tag: 1})
+	}
+	return lamport.NewAtomicN(readers, tagged, maxWrites, v0, register.NewSeededAdversary(seed))
+}
+
+// MRMW is an unbounded-timestamp multi-writer, multi-reader atomic
+// register in the style of Vitányi–Awerbuch — use it when you need more
+// than two writers (the tournament extension of the two-writer protocol is
+// NOT atomic; see Section 8 of the paper and internal/counterexample).
+type MRMW[V comparable] = vitanyi.MRMW[V]
+
+// NewMRMW builds a multi-writer register. With record true, History-based
+// checking is available.
+func NewMRMW[V comparable](writers, readers int, v0 V, record bool) (*MRMW[V], error) {
+	return vitanyi.New(writers, readers, v0, record)
+}
+
+// AccessCosts reports the shared-memory cost of the two-writer protocol's
+// operations, as claimed in Section 5 of the paper: a simulated write
+// performs 1 real read + 1 real write; a simulated read performs 3 real
+// reads; a writer-as-reader read performs 1 or 2.
+func AccessCosts() (writeReads, writeWrites, readReads, writerReadMin, writerReadMax int) {
+	return 1, 1, 3, 1, 2
+}
+
+// ErrNotRecorded is returned by the verification helpers when the register
+// was built without WithRecording.
+var ErrNotRecorded = fmt.Errorf("atomicregister: register built without WithRecording")

@@ -1,0 +1,132 @@
+package atomicregister
+
+import (
+	"fmt"
+
+	"repro/internal/atomicity"
+	"repro/internal/proof"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// Report summarizes a successful certification: the Section 7 case counts
+// for the run.
+type Report = proof.Report
+
+// Certify machine-checks a recorded run of the two-writer register by
+// executing the paper's Section 7 proof: it classifies every write as
+// potent or impotent, computes prefinishers, inserts *-actions in the
+// paper's four steps, and validates the resulting linearization against
+// the register property — in near-linear time, so it scales to runs with
+// hundreds of thousands of operations.
+//
+// A nil error is a machine-checked witness that the run was atomic. A
+// non-nil error names the violated coherence condition or lemma; since
+// the construction is proven correct, an error indicates a bug in the
+// substrate or harness (or a deliberately mutated protocol).
+//
+// Certification needs linearization-point stamps from the substrate
+// (register.Stamped); for unstamped substrates such as the Lamport stack,
+// use CheckAtomic.
+func Certify[V comparable](tw *TwoWriter[V]) (Report, error) {
+	rec := tw.Recorder()
+	if rec == nil {
+		return Report{}, ErrNotRecorded
+	}
+	lin, err := proof.Certify(rec.Trace(tw.InitialValue()))
+	if err != nil {
+		return Report{}, err
+	}
+	// Independent cross-validation with the generic spec validator.
+	h := rec.History()
+	ops, err := h.Ops()
+	if err != nil {
+		return Report{}, err
+	}
+	scaled, wit, err := proof.AsWitness(ops, lin)
+	if err != nil {
+		return Report{}, err
+	}
+	if err := spec.ValidateWitness(scaled, tw.InitialValue(), wit); err != nil {
+		return Report{}, fmt.Errorf("atomicregister: certificate failed independent validation: %w", err)
+	}
+	return lin.Report, nil
+}
+
+// CheckAtomic decides atomicity of a recorded run by exhaustive
+// linearization search (Wing–Gong style). It needs no substrate stamps but
+// is exponential in the worst case: keep runs under about 30 operations
+// (the hard limit is 64).
+func CheckAtomic[V comparable](tw *TwoWriter[V]) (bool, error) {
+	rec := tw.Recorder()
+	if rec == nil {
+		return false, ErrNotRecorded
+	}
+	h := rec.History()
+	res, err := atomicity.CheckHistory(&h, tw.InitialValue())
+	if err != nil {
+		return false, err
+	}
+	return res.Linearizable, nil
+}
+
+// Explain certifies a recorded run and renders the resulting
+// linearization as a human-readable listing: every operation in *-action
+// order with its Section 7 classification (potent/impotent write,
+// prefinisher, reads-from).
+func Explain[V comparable](tw *TwoWriter[V]) (string, error) {
+	rec := tw.Recorder()
+	if rec == nil {
+		return "", ErrNotRecorded
+	}
+	lin, err := proof.Certify(rec.Trace(tw.InitialValue()))
+	if err != nil {
+		return "", err
+	}
+	return proof.Explain(lin), nil
+}
+
+// Diagnose checks a recorded run with the exhaustive checker and, if it is
+// NOT atomic, shrinks the history to a locally minimal violating core and
+// describes it — typically the three or four operations of a stale read or
+// new-old inversion. It returns ("", nil) for atomic runs. Useful when
+// testing custom substrates plugged in via WithRegisters.
+func Diagnose[V comparable](tw *TwoWriter[V]) (string, error) {
+	rec := tw.Recorder()
+	if rec == nil {
+		return "", ErrNotRecorded
+	}
+	h := rec.History()
+	ops, err := h.Ops()
+	if err != nil {
+		return "", err
+	}
+	res, err := atomicity.Check(ops, tw.InitialValue())
+	if err != nil {
+		return "", err
+	}
+	if res.Linearizable {
+		return "", nil
+	}
+	core, err := atomicity.Minimize(ops, tw.InitialValue())
+	if err != nil {
+		return "", err
+	}
+	msg := "non-atomic run; minimal violating core: " + atomicity.Describe(core)
+	if inv := atomicity.NewOldInversion(core, tw.InitialValue()); inv != "" {
+		msg += "\n" + inv
+	}
+	return msg, nil
+}
+
+// TimingDiagram renders a recorded run as an ASCII timing diagram in the
+// style of the paper's Figures 3 and 4: one lane per processor plus the
+// two registers' tag bits over time.
+func TimingDiagram[V comparable](tw *TwoWriter[V]) (string, error) {
+	rec := tw.Recorder()
+	if rec == nil {
+		return "", ErrNotRecorded
+	}
+	d := trace.Build(rec.Trace(tw.InitialValue()))
+	return d.Render() + "\n" + trace.Legend + "\n", nil
+}
