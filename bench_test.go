@@ -7,6 +7,7 @@ package atomicregister_test
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -21,43 +22,112 @@ import (
 	"repro/internal/sched"
 )
 
+// substrates sweeps every real-register substrate so the per-substrate
+// cost of the same protocol is directly comparable (T-perf substrate
+// rows); "mutex" is the certifiable default.
+var substrates = []struct {
+	name string
+	s    atomicregister.Substrate
+}{
+	{"mutex", atomicregister.Certifiable},
+	{"pointer", atomicregister.FastPointer},
+	{"seqlock", atomicregister.FastSeqlock},
+}
+
 // BenchmarkWriteUncontended measures a simulated write with the other
-// writer quiescent: 1 real read + 1 real write (T-cost row 1).
+// writer quiescent: 1 real read + 1 real write (T-cost row 1), per
+// substrate.
 func BenchmarkWriteUncontended(b *testing.B) {
-	reg := atomicregister.New(1, 0)
-	w := reg.Writer(0)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		w.Write(i)
+	for _, sub := range substrates {
+		b.Run(sub.name, func(b *testing.B) {
+			reg := atomicregister.New(1, 0, atomicregister.WithSubstrate[int](sub.s))
+			w := reg.Writer(0)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				w.Write(i)
+			}
+		})
 	}
 }
 
-// BenchmarkWriteContended runs both writers flat out.
+// BenchmarkWriteContended runs both writers flat out, per substrate. The
+// register has exactly two writers, so the benchmark drives exactly two
+// goroutines (RunParallel would park its surplus workers and let the two
+// real ones drain the iteration budget unevenly, skewing ns/op); each
+// writer performs b.N writes, so ns/op reads as per-writer write latency
+// under full contention.
 func BenchmarkWriteContended(b *testing.B) {
-	reg := atomicregister.New(1, 0)
-	var next atomic.Int64
-	b.ReportAllocs()
-	b.RunParallel(func(pb *testing.PB) {
-		i := int(next.Add(1)) - 1
-		if i > 1 {
-			return // only two writers exist; extra workers idle
-		}
-		w := reg.Writer(i)
-		for pb.Next() {
-			w.Write(i)
-		}
-	})
+	for _, sub := range substrates {
+		b.Run(sub.name, func(b *testing.B) {
+			reg := atomicregister.New(1, 0, atomicregister.WithSubstrate[int](sub.s))
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for i := 0; i < 2; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					w := reg.Writer(i)
+					for k := 0; k < b.N; k++ {
+						w.Write(k)
+					}
+				}(i)
+			}
+			wg.Wait()
+		})
+	}
 }
 
 // BenchmarkReadQuiescent measures a simulated read with no writer
-// activity: 3 real reads (T-cost row 2).
+// activity: 3 real reads (T-cost row 2), per substrate.
 func BenchmarkReadQuiescent(b *testing.B) {
-	reg := atomicregister.New(1, 0)
-	reg.Writer(0).Write(42)
-	r := reg.Reader(1)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		_ = r.Read()
+	for _, sub := range substrates {
+		b.Run(sub.name, func(b *testing.B) {
+			reg := atomicregister.New(1, 0, atomicregister.WithSubstrate[int](sub.s))
+			reg.Writer(0).Write(42)
+			r := reg.Reader(1)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = r.Read()
+			}
+		})
+	}
+}
+
+// BenchmarkReadContended measures reads while both writers run flat out,
+// per substrate: the scenario where the mutex substrate serializes
+// everything and the lock-free substrates do not.
+func BenchmarkReadContended(b *testing.B) {
+	for _, sub := range substrates {
+		b.Run(sub.name, func(b *testing.B) {
+			reg := atomicregister.New(1, 0, atomicregister.WithSubstrate[int](sub.s))
+			stop := make(chan struct{})
+			var wwg sync.WaitGroup
+			for i := 0; i < 2; i++ {
+				wwg.Add(1)
+				go func(i int) {
+					defer wwg.Done()
+					w := reg.Writer(i)
+					for k := 0; ; k++ {
+						select {
+						case <-stop:
+							return
+						default:
+							w.Write(k)
+						}
+					}
+				}(i)
+			}
+			r := reg.Reader(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = r.Read()
+			}
+			b.StopTimer()
+			close(stop)
+			wwg.Wait()
+		})
 	}
 }
 

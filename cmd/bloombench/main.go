@@ -1,14 +1,20 @@
 // Command bloombench regenerates the repository's experiment tables
 // (EXPERIMENTS.md): the Section 5 cost claims measured on live traffic
-// (T-cost), wait-freedom under crashes (T-wf), and a quick latency profile
-// against the locked baseline and the MRMW construction (T-perf).
+// (T-cost), wait-freedom under crashes (T-wf), a quick latency profile
+// against the locked baseline and the MRMW construction (T-perf), and the
+// substrate sweep comparing the certifiable mutex registers against the
+// lock-free Pointer and Seqlock substrates.
 //
 // Usage:
 //
-//	bloombench [-ops N]
+//	bloombench [-ops N] [-json]
+//
+// With -json, the substrate sweep is also written to BENCH_substrates.json
+// in the current directory for machine consumption (CI trend lines).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,21 +33,25 @@ func main() {
 	}
 }
 
+// counters pulls the access counters off both real registers through the
+// substrate-neutral Counted interface (every substrate implements it; the
+// fast ones return nil counters unless counting was requested).
 func counters(reg *atomicregister.TwoWriter[int]) (*register.Counters, *register.Counters) {
-	r0 := reg.Reg(0).(*register.Atomic[core.Tagged[int]])
-	r1 := reg.Reg(1).(*register.Atomic[core.Tagged[int]])
+	r0 := reg.Reg(0).(register.Counted)
+	r1 := reg.Reg(1).(register.Counted)
 	return r0.Counters(), r1.Counters()
 }
 
 func run() error {
 	ops := flag.Int("ops", 100000, "operations per measurement")
+	jsonOut := flag.Bool("json", false, "also write the substrate sweep to BENCH_substrates.json")
 	flag.Parse()
 
 	costTable(*ops)
 	crashTable()
 	stackTable()
 	perfTable(*ops)
-	return nil
+	return substrateTable(*ops, *jsonOut)
 }
 
 // stackTable reports the space cost of the footnote-3 substrate: safe bits
@@ -205,4 +215,69 @@ func perfTable(ops int) {
 	fmt.Println("note: the locked baseline is faster per op but is not wait-free — a")
 	fmt.Println("descheduled or crashed lock holder blocks every other processor, which")
 	fmt.Println("is precisely what register protocols exist to avoid.")
+	fmt.Println()
+}
+
+// substrateRow is one line of the substrate sweep, in both the printed
+// table and BENCH_substrates.json.
+type substrateRow struct {
+	Substrate   string  `json:"substrate"`
+	Certifiable bool    `json:"certifiable"`
+	WriteNs     float64 `json:"write_ns_per_op"`
+	ReadNs      float64 `json:"read_ns_per_op"`
+}
+
+// substrateTable measures sequential write and read latency of the full
+// two-writer protocol over each real-register substrate, printing a table
+// and optionally writing BENCH_substrates.json.
+func substrateTable(ops int, jsonOut bool) error {
+	fmt.Println("== T-substrate: protocol latency per real-register substrate ==")
+	fmt.Println()
+	fmt.Printf("%-14s %-14s %-12s %s\n", "substrate", "certifiable?", "write ns/op", "read ns/op")
+
+	measure := func(f func(i int)) float64 {
+		start := time.Now()
+		for i := 0; i < ops; i++ {
+			f(i)
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(ops)
+	}
+
+	var rows []substrateRow
+	for _, s := range []atomicregister.Substrate{
+		atomicregister.Certifiable, atomicregister.FastPointer, atomicregister.FastSeqlock,
+	} {
+		reg := atomicregister.New(1, 0, atomicregister.WithSubstrate[int](s))
+		w := reg.Writer(0)
+		r := reg.Reader(1)
+		row := substrateRow{
+			Substrate:   s.String(),
+			Certifiable: s == atomicregister.Certifiable,
+			WriteNs:     measure(func(i int) { w.Write(i) }),
+			ReadNs:      measure(func(i int) { _ = r.Read() }),
+		}
+		rows = append(rows, row)
+		fmt.Printf("%-14s %-14v %-12.1f %.1f\n", row.Substrate, row.Certifiable, row.WriteNs, row.ReadNs)
+	}
+	fmt.Println()
+	fmt.Println("the fast substrates trade proof.Certify (no stamps) for lock-free real")
+	fmt.Println("accesses; their runs are still checkable with CheckAtomic / the")
+	fmt.Println("cross-substrate conformance suite.")
+
+	if !jsonOut {
+		return nil
+	}
+	blob, err := json.MarshalIndent(struct {
+		Ops  int            `json:"ops_per_measurement"`
+		Rows []substrateRow `json:"substrates"`
+	}{ops, rows}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_substrates.json", append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Println("wrote BENCH_substrates.json")
+	return nil
 }

@@ -83,19 +83,67 @@ func ChanWriterRead(i int) history.ProcID { return history.ProcID(-(i + 1)) }
 type TwoWriter[V comparable] struct {
 	regs    [2]register.Reg[Tagged[V]]
 	stamped [2]register.Stamped[Tagged[V]] // non-nil when regs[i] supports stamps
-	n       int                            // number of dedicated readers
-	init    V
-	seq     *history.Sequencer
-	rec     *Recorder[V]
+	// Devirtualized handles to the lock-free substrates: readReg and
+	// writeReg dispatch through these concrete pointers when set, so the
+	// hot path is a direct — inlinable — load or store instead of an
+	// interface call.
+	fastP [2]*register.Pointer[Tagged[V]]
+	fastS [2]*register.Seqlock[Tagged[V]]
+
+	n    int // number of dedicated readers
+	init V
+	seq  *history.Sequencer
+	rec  *Recorder[V]
 
 	writers [2]*Writer[V]
 	readers []*Reader[V]
 }
 
+// Substrate selects the family of real registers New builds when none are
+// supplied via WithRegisters. The protocol on top is identical in every
+// case; the substrates trade certifiability against raw speed.
+type Substrate int
+
+const (
+	// Certifiable is the default: mutex-backed registers that draw a
+	// global stamp inside every access's critical section, which is what
+	// lets proof.Certify machine-check arbitrarily long runs. Every real
+	// access pays a lock and a shared sequencer increment.
+	Certifiable Substrate = iota
+	// FastPointer publishes each real write behind an atomic.Pointer:
+	// one allocation per write, a single atomic load per read, no lock,
+	// no sequencer — wait-free in the exact sense the paper claims, for
+	// any value type. Runs cannot be certified (no stamps); use the
+	// exhaustive checker or the conformance suite instead.
+	FastPointer
+	// FastSeqlock keeps each real register's value inline behind an
+	// odd/even version counter: alloc-free wait-free writes, alloc-free
+	// reads that retry only while torn by an in-flight write. The value
+	// type (including the tag bit wrapper) must be pointer-free; New
+	// panics otherwise — use FastPointer for strings and friends.
+	FastSeqlock
+)
+
+// String names the substrate.
+func (s Substrate) String() string {
+	switch s {
+	case Certifiable:
+		return "certifiable"
+	case FastPointer:
+		return "pointer"
+	case FastSeqlock:
+		return "seqlock"
+	default:
+		return fmt.Sprintf("Substrate(%d)", int(s))
+	}
+}
+
 type config[V comparable] struct {
-	regs   [2]register.Reg[Tagged[V]]
-	seq    *history.Sequencer
-	record bool
+	regs      [2]register.Reg[Tagged[V]]
+	seq       *history.Sequencer
+	record    bool
+	substrate Substrate
+	counters  bool
 }
 
 // Option configures a TwoWriter.
@@ -115,6 +163,20 @@ func WithRegisters[V comparable](r0, r1 register.Reg[Tagged[V]]) Option[V] {
 // append per event.
 func WithRecording[V comparable]() Option[V] {
 	return func(c *config[V]) { c.record = true }
+}
+
+// WithSubstrate selects the real-register family New builds: Certifiable
+// (the default), FastPointer, or FastSeqlock. It is ignored when
+// WithRegisters supplies explicit registers.
+func WithSubstrate[V comparable](s Substrate) Option[V] {
+	return func(c *config[V]) { c.substrate = s }
+}
+
+// WithSubstrateCounters enables per-port access counting on the fast
+// substrates (the certifiable substrate always counts). Counting costs one
+// cache-line-padded atomic increment per real access.
+func WithSubstrateCounters[V comparable]() Option[V] {
+	return func(c *config[V]) { c.counters = true }
 }
 
 // WithSequencer shares an externally owned sequencer, so that several
@@ -142,8 +204,27 @@ func New[V comparable](n int, v0 V, opts ...Option[V]) *TwoWriter[V] {
 	}
 	if c.regs[0] == nil {
 		// Port 0 is the opposite writer, ports 1..n the readers.
-		c.regs[0] = register.NewAtomic(n+1, Tagged[V]{Val: v0}, c.seq)
-		c.regs[1] = register.NewAtomic(n+1, Tagged[V]{Val: v0}, c.seq)
+		init := Tagged[V]{Val: v0}
+		var fastOpts []register.FastOption
+		if c.counters {
+			fastOpts = append(fastOpts, register.WithCounters())
+		}
+		switch c.substrate {
+		case Certifiable:
+			c.regs[0] = register.NewAtomic(n+1, init, c.seq)
+			c.regs[1] = register.NewAtomic(n+1, init, c.seq)
+		case FastPointer:
+			c.regs[0] = register.NewPointer(n+1, init, fastOpts...)
+			c.regs[1] = register.NewPointer(n+1, init, fastOpts...)
+		case FastSeqlock:
+			// MustSeqlock panics when Tagged[V] contains pointers;
+			// that is deliberate — the caller picked a substrate the
+			// value type cannot ride on, and FastPointer is the fix.
+			c.regs[0] = register.MustSeqlock(n+1, init, fastOpts...)
+			c.regs[1] = register.MustSeqlock(n+1, init, fastOpts...)
+		default:
+			panic(fmt.Sprintf("core: unknown substrate %v", c.substrate))
+		}
 	}
 	t := &TwoWriter[V]{
 		regs: c.regs,
@@ -152,8 +233,13 @@ func New[V comparable](n int, v0 V, opts ...Option[V]) *TwoWriter[V] {
 		seq:  c.seq,
 	}
 	for i := 0; i < 2; i++ {
-		if s, ok := c.regs[i].(register.Stamped[Tagged[V]]); ok {
-			t.stamped[i] = s
+		switch r := c.regs[i].(type) {
+		case register.Stamped[Tagged[V]]:
+			t.stamped[i] = r
+		case *register.Pointer[Tagged[V]]:
+			t.fastP[i] = r
+		case *register.Seqlock[Tagged[V]]:
+			t.fastS[i] = r
 		}
 	}
 	if c.record {
@@ -218,8 +304,16 @@ func (t *TwoWriter[V]) Certifiable() bool {
 func (t *TwoWriter[V]) stamp() int64 { return t.seq.Next() }
 
 // readReg performs a (possibly stamped) read of real register r through
-// port, returning the content and the stamp (0 when unstamped).
+// port, returning the content and the stamp (0 when unstamped). The fast
+// substrates are dispatched through concrete pointers so the access
+// inlines to a bare atomic load.
 func (t *TwoWriter[V]) readReg(r, port int) (Tagged[V], int64) {
+	if p := t.fastP[r]; p != nil {
+		return p.Read(port), 0
+	}
+	if s := t.fastS[r]; s != nil {
+		return s.Read(port), 0
+	}
 	if s := t.stamped[r]; s != nil {
 		return s.ReadStamped(port)
 	}
@@ -228,6 +322,14 @@ func (t *TwoWriter[V]) readReg(r, port int) (Tagged[V], int64) {
 
 // writeReg performs a (possibly stamped) write of real register r.
 func (t *TwoWriter[V]) writeReg(r int, v Tagged[V]) int64 {
+	if p := t.fastP[r]; p != nil {
+		p.Write(v)
+		return 0
+	}
+	if s := t.fastS[r]; s != nil {
+		s.Write(v)
+		return 0
+	}
 	if s := t.stamped[r]; s != nil {
 		return s.WriteStamped(v)
 	}

@@ -28,6 +28,10 @@ func (r *Reader[V]) Index() int { return r.j }
 //	read t2, v2 from Regr
 //	return v2
 func (r *Reader[V]) Read() V {
+	// Dispatch straight to the bookkeeping-free path when unrecorded.
+	if r.tw.rec == nil {
+		return r.readFast()
+	}
 	v, _ := r.read(ReaderSteps)
 	return v
 }
@@ -46,6 +50,9 @@ func (r *Reader[V]) ReadCrashing(steps int) {
 func (r *Reader[V]) read(steps int) (V, bool) {
 	tw := r.tw
 	rec := tw.rec
+	if rec == nil && steps == ReaderSteps {
+		return r.readFast(), true
+	}
 	ch := ChanReader(r.j)
 
 	var rr ReadRec[V]
@@ -101,4 +108,15 @@ func (r *Reader[V]) read(steps int) (V, bool) {
 		rec.addRead(rr)
 	}
 	return c.Val, true
+}
+
+// readFast is the complete read with recording off: the three protocol
+// reads and nothing else (building a ReadRec costs more than the protocol
+// itself on the lock-free substrates).
+func (r *Reader[V]) readFast() V {
+	tw := r.tw
+	a, _ := tw.readReg(0, r.j)
+	b, _ := tw.readReg(1, r.j)
+	c, _ := tw.readReg(int(a.Tag^b.Tag), r.j)
+	return c.Val
 }

@@ -34,7 +34,15 @@ func (w *Writer[V]) Index() int { return w.i }
 //
 // The single real write at the end is the only shared-memory mutation, so
 // the simulated write takes effect entirely or not at all.
-func (w *Writer[V]) Write(v V) { w.write(v, WriterSteps) }
+func (w *Writer[V]) Write(v V) {
+	// Dispatch straight to the bookkeeping-free path when unrecorded;
+	// going through write() would re-test this per step.
+	if w.tw.rec == nil {
+		w.writeFast(v)
+		return
+	}
+	w.write(v, WriterSteps)
+}
 
 // WriteCrashing performs a write that halts after completing the given
 // number of protocol steps (0 ≤ steps < WriterSteps): 0 crashes before the
@@ -51,6 +59,9 @@ func (w *Writer[V]) WriteCrashing(v V, steps int) bool {
 
 func (w *Writer[V]) write(v V, steps int) bool {
 	rec := w.tw.rec
+	if rec == nil && steps == WriterSteps {
+		return w.writeFast(v)
+	}
 	var wr WriteRec[V]
 	if rec != nil {
 		wr.Writer = w.i
@@ -109,6 +120,21 @@ func (w *Writer[V]) write(v V, steps int) bool {
 	return true
 }
 
+// writeFast is the complete, uncrashed write with recording off: exactly
+// the three protocol steps, none of the record bookkeeping (building a
+// WriteRec costs more than the protocol itself on the lock-free
+// substrates).
+func (w *Writer[V]) writeFast(v V) bool {
+	tw := w.tw
+	// read t', v' from Reg¬i
+	tv, _ := tw.readReg(1-w.i, 0)
+	// t := i ⊕ t'; write (t, v) to Regi
+	content := Tagged[V]{Val: v, Tag: uint8(w.i) ^ tv.Tag}
+	tw.writeReg(w.i, content)
+	w.local = content
+	return true
+}
+
 // VirtualReads returns how many register accesses this writer's combined
 // writer/reader handle served from its local copy.
 func (w *Writer[V]) VirtualReads() int64 { return w.virtualReads }
@@ -147,12 +173,17 @@ func (wr *WriterReader[V]) Read() V {
 		rr.RespondSeq = history.PendingSeq
 	}
 
+	// Virtual reads only need a *-action stamp when the run is being
+	// recorded; with recording off the draw would be a pure shared-
+	// sequencer increment on the hot path, so skip it.
 	var own, other Tagged[V]
 	var sOwn, sOther int64
 	if w.i == 0 {
 		// R0 is the virtual read of Reg0 (own), R1 the real read of Reg1.
 		own = w.local
-		sOwn = tw.stamp()
+		if rec != nil {
+			sOwn = tw.stamp()
+		}
 		w.virtualReads++
 		other, sOther = tw.readReg(1, 0)
 		rr.R0Seq, rr.T0, rr.Virtual0 = sOwn, own.Tag, true
@@ -161,7 +192,9 @@ func (wr *WriterReader[V]) Read() V {
 		// R0 is the real read of Reg0, R1 the virtual read of Reg1 (own).
 		other, sOther = tw.readReg(0, 0)
 		own = w.local
-		sOwn = tw.stamp()
+		if rec != nil {
+			sOwn = tw.stamp()
+		}
 		w.virtualReads++
 		rr.R0Seq, rr.T0 = sOther, other.Tag
 		rr.R1Seq, rr.T1, rr.Virtual1 = sOwn, own.Tag, true
@@ -180,7 +213,10 @@ func (wr *WriterReader[V]) Read() V {
 	var ret V
 	if r == w.i {
 		// The target is the writer's own register: serve locally.
-		s2 := tw.stamp()
+		var s2 int64
+		if rec != nil {
+			s2 = tw.stamp()
+		}
 		w.virtualReads++
 		ret = w.local.Val
 		rr.R2Seq, rr.R2Reg, rr.Virtual2, rr.Ret = s2, r, true, ret

@@ -1,0 +1,236 @@
+package register
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fastRegs builds one of each lock-free register over ports read ports so
+// shared contract tests can sweep both.
+func fastRegs(t *testing.T, ports int, initial int, opts ...FastOption) map[string]Reg[int] {
+	t.Helper()
+	sl, err := NewSeqlock(ports, initial, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Reg[int]{
+		"pointer": NewPointer(ports, initial, opts...),
+		"seqlock": sl,
+	}
+}
+
+func TestFastSequential(t *testing.T) {
+	for name, r := range fastRegs(t, 2, 10) {
+		t.Run(name, func(t *testing.T) {
+			if got := r.Read(0); got != 10 {
+				t.Fatalf("initial Read = %d, want 10", got)
+			}
+			r.Write(20)
+			if got := r.Read(1); got != 20 {
+				t.Fatalf("Read after Write = %d, want 20", got)
+			}
+		})
+	}
+}
+
+func TestFastCountersOptIn(t *testing.T) {
+	// Without WithCounters the hot path carries no counters at all.
+	for name, r := range fastRegs(t, 2, 0) {
+		t.Run(name+"/off", func(t *testing.T) {
+			r.Write(1)
+			_ = r.Read(0)
+			if c := r.(Counted).Counters(); c != nil {
+				t.Fatalf("counters = %v, want nil when not requested", c)
+			}
+		})
+	}
+	for name, r := range fastRegs(t, 3, 0, WithCounters()) {
+		t.Run(name+"/on", func(t *testing.T) {
+			r.Read(0)
+			r.Read(0)
+			r.Read(2)
+			r.Write(5)
+			c := r.(Counted).Counters()
+			if c == nil {
+				t.Fatal("counters nil despite WithCounters")
+			}
+			if c.Reads(0) != 2 || c.Reads(1) != 0 || c.Reads(2) != 1 {
+				t.Fatalf("per-port reads = %d,%d,%d", c.Reads(0), c.Reads(1), c.Reads(2))
+			}
+			if c.TotalReads() != 3 || c.Writes() != 1 || c.Ports() != 3 {
+				t.Fatalf("totals = %d reads, %d writes, %d ports", c.TotalReads(), c.Writes(), c.Ports())
+			}
+		})
+	}
+}
+
+// TestFastConcurrentReadersOneWriter is the single-writer atomicity
+// contract under -race: an increasing write sequence must never appear to
+// regress on any reader port.
+func TestFastConcurrentReadersOneWriter(t *testing.T) {
+	const readers, writes = 4, 2000
+	for name, r := range fastRegs(t, readers, 0) {
+		t.Run(name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 1; i <= writes; i++ {
+					r.Write(i)
+				}
+			}()
+			errs := make(chan error, readers)
+			for p := 0; p < readers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					prev := -1
+					for i := 0; i < writes; i++ {
+						v := r.Read(p)
+						if v < prev {
+							errs <- errAt(p, prev, v)
+							return
+						}
+						prev = v
+					}
+				}(p)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSeqlockWideValue exercises a multi-word pointer-free value, where
+// torn reads are actually possible and the version check must catch them:
+// every field of the struct is written with the same generation number, so
+// any mixed-generation read is a torn read that escaped the seqlock.
+func TestSeqlockWideValue(t *testing.T) {
+	type wide struct{ A, B, C, D int64 }
+	r, err := NewSeqlock(2, wide{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writes = 5000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := int64(1); i <= writes; i++ {
+			r.Write(wide{A: i, B: i, C: i, D: i})
+		}
+	}()
+	errs := make(chan string, 2)
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < writes; i++ {
+				v := r.Read(p)
+				if v.A != v.B || v.B != v.C || v.C != v.D {
+					errs <- "torn read escaped the seqlock"
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+func TestSeqlockRejectsPointerfulTypes(t *testing.T) {
+	if _, err := NewSeqlock(1, "a string"); err == nil {
+		t.Fatal("seqlock accepted a string value")
+	} else if !strings.Contains(err.Error(), "contains pointers") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	type withPtr struct {
+		N int
+		P *int
+	}
+	if _, err := NewSeqlock(1, withPtr{}); err == nil {
+		t.Fatal("seqlock accepted a struct containing a pointer")
+	}
+	type oversized struct{ A [33]uint64 }
+	if _, err := NewSeqlock(1, oversized{}); err == nil {
+		t.Fatal("seqlock accepted an oversized value")
+	}
+	// Pointer-free composites are fine.
+	type ok struct {
+		A [4]int32
+		B struct{ X, Y float64 }
+	}
+	if _, err := NewSeqlock(1, ok{}); err != nil {
+		t.Fatalf("seqlock rejected a pointer-free struct: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSeqlock did not panic on a pointerful type")
+		}
+	}()
+	MustSeqlock(1, "boom")
+}
+
+// TestSeqlockConcurrentWriteDetection hammers the single-writer register
+// with two racing writers. The version-advance check makes any overlapping
+// pair of writes panic in one of them; if the scheduler happens to never
+// overlap them, all writes must at least be accounted for (no silent lost
+// update either way).
+func TestSeqlockConcurrentWriteDetection(t *testing.T) {
+	const perWriter = 20000
+	r := MustSeqlock(1, 0)
+	var wg sync.WaitGroup
+	panics := make(chan struct{}, 2)
+	completed := make([]int, 2)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if recover() != nil {
+					panics <- struct{}{}
+				}
+			}()
+			for i := 0; i < perWriter; i++ {
+				r.Write(i)
+				completed[w]++
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(panics)
+	if len(panics) > 0 {
+		return // overlap detected and punished, as designed
+	}
+	// The writers never overlapped: every write must have advanced the
+	// version exactly once.
+	if got := r.version.Load(); got != uint64(completed[0]+completed[1]) {
+		t.Fatalf("version %d after %d undetected racing writes", got, completed[0]+completed[1])
+	}
+	t.Log("writers never overlapped; detection path not exercised this run")
+}
+
+// TestSeqlockOddSizedValue exercises a value whose size is not a multiple
+// of 8, so the last word is partial and the staging buffer's tail pad is
+// load-bearing.
+func TestSeqlockOddSizedValue(t *testing.T) {
+	type odd struct {
+		A uint64
+		B uint8
+	}
+	r := MustSeqlock(1, odd{A: 7, B: 3})
+	if got := r.Read(0); got != (odd{A: 7, B: 3}) {
+		t.Fatalf("initial = %+v", got)
+	}
+	r.Write(odd{A: 9, B: 250})
+	if got := r.Read(0); got != (odd{A: 9, B: 250}) {
+		t.Fatalf("after write = %+v", got)
+	}
+}

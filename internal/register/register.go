@@ -48,25 +48,48 @@ type Stamped[T any] interface {
 	WriteStamped(v T) int64
 }
 
+// cacheLine is the assumed coherence granularity. 64 bytes covers x86-64
+// and most arm64 parts; over-alignment is harmless, under-alignment only
+// costs speed.
+const cacheLine = 64
+
+// paddedInt64 is an atomic counter occupying a full cache line, so that
+// adjacent per-port counters never share a line (each reader port bumps
+// its own counter on every access; sharing a line would make those bumps
+// ping-pong the line between cores).
+type paddedInt64 struct {
+	v atomic.Int64
+	_ [cacheLine - 8]byte
+}
+
+// Counted is implemented by registers that expose access counters. The
+// mutex-backed registers always count; the lock-free substrates count only
+// when built with WithCounters (a nil Counters result means counting is
+// off).
+type Counted interface {
+	Counters() *Counters
+}
+
 // Counters tallies accesses per port. All methods are safe for concurrent
-// use.
+// use. Each per-port read counter is padded to a cache line of its own, so
+// counting on one port never contends with counting on another.
 type Counters struct {
-	reads  []atomic.Int64
+	reads  []paddedInt64
 	writes atomic.Int64
 }
 
 func newCounters(ports int) *Counters {
-	return &Counters{reads: make([]atomic.Int64, ports)}
+	return &Counters{reads: make([]paddedInt64, ports)}
 }
 
 // Reads returns the number of reads performed through port.
-func (c *Counters) Reads(port int) int64 { return c.reads[port].Load() }
+func (c *Counters) Reads(port int) int64 { return c.reads[port].v.Load() }
 
 // TotalReads returns the number of reads across all ports.
 func (c *Counters) TotalReads() int64 {
 	var n int64
 	for i := range c.reads {
-		n += c.reads[i].Load()
+		n += c.reads[i].v.Load()
 	}
 	return n
 }
@@ -112,7 +135,7 @@ func (r *Atomic[T]) Read(port int) T {
 
 // ReadStamped returns the value and the stamp of the read's *-action.
 func (r *Atomic[T]) ReadStamped(port int) (T, int64) {
-	r.c.reads[port].Add(1)
+	r.c.reads[port].v.Add(1)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.val, r.seq.Next()

@@ -113,7 +113,7 @@ func NewRegularOnly[T any](ports int, initial T, adv Adversary) *RegularOnly[T] 
 // Read returns the committed value, or — while a write is in progress —
 // the old or new value at the adversary's choice.
 func (r *RegularOnly[T]) Read(port int) T {
-	r.c.reads[port].Add(1)
+	r.c.reads[port].v.Add(1)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.writing && r.adv.Flip() {
@@ -189,7 +189,7 @@ func NewSafeOnly[T any](ports int, initial T, domain []T, adv Adversary) *SafeOn
 // Read returns the committed value or, during a write, an arbitrary domain
 // value.
 func (r *SafeOnly[T]) Read(port int) T {
-	r.c.reads[port].Add(1)
+	r.c.reads[port].v.Add(1)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.writing {

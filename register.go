@@ -40,6 +40,39 @@ func WithRegisters[V comparable](r0, r1 register.Reg[Tagged[V]]) Option[V] {
 	return core.WithRegisters[V](r0, r1)
 }
 
+// Substrate selects the family of real registers New builds underneath the
+// protocol: Certifiable (default, mutex + stamps, machine-checkable runs),
+// FastPointer (lock-free, chunk-amortized snapshot allocation, any value
+// type), or
+// FastSeqlock (lock-free and alloc-free, pointer-free value types only).
+// See the README's "Choosing a substrate" section for the trade-off.
+type Substrate = core.Substrate
+
+// The available substrates.
+const (
+	// Certifiable is the default mutex-backed substrate; its runs can be
+	// certified by Certify.
+	Certifiable = core.Certifiable
+	// FastPointer is the lock-free pointer-publishing substrate.
+	FastPointer = core.FastPointer
+	// FastSeqlock is the lock-free, alloc-free seqlock substrate.
+	FastSeqlock = core.FastSeqlock
+)
+
+// WithSubstrate selects the real-register substrate (ignored when
+// WithRegisters supplies explicit registers). The protocol and its
+// atomicity guarantee are identical on every substrate; only certifiability
+// and speed differ.
+func WithSubstrate[V comparable](s Substrate) Option[V] {
+	return core.WithSubstrate[V](s)
+}
+
+// WithSubstrateCounters enables per-port access counting on the fast
+// substrates; the certifiable substrate always counts.
+func WithSubstrateCounters[V comparable]() Option[V] {
+	return core.WithSubstrateCounters[V]()
+}
+
 // New constructs a two-writer register with n dedicated readers,
 // initialized to v0. The default substrate is a pair of mutex-backed
 // atomic registers whose runs Certify can machine-check.
@@ -92,3 +125,8 @@ func AccessCosts() (writeReads, writeWrites, readReads, writerReadMin, writerRea
 // ErrNotRecorded is returned by the verification helpers when the register
 // was built without WithRecording.
 var ErrNotRecorded = fmt.Errorf("atomicregister: register built without WithRecording")
+
+// ErrNotCertifiable is returned by Certify when the substrate cannot stamp
+// its accesses (the fast substrates, the Lamport stack): use CheckAtomic
+// or Diagnose, which need no stamps, to check such runs.
+var ErrNotCertifiable = fmt.Errorf("atomicregister: substrate cannot stamp accesses; use CheckAtomic")

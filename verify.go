@@ -29,6 +29,12 @@ type Report = proof.Report
 // (register.Stamped); for unstamped substrates such as the Lamport stack,
 // use CheckAtomic.
 func Certify[V comparable](tw *TwoWriter[V]) (Report, error) {
+	// Substrate first: on a fast substrate, adding WithRecording would
+	// not make the run certifiable, so ErrNotRecorded alone would send
+	// the caller down a dead end.
+	if !tw.Certifiable() {
+		return Report{}, ErrNotCertifiable
+	}
 	rec := tw.Recorder()
 	if rec == nil {
 		return Report{}, ErrNotRecorded
@@ -75,6 +81,9 @@ func CheckAtomic[V comparable](tw *TwoWriter[V]) (bool, error) {
 // order with its Section 7 classification (potent/impotent write,
 // prefinisher, reads-from).
 func Explain[V comparable](tw *TwoWriter[V]) (string, error) {
+	if !tw.Certifiable() {
+		return "", ErrNotCertifiable
+	}
 	rec := tw.Recorder()
 	if rec == nil {
 		return "", ErrNotRecorded
