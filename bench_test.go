@@ -78,12 +78,49 @@ func BenchmarkWriteContended(b *testing.B) {
 	}
 }
 
+// BenchmarkWriteObserved is BenchmarkWriteUncontended with an observer
+// attached (T-obs): the delta is the cost of metrics plus the potency
+// probe's extra real read.
+func BenchmarkWriteObserved(b *testing.B) {
+	for _, sub := range substrates {
+		b.Run(sub.name, func(b *testing.B) {
+			reg := atomicregister.New(1, 0,
+				atomicregister.WithSubstrate[int](sub.s),
+				atomicregister.WithObserver[int](atomicregister.NewObserver(1)))
+			w := reg.Writer(0)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				w.Write(i)
+			}
+		})
+	}
+}
+
 // BenchmarkReadQuiescent measures a simulated read with no writer
 // activity: 3 real reads (T-cost row 2), per substrate.
 func BenchmarkReadQuiescent(b *testing.B) {
 	for _, sub := range substrates {
 		b.Run(sub.name, func(b *testing.B) {
 			reg := atomicregister.New(1, 0, atomicregister.WithSubstrate[int](sub.s))
+			reg.Writer(0).Write(42)
+			r := reg.Reader(1)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = r.Read()
+			}
+		})
+	}
+}
+
+// BenchmarkReadObserved is BenchmarkReadQuiescent with an observer
+// attached (T-obs): the delta is two clock reads plus one histogram update
+// per read.
+func BenchmarkReadObserved(b *testing.B) {
+	for _, sub := range substrates {
+		b.Run(sub.name, func(b *testing.B) {
+			reg := atomicregister.New(1, 0,
+				atomicregister.WithSubstrate[int](sub.s),
+				atomicregister.WithObserver[int](atomicregister.NewObserver(1)))
 			reg.Writer(0).Write(42)
 			r := reg.Reader(1)
 			b.ReportAllocs()

@@ -8,9 +8,15 @@
 // Usage:
 //
 //	bloombench [-ops N] [-json]
+//	bloombench -serve :8080
 //
 // With -json, the substrate sweep is also written to BENCH_substrates.json
-// in the current directory for machine consumption (CI trend lines).
+// and the observability sweep to BENCH_obs.json in the current directory
+// for machine consumption (CI trend lines).
+//
+// With -serve, bloombench instead runs an open-ended observed workload
+// over every substrate and serves /metrics (Prometheus text format),
+// /vars (JSON snapshots), and /debug/pprof/ on the given address.
 package main
 
 import (
@@ -44,14 +50,23 @@ func counters(reg *atomicregister.TwoWriter[int]) (*register.Counters, *register
 
 func run() error {
 	ops := flag.Int("ops", 100000, "operations per measurement")
-	jsonOut := flag.Bool("json", false, "also write the substrate sweep to BENCH_substrates.json")
+	jsonOut := flag.Bool("json", false, "also write BENCH_substrates.json and BENCH_obs.json")
+	serveAddr := flag.String("serve", "", "serve /metrics, /vars, and /debug/pprof/ on this address instead of running the tables")
 	flag.Parse()
+
+	if *serveAddr != "" {
+		return serve(*serveAddr)
+	}
 
 	costTable(*ops)
 	crashTable()
 	stackTable()
 	perfTable(*ops)
-	return substrateTable(*ops, *jsonOut)
+	if err := substrateTable(*ops, *jsonOut); err != nil {
+		return err
+	}
+	fmt.Println()
+	return obsTable(*ops, *jsonOut)
 }
 
 // stackTable reports the space cost of the footnote-3 substrate: safe bits

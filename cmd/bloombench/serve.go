@@ -1,0 +1,149 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+	"time"
+
+	atomicregister "repro"
+	"repro/internal/obs"
+)
+
+// serve runs an open-ended observed workload over every substrate and
+// exposes it live:
+//
+//	/metrics       Prometheus text format, one series set per substrate
+//	               (distinguished by a substrate label)
+//	/vars          the same state as expvar-style JSON snapshots
+//	/debug/pprof/  the standard pprof surface, on this mux
+//	/              a plain index
+//
+// The Certifiable substrate's workload runs in recorded batches, each
+// certified with the Section 7 checker afterwards, so the
+// bloom_certify_runs_total series moves on a live page; the fast
+// substrates run continuous unrecorded traffic.
+func serve(addr string) error {
+	observers := map[string]*obs.Observer{}
+	stop := make(chan struct{}) // never closed; serve runs until killed
+	var wg sync.WaitGroup
+	for _, s := range []atomicregister.Substrate{
+		atomicregister.Certifiable, atomicregister.FastPointer, atomicregister.FastSeqlock,
+	} {
+		ob := atomicregister.NewObserver(1)
+		observers[s.String()] = ob
+		wg.Add(1)
+		go func(s atomicregister.Substrate, ob *atomicregister.Observer) {
+			defer wg.Done()
+			workload(s, ob, stop)
+		}(s, ob)
+	}
+
+	fmt.Printf("serving /metrics, /vars, and /debug/pprof/ on %s\n", addr)
+	return http.ListenAndServe(addr, newServeMux(observers))
+}
+
+// workload drives one observed register forever: two writer-readers and a
+// dedicated reader, paced so the process idles rather than spins. On the
+// Certifiable substrate the traffic runs in recorded batches that are
+// certified after each batch (feeding the observer's certify counters).
+func workload(s atomicregister.Substrate, ob *atomicregister.Observer, stop <-chan struct{}) {
+	const batch = 64
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		opts := []atomicregister.Option[int]{
+			atomicregister.WithSubstrate[int](s),
+			atomicregister.WithObserver[int](ob),
+		}
+		certified := s == atomicregister.Certifiable
+		if certified {
+			opts = append(opts, atomicregister.WithRecording[int]())
+		}
+		reg := atomicregister.New(1, 0, opts...)
+		var wg sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				wr := reg.WriterReader(i)
+				for k := 0; k < batch; k++ {
+					if k%4 == 3 {
+						_ = wr.Read()
+					} else {
+						wr.Write(k)
+					}
+				}
+			}(i)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := reg.Reader(1)
+			for k := 0; k < batch; k++ {
+				_ = r.Read()
+			}
+		}()
+		wg.Wait()
+		if certified {
+			// Certify feeds the observer's certify counters itself.
+			_, _ = atomicregister.Certify(reg)
+		}
+	}
+}
+
+// newServeMux builds the observability mux over a set of named observers.
+// Split out from serve so tests can exercise the handlers without binding
+// a socket.
+func newServeMux(observers map[string]*obs.Observer) *http.ServeMux {
+	names := make([]string, 0, len(observers))
+	for name := range observers {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic series order across scrapes
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		for _, name := range names {
+			observers[name].WritePrometheus(w, obs.Label{Name: "substrate", Value: name})
+		}
+	})
+	mux.HandleFunc("/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		doc := map[string]*obs.Observer{}
+		for _, name := range names {
+			doc[name] = observers[name]
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(doc)
+	})
+	// The pprof surface, explicitly registered: this mux is not
+	// http.DefaultServeMux, so the net/http/pprof init() registrations
+	// don't reach it.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "bloombench observability surface")
+		fmt.Fprintln(w, "  /metrics       Prometheus text format")
+		fmt.Fprintln(w, "  /vars          JSON snapshots")
+		fmt.Fprintln(w, "  /debug/pprof/  profiling")
+	})
+	return mux
+}

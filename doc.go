@@ -34,14 +34,39 @@
 //
 // # Substrates
 //
-// By default the two "real" registers are mutex-backed atomic cells. Other
-// substrates plug in via WithRegisters:
+// By default the two "real" registers are mutex-backed atomic cells whose
+// stamped accesses make runs certifiable. WithSubstrate selects a
+// lock-free alternative instead — FastPointer (atomic.Pointer publish) or
+// FastSeqlock (alloc-free double-buffered seqlock) — trading Certify for
+// memory-speed real accesses:
+//
+//	reg := atomicregister.New(4, 0, atomicregister.WithSubstrate[int](atomicregister.FastSeqlock))
+//
+// Entirely different substrates plug in via WithRegisters:
 //
 //   - NewLamportStack builds them from safe boolean bits through Lamport's
 //     construction chain (regular bit → unary multivalued → sequence-
 //     numbered atomic cells → n-reader atomic register), honoring the
 //     paper's footnote 3 all the way down.
 //   - Any register.Reg[Tagged[V]] implementation of your own.
+//
+// # Observability
+//
+// WithObserver attaches an always-on metrics layer (package internal/obs):
+// per-channel latency histograms and counts for every simulated operation
+// on any substrate, plus the protocol's own semantics — potent vs.
+// impotent writes classified online at the real write, writer-as-reader
+// fast-path vs. slow-path reads, and Certify outcomes:
+//
+//	ob := atomicregister.NewObserver(4)
+//	reg := atomicregister.New(4, 0, atomicregister.WithObserver[int](ob))
+//	// ... concurrent operations ...
+//	snap := ob.Snapshot()          // expvar-style JSON document
+//	ob.WritePrometheus(w)          // Prometheus text format
+//
+// The disabled path costs one nil check per operation; `go run
+// ./cmd/bloombench -serve :8080` exposes a live /metrics + /debug/pprof/
+// surface over an observed workload.
 //
 // NewMRMW provides an unbounded-timestamp multi-writer register in the
 // style of Vitányi–Awerbuch for more than two writers — necessary because,

@@ -42,6 +42,7 @@ import (
 	"fmt"
 
 	"repro/internal/history"
+	"repro/internal/obs"
 	"repro/internal/register"
 )
 
@@ -94,6 +95,7 @@ type TwoWriter[V comparable] struct {
 	init V
 	seq  *history.Sequencer
 	rec  *Recorder[V]
+	ob   *obs.Observer
 
 	writers [2]*Writer[V]
 	readers []*Reader[V]
@@ -144,6 +146,7 @@ type config[V comparable] struct {
 	record    bool
 	substrate Substrate
 	counters  bool
+	ob        *obs.Observer
 }
 
 // Option configures a TwoWriter.
@@ -226,11 +229,15 @@ func New[V comparable](n int, v0 V, opts ...Option[V]) *TwoWriter[V] {
 			panic(fmt.Sprintf("core: unknown substrate %v", c.substrate))
 		}
 	}
+	if c.ob != nil && c.ob.NumReaders() < n {
+		panic(fmt.Sprintf("core: observer covers %d readers, register has %d", c.ob.NumReaders(), n))
+	}
 	t := &TwoWriter[V]{
 		regs: c.regs,
 		n:    n,
 		init: v0,
 		seq:  c.seq,
+		ob:   c.ob,
 	}
 	for i := 0; i < 2; i++ {
 		switch r := c.regs[i].(type) {

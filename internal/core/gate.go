@@ -98,8 +98,11 @@ func (g *gatedReg[V]) WriteStamped(v Tagged[V]) int64 {
 }
 
 // NewGateSystem builds a recording two-writer register over gated real
-// registers, with n dedicated readers.
-func NewGateSystem[V comparable](n int, v0 V) *GateSystem[V] {
+// registers, with n dedicated readers. Extra options (for example
+// WithObserver) are applied on top of the gate wiring; note that an
+// attached observer's potency probe is itself a gated real access, so
+// release scripts must budget three accesses per observed write.
+func NewGateSystem[V comparable](n int, v0 V, opts ...Option[V]) *GateSystem[V] {
 	gs := &GateSystem[V]{gates: make(map[int]chan gateTicket, n+2)}
 	gs.gates[GateWriter0] = make(chan gateTicket)
 	gs.gates[GateWriter1] = make(chan gateTicket)
@@ -109,10 +112,10 @@ func NewGateSystem[V comparable](n int, v0 V) *GateSystem[V] {
 	seq := new(history.Sequencer)
 	r0 := &gatedReg[V]{inner: register.NewAtomic(n+1, Tagged[V]{Val: v0}, seq), gs: gs, reg: 0}
 	r1 := &gatedReg[V]{inner: register.NewAtomic(n+1, Tagged[V]{Val: v0}, seq), gs: gs, reg: 1}
-	gs.tw = New(n, v0,
+	gs.tw = New(n, v0, append([]Option[V]{
 		WithRegisters[V](r0, r1),
 		WithSequencer[V](seq),
-		WithRecording[V]())
+		WithRecording[V]()}, opts...)...)
 	return gs
 }
 

@@ -1,0 +1,198 @@
+package core_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/proof"
+	"repro/internal/sched"
+)
+
+// substrates under test, by option.
+func observedRegister(t *testing.T, s core.Substrate, readers int, ob *obs.Observer) *core.TwoWriter[int] {
+	t.Helper()
+	return core.New(readers, 0,
+		core.WithSubstrate[int](s),
+		core.WithObserver[int](ob))
+}
+
+// TestObserverCountsPerSubstrate checks that an attached observer counts
+// every simulated operation, on each substrate.
+func TestObserverCountsPerSubstrate(t *testing.T) {
+	for _, s := range []core.Substrate{core.Certifiable, core.FastPointer, core.FastSeqlock} {
+		t.Run(s.String(), func(t *testing.T) {
+			ob := obs.New(2)
+			reg := observedRegister(t, s, 2, ob)
+			for k := 0; k < 5; k++ {
+				reg.Writer(0).Write(k)
+			}
+			for k := 0; k < 3; k++ {
+				reg.Writer(1).Write(k)
+			}
+			for k := 0; k < 7; k++ {
+				_ = reg.Reader(1).Read()
+			}
+			_ = reg.Reader(2).Read()
+			wr := reg.WriterReader(0)
+			for k := 0; k < 4; k++ {
+				_ = wr.Read()
+			}
+
+			snap := ob.Snapshot()
+			if snap.Writers[0].Writes != 5 || snap.Writers[1].Writes != 3 {
+				t.Fatalf("write counts = %d, %d; want 5, 3", snap.Writers[0].Writes, snap.Writers[1].Writes)
+			}
+			if snap.Readers[0].Reads != 7 || snap.Readers[1].Reads != 1 {
+				t.Fatalf("read counts = %d, %d; want 7, 1", snap.Readers[0].Reads, snap.Readers[1].Reads)
+			}
+			if snap.Writers[0].WriterReads != 4 {
+				t.Fatalf("writer-read count = %d, want 4", snap.Writers[0].WriterReads)
+			}
+			if snap.Writers[0].WriteLatency.Count != 5 || snap.Readers[0].ReadLatency.Count != 7 {
+				t.Fatalf("latency histogram counts = %d, %d; want 5, 7",
+					snap.Writers[0].WriteLatency.Count, snap.Readers[0].ReadLatency.Count)
+			}
+			// Sequential writes are always potent: the probe must agree.
+			if pot := ob.PotentWrites(0) + ob.PotentWrites(1); pot != 8 {
+				t.Fatalf("sequential run classified %d potent writes, want all 8", pot)
+			}
+		})
+	}
+}
+
+// TestObserverRejectsUndersizedObserver pins the constructor check: an
+// observer covering fewer readers than the register has is a bug, caught
+// at construction.
+func TestObserverRejectsUndersizedObserver(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted an observer covering 1 reader for a 3-reader register")
+		}
+	}()
+	core.New(3, 0, core.WithObserver[int](obs.New(1)))
+}
+
+// observedScript expands a sched schedule into a gate release script for an
+// observer-attached replay: each writer's real write (its second access per
+// write operation) is followed by one extra release for the potency probe.
+func observedScript(schedule []int) []int {
+	perWriter := [2]int{}
+	var script []int
+	for _, p := range schedule {
+		script = append(script, p)
+		if p < 2 {
+			perWriter[p]++
+			if perWriter[p]%2 == 0 {
+				script = append(script, p)
+			}
+		}
+	}
+	return script
+}
+
+// TestOnlinePotencyMatchesCertifier is the fidelity experiment for the
+// observer's online potent/impotent classification: EVERY interleaving of
+// a small configuration is replayed through the production goroutines with
+// an observer attached (the probe released immediately after each real
+// write, so its window is empty), and the observer's classification must
+// equal proof.Certify's on each schedule.
+func TestOnlinePotencyMatchesCertifier(t *testing.T) {
+	cfg := sched.Config{Writes: [2]int{1, 1}, Readers: []int{1}}
+	n, impotentSeen := 0, false
+	_, err := sched.Explore(cfg, sched.Faithful, func(r *sched.Result) error {
+		n++
+		ob := obs.New(1)
+		gs := core.NewGateSystem(1, "v0", core.WithObserver[string](ob))
+		tw := gs.Register()
+		var wg sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				tw.Writer(i).Write(fmt.Sprintf("w%d", i))
+			}(i)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = tw.Reader(1).Read()
+		}()
+		gs.ReleaseScript(observedScript(r.Sched)...)
+		wg.Wait()
+
+		lin, err := proof.Certify(tw.Recorder().Trace("v0"))
+		if err != nil {
+			return fmt.Errorf("schedule %v: %w", r.Sched, err)
+		}
+		pot := int(ob.PotentWrites(0) + ob.PotentWrites(1))
+		imp := int(ob.ImpotentWrites(0) + ob.ImpotentWrites(1))
+		if pot != lin.Report.PotentWrites || imp != lin.Report.ImpotentWrites {
+			return fmt.Errorf("schedule %v: observer classified %d potent / %d impotent, certifier %d / %d",
+				r.Sched, pot, imp, lin.Report.PotentWrites, lin.Report.ImpotentWrites)
+		}
+		if imp > 0 {
+			impotentSeen = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 210 {
+		t.Fatalf("explored %d schedules, want 210", n)
+	}
+	if !impotentSeen {
+		t.Fatal("no schedule produced an impotent write; the agreement check is vacuous")
+	}
+}
+
+// TestWriterReadPathMatchesRecorder checks the fast/slow writer-read
+// classification against the recorder's ground truth: with recording on,
+// each simulated writer-read's Virtual2 flag says whether the final read
+// was served from the local copy, and the observer's fast/slow tallies
+// must match the recorded flags exactly.
+func TestWriterReadPathMatchesRecorder(t *testing.T) {
+	ob := obs.New(1)
+	reg := core.New(1, 0,
+		core.WithRecording[int](),
+		core.WithObserver[int](ob))
+	wr0 := reg.WriterReader(0)
+	wr1 := reg.WriterReader(1)
+
+	// Mix fast and slow paths: a writer-read right after one's own write
+	// takes the fast path while tags allow; interleaved writes by the
+	// other writer force slow paths.
+	wr0.Write(1)
+	_ = wr0.Read()
+	wr1.Write(2)
+	_ = wr0.Read()
+	_ = wr1.Read()
+	wr0.Write(3)
+	_ = wr1.Read()
+	_ = wr0.Read()
+
+	var fastRec, slowRec [2]int64
+	for _, rd := range reg.Recorder().Trace(0).Reads {
+		if rd.Proc >= 0 {
+			continue // dedicated readers (none here); writer-reads are ChanWriterRead(i) = -(i+1)
+		}
+		i := int(-rd.Proc) - 1
+		if rd.Virtual2 {
+			fastRec[i]++
+		} else {
+			slowRec[i]++
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if ob.WriterReadFast(i) != fastRec[i] || ob.WriterReadSlow(i) != slowRec[i] {
+			t.Fatalf("writer %d: observer fast/slow = %d/%d, recorder %d/%d",
+				i, ob.WriterReadFast(i), ob.WriterReadSlow(i), fastRec[i], slowRec[i])
+		}
+	}
+	if fastRec[0]+fastRec[1] == 0 || slowRec[0]+slowRec[1] == 0 {
+		t.Fatalf("workload exercised only one path: fast=%v slow=%v", fastRec, slowRec)
+	}
+}

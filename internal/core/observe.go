@@ -1,0 +1,115 @@
+package core
+
+import (
+	"context"
+	rtrace "runtime/trace"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Observability wiring: the WithObserver option attaches an obs.Observer
+// and every simulated operation then reports its latency, its protocol
+// classification, and (when a runtime/trace is being collected) a trace
+// region, so `go tool trace` shows the protocol phases per goroutine.
+//
+// The disabled path is one nil check per operation (the same convention as
+// WithRecording); the enabled path adds two clock reads, a handful of
+// uncontended atomic adds on the channel's own cache lines, and — for
+// writes — one extra real read of Reg¬i: the potency probe.
+//
+// # The potency probe
+//
+// Section 7 classifies a write by writer i as potent iff the mod-2 sum of
+// the two tag bits immediately after its real write equals i. The writer
+// knows its own tag (it just wrote it); sampling Reg¬i's tag right after
+// the real write yields the sum one real read later. The probe is exact
+// whenever the other writer's real write does not land inside that
+// one-read window — in particular on every deterministic replay — and the
+// conformance tests replay every schedule of small configurations to check
+// agreement with proof.Certify. The probe is also why an observed write
+// costs 2 real reads + 1 real write instead of the paper's 1+1: turn the
+// observer off for cost-claim measurements (T-cost does).
+
+// traceCtx parents all protocol trace regions; regions are per-goroutine
+// start/end pairs, so a shared background context is exactly right.
+var traceCtx = context.Background()
+
+// Region names shown by `go tool trace`.
+const (
+	regionWrite      = "bloom.write"
+	regionRead       = "bloom.read"
+	regionWriterRead = "bloom.writerRead"
+)
+
+// startRegion opens a runtime/trace region when tracing is active. The
+// IsEnabled check keeps the cost to one atomic load when no trace is being
+// collected.
+func startRegion(name string) *rtrace.Region {
+	if !rtrace.IsEnabled() {
+		return nil
+	}
+	return rtrace.StartRegion(traceCtx, name)
+}
+
+func endRegion(r *rtrace.Region) {
+	if r != nil {
+		r.End()
+	}
+}
+
+// WithObserver attaches an observer to the register: every completed
+// simulated operation on any substrate is then counted, timed, and
+// classified (potent/impotent writes, fast/slow writer-reads). The
+// observer must cover at least the register's reader count, i.e.
+// obs.New(n) for New(n, ...). Crashing operations (WriteCrashing,
+// ReadCrashing) are not observed: they model processor failure, and a
+// crashed processor reports nothing.
+func WithObserver[V comparable](o *obs.Observer) Option[V] {
+	return func(c *config[V]) { c.ob = o }
+}
+
+// Observer returns the attached observer, or nil if none.
+func (t *TwoWriter[V]) Observer() *obs.Observer { return t.ob }
+
+// writeObserved is Writer.Write's observed path: the protocol, then the
+// potency probe, then the shard updates.
+func (w *Writer[V]) writeObserved(v V) {
+	defer endRegion(startRegion(regionWrite))
+	tw := w.tw
+	start := time.Now()
+	if tw.rec == nil {
+		w.writeFast(v)
+	} else {
+		w.write(v, WriterSteps)
+	}
+	d := time.Since(start)
+	// Potency probe: one real read of Reg¬i; sum = t_i ⊕ t_¬i.
+	other, _ := tw.readReg(1-w.i, 0)
+	potent := w.local.Tag^other.Tag == uint8(w.i)
+	tw.ob.RecordWrite(w.i, potent, d)
+}
+
+// readObserved is Reader.Read's observed path.
+func (r *Reader[V]) readObserved() V {
+	defer endRegion(startRegion(regionRead))
+	start := time.Now()
+	var v V
+	if r.tw.rec == nil {
+		v = r.readFast()
+	} else {
+		v, _ = r.read(ReaderSteps)
+	}
+	r.tw.ob.RecordRead(r.j, time.Since(start))
+	return v
+}
+
+// readObserved is WriterReader.Read's observed path; fast reports the
+// local-copy fast path (final read served virtually, one real read total).
+func (wr *WriterReader[V]) readObserved() V {
+	defer endRegion(startRegion(regionWriterRead))
+	start := time.Now()
+	v, fast := wr.read()
+	wr.w.tw.ob.RecordWriterRead(wr.w.i, fast, time.Since(start))
+	return v
+}

@@ -29,6 +29,9 @@ func (r *Reader[V]) Index() int { return r.j }
 //	return v2
 func (r *Reader[V]) Read() V {
 	// Dispatch straight to the bookkeeping-free path when unrecorded.
+	if r.tw.ob != nil {
+		return r.readObserved()
+	}
 	if r.tw.rec == nil {
 		return r.readFast()
 	}

@@ -37,6 +37,10 @@ func (w *Writer[V]) Index() int { return w.i }
 func (w *Writer[V]) Write(v V) {
 	// Dispatch straight to the bookkeeping-free path when unrecorded;
 	// going through write() would re-test this per step.
+	if w.tw.ob != nil {
+		w.writeObserved(v)
+		return
+	}
 	if w.tw.rec == nil {
 		w.writeFast(v)
 		return
@@ -160,6 +164,17 @@ func (wr *WriterReader[V]) Write(v V) { wr.w.Write(v) }
 // and the automaton is sequential, so a *-action for the virtual read can
 // be placed at the moment its stamp is drawn.
 func (wr *WriterReader[V]) Read() V {
+	if wr.w.tw.ob != nil {
+		return wr.readObserved()
+	}
+	v, _ := wr.read()
+	return v
+}
+
+// read performs the simulated read and reports whether the final read took
+// the fast path (served from the local copy: one real read total, the
+// observability layer's fast/slow-path signal).
+func (wr *WriterReader[V]) read() (V, bool) {
 	w := wr.w
 	tw := w.tw
 	rec := tw.rec
@@ -235,5 +250,5 @@ func (wr *WriterReader[V]) Read() V {
 		rr.RespondSeq = rec.hist.RespondRead(ch, rr.OpID, ret)
 		rec.addRead(rr)
 	}
-	return ret
+	return ret, rr.Virtual2
 }

@@ -3,14 +3,46 @@ package netreg
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/register"
 )
 
 var _ register.Stamped[int] = (*Reg[int])(nil)
+
+// ErrTimeout wraps round trips that exceeded the client's deadline (see
+// WithTimeout). Test with errors.Is.
+var ErrTimeout = errors.New("netreg: round trip timed out")
+
+// DialOption configures a Client.
+type DialOption func(*dialConfig)
+
+type dialConfig struct {
+	timeout time.Duration
+	rpc     *obs.RPC
+}
+
+// WithTimeout bounds every round trip: the connection's read and write
+// deadlines are armed before each exchange, so a stalled or dead server
+// surfaces as a counted ErrTimeout instead of a hung client. A timed-out
+// connection is broken (the stream may hold a partial frame) and the
+// client refuses further round trips.
+func WithTimeout(d time.Duration) DialOption {
+	return func(c *dialConfig) { c.timeout = d }
+}
+
+// WithRPCStats attaches a round-trip tally: every exchange records its
+// operation kind, latency, and outcome (ok / timeout / error). One tally
+// may be shared across the clients of a whole Reg.
+func WithRPCStats(r *obs.RPC) DialOption {
+	return func(c *dialConfig) { c.rpc = r }
+}
 
 // Client accesses a remote register. One Client holds one connection and
 // serializes its requests; since every register user (a writer or one
@@ -23,23 +55,32 @@ var _ register.Stamped[int] = (*Reg[int])(nil)
 // a broken link like broken hardware. Production-grade retry or failover
 // is out of scope; the paper's registers never fail partially either.
 type Client[V any] struct {
-	mu   sync.Mutex
-	conn net.Conn
-	dec  *json.Decoder
-	enc  *json.Encoder
-	done bool
+	mu      sync.Mutex
+	conn    net.Conn
+	dec     *json.Decoder
+	enc     *json.Encoder
+	done    bool
+	broken  error // sticky transport failure; round trips refuse after it
+	timeout time.Duration
+	rpc     *obs.RPC
 }
 
 // Dial connects to a register server.
-func Dial[V any](addr string) (*Client[V], error) {
+func Dial[V any](addr string, opts ...DialOption) (*Client[V], error) {
+	var cfg dialConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("netreg: dial %s: %w", addr, err)
 	}
 	return &Client[V]{
-		conn: conn,
-		dec:  json.NewDecoder(bufio.NewReader(conn)),
-		enc:  json.NewEncoder(conn),
+		conn:    conn,
+		dec:     json.NewDecoder(bufio.NewReader(conn)),
+		enc:     json.NewEncoder(conn),
+		timeout: cfg.timeout,
+		rpc:     cfg.rpc,
 	}, nil
 }
 
@@ -55,22 +96,77 @@ func (c *Client[V]) Close() error {
 }
 
 func (c *Client[V]) roundTrip(req request) (response, error) {
+	op := obs.RPCWrite
+	if req.Op == "read" {
+		op = obs.RPCRead
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.done {
 		return response{}, ErrClosed
 	}
+	if c.broken != nil {
+		// The stream may hold a partial frame from the failed exchange;
+		// resynchronizing is impossible, so fail fast and loudly.
+		return response{}, fmt.Errorf("netreg: connection broken by earlier failure: %w", c.broken)
+	}
+	start := time.Now()
+	resp, err := c.exchange(req)
+	if c.rpc != nil {
+		outcome := obs.RPCOK
+		switch {
+		case isTimeout(err):
+			outcome = obs.RPCTimeout
+		case err != nil:
+			outcome = obs.RPCError
+		}
+		c.rpc.Record(op, time.Since(start), outcome)
+	}
+	if err != nil && resp.Err == "" {
+		// Transport-level failure (not a well-formed server error reply):
+		// the connection is no longer usable.
+		c.broken = err
+	}
+	return resp, err
+}
+
+// exchange performs one deadline-bounded request/response on the locked
+// connection. A non-empty resp.Err marks a server-side (application)
+// error; any other failure is transport-level.
+func (c *Client[V]) exchange(req request) (response, error) {
+	if c.timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			return response{}, fmt.Errorf("netreg: arming deadline: %w", err)
+		}
+	}
 	if err := c.enc.Encode(&req); err != nil {
-		return response{}, fmt.Errorf("netreg: send: %w", err)
+		return response{}, fmt.Errorf("netreg: send: %w", wrapTimeout(err))
 	}
 	var resp response
 	if err := c.dec.Decode(&resp); err != nil {
-		return response{}, fmt.Errorf("netreg: receive: %w", err)
+		return response{}, fmt.Errorf("netreg: receive: %w", wrapTimeout(err))
 	}
 	if resp.Err != "" {
-		return response{}, fmt.Errorf("netreg: server: %s", resp.Err)
+		return resp, fmt.Errorf("netreg: server: %s", resp.Err)
 	}
 	return resp, nil
+}
+
+// wrapTimeout tags deadline expirations with ErrTimeout so callers can
+// errors.Is them without knowing the transport.
+func wrapTimeout(err error) error {
+	var ne net.Error
+	if errors.Is(err, os.ErrDeadlineExceeded) || (errors.As(err, &ne) && ne.Timeout()) {
+		return fmt.Errorf("%w: %w", ErrTimeout, err)
+	}
+	return err
+}
+
+// isTimeout reports whether err stems from a deadline expiration.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.Is(err, ErrTimeout) || errors.Is(err, os.ErrDeadlineExceeded) ||
+		(errors.As(err, &ne) && ne.Timeout())
 }
 
 // ReadErr performs a remote read through the given port.
@@ -110,18 +206,19 @@ type Reg[V any] struct {
 	WriteClient *Client[V]
 }
 
-// NewReg dials one connection per read port plus one for the writer.
-func NewReg[V any](addr string, ports int) (*Reg[V], error) {
+// NewReg dials one connection per read port plus one for the writer. Dial
+// options (deadlines, a shared RPC tally) apply to every connection.
+func NewReg[V any](addr string, ports int, opts ...DialOption) (*Reg[V], error) {
 	r := &Reg[V]{}
 	for p := 0; p < ports; p++ {
-		c, err := Dial[V](addr)
+		c, err := Dial[V](addr, opts...)
 		if err != nil {
 			r.Close()
 			return nil, err
 		}
 		r.ReadClients = append(r.ReadClients, c)
 	}
-	w, err := Dial[V](addr)
+	w, err := Dial[V](addr, opts...)
 	if err != nil {
 		r.Close()
 		return nil, err

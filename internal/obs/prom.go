@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Label is one Prometheus label pair, injected into every series an
+// exporter emits (e.g. {Name: "substrate", Value: "seqlock"} when several
+// observed registers share one /metrics page).
+type Label struct {
+	Name, Value string
+}
+
+// promLabels renders a label set — fixed labels first, then extras — in
+// Prometheus text form, including the braces; an empty set renders empty.
+func promLabels(extra []Label, pairs ...string) string {
+	var parts []string
+	for i := 0; i+1 < len(pairs); i += 2 {
+		parts = append(parts, fmt.Sprintf("%s=%q", pairs[i], pairs[i+1]))
+	}
+	for _, l := range extra {
+		parts = append(parts, fmt.Sprintf("%s=%q", l.Name, l.Value))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// writeHist emits one histogram in Prometheus text format (cumulative
+// buckets in seconds, then _sum and _count).
+func writeHist(w io.Writer, name string, h *Hist, extra []Label, pairs ...string) {
+	var cum int64
+	for i := 0; i < NumBuckets; i++ {
+		c := h.counts[i].Load()
+		cum += c
+		if c == 0 && i < NumBuckets-1 {
+			continue // only emit buckets that advance the cumulative count, plus +Inf
+		}
+		le := "+Inf"
+		if b := BucketBound(i); b >= 0 {
+			le = fmt.Sprintf("%g", b.Seconds())
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(extra, append(append([]string{}, pairs...), "le", le)...), cum)
+	}
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, promLabels(extra, pairs...), h.Sum().Seconds())
+	fmt.Fprintf(w, "%s_count%s %d\n", name, promLabels(extra, pairs...), cum)
+}
+
+// WritePrometheus renders the observer's state in the Prometheus text
+// exposition format (version 0.0.4, the format every Prometheus-compatible
+// scraper accepts). The extra labels are appended to every series.
+//
+// Series:
+//
+//	bloom_writes_total{writer,potency}        potent/impotent write counts
+//	bloom_writer_reads_total{writer,path}     fast (local-copy) vs slow path
+//	bloom_reads_total{reader}                 dedicated reader counts
+//	bloom_certify_runs_total{outcome}         Certify outcomes on recorded runs
+//	bloom_op_latency_seconds{op,channel}      latency histograms per channel
+func (o *Observer) WritePrometheus(w io.Writer, extra ...Label) {
+	fmt.Fprintln(w, "# HELP bloom_writes_total Simulated writes, classified online as potent or impotent (Section 7).")
+	fmt.Fprintln(w, "# TYPE bloom_writes_total counter")
+	for i := range o.writers {
+		s := &o.writers[i]
+		wi := fmt.Sprint(i)
+		fmt.Fprintf(w, "bloom_writes_total%s %d\n", promLabels(extra, "writer", wi, "potency", "potent"), s.potent.Load())
+		fmt.Fprintf(w, "bloom_writes_total%s %d\n", promLabels(extra, "writer", wi, "potency", "impotent"), s.impotent.Load())
+	}
+
+	fmt.Fprintln(w, "# HELP bloom_writer_reads_total Writer-as-reader simulated reads: local-copy fast path vs 2-read slow path.")
+	fmt.Fprintln(w, "# TYPE bloom_writer_reads_total counter")
+	for i := range o.writers {
+		s := &o.writers[i]
+		wi := fmt.Sprint(i)
+		fmt.Fprintf(w, "bloom_writer_reads_total%s %d\n", promLabels(extra, "writer", wi, "path", "fast"), s.wrReadFast.Load())
+		fmt.Fprintf(w, "bloom_writer_reads_total%s %d\n", promLabels(extra, "writer", wi, "path", "slow"), s.wrReadSlow.Load())
+	}
+
+	fmt.Fprintln(w, "# HELP bloom_reads_total Simulated reads by dedicated readers.")
+	fmt.Fprintln(w, "# TYPE bloom_reads_total counter")
+	for j := range o.readers {
+		fmt.Fprintf(w, "bloom_reads_total%s %d\n", promLabels(extra, "reader", fmt.Sprint(j+1)), o.readers[j].readLat.Count())
+	}
+
+	fmt.Fprintln(w, "# HELP bloom_certify_runs_total Outcomes of certifying recorded runs of this register.")
+	fmt.Fprintln(w, "# TYPE bloom_certify_runs_total counter")
+	fmt.Fprintf(w, "bloom_certify_runs_total%s %d\n", promLabels(extra, "outcome", "ok"), o.certifyOK.Load())
+	fmt.Fprintf(w, "bloom_certify_runs_total%s %d\n", promLabels(extra, "outcome", "fail"), o.certifyFail.Load())
+
+	fmt.Fprintln(w, "# HELP bloom_op_latency_seconds Simulated-operation latency per channel.")
+	fmt.Fprintln(w, "# TYPE bloom_op_latency_seconds histogram")
+	for i := range o.writers {
+		s := &o.writers[i]
+		ch := fmt.Sprintf("writer%d", i)
+		writeHist(w, "bloom_op_latency_seconds", &s.writeLat, extra, "op", "write", "channel", ch)
+		writeHist(w, "bloom_op_latency_seconds", &s.wrReadLat, extra, "op", "writer_read", "channel", ch)
+	}
+	for j := range o.readers {
+		ch := fmt.Sprintf("reader%d", j+1)
+		writeHist(w, "bloom_op_latency_seconds", &o.readers[j].readLat, extra, "op", "read", "channel", ch)
+	}
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// RPCOp identifies one remote-register operation kind.
+type RPCOp int
+
+// The remote operation kinds (matching the netreg wire protocol).
+const (
+	RPCRead RPCOp = iota
+	RPCWrite
+	numRPCOps
+)
+
+// String names the operation kind.
+func (op RPCOp) String() string {
+	switch op {
+	case RPCRead:
+		return "read"
+	case RPCWrite:
+		return "write"
+	default:
+		return fmt.Sprintf("RPCOp(%d)", int(op))
+	}
+}
+
+// RPCOutcome classifies how a round trip ended. The transport decides the
+// class (obs stays free of net imports); timeouts are counted separately
+// from other errors because they are the signal deadlines exist to surface.
+type RPCOutcome int
+
+// Round-trip outcomes.
+const (
+	RPCOK RPCOutcome = iota
+	RPCTimeout
+	RPCError
+)
+
+// rpcShard is one operation kind's metrics, padded like the register
+// observer's channel shards.
+type rpcShard struct {
+	lat      Hist
+	ok       atomic.Int64
+	timeouts atomic.Int64
+	errors   atomic.Int64
+	_        [cacheLine]byte
+}
+
+// RPC tallies remote-register round trips: per-op counts, error and
+// timeout counts, and round-trip latency histograms. One RPC may be shared
+// by many clients; recording is a few uncontended-or-cheap atomic adds.
+// All methods are safe on a nil receiver.
+type RPC struct {
+	ops [numRPCOps]rpcShard
+}
+
+// NewRPC returns an empty RPC tally.
+func NewRPC() *RPC { return &RPC{} }
+
+// Record tallies one round trip of the given kind with its latency and
+// outcome.
+func (r *RPC) Record(op RPCOp, d time.Duration, outcome RPCOutcome) {
+	if r == nil {
+		return
+	}
+	s := &r.ops[op]
+	s.lat.Observe(d)
+	switch outcome {
+	case RPCOK:
+		s.ok.Add(1)
+	case RPCTimeout:
+		s.timeouts.Add(1)
+	default:
+		s.errors.Add(1)
+	}
+}
+
+// Ok returns the successful round-trip count for op.
+func (r *RPC) Ok(op RPCOp) int64 { return r.ops[op].ok.Load() }
+
+// Timeouts returns the timed-out round-trip count for op.
+func (r *RPC) Timeouts(op RPCOp) int64 { return r.ops[op].timeouts.Load() }
+
+// Errors returns the non-timeout failed round-trip count for op.
+func (r *RPC) Errors(op RPCOp) int64 { return r.ops[op].errors.Load() }
+
+// RPCOpSnapshot is one operation kind's exported state.
+type RPCOpSnapshot struct {
+	Op       string       `json:"op"`
+	Ok       int64        `json:"ok"`
+	Timeouts int64        `json:"timeouts"`
+	Errors   int64        `json:"errors"`
+	Latency  HistSnapshot `json:"latency"`
+}
+
+// RPCSnapshot is a point-in-time copy of an RPC tally.
+type RPCSnapshot struct {
+	Ops []RPCOpSnapshot `json:"ops"`
+}
+
+// Snapshot copies the tally's current state.
+func (r *RPC) Snapshot() RPCSnapshot {
+	var s RPCSnapshot
+	for op := RPCOp(0); op < numRPCOps; op++ {
+		sh := &r.ops[op]
+		s.Ops = append(s.Ops, RPCOpSnapshot{
+			Op:       op.String(),
+			Ok:       sh.ok.Load(),
+			Timeouts: sh.timeouts.Load(),
+			Errors:   sh.errors.Load(),
+			Latency:  sh.lat.snapshot(),
+		})
+	}
+	return s
+}
+
+// WritePrometheus renders the tally in Prometheus text format:
+//
+//	netreg_roundtrips_total{op,outcome}
+//	netreg_roundtrip_latency_seconds{op}
+func (r *RPC) WritePrometheus(w io.Writer, extra ...Label) {
+	fmt.Fprintln(w, "# HELP netreg_roundtrips_total Remote register round trips by operation and outcome.")
+	fmt.Fprintln(w, "# TYPE netreg_roundtrips_total counter")
+	for op := RPCOp(0); op < numRPCOps; op++ {
+		s := &r.ops[op]
+		fmt.Fprintf(w, "netreg_roundtrips_total%s %d\n", promLabels(extra, "op", op.String(), "outcome", "ok"), s.ok.Load())
+		fmt.Fprintf(w, "netreg_roundtrips_total%s %d\n", promLabels(extra, "op", op.String(), "outcome", "timeout"), s.timeouts.Load())
+		fmt.Fprintf(w, "netreg_roundtrips_total%s %d\n", promLabels(extra, "op", op.String(), "outcome", "error"), s.errors.Load())
+	}
+	fmt.Fprintln(w, "# HELP netreg_roundtrip_latency_seconds Remote register round-trip latency.")
+	fmt.Fprintln(w, "# TYPE netreg_roundtrip_latency_seconds histogram")
+	for op := RPCOp(0); op < numRPCOps; op++ {
+		writeHist(w, "netreg_roundtrip_latency_seconds", &r.ops[op].lat, extra, "op", op.String())
+	}
+}

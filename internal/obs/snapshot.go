@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// HistSnapshot is a histogram's exported state: non-empty buckets only,
+// each with its exclusive upper bound in nanoseconds (the last bucket's
+// bound is 0, meaning +Inf).
+type HistSnapshot struct {
+	Count   int64            `json:"count"`
+	SumNs   int64            `json:"sum_ns"`
+	MeanNs  float64          `json:"mean_ns"`
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+}
+
+// BucketSnapshot is one non-empty histogram bucket.
+type BucketSnapshot struct {
+	// UpperNs is the bucket's exclusive upper bound in nanoseconds; 0
+	// marks the unbounded last bucket.
+	UpperNs int64 `json:"upper_ns"`
+	Count   int64 `json:"count"`
+}
+
+func (h *Hist) snapshot() HistSnapshot {
+	s := HistSnapshot{}
+	for i := 0; i < NumBuckets; i++ {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		s.Count += c
+		s.Buckets = append(s.Buckets, BucketSnapshot{UpperNs: int64(BucketBound(i)), Count: c})
+	}
+	if len(s.Buckets) > 0 && s.Buckets[len(s.Buckets)-1].UpperNs < 0 {
+		s.Buckets[len(s.Buckets)-1].UpperNs = 0
+	}
+	s.SumNs = h.sum.Load()
+	if s.Count > 0 {
+		s.MeanNs = float64(s.SumNs) / float64(s.Count)
+	}
+	return s
+}
+
+// WriterSnapshot is one writer channel's exported state.
+type WriterSnapshot struct {
+	Writer         int          `json:"writer"`
+	Writes         int64        `json:"writes"`
+	PotentWrites   int64        `json:"potent_writes"`
+	ImpotentWrites int64        `json:"impotent_writes"`
+	WriteLatency   HistSnapshot `json:"write_latency"`
+	WriterReads    int64        `json:"writer_reads"`
+	FastPathReads  int64        `json:"fast_path_reads"`
+	SlowPathReads  int64        `json:"slow_path_reads"`
+	ReadLatency    HistSnapshot `json:"writer_read_latency"`
+}
+
+// ReaderSnapshot is one dedicated reader channel's exported state.
+type ReaderSnapshot struct {
+	Reader      int          `json:"reader"`
+	Reads       int64        `json:"reads"`
+	ReadLatency HistSnapshot `json:"read_latency"`
+}
+
+// Snapshot is a point-in-time copy of an observer's state, shaped for
+// JSON (the expvar convention: one self-describing document per scrape).
+type Snapshot struct {
+	UptimeSec   float64          `json:"uptime_sec"`
+	Writers     []WriterSnapshot `json:"writers"`
+	Readers     []ReaderSnapshot `json:"readers,omitempty"`
+	CertifyOK   int64            `json:"certify_ok"`
+	CertifyFail int64            `json:"certify_fail"`
+}
+
+// Snapshot copies the observer's current state. It is safe to call
+// concurrently with recording; per-series counts are individually exact
+// but the snapshot as a whole is not an atomic cut (the standard scrape
+// semantics).
+func (o *Observer) Snapshot() Snapshot {
+	s := Snapshot{UptimeSec: time.Since(o.start).Seconds()}
+	for i := range o.writers {
+		w := &o.writers[i]
+		pot, imp := w.potent.Load(), w.impotent.Load()
+		fast, slow := w.wrReadFast.Load(), w.wrReadSlow.Load()
+		s.Writers = append(s.Writers, WriterSnapshot{
+			Writer:         i,
+			Writes:         pot + imp,
+			PotentWrites:   pot,
+			ImpotentWrites: imp,
+			WriteLatency:   w.writeLat.snapshot(),
+			WriterReads:    fast + slow,
+			FastPathReads:  fast,
+			SlowPathReads:  slow,
+			ReadLatency:    w.wrReadLat.snapshot(),
+		})
+	}
+	for j := range o.readers {
+		r := &o.readers[j]
+		h := r.readLat.snapshot()
+		s.Readers = append(s.Readers, ReaderSnapshot{Reader: j + 1, Reads: h.Count, ReadLatency: h})
+	}
+	s.CertifyOK = o.certifyOK.Load()
+	s.CertifyFail = o.certifyFail.Load()
+	return s
+}
+
+// MarshalJSON renders the live observer as its snapshot, so an *Observer
+// can be handed directly to expvar.Publish or json.Marshal.
+func (o *Observer) MarshalJSON() ([]byte, error) {
+	return json.Marshal(o.Snapshot())
+}

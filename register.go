@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/lamport"
+	"repro/internal/obs"
 	"repro/internal/register"
 	"repro/internal/vitanyi"
 )
@@ -71,6 +72,27 @@ func WithSubstrate[V comparable](s Substrate) Option[V] {
 // substrates; the certifiable substrate always counts.
 func WithSubstrateCounters[V comparable]() Option[V] {
 	return core.WithSubstrateCounters[V]()
+}
+
+// Observer is the always-on observability layer: sharded per-channel
+// counters and latency histograms plus the protocol's own signals —
+// potent/impotent writes, writer-read fast/slow-path hits, Certify
+// outcomes. Attach one with WithObserver, then scrape it via Snapshot
+// (JSON), WritePrometheus (text exposition format), or MarshalJSON
+// (expvar.Publish-ready). See internal/obs for the design.
+type Observer = obs.Observer
+
+// NewObserver returns an observer for a register with n dedicated readers
+// (match the n passed to New).
+func NewObserver(n int) *Observer { return obs.New(n) }
+
+// WithObserver attaches an observer: every completed simulated operation
+// on any substrate is counted, timed, and classified online. The disabled
+// path costs one nil check; the enabled path adds two clock reads, a few
+// uncontended atomic increments, and one extra real read per write (the
+// potency probe — see internal/core's observe.go).
+func WithObserver[V comparable](o *Observer) Option[V] {
+	return core.WithObserver[V](o)
 }
 
 // New constructs a two-writer register with n dedicated readers,

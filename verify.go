@@ -28,7 +28,7 @@ type Report = proof.Report
 // Certification needs linearization-point stamps from the substrate
 // (register.Stamped); for unstamped substrates such as the Lamport stack,
 // use CheckAtomic.
-func Certify[V comparable](tw *TwoWriter[V]) (Report, error) {
+func Certify[V comparable](tw *TwoWriter[V]) (_ Report, err error) {
 	// Substrate first: on a fast substrate, adding WithRecording would
 	// not make the run certifiable, so ErrNotRecorded alone would send
 	// the caller down a dead end.
@@ -39,6 +39,10 @@ func Certify[V comparable](tw *TwoWriter[V]) (Report, error) {
 	if rec == nil {
 		return Report{}, ErrNotRecorded
 	}
+	// An attached observer tallies certification verdicts (the
+	// prerequisite failures above are usage errors, not verdicts, and are
+	// deliberately not counted).
+	defer func() { tw.Observer().RecordCertify(err == nil) }()
 	lin, err := proof.Certify(rec.Trace(tw.InitialValue()))
 	if err != nil {
 		return Report{}, err
