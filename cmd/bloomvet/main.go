@@ -1,0 +1,27 @@
+// Bloomvet is the repository's static-analysis tool: a go/analysis
+// multichecker over the bloomvet analyzer suite (internal/analysis), which
+// statically enforces the wait-free and atomicity invariants the paper's
+// construction depends on — no mixed plain/atomic access to shared words
+// (atomicmix), no blocking primitives on //bloom:waitfree paths
+// (waitfree), intact seqlock version discipline (seqlock), and intact
+// cache-line sharding of the observability counters (obsshard).
+//
+// It speaks the go vet driver protocol, so the usual way to run it is
+// through the toolchain:
+//
+//	go build -o bloomvet ./cmd/bloomvet
+//	go vet -vettool=$PWD/bloomvet ./...
+//
+// Like any vettool it replaces the standard vet analyzers for that
+// invocation; CI runs plain `go vet ./...` alongside it.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	unitchecker.Main(analysis.All()...)
+}

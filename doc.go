@@ -68,6 +68,14 @@
 // ./cmd/bloombench -serve :8080` exposes a live /metrics + /debug/pprof/
 // surface over an observed workload.
 //
+// # Static analysis
+//
+// The disciplines behind those guarantees are enforced at compile time by
+// cmd/bloomvet, a go/analysis multichecker (go vet -vettool=...): the
+// wait-free annotations on the protocol's hot paths, all-atomic-or-all-
+// plain access to shared words, the seqlock version-counter bracket, and
+// the no-copy/padding rules of the sharded metrics. See internal/analysis.
+//
 // NewMRMW provides an unbounded-timestamp multi-writer register in the
 // style of Vitányi–Awerbuch for more than two writers — necessary because,
 // as Section 8 of the paper shows (and internal/counterexample

@@ -1,0 +1,51 @@
+// Package analysis gathers bloomvet, the repository's static-analysis
+// suite: a family of golang.org/x/tools/go/analysis analyzers that encode
+// the paper's implementation invariants as compile-time checks.
+//
+// The runtime checkers (proof.Certify, atomicity.Check, the -race soaks)
+// validate one schedule at a time; the analyzers here validate the code for
+// every schedule, by construction:
+//
+//   - atomicmix: a word accessed through sync/atomic is accessed through
+//     sync/atomic everywhere — a single plain load of a seqlock word or a
+//     published pointer reintroduces exactly the torn reads the real
+//     registers exist to rule out (Lamport's atomic-register contract).
+//   - waitfree: code reachable from a //bloom:waitfree annotation never
+//     blocks — no mutexes, no channel operations, no sleeps — which is the
+//     paper's central claim for the construction ("no waiting, no loops").
+//   - seqlock: seqlock writers finish their slot stores before publishing
+//     the version counter, and seqlock readers re-check the counter after
+//     copying, so a read torn by two writes is always detected.
+//   - obsshard: per-channel metric shards stay cache-line padded and are
+//     never copied by value, preserving both the no-false-sharing layout
+//     and the atomicity of their counters.
+//
+// The analyzers are assembled into one vet tool by cmd/bloomvet; run it as
+//
+//	go build -o bloomvet ./cmd/bloomvet
+//	go vet -vettool=$PWD/bloomvet ./...
+//
+// Each analyzer lives in its own subpackage with an analysistest-style
+// testdata tree of seeded violations; package atest is the self-contained
+// harness that drives them (the upstream analysistest is not part of the
+// vendored x/tools subset).
+package analysis
+
+import (
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/atomicmix"
+	"repro/internal/analysis/obsshard"
+	"repro/internal/analysis/seqlock"
+	"repro/internal/analysis/waitfree"
+)
+
+// All returns the bloomvet analyzers in a fixed order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		atomicmix.Analyzer,
+		waitfree.Analyzer,
+		seqlock.Analyzer,
+		obsshard.Analyzer,
+	}
+}

@@ -1,0 +1,226 @@
+// Package atomicmix reports words that are accessed both through
+// sync/atomic and through plain loads and stores.
+//
+// The real registers (internal/register) realize Lamport's atomic-register
+// contract only if every access to a shared word goes through one
+// serialization mechanism. A word that is sometimes read with
+// atomic.LoadUint64 and sometimes with a plain dereference has no such
+// mechanism: the plain access can tear, be reordered, or be hoisted out of
+// a loop, and no schedule-replaying test is guaranteed to catch it. The
+// analyzer therefore enforces the all-or-nothing rule: once any site
+// touches a variable through sync/atomic, every site must.
+//
+// Tracking is by object (struct field or variable). A use inside a
+// composite literal key (initialization before publication, e.g.
+// &S{ctr: 1}) is exempt — the value is not shared yet. Cross-package
+// mixing is caught through facts: a package that accesses its own words
+// atomically exports an AtomicWord fact per word, and downstream plain
+// accesses of those words are flagged wherever they occur in the module.
+//
+// Fields of the typed atomics (atomic.Uint64, atomic.Pointer, ...) need no
+// analysis: their only access path is their methods, which is why the
+// hot-path code in this repository prefers them. The analyzer exists for
+// the places where plain words are unavoidable — and for regressions that
+// would quietly mix the two styles.
+package atomicmix
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Analyzer flags mixed plain/atomic access to the same word.
+var Analyzer = &analysis.Analyzer{
+	Name:      "atomicmix",
+	Doc:       "report words accessed both through sync/atomic and through plain loads/stores",
+	Requires:  []*analysis.Analyzer{inspect.Analyzer},
+	FactTypes: []analysis.Fact{(*AtomicWord)(nil)},
+	Run:       run,
+}
+
+// AtomicWord is attached to a variable (struct field or package-level var)
+// that is accessed through sync/atomic somewhere in its defining package.
+type AtomicWord struct {
+	// At is the position of one atomic access, for diagnostics.
+	At string
+}
+
+// AFact marks AtomicWord as a serializable analysis fact.
+func (*AtomicWord) AFact() {}
+
+func (f *AtomicWord) String() string { return "atomic word (e.g. at " + f.At + ")" }
+
+// atomicFuncs are the sync/atomic free functions whose first argument is
+// the address of the word being accessed.
+var atomicFuncs = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true, "LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true, "StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true, "SwapUintptr": true, "SwapPointer": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Words known to be atomic: seeded with facts from imported packages,
+	// extended by this package's own atomic call sites.
+	atomicAt := map[types.Object]string{}
+	for _, of := range pass.AllObjectFacts() {
+		if f, ok := of.Fact.(*AtomicWord); ok {
+			atomicAt[of.Object] = f.At
+		}
+	}
+
+	// sanctioned holds the operand nodes that appear inside a sync/atomic
+	// call (the x.f in atomic.LoadUint64(&x.f)); uses inside them are the
+	// atomic accesses themselves, not violations.
+	sanctioned := map[ast.Node]bool{}
+
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !atomicFuncs[fn.Name()] {
+			return
+		}
+		if len(call.Args) == 0 {
+			return
+		}
+		addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+		if !ok || addr.Op != token.AND {
+			return
+		}
+		operand := ast.Unparen(addr.X)
+		obj := addressedObject(pass, operand)
+		if obj == nil {
+			return
+		}
+		sanctioned[operand] = true
+		if _, seen := atomicAt[obj]; !seen {
+			atomicAt[obj] = pass.Fset.Position(operand.Pos()).String()
+		}
+	})
+
+	// Second sweep: every other use of an atomic word is a plain access.
+	ins.WithStack([]ast.Node{(*ast.Ident)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		id := n.(*ast.Ident)
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		at, isAtomic := atomicAt[obj]
+		if !isAtomic {
+			return true
+		}
+		// The access expression is the ident or, for a field, the
+		// enclosing selector; anything inside a sanctioned operand or a
+		// composite-literal key is exempt.
+		var access ast.Expr = id
+		for i := len(stack) - 1; i >= 0; i-- {
+			switch p := stack[i].(type) {
+			case *ast.SelectorExpr:
+				if p.Sel == id {
+					access = p
+				}
+			case *ast.KeyValueExpr:
+				if p.Key == id {
+					return true // initialization in a composite literal
+				}
+			}
+			if sanctioned[stack[i]] {
+				return true
+			}
+		}
+		pass.ReportRangef(access, "plain %s of %s, which is accessed atomically (e.g. at %s); use sync/atomic consistently",
+			accessKind(stack, access), objName(obj), at)
+		return true
+	})
+
+	// Export facts for this package's own words so downstream packages see
+	// them. Only package-level declarations survive export; that is fine —
+	// locals cannot be accessed from other packages anyway.
+	for obj, at := range atomicAt {
+		if obj.Pkg() == pass.Pkg {
+			pass.ExportObjectFact(obj, &AtomicWord{At: at})
+		}
+	}
+	return nil, nil
+}
+
+// calleeFunc resolves the static callee of call, or nil.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// addressedObject returns the variable an &-operand denotes: a struct
+// field for x.f, a plain variable for x; nil for anything else (index
+// expressions, results of calls, ...).
+func addressedObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if sel := pass.TypesInfo.Selections[e]; sel != nil && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+		return pass.TypesInfo.Uses[e.Sel]
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.Uses[e].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// accessKind reports whether the access expression is written or read,
+// from its immediate context in the node stack.
+func accessKind(stack []ast.Node, access ast.Expr) string {
+	// Find access's parent (the node just above it on the stack).
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i] != access {
+			continue
+		}
+		if i == 0 {
+			break
+		}
+		switch p := stack[i-1].(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if ast.Unparen(lhs) == access {
+					return "write"
+				}
+			}
+		case *ast.IncDecStmt:
+			return "write"
+		case *ast.UnaryExpr:
+			if p.Op == token.AND {
+				return "address-taking"
+			}
+		}
+		break
+	}
+	return "read"
+}
+
+func objName(obj types.Object) string {
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		return fmt.Sprintf("field %s", v.Name())
+	}
+	return obj.Name()
+}

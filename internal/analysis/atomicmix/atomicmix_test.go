@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/atomicmix"
+)
+
+func TestAtomicMix(t *testing.T) {
+	atest.Run(t, "testdata", atomicmix.Analyzer, "a", "b")
+}

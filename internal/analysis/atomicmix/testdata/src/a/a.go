@@ -1,0 +1,57 @@
+// Package a seeds atomicmix violations: words accessed both through
+// sync/atomic and through plain loads/stores.
+package a
+
+import "sync/atomic"
+
+type counterHolder struct {
+	ctr  uint64
+	name string
+}
+
+func bump(h *counterHolder) {
+	atomic.AddUint64(&h.ctr, 1) // sanctions ctr as an atomic word
+}
+
+func peek(h *counterHolder) uint64 {
+	return h.ctr // want `plain read of field ctr, which is accessed atomically`
+}
+
+func reset(h *counterHolder) {
+	h.ctr = 0 // want `plain write of field ctr`
+}
+
+func alias(h *counterHolder) *uint64 {
+	return &h.ctr // want `plain address-taking of field ctr`
+}
+
+func fine(h *counterHolder) string {
+	return h.name // a word never touched atomically is unconstrained
+}
+
+func fresh() *counterHolder {
+	return &counterHolder{ctr: 1} // composite-literal initialization is exempt
+}
+
+var hits uint64
+
+func recordHit() { atomic.AddUint64(&hits, 1) }
+
+func report() uint64 {
+	return hits // want `plain read of hits`
+}
+
+func swapTwice(h *counterHolder) uint64 {
+	old := atomic.SwapUint64(&h.ctr, 7) // atomic sites are of course fine
+	return old + atomic.LoadUint64(&hits)
+}
+
+// Exported carries an atomic word across the package boundary; package b
+// reads it plainly.
+type Exported struct {
+	Ctr uint64
+}
+
+// Bump sanctions Exported.Ctr as atomic in its defining package, which
+// exports an AtomicWord fact for downstream packages.
+func Bump(e *Exported) { atomic.AddUint64(&e.Ctr, 1) }

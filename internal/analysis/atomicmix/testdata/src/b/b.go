@@ -1,0 +1,9 @@
+// Package b seeds a cross-package atomicmix violation: the word was
+// sanctioned as atomic in package a, the plain access happens here.
+package b
+
+import "a"
+
+func leak(e *a.Exported) uint64 {
+	return e.Ctr // want `plain read of field Ctr, which is accessed atomically`
+}

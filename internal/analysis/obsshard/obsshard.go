@@ -1,0 +1,199 @@
+// Package obsshard checks the layout and handling of sharded counter
+// structs (internal/obs's per-channel shards, internal/register's padded
+// counters).
+//
+// The observability layer stays off the hot path's critical words by
+// giving every channel its own cache-line-padded shard: recording is then
+// a handful of uncontended atomic adds, and the wait-free cost claims
+// measured in EXPERIMENTS.md survive having the observer attached. Two
+// properties carry that design, and both die silently when violated:
+//
+//   - padding: a shard must end in a `_ [≥64]byte` pad (or have a total
+//     size that is a multiple of 64 bytes), so adjacent shards in a slice
+//     or array never share a cache line. Drop the pad and every recording
+//     ping-pongs a line between channel goroutines — no test fails, the
+//     benchmarks just quietly lose their shape.
+//   - no copies: a shard holds atomic counters and must only move by
+//     pointer. A by-value copy (assignment, range over a shard slice, a
+//     value argument or receiver) snapshots the counters non-atomically
+//     and detaches them from the live register — scrapers then read
+//     frozen numbers.
+//
+// A struct participates if its name ends in "shard" or starts with
+// "padded" (case-insensitive), or if its declaration carries a
+// //bloom:sharded comment marker.
+package obsshard
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// markSharded explicitly tags a struct as a sharded counter.
+const markSharded = "//bloom:sharded"
+
+// cacheLine is the assumed coherence granularity (the same constant as
+// internal/register and internal/obs).
+const cacheLine = 64
+
+// Analyzer checks cache-line padding and pointer-only handling of shards.
+var Analyzer = &analysis.Analyzer{
+	Name:     "obsshard",
+	Doc:      "check that sharded counters keep their cache-line padding and are never copied by value",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Pass 1: find sharded structs and check their padding.
+	sharded := map[*types.TypeName]bool{}
+	ins.WithStack([]ast.Node{(*ast.TypeSpec)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		ts := n.(*ast.TypeSpec)
+		if _, ok := ts.Type.(*ast.StructType); !ok {
+			return false
+		}
+		if !isShardDecl(ts, stack) {
+			return false
+		}
+		tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+		if !ok {
+			return false
+		}
+		sharded[tn] = true
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			return false
+		}
+		if !isPadded(pass, st) {
+			pass.Reportf(ts.Name.Pos(),
+				"sharded struct %s is not cache-line padded: it needs a trailing `_ [%d]byte` pad or a total size that is a multiple of %d bytes, or adjacent shards will false-share",
+				ts.Name.Name, cacheLine, cacheLine)
+		}
+		return false
+	})
+	if len(sharded) == 0 {
+		return nil, nil
+	}
+
+	isShardValue := func(t types.Type) (string, bool) {
+		if t == nil {
+			return "", false
+		}
+		if n, ok := t.(*types.Named); ok && sharded[n.Obj()] {
+			return n.Obj().Name(), true
+		}
+		return "", false
+	}
+
+	// Pass 2: flag by-value copies.
+	ins.Preorder([]ast.Node{
+		(*ast.AssignStmt)(nil),
+		(*ast.RangeStmt)(nil),
+		(*ast.CallExpr)(nil),
+		(*ast.FuncDecl)(nil),
+	}, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				if _, ok := ast.Unparen(rhs).(*ast.CompositeLit); ok {
+					continue // initialization, not a copy of a live shard
+				}
+				if name, ok := isShardValue(pass.TypesInfo.TypeOf(rhs)); ok {
+					pass.ReportRangef(rhs,
+						"assignment copies shard %s by value, detaching its counters; take a pointer instead", name)
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Value == nil {
+				return
+			}
+			if name, ok := isShardValue(pass.TypesInfo.TypeOf(n.Value)); ok {
+				pass.ReportRangef(n.Value,
+					"range copies each %s by value; iterate by index and take &s[i]", name)
+			}
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				if _, ok := ast.Unparen(arg).(*ast.CompositeLit); ok {
+					continue
+				}
+				if name, ok := isShardValue(pass.TypesInfo.TypeOf(arg)); ok {
+					pass.ReportRangef(arg,
+						"call passes shard %s by value; pass a pointer instead", name)
+				}
+			}
+		case *ast.FuncDecl:
+			if n.Recv == nil || len(n.Recv.List) != 1 {
+				return
+			}
+			if name, ok := isShardValue(pass.TypesInfo.TypeOf(n.Recv.List[0].Type)); ok {
+				pass.Reportf(n.Recv.List[0].Type.Pos(),
+					"method %s copies its %s receiver by value; use a pointer receiver", n.Name.Name, name)
+			}
+		}
+	})
+	return nil, nil
+}
+
+// isShardDecl reports whether the type spec declares a sharded struct: its
+// name ends in "shard" or starts with "padded", or the declaration carries
+// the //bloom:sharded marker (on the TypeSpec or its enclosing GenDecl).
+func isShardDecl(ts *ast.TypeSpec, stack []ast.Node) bool {
+	lower := strings.ToLower(ts.Name.Name)
+	if strings.HasSuffix(lower, "shard") || strings.HasPrefix(lower, "padded") {
+		return true
+	}
+	if hasMarker(ts.Doc) || hasMarker(ts.Comment) {
+		return true
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		if gd, ok := stack[i].(*ast.GenDecl); ok {
+			return hasMarker(gd.Doc)
+		}
+	}
+	return false
+}
+
+func hasMarker(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.TrimSpace(c.Text) == markSharded {
+			return true
+		}
+	}
+	return false
+}
+
+// isPadded reports whether the struct keeps adjacent elements of a
+// shard array off each other's cache lines: either its last field is a
+// blank byte-array pad of at least a cache line, or its total size is a
+// multiple of the cache line (so the pad can be smaller, as in a padded
+// counter that is exactly one line).
+func isPadded(pass *analysis.Pass, st *types.Struct) bool {
+	if n := st.NumFields(); n > 0 {
+		last := st.Field(n - 1)
+		if last.Name() == "_" {
+			if arr, ok := last.Type().Underlying().(*types.Array); ok {
+				if b, ok := arr.Elem().Underlying().(*types.Basic); ok &&
+					b.Kind() == types.Byte && arr.Len() >= cacheLine {
+					return true
+				}
+			}
+		}
+	}
+	return pass.TypesSizes.Sizeof(st)%cacheLine == 0
+}

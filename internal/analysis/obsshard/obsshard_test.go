@@ -1,0 +1,12 @@
+package obsshard_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/obsshard"
+)
+
+func TestObsShard(t *testing.T) {
+	atest.Run(t, "testdata", obsshard.Analyzer, "a")
+}

@@ -1,0 +1,70 @@
+// Package a seeds obsshard violations: missing cache-line padding and
+// by-value shard copies.
+package a
+
+import "sync/atomic"
+
+type goodShard struct { // clean: trailing cache-line pad
+	hits atomic.Int64
+	miss atomic.Int64
+	_    [64]byte
+}
+
+type bareShard struct { // want `sharded struct bareShard is not cache-line padded`
+	hits atomic.Int64
+}
+
+type thinShard struct { // want `sharded struct thinShard is not cache-line padded`
+	hits atomic.Int64
+	_    [8]byte
+}
+
+type paddedCounter struct { // clean: exactly one cache line in total
+	v atomic.Int64
+	_ [56]byte
+}
+
+//bloom:sharded
+type metrics struct { // want `sharded struct metrics is not cache-line padded`
+	n atomic.Int64
+}
+
+type snapshot struct { // clean: not a shard, no constraints
+	n int64
+}
+
+func totals(shards []goodShard) int64 {
+	var sum int64
+	for _, s := range shards { // want `range copies each goodShard by value`
+		sum += s.hits.Load()
+	}
+	return sum
+}
+
+func totalsByPointer(shards []goodShard) int64 { // clean
+	var sum int64
+	for i := range shards {
+		sum += shards[i].hits.Load()
+	}
+	return sum
+}
+
+func steal(shards []goodShard) int64 {
+	s := shards[0] // want `assignment copies shard goodShard by value`
+	return s.hits.Load()
+}
+
+func consume(s goodShard) int64 { return s.hits.Load() }
+
+func caller(s *goodShard) int64 {
+	return consume(*s) // want `call passes shard goodShard by value`
+}
+
+func (s goodShard) total() int64 { // want `method total copies its goodShard receiver by value`
+	return s.hits.Load() + s.miss.Load()
+}
+
+func build() goodShard {
+	s := goodShard{} // clean: composite-literal initialization
+	return s
+}

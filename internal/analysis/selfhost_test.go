@@ -1,0 +1,38 @@
+// Self-hosting: the analyzers run over this repository's own protocol
+// packages and must come back clean. The packages listed are the ones the
+// invariants are about — the register substrates, the protocol core, the
+// observability shards, and the history they feed. A diagnostic here is
+// either a real regression or a missing annotation; both belong in the
+// diff that introduced them, not in a suppression list.
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/atest"
+)
+
+var selfhostPkgs = []string{
+	"repro/internal/history",
+	"repro/internal/register",
+	"repro/internal/obs",
+	"repro/internal/core",
+}
+
+func TestSelfHost(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range analysis.All() {
+		t.Run(a.Name, func(t *testing.T) {
+			l := atest.NewLoader(map[string]string{"repro": root})
+			diags := atest.Check(t, l, a, selfhostPkgs...)
+			for _, d := range diags {
+				t.Errorf("%s: %s: %s", a.Name, l.Fset.Position(d.Pos), d.Message)
+			}
+		})
+	}
+}

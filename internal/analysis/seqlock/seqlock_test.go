@@ -1,0 +1,12 @@
+package seqlock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/seqlock"
+)
+
+func TestSeqlock(t *testing.T) {
+	atest.Run(t, "testdata", seqlock.Analyzer, "a")
+}

@@ -1,0 +1,35 @@
+package analysis_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestVettool builds cmd/bloomvet and drives it the way CI does — through
+// go vet's -vettool protocol over the whole module. The in-process
+// self-host test above gives the fast signal; this one proves the
+// unitchecker plumbing (fact serialization between compilation units
+// included) works end to end.
+func TestVettool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and vets the tree; skipped in -short")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "bloomvet")
+
+	build := exec.Command("go", "build", "-o", bin, "./cmd/bloomvet")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/bloomvet: %v\n%s", err, out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool=bloomvet ./...: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,96 @@
+// Package a seeds waitfree violations: blocking primitives reachable from
+// //bloom:waitfree annotated functions.
+package a
+
+import (
+	"sync"
+	"time"
+)
+
+var (
+	mu sync.Mutex
+	ch = make(chan int)
+)
+
+//bloom:waitfree
+func fastPath() int { // a clean root: no blocking anywhere
+	return 42
+}
+
+//bloom:waitfree
+func locksDirectly() {
+	mu.Lock() // want `locksDirectly is annotated //bloom:waitfree but blocks: \(\*sync\.Mutex\)\.Lock \(acquires a mutex\)`
+	mu.Unlock()
+}
+
+//bloom:waitfree
+func sleepsTransitively() {
+	helper() // want `sleepsTransitively is annotated //bloom:waitfree but blocks: a\.helper → time\.Sleep \(sleeps\)`
+}
+
+func helper() { time.Sleep(time.Millisecond) }
+
+//bloom:waitfree
+func sendsOnChannel() {
+	ch <- 1 // want `blocks: channel send`
+}
+
+//bloom:waitfree
+func receives() int {
+	return <-ch // want `blocks: channel receive`
+}
+
+//bloom:waitfree
+func selectsBlocking() {
+	select { // want `blocks: select without default`
+	case v := <-ch:
+		_ = v
+	case ch <- 2:
+	}
+}
+
+//bloom:waitfree
+func selectsNonBlocking() { // clean: a select with default never blocks
+	select {
+	case v := <-ch:
+		_ = v
+	default:
+	}
+}
+
+// deliberateLock blocks by design; the annotation is the escape hatch that
+// stops both reporting and propagation.
+//
+//bloom:allowblocking
+func deliberateLock() {
+	mu.Lock()
+	mu.Unlock()
+}
+
+//bloom:waitfree
+func usesEscapeHatch() { // clean: the blocking callee is //bloom:allowblocking
+	deliberateLock()
+}
+
+func plainBlocking() { // unannotated blocking code is not a finding
+	mu.Lock()
+	mu.Unlock()
+}
+
+type gate struct{ once sync.Once }
+
+//bloom:waitfree
+func (g *gate) open() {
+	g.once.Do(func() {}) // want `blocks: \(\*sync\.Once\)\.Do \(may wait for a concurrent first call\)`
+}
+
+//bloom:waitfree
+func spawns() { // clean: the goroutine body blocks, the spawner does not
+	go func() {
+		<-ch
+	}()
+}
+
+// Blocking is exported so package b can reach blocking code across the
+// package boundary via the Blocks fact.
+func Blocking() { time.Sleep(time.Millisecond) }

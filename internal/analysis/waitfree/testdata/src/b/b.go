@@ -1,0 +1,10 @@
+// Package b seeds a cross-package waitfree violation: the blocking sits in
+// package a and arrives here through a Blocks fact.
+package b
+
+import "a"
+
+//bloom:waitfree
+func callsOtherPackage() {
+	a.Blocking() // want `callsOtherPackage is annotated //bloom:waitfree but blocks: a\.Blocking → time\.Sleep \(sleeps\)`
+}

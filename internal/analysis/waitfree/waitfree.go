@@ -1,0 +1,272 @@
+// Package waitfree checks that functions annotated //bloom:waitfree never
+// block.
+//
+// The paper's construction is wait-free: a simulated operation is a fixed,
+// finite sequence of real-register accesses — no locks, no waiting, no
+// loops ("Constructing Two-Writer Atomic Registers", Section 5). The
+// annotated roots are this repository's embodiment of that claim: the
+// bookkeeping-free fast paths in internal/core and the lock-free substrate
+// accesses in internal/register. The analyzer walks the static call graph
+// from each root and reports any path that reaches a blocking primitive:
+//
+//   - channel operations: send, receive, range over a channel, and select
+//     statements without a default clause;
+//   - sync primitives: Mutex.Lock, RWMutex.Lock/RLock, Locker.Lock,
+//     WaitGroup.Wait, Cond.Wait, Once.Do;
+//   - time.Sleep.
+//
+// A function annotated //bloom:allowblocking is excused along with
+// everything it calls — the escape hatch for code that blocks by design,
+// such as the certifiable mutex substrate, whose whole point is to trade
+// wait-freedom for a globally stamped critical section.
+//
+// The check is sound for the static call graph only: calls through
+// interfaces and function values, and function literals, are not tracked
+// (the certifiable-substrate arm of core's register dispatch is reached
+// through exactly such an interface and is separately annotated). Blocking
+// discovered in an imported package travels via Blocks facts, so a root in
+// internal/core sees blocking introduced three packages away.
+package waitfree
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Annotation markers, written on their own line in a function's doc
+// comment.
+const (
+	markWaitFree      = "//bloom:waitfree"
+	markAllowBlocking = "//bloom:allowblocking"
+)
+
+// Analyzer reports blocking primitives reachable from //bloom:waitfree
+// functions.
+var Analyzer = &analysis.Analyzer{
+	Name:      "waitfree",
+	Doc:       "report blocking calls reachable from //bloom:waitfree annotated functions",
+	FactTypes: []analysis.Fact{(*Blocks)(nil)},
+	Run:       run,
+}
+
+// Blocks is attached to a function through which a blocking primitive is
+// reachable.
+type Blocks struct {
+	// Chain is the call path from the function to the primitive, e.g.
+	// ["(*repro/internal/register.Atomic[int]).Read", "(*sync.Mutex).Lock"].
+	Chain []string
+}
+
+// AFact marks Blocks as a serializable analysis fact.
+func (*Blocks) AFact() {}
+
+func (f *Blocks) String() string { return "blocks via " + strings.Join(f.Chain, " → ") }
+
+// blockingCalls maps types.Func.FullName of known blocking functions and
+// methods to a short reason.
+var blockingCalls = map[string]string{
+	"(*sync.Mutex).Lock":     "acquires a mutex",
+	"(*sync.RWMutex).Lock":   "acquires a write lock",
+	"(*sync.RWMutex).RLock":  "acquires a read lock",
+	"(sync.Locker).Lock":     "acquires a lock",
+	"(*sync.WaitGroup).Wait": "waits on a WaitGroup",
+	"(*sync.Cond).Wait":      "waits on a condition variable",
+	"(*sync.Once).Do":        "may wait for a concurrent first call",
+	"time.Sleep":             "sleeps",
+}
+
+// culprit is one function's first discovered route to a blocking
+// primitive: the in-function position that starts the route and the chain
+// of callees below it.
+type culprit struct {
+	pos   token.Pos
+	chain []string
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	// Collect this package's function declarations in source order, with
+	// their annotations.
+	type fnInfo struct {
+		decl          *ast.FuncDecl
+		fn            *types.Func
+		waitFree      bool
+		allowBlocking bool
+	}
+	var fns []*fnInfo
+	byObj := map[*types.Func]*fnInfo{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			info := &fnInfo{
+				decl:          fd,
+				fn:            fn,
+				waitFree:      hasMarker(fd.Doc, markWaitFree),
+				allowBlocking: hasMarker(fd.Doc, markAllowBlocking),
+			}
+			fns = append(fns, info)
+			byObj[fn] = info
+		}
+	}
+
+	blocked := map[*types.Func]*culprit{}
+
+	// directCulprit scans one function body for blocking primitives and
+	// in-package/imported blocking callees, returning the first (in source
+	// order) route to blocking, or nil. FuncLit subtrees are skipped: a
+	// literal's execution context (inline, deferred, or a fresh goroutine)
+	// is not tracked by the static call graph.
+	scan := func(info *fnInfo) *culprit {
+		var found *culprit
+		report := func(pos token.Pos, chain ...string) {
+			if found == nil || pos < found.pos {
+				found = &culprit{pos: pos, chain: chain}
+			}
+		}
+		var visit func(n ast.Node) bool
+		visit = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.SendStmt:
+				report(n.Pos(), "channel send")
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					report(n.Pos(), "channel receive")
+				}
+			case *ast.SelectStmt:
+				// The comm clauses belong to the select: with a default
+				// clause the whole statement is non-blocking, so only the
+				// clause bodies are scanned, not the channel operations.
+				hasDefault := false
+				for _, c := range n.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+						hasDefault = true
+					}
+				}
+				if !hasDefault {
+					report(n.Pos(), "select without default")
+				}
+				for _, c := range n.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok {
+						for _, stmt := range cc.Body {
+							ast.Inspect(stmt, visit)
+						}
+					}
+				}
+				return false
+			case *ast.RangeStmt:
+				if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						report(n.X.Pos(), "range over channel")
+					}
+				}
+			case *ast.CallExpr:
+				fn := calleeFunc(pass, n)
+				if fn == nil {
+					return true
+				}
+				// Generic instantiations share the origin's blocking
+				// behavior; facts and the blocked map are keyed on it.
+				origin := fn.Origin()
+				if reason, ok := blockingCalls[origin.FullName()]; ok {
+					report(n.Pos(), origin.FullName()+" ("+reason+")")
+					return true
+				}
+				// In-package callee already known to block?
+				if c, ok := blocked[origin]; ok {
+					report(n.Pos(), append([]string{origin.FullName()}, c.chain...)...)
+					return true
+				}
+				// Imported callee with a Blocks fact?
+				if origin.Pkg() != nil && origin.Pkg() != pass.Pkg {
+					var fact Blocks
+					if pass.ImportObjectFact(origin, &fact) {
+						report(n.Pos(), append([]string{origin.FullName()}, fact.Chain...)...)
+					}
+				}
+			}
+			return true
+		}
+		ast.Inspect(info.decl.Body, visit)
+		return found
+	}
+
+	// Fixpoint over the in-package call graph. Each round scans every
+	// not-yet-blocked, not-excused function; newly blocked functions make
+	// their callers blocked in a later round. Bounded by the number of
+	// functions.
+	for {
+		changed := false
+		for _, info := range fns {
+			if info.allowBlocking {
+				continue
+			}
+			if _, done := blocked[info.fn]; done {
+				continue
+			}
+			if c := scan(info); c != nil {
+				blocked[info.fn] = c
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Report at each annotated root, and export facts for everything else
+	// so downstream packages inherit the result.
+	for _, info := range fns {
+		c, isBlocked := blocked[info.fn]
+		if !isBlocked {
+			continue
+		}
+		if info.waitFree {
+			pass.Reportf(c.pos, "%s is annotated %s but blocks: %s",
+				info.fn.Name(), markWaitFree, strings.Join(c.chain, " → "))
+		}
+		pass.ExportObjectFact(info.fn, &Blocks{Chain: c.chain})
+	}
+	return nil, nil
+}
+
+// hasMarker reports whether the doc comment contains the marker as a
+// standalone directive line.
+func hasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == marker {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves the static callee of call: a declared function, a
+// method on a concrete receiver, or an interface method (whose FullName
+// still identifies it, e.g. (sync.Locker).Lock). Function values and
+// builtins yield nil.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

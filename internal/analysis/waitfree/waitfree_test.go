@@ -1,0 +1,12 @@
+package waitfree_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/waitfree"
+)
+
+func TestWaitFree(t *testing.T) {
+	atest.Run(t, "testdata", waitfree.Analyzer, "a", "b")
+}

@@ -116,6 +116,8 @@ func (r *Reader[V]) read(steps int) (V, bool) {
 // readFast is the complete read with recording off: the three protocol
 // reads and nothing else (building a ReadRec costs more than the protocol
 // itself on the lock-free substrates).
+//
+//bloom:waitfree
 func (r *Reader[V]) readFast() V {
 	tw := r.tw
 	a, _ := tw.readReg(0, r.j)

