@@ -8,11 +8,18 @@
 // Usage:
 //
 //	bloombench [-ops N] [-json]
+//	bloombench -faults [-ops N] [-json]
 //	bloombench -serve :8080
 //
 // With -json, the substrate sweep is also written to BENCH_substrates.json
 // and the observability sweep to BENCH_obs.json in the current directory
 // for machine consumption (CI trend lines).
+//
+// With -faults, bloombench instead runs the T-fault table: networked
+// round-trip latency with and without injected delay, then the two-writer
+// protocol over seeded faulty links (drops, severed connections) with
+// retrying clients, certifying the recovered history with proof.Certify.
+// Combined with -json it writes BENCH_fault.json.
 //
 // With -serve, bloombench instead runs an open-ended observed workload
 // over every substrate and serves /metrics (Prometheus text format),
@@ -50,12 +57,16 @@ func counters(reg *atomicregister.TwoWriter[int]) (*register.Counters, *register
 
 func run() error {
 	ops := flag.Int("ops", 100000, "operations per measurement")
-	jsonOut := flag.Bool("json", false, "also write BENCH_substrates.json and BENCH_obs.json")
+	jsonOut := flag.Bool("json", false, "also write BENCH_substrates.json and BENCH_obs.json (or BENCH_fault.json with -faults)")
+	faults := flag.Bool("faults", false, "run the T-fault table (faulty-link recovery) instead of the default tables")
 	serveAddr := flag.String("serve", "", "serve /metrics, /vars, and /debug/pprof/ on this address instead of running the tables")
 	flag.Parse()
 
 	if *serveAddr != "" {
 		return serve(*serveAddr)
+	}
+	if *faults {
+		return faultTable(*ops, *jsonOut)
 	}
 
 	costTable(*ops)

@@ -28,6 +28,16 @@ func TestTablesSmoke(t *testing.T) {
 	}
 }
 
+// TestFaultTableSmoke runs the -faults mode end to end with a tiny op
+// count: the faulty run inside it self-checks (at-most-once application
+// and proof.Certify both gate its return value), so "no error" is the
+// whole assertion.
+func TestFaultTableSmoke(t *testing.T) {
+	if err := faultTable(50, false); err != nil {
+		t.Fatalf("faultTable: %v", err)
+	}
+}
+
 // TestObservedScript checks the release-script expansion that makes the
 // potency-agreement replay exact: the probe release must directly follow
 // each writer's second (write) access and nothing else.

@@ -1,0 +1,304 @@
+// Package faultnet injects deterministic, seedable faults into network
+// links, so the repository's networked registers (internal/netreg) can be
+// exercised — and their recovery machinery certified — under the failure
+// modes the paper's model abstracts away: slow links, lost frames, severed
+// connections, corrupted bytes, and peers that stall in one direction.
+//
+// A Plan describes the fault mix (per-operation probabilities plus a fixed
+// injected delay) and a seed. Every wrapped connection draws its decisions
+// from a private PRNG derived from the plan seed and the connection's
+// accept/dial index, so a sequential client replaying the same operations
+// against the same plan hits the same faults — "seeded points", not
+// wall-clock luck. Faults are decided independently per Read and per Write
+// call, which on the newline-delimited JSON transport of netreg means per
+// frame.
+//
+// The package is usable two ways:
+//
+//   - as a dial hook: Plan.Dialer wraps net.Dial so a netreg client's own
+//     connection misbehaves (netreg.WithDialer);
+//   - as an in-process proxy: NewProxy listens on an ephemeral port and
+//     pumps bytes to a target address through fault-injecting connections,
+//     so both directions of an unmodified client/server pair suffer.
+//
+// Injected fault counts are tallied per kind (Stats), so tests and
+// benchmarks can assert that a "faulty" run actually was.
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault identifies one injected fault kind.
+type Fault int
+
+// The fault kinds a Plan can inject.
+const (
+	// FaultDelay sleeps for the plan's Delay before performing the
+	// operation: a slow link.
+	FaultDelay Fault = iota
+	// FaultDrop swallows a Write (reported as successful, nothing sent):
+	// a lost frame. Reads are never dropped — on a stream that would be
+	// indistinguishable from a stall, which has its own kind.
+	FaultDrop
+	// FaultSever closes the connection and fails the operation: a broken
+	// link.
+	FaultSever
+	// FaultGarble flips bits in the payload before delivering it:
+	// corruption. On a JSON transport this almost always breaks framing,
+	// forcing the peer to drop the link.
+	FaultGarble
+	// FaultStall blocks the operation until the connection is closed: a
+	// peer that went silent in one direction without breaking the link.
+	FaultStall
+	numFaults
+)
+
+// String names the fault kind.
+func (f Fault) String() string {
+	switch f {
+	case FaultDelay:
+		return "delay"
+	case FaultDrop:
+		return "drop"
+	case FaultSever:
+		return "sever"
+	case FaultGarble:
+		return "garble"
+	case FaultStall:
+		return "stall"
+	default:
+		return fmt.Sprintf("Fault(%d)", int(f))
+	}
+}
+
+// Plan is a seeded fault mix. The zero value injects nothing; set Seed and
+// the per-kind probabilities (each in [0,1], checked independently per
+// Read/Write in the order delay, stall, sever, garble, drop — at most one
+// fault fires per operation, except delay which composes with the rest).
+// One Plan may back many connections; its tallies aggregate across them.
+type Plan struct {
+	// Seed derives every connection's private PRNG. Two runs with the
+	// same seed, the same connection order, and the same per-connection
+	// operation sequence inject the same faults.
+	Seed int64
+
+	// Delay is the latency added when FaultDelay fires (and the
+	// probability below is nonzero). Fixed, not sampled, so latency
+	// benchmarks see a deterministic offset.
+	Delay time.Duration
+
+	// DelayProb, DropProb, SeverProb, GarbleProb, StallProb are the
+	// per-operation probabilities of each kind.
+	DelayProb, DropProb, SeverProb, GarbleProb, StallProb float64
+
+	conns  atomic.Int64 // next connection index
+	tally  [numFaults]atomic.Int64
+	reads  atomic.Int64 // operations seen, for Stats
+	writes atomic.Int64
+}
+
+// Stats is a point-in-time copy of a plan's injected-fault tallies.
+type Stats struct {
+	Reads, Writes int64            // operations that passed through
+	Injected      map[string]int64 // fault kind → count, nonzero kinds only
+}
+
+// Total returns the total number of injected faults.
+func (s Stats) Total() int64 {
+	var n int64
+	for _, c := range s.Injected {
+		n += c
+	}
+	return n
+}
+
+// Stats copies the plan's tallies.
+func (p *Plan) Stats() Stats {
+	s := Stats{
+		Reads:    p.reads.Load(),
+		Writes:   p.writes.Load(),
+		Injected: make(map[string]int64),
+	}
+	for f := Fault(0); f < numFaults; f++ {
+		if c := p.tally[f].Load(); c > 0 {
+			s.Injected[f.String()] = c
+		}
+	}
+	return s
+}
+
+// Wrap returns conn with the plan's faults injected into its Read, Write
+// and Close paths. Each call assigns the next connection index, from which
+// the connection's PRNG is derived.
+func (p *Plan) Wrap(conn net.Conn) *Conn {
+	idx := p.conns.Add(1)
+	return &Conn{
+		Conn:   conn,
+		plan:   p,
+		rng:    rand.New(rand.NewSource(p.Seed ^ int64(uint64(idx)*0x9e3779b97f4a7c15))),
+		closed: make(chan struct{}),
+	}
+}
+
+// Dialer returns a dial function (the netreg.WithDialer shape) that dials
+// TCP and wraps the resulting connection with the plan's faults.
+func (p *Plan) Dialer() func(addr string) (net.Conn, error) {
+	return func(addr string) (net.Conn, error) {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return p.Wrap(c), nil
+	}
+}
+
+// Conn is a net.Conn with plan-driven faults on Read and Write. The
+// embedded connection carries addresses and deadlines unchanged.
+type Conn struct {
+	net.Conn
+	plan *Plan
+
+	mu  sync.Mutex // guards rng: Read and Write may race on a pumped link
+	rng *rand.Rand
+
+	once   sync.Once
+	closed chan struct{}
+}
+
+// injectedError marks failures manufactured by the fault plan, so tests
+// can tell injected faults from real transport errors (see Injected).
+type injectedError struct{ f Fault }
+
+func (e injectedError) Error() string { return "faultnet: injected " + e.f.String() }
+
+// Injected reports whether err was manufactured by a fault plan.
+func Injected(err error) bool {
+	var ie injectedError
+	return errors.As(err, &ie)
+}
+
+// decide rolls the connection's PRNG for one operation and returns the
+// fault to inject (or -1), having already slept the delay if one fired.
+func (c *Conn) decide(isWrite bool) Fault {
+	p := c.plan
+	if isWrite {
+		p.writes.Add(1)
+	} else {
+		p.reads.Add(1)
+	}
+	c.mu.Lock()
+	delay := p.DelayProb > 0 && c.rng.Float64() < p.DelayProb
+	var fault Fault = -1
+	switch {
+	case p.StallProb > 0 && c.rng.Float64() < p.StallProb:
+		fault = FaultStall
+	case p.SeverProb > 0 && c.rng.Float64() < p.SeverProb:
+		fault = FaultSever
+	case p.GarbleProb > 0 && c.rng.Float64() < p.GarbleProb:
+		fault = FaultGarble
+	case isWrite && p.DropProb > 0 && c.rng.Float64() < p.DropProb:
+		fault = FaultDrop
+	}
+	c.mu.Unlock()
+	if delay {
+		p.tally[FaultDelay].Add(1)
+		t := time.NewTimer(p.Delay)
+		select {
+		case <-t.C:
+		case <-c.closed:
+			t.Stop()
+		}
+	}
+	return fault
+}
+
+// stall blocks until the connection is closed, then reports the stall.
+func (c *Conn) stall() error {
+	c.plan.tally[FaultStall].Add(1)
+	<-c.closed
+	return injectedError{FaultStall}
+}
+
+// sever closes the connection and reports the break.
+func (c *Conn) sever() error {
+	c.plan.tally[FaultSever].Add(1)
+	c.Close()
+	return injectedError{FaultSever}
+}
+
+// garble flips one bit in every 16th byte of b (at least one).
+func (c *Conn) garble(b []byte) {
+	c.plan.tally[FaultGarble].Add(1)
+	for i := 0; i < len(b); i += 16 {
+		b[i] ^= 0x20
+	}
+}
+
+// Read reads from the connection, subject to the plan.
+func (c *Conn) Read(b []byte) (int, error) {
+	switch c.decide(false) {
+	case FaultStall:
+		return 0, c.stall()
+	case FaultSever:
+		return 0, c.sever()
+	case FaultGarble:
+		n, err := c.Conn.Read(b)
+		if n > 0 {
+			c.garble(b[:n])
+		}
+		return n, err
+	}
+	return c.Conn.Read(b)
+}
+
+// Write writes to the connection, subject to the plan.
+func (c *Conn) Write(b []byte) (int, error) {
+	switch c.decide(true) {
+	case FaultStall:
+		return 0, c.stall()
+	case FaultSever:
+		return 0, c.sever()
+	case FaultDrop:
+		c.plan.tally[FaultDrop].Add(1)
+		return len(b), nil // reported sent, never delivered
+	case FaultGarble:
+		// Corrupt a copy: the caller's buffer is not ours to mangle.
+		g := append([]byte(nil), b...)
+		c.garble(g)
+		return c.Conn.Write(g)
+	}
+	return c.Conn.Write(b)
+}
+
+// Close closes the connection and releases any stalled operations.
+func (c *Conn) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}
+
+// Listener wraps every accepted connection with the plan's faults.
+type Listener struct {
+	net.Listener
+	plan *Plan
+}
+
+// NewListener returns ln with the plan applied to accepted connections.
+func NewListener(ln net.Listener, p *Plan) *Listener {
+	return &Listener{Listener: ln, plan: p}
+}
+
+// Accept accepts the next connection, wrapped.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.plan.Wrap(c), nil
+}

@@ -1,0 +1,296 @@
+package faultnet_test
+
+import (
+	"bufio"
+	"bytes"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/faultnet"
+)
+
+// nopConn is a writable sink implementing net.Conn, for driving fault
+// decisions without a real peer.
+type nopConn struct{ closed chan struct{} }
+
+func newNopConn() *nopConn { return &nopConn{closed: make(chan struct{})} }
+
+func (c *nopConn) Read(b []byte) (int, error)  { <-c.closed; return 0, net.ErrClosed }
+func (c *nopConn) Write(b []byte) (int, error) { return len(b), nil }
+func (c *nopConn) Close() error {
+	select {
+	case <-c.closed:
+	default:
+		close(c.closed)
+	}
+	return nil
+}
+func (c *nopConn) LocalAddr() net.Addr                { return &net.TCPAddr{} }
+func (c *nopConn) RemoteAddr() net.Addr               { return &net.TCPAddr{} }
+func (c *nopConn) SetDeadline(t time.Time) error      { return nil }
+func (c *nopConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *nopConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// faultTrace drives n writes through a fresh plan with the given seed and
+// returns the per-operation fault trace (which kind fired on each write,
+// as tally deltas).
+func faultTrace(t *testing.T, seed int64, n int) []string {
+	t.Helper()
+	p := &faultnet.Plan{Seed: seed, DropProb: 0.3, GarbleProb: 0.2}
+	c := p.Wrap(newNopConn())
+	var trace []string
+	prev := map[string]int64{}
+	for i := 0; i < n; i++ {
+		if _, err := c.Write([]byte("0123456789abcdef")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		cur := p.Stats().Injected
+		step := "ok"
+		for kind, count := range cur {
+			if count > prev[kind] {
+				step = kind
+			}
+		}
+		prev = cur
+		trace = append(trace, step)
+	}
+	return trace
+}
+
+// TestSeededDeterminism is the package's core promise: the same seed and
+// the same operation sequence inject the same faults, operation for
+// operation.
+func TestSeededDeterminism(t *testing.T) {
+	a := faultTrace(t, 42, 300)
+	b := faultTrace(t, 42, 300)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d: seed 42 run A injected %q, run B %q", i, a[i], b[i])
+		}
+	}
+	other := faultTrace(t, 43, 300)
+	same := 0
+	for i := range a {
+		if a[i] == other[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("seeds 42 and 43 produced identical fault traces; the seed is ignored")
+	}
+}
+
+// TestZeroPlanIsTransparent checks that the zero plan passes bytes through
+// untouched (so wiring faultnet in costs nothing until faults are asked
+// for).
+func TestZeroPlanIsTransparent(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	p := &faultnet.Plan{}
+	fc := p.Wrap(client)
+	defer fc.Close()
+
+	go fc.Write([]byte("hello\n"))
+	line, err := bufio.NewReader(server).ReadString('\n')
+	if err != nil || line != "hello\n" {
+		t.Fatalf("read %q, %v through zero plan", line, err)
+	}
+	if n := p.Stats().Total(); n != 0 {
+		t.Fatalf("zero plan injected %d faults", n)
+	}
+}
+
+// TestDropSwallowsWrite checks that a dropped write is reported successful
+// but never delivered.
+func TestDropSwallowsWrite(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	p := &faultnet.Plan{Seed: 1, DropProb: 1}
+	fc := p.Wrap(client)
+	defer fc.Close()
+
+	if n, err := fc.Write([]byte("lost\n")); n != 5 || err != nil {
+		t.Fatalf("dropped write returned (%d, %v), want (5, nil)", n, err)
+	}
+	server.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	buf := make([]byte, 16)
+	if n, err := server.Read(buf); err == nil {
+		t.Fatalf("peer received %q despite DropProb=1", buf[:n])
+	}
+	if got := p.Stats().Injected["drop"]; got != 1 {
+		t.Fatalf("drop tally = %d, want 1", got)
+	}
+}
+
+// TestSeverClosesConn checks that a sever fails the operation with an
+// injected error and kills the connection.
+func TestSeverClosesConn(t *testing.T) {
+	p := &faultnet.Plan{Seed: 1, SeverProb: 1}
+	fc := p.Wrap(newNopConn())
+	_, err := fc.Write([]byte("x"))
+	if err == nil || !faultnet.Injected(err) {
+		t.Fatalf("severed write error = %v, want an injected fault", err)
+	}
+}
+
+// TestGarbleCorrupts checks that garbled payloads arrive changed (and the
+// caller's buffer is left alone).
+func TestGarbleCorrupts(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	p := &faultnet.Plan{Seed: 1, GarbleProb: 1}
+	fc := p.Wrap(client)
+	defer fc.Close()
+
+	orig := []byte(`{"op":"write","val":"x"}` + "\n")
+	sent := append([]byte(nil), orig...)
+	go fc.Write(sent)
+	buf := make([]byte, len(orig))
+	if _, err := server.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(buf, orig) {
+		t.Fatal("garbled frame arrived intact")
+	}
+	if !bytes.Equal(sent, orig) {
+		t.Fatal("garble mangled the caller's buffer")
+	}
+}
+
+// TestStallReleasedByClose checks the one-way-stall kind: the operation
+// blocks indefinitely but Close releases it — which is how a peer's
+// deadline-driven teardown eventually unsticks the link.
+func TestStallReleasedByClose(t *testing.T) {
+	p := &faultnet.Plan{Seed: 1, StallProb: 1}
+	fc := p.Wrap(newNopConn())
+	done := make(chan error, 1)
+	go func() {
+		_, err := fc.Write([]byte("x"))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("stalled write returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	fc.Close()
+	select {
+	case err := <-done:
+		if !faultnet.Injected(err) {
+			t.Fatalf("stall error = %v, want an injected fault", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not release the stalled write")
+	}
+}
+
+// TestDelayAddsLatency checks that the delay kind slows the operation by
+// roughly the configured amount.
+func TestDelayAddsLatency(t *testing.T) {
+	p := &faultnet.Plan{Seed: 1, DelayProb: 1, Delay: 30 * time.Millisecond}
+	fc := p.Wrap(newNopConn())
+	start := time.Now()
+	if _, err := fc.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("delayed write took %v, want ≈30ms", d)
+	}
+}
+
+// echoServer accepts connections and echoes lines back.
+func echoServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				r := bufio.NewReader(conn)
+				for {
+					line, err := r.ReadBytes('\n')
+					if err != nil {
+						return
+					}
+					if _, err := conn.Write(line); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestProxyPassThrough checks the in-process proxy end to end with no
+// faults: bytes cross both hops unchanged.
+func TestProxyPassThrough(t *testing.T) {
+	target := echoServer(t)
+	px, err := faultnet.NewProxy(target, &faultnet.Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+
+	conn, err := net.Dial("tcp", px.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("ping\n")); err != nil {
+		t.Fatal(err)
+	}
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil || line != "ping\n" {
+		t.Fatalf("echo through proxy = %q, %v", line, err)
+	}
+}
+
+// TestProxySever checks that a sever-everything plan breaks proxied
+// connections promptly rather than hanging them.
+func TestProxySever(t *testing.T) {
+	target := echoServer(t)
+	px, err := faultnet.NewProxy(target, &faultnet.Plan{Seed: 1, SeverProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+
+	conn, err := net.Dial("tcp", px.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	conn.Write([]byte("ping\n"))
+	buf := make([]byte, 16)
+	if n, err := conn.Read(buf); err == nil {
+		t.Fatalf("read %q through a sever-all proxy", buf[:n])
+	}
+}
+
+// TestDialerWraps checks the dial-hook path against a live listener.
+func TestDialerWraps(t *testing.T) {
+	target := echoServer(t)
+	p := &faultnet.Plan{Seed: 9, DropProb: 1}
+	conn, err := p.Dialer()(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("never arrives\n")); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().Injected["drop"] != 1 {
+		t.Fatalf("stats = %+v, want one drop", p.Stats())
+	}
+}

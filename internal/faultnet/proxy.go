@@ -1,0 +1,113 @@
+package faultnet
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Proxy is an in-process TCP proxy that pumps every accepted connection to
+// a fixed target address through fault-injecting connections, so an
+// unmodified client/server pair suffers the plan on both directions of the
+// link. Clients dial Proxy.Addr instead of the real server.
+type Proxy struct {
+	plan   *Plan
+	target string
+	ln     net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	pumps  sync.WaitGroup
+}
+
+// NewProxy starts a proxy to target on an ephemeral localhost port.
+func NewProxy(target string, p *Plan) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("faultnet: listen: %w", err)
+	}
+	px := &Proxy{plan: p, target: target, ln: ln, conns: make(map[net.Conn]struct{})}
+	px.pumps.Add(1)
+	go px.acceptLoop()
+	return px, nil
+}
+
+// Addr returns the proxy's listen address, to be dialed instead of the
+// target.
+func (px *Proxy) Addr() string { return px.ln.Addr().String() }
+
+// Close stops the proxy and severs every pumped connection.
+func (px *Proxy) Close() error {
+	px.mu.Lock()
+	if px.closed {
+		px.mu.Unlock()
+		return nil
+	}
+	px.closed = true
+	err := px.ln.Close()
+	for c := range px.conns {
+		c.Close()
+	}
+	px.mu.Unlock()
+	px.pumps.Wait()
+	return err
+}
+
+// track registers c for Close; it reports false if the proxy is already
+// closed (c is then closed on the spot).
+func (px *Proxy) track(c net.Conn) bool {
+	px.mu.Lock()
+	defer px.mu.Unlock()
+	if px.closed {
+		c.Close()
+		return false
+	}
+	px.conns[c] = struct{}{}
+	return true
+}
+
+func (px *Proxy) untrack(c net.Conn) {
+	px.mu.Lock()
+	delete(px.conns, c)
+	px.mu.Unlock()
+}
+
+func (px *Proxy) acceptLoop() {
+	defer px.pumps.Done()
+	for {
+		client, err := px.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		upstream, err := net.Dial("tcp", px.target)
+		if err != nil {
+			client.Close()
+			continue // target down; the client sees a severed link
+		}
+		// Faults are injected on the client-facing side, one wrapped conn
+		// per direction pair; the upstream side stays clean so the server
+		// is only ever confused by what the plan let through.
+		faulty := px.plan.Wrap(client)
+		if !px.track(faulty) || !px.track(upstream) {
+			faulty.Close()
+			upstream.Close()
+			return
+		}
+		px.pumps.Add(2)
+		go px.pump(faulty, upstream)
+		go px.pump(upstream, faulty)
+	}
+}
+
+// pump copies src to dst until either side fails, then severs both so the
+// peer notices promptly.
+func (px *Proxy) pump(dst, src net.Conn) {
+	defer px.pumps.Done()
+	_, _ = io.Copy(dst, src)
+	dst.Close()
+	src.Close()
+	px.untrack(dst)
+	px.untrack(src)
+}

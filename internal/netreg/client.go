@@ -2,9 +2,12 @@ package netreg
 
 import (
 	"bufio"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	mathrand "math/rand"
 	"net"
 	"os"
 	"sync"
@@ -20,28 +23,87 @@ var _ register.Stamped[int] = (*Reg[int])(nil)
 // WithTimeout). Test with errors.Is.
 var ErrTimeout = errors.New("netreg: round trip timed out")
 
+// ErrUnavailable marks round trips refused without touching the network
+// because the client's circuit breaker is open (see WithBreaker): the
+// server has failed repeatedly and the client degrades to fast-fail until
+// the cooldown elapses. Test with errors.Is.
+var ErrUnavailable = errors.New("netreg: server unavailable (circuit open)")
+
 // DialOption configures a Client.
 type DialOption func(*dialConfig)
 
 type dialConfig struct {
-	timeout time.Duration
-	rpc     *obs.RPC
+	timeout    time.Duration
+	rpc        *obs.RPC
+	dial       func(addr string) (net.Conn, error)
+	retry      RetryPolicy
+	breakAfter int
+	cooldown   time.Duration
 }
 
-// WithTimeout bounds every round trip: the connection's read and write
-// deadlines are armed before each exchange, so a stalled or dead server
-// surfaces as a counted ErrTimeout instead of a hung client. A timed-out
-// connection is broken (the stream may hold a partial frame) and the
-// client refuses further round trips.
+// WithTimeout bounds every round-trip attempt: the connection's read and
+// write deadlines are armed before each exchange, so a stalled or dead
+// server surfaces as a counted ErrTimeout instead of a hung client. The
+// failed connection is discarded; the next attempt (a retry, or the next
+// round trip) reconnects.
 func WithTimeout(d time.Duration) DialOption {
 	return func(c *dialConfig) { c.timeout = d }
 }
 
 // WithRPCStats attaches a round-trip tally: every exchange records its
-// operation kind, latency, and outcome (ok / timeout / error). One tally
-// may be shared across the clients of a whole Reg.
+// operation kind, latency, and outcome (ok / timeout / error), and the
+// recovery machinery records retries, reconnects, and breaker events. One
+// tally may be shared across the clients of a whole Reg.
 func WithRPCStats(r *obs.RPC) DialOption {
 	return func(c *dialConfig) { c.rpc = r }
+}
+
+// WithDialer substitutes the function used for every connect and
+// reconnect (the default dials TCP). This is the hook by which
+// faultnet-style wrappers inject faults into the client's own link.
+func WithDialer(dial func(addr string) (net.Conn, error)) DialOption {
+	return func(c *dialConfig) { c.dial = dial }
+}
+
+// RetryPolicy bounds the client's in-round-trip retries. A transport
+// failure (not a server error reply) discards the connection; with
+// retries left, the client backs off, reconnects, and re-sends the same
+// request — same sequence number, so the server applies a retried write
+// at most once.
+type RetryPolicy struct {
+	// Attempts is the number of retries after the first attempt
+	// (0 = fail on the first transport error).
+	Attempts int
+	// Backoff is the sleep before the first retry; it doubles per retry.
+	// Zero means DefaultBackoff.
+	Backoff time.Duration
+	// MaxBackoff caps the doubling. Zero means DefaultMaxBackoff.
+	MaxBackoff time.Duration
+}
+
+// Default backoff bounds used when a RetryPolicy leaves them zero.
+const (
+	DefaultBackoff    = 2 * time.Millisecond
+	DefaultMaxBackoff = 250 * time.Millisecond
+)
+
+// WithRetry enables reconnect-and-resend on transport failure, with
+// capped exponential backoff and jitter (each sleep is uniform in
+// [d/2, d] for the current cap d).
+func WithRetry(p RetryPolicy) DialOption {
+	return func(c *dialConfig) { c.retry = p }
+}
+
+// WithBreaker arms a circuit breaker: after failures consecutive failed
+// round trips (each already past its retry budget), the client fast-fails
+// every round trip with ErrUnavailable for the cooldown duration, then
+// lets one through (half-open); success closes the breaker, failure
+// re-opens it.
+func WithBreaker(failures int, cooldown time.Duration) DialOption {
+	return func(c *dialConfig) {
+		c.breakAfter = failures
+		c.cooldown = cooldown
+	}
 }
 
 // Client accesses a remote register. One Client holds one connection and
@@ -49,50 +111,173 @@ func WithRPCStats(r *obs.RPC) DialOption {
 // reader port) is a sequential automaton, a client per user is the
 // natural arrangement.
 //
-// Transport errors are returned from ReadErr/WriteErr. The Reg adapter
-// (for plugging into core.WithRegisters, whose interface is error-free
-// shared memory) panics on transport failure — the demo transport treats
-// a broken link like broken hardware. Production-grade retry or failover
-// is out of scope; the paper's registers never fail partially either.
+// Transport errors are returned from ReadErr/WriteErr after the retry
+// budget (WithRetry) is exhausted; a broken connection is discarded and
+// the next attempt reconnects, so one failure is never sticky. Every
+// request carries the client's id and a per-request sequence number, and
+// the server deduplicates writes on them: a write whose response was lost
+// and which is re-sent is applied AT MOST ONCE, which is what keeps
+// retried runs certifiable (a replayed write must never become two
+// *-actions). The Reg adapter (for plugging into core.WithRegisters,
+// whose interface is error-free shared memory) panics only when even this
+// machinery gives up.
 type Client[V any] struct {
-	mu      sync.Mutex
-	conn    net.Conn
-	dec     *json.Decoder
-	enc     *json.Encoder
-	done    bool
-	broken  error // sticky transport failure; round trips refuse after it
-	timeout time.Duration
-	rpc     *obs.RPC
+	addr       string
+	dial       func(addr string) (net.Conn, error)
+	timeout    time.Duration
+	rpc        *obs.RPC
+	retry      RetryPolicy
+	breakAfter int
+	cooldown   time.Duration
+	id         string
+
+	// mu serializes round trips. It is intentionally NOT taken by Close:
+	// a round trip can be blocked on the network for a long time (or
+	// forever, with no deadline), and Close must be able to interrupt it
+	// by closing the connection out from under it.
+	mu          sync.Mutex
+	seq         uint64
+	consecFails int
+	openUntil   time.Time
+	dec         *json.Decoder
+	enc         *json.Encoder
+
+	// connMu guards conn and closed only and is never held across I/O,
+	// so Close cannot block behind an in-flight exchange.
+	connMu        sync.Mutex
+	conn          net.Conn
+	closed        bool
+	everConnected bool
+}
+
+// newClientID returns a process-unique, collision-resistant id; the
+// server's write dedup table is keyed by it.
+func newClientID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("netreg: reading client id entropy: %v", err))
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // Dial connects to a register server.
 func Dial[V any](addr string, opts ...DialOption) (*Client[V], error) {
-	var cfg dialConfig
+	cfg := dialConfig{
+		dial: func(a string) (net.Conn, error) { return net.Dial("tcp", a) },
+	}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
+	if cfg.retry.Backoff <= 0 {
+		cfg.retry.Backoff = DefaultBackoff
+	}
+	if cfg.retry.MaxBackoff <= 0 {
+		cfg.retry.MaxBackoff = DefaultMaxBackoff
+	}
+	c := &Client[V]{
+		addr:       addr,
+		dial:       cfg.dial,
+		timeout:    cfg.timeout,
+		rpc:        cfg.rpc,
+		retry:      cfg.retry,
+		breakAfter: cfg.breakAfter,
+		cooldown:   cfg.cooldown,
+		id:         newClientID(),
+	}
+	if err := c.ensureConn(); err != nil {
 		return nil, fmt.Errorf("netreg: dial %s: %w", addr, err)
 	}
-	return &Client[V]{
-		conn:    conn,
-		dec:     json.NewDecoder(bufio.NewReader(conn)),
-		enc:     json.NewEncoder(conn),
-		timeout: cfg.timeout,
-		rpc:     cfg.rpc,
-	}, nil
+	return c, nil
 }
 
-// Close releases the connection.
+// Close releases the connection. It never waits on an in-flight round
+// trip: closing the connection is what interrupts one.
 func (c *Client[V]) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.done {
+	c.connMu.Lock()
+	if c.closed {
+		c.connMu.Unlock()
 		return nil
 	}
-	c.done = true
-	return c.conn.Close()
+	c.closed = true
+	conn := c.conn
+	c.conn = nil
+	c.connMu.Unlock()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
+}
+
+// isClosed reports whether Close has been called.
+func (c *Client[V]) isClosed() bool {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	return c.closed
+}
+
+// ensureConn dials if no live connection is held. Re-dials after the
+// first successful connect are counted as reconnects.
+func (c *Client[V]) ensureConn() error {
+	c.connMu.Lock()
+	if c.closed {
+		c.connMu.Unlock()
+		return ErrClosed
+	}
+	if c.conn != nil {
+		c.connMu.Unlock()
+		return nil
+	}
+	reconnect := c.everConnected
+	c.connMu.Unlock()
+
+	start := time.Now()
+	conn, err := c.dial(c.addr)
+	if reconnect {
+		c.rpc.RecordReconnect(time.Since(start), err == nil)
+	}
+	if err != nil {
+		return fmt.Errorf("netreg: connect %s: %w", c.addr, err)
+	}
+
+	c.connMu.Lock()
+	if c.closed {
+		c.connMu.Unlock()
+		conn.Close()
+		return ErrClosed
+	}
+	c.conn = conn
+	c.everConnected = true
+	c.connMu.Unlock()
+	c.dec = json.NewDecoder(bufio.NewReader(conn))
+	c.enc = json.NewEncoder(conn)
+	return nil
+}
+
+// dropConn discards the current connection (its stream may hold a partial
+// frame; resynchronizing is impossible, so reconnect instead).
+func (c *Client[V]) dropConn() {
+	c.connMu.Lock()
+	conn := c.conn
+	c.conn = nil
+	c.connMu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+// backoffSleep sleeps the retry's backoff: exponential in the attempt
+// number, capped by the policy, with uniform jitter in [d/2, d] so
+// retrying clients don't re-collide in lockstep.
+func (c *Client[V]) backoffSleep(attempt int) {
+	d := c.retry.Backoff << uint(attempt-1)
+	if d <= 0 || d > c.retry.MaxBackoff {
+		d = c.retry.MaxBackoff
+	}
+	half := int64(d / 2)
+	if half > 0 {
+		d = time.Duration(half + mathrand.Int63n(half+1))
+	}
+	time.Sleep(d)
 }
 
 func (c *Client[V]) roundTrip(req request) (response, error) {
@@ -102,40 +287,81 @@ func (c *Client[V]) roundTrip(req request) (response, error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.done {
+	if c.isClosed() {
 		return response{}, ErrClosed
 	}
-	if c.broken != nil {
-		// The stream may hold a partial frame from the failed exchange;
-		// resynchronizing is impossible, so fail fast and loudly.
-		return response{}, fmt.Errorf("netreg: connection broken by earlier failure: %w", c.broken)
+	// Breaker: while open, refuse without touching the network; after the
+	// cooldown one round trip is let through (half-open).
+	if c.breakAfter > 0 && !c.openUntil.IsZero() && time.Now().Before(c.openUntil) {
+		c.rpc.RecordBreakerFastFail()
+		return response{}, fmt.Errorf("%w; retry after %s", ErrUnavailable, time.Until(c.openUntil).Round(time.Millisecond))
 	}
-	start := time.Now()
-	resp, err := c.exchange(req)
-	if c.rpc != nil {
-		outcome := obs.RPCOK
-		switch {
-		case isTimeout(err):
-			outcome = obs.RPCTimeout
-		case err != nil:
-			outcome = obs.RPCError
+
+	// One request identity for all attempts: a retried write re-sends the
+	// same sequence number, and the server applies it at most once.
+	c.seq++
+	req.Client = c.id
+	req.Seq = c.seq
+
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			c.rpc.RecordRetry(op)
+			c.backoffSleep(attempt)
 		}
-		c.rpc.Record(op, time.Since(start), outcome)
+		if err := c.ensureConn(); err != nil {
+			lastErr = err
+		} else {
+			start := time.Now()
+			resp, err := c.exchange(req)
+			if c.rpc != nil {
+				outcome := obs.RPCOK
+				switch {
+				case isTimeout(err):
+					outcome = obs.RPCTimeout
+				case err != nil:
+					outcome = obs.RPCError
+				}
+				c.rpc.Record(op, time.Since(start), outcome)
+			}
+			if err == nil || resp.Err != "" {
+				// Success, or a well-formed server error reply: the
+				// connection is in sync and the breaker sees health.
+				c.consecFails = 0
+				c.openUntil = time.Time{}
+				return resp, err
+			}
+			lastErr = err
+			c.dropConn()
+		}
+		if c.isClosed() {
+			return response{}, ErrClosed
+		}
+		if attempt >= c.retry.Attempts {
+			break
+		}
 	}
-	if err != nil && resp.Err == "" {
-		// Transport-level failure (not a well-formed server error reply):
-		// the connection is no longer usable.
-		c.broken = err
+
+	c.consecFails++
+	if c.breakAfter > 0 && c.consecFails >= c.breakAfter {
+		c.openUntil = time.Now().Add(c.cooldown)
+		c.rpc.RecordBreakerOpen()
 	}
-	return resp, err
+	return response{}, lastErr
 }
 
-// exchange performs one deadline-bounded request/response on the locked
+// exchange performs one deadline-bounded request/response on the held
 // connection. A non-empty resp.Err marks a server-side (application)
 // error; any other failure is transport-level.
 func (c *Client[V]) exchange(req request) (response, error) {
+	c.connMu.Lock()
+	conn := c.conn
+	c.connMu.Unlock()
+	if conn == nil {
+		return response{}, ErrClosed
+	}
 	if c.timeout > 0 {
-		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+		if err := conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
 			return response{}, fmt.Errorf("netreg: arming deadline: %w", err)
 		}
 	}
@@ -207,7 +433,8 @@ type Reg[V any] struct {
 }
 
 // NewReg dials one connection per read port plus one for the writer. Dial
-// options (deadlines, a shared RPC tally) apply to every connection.
+// options (deadlines, retry/breaker policy, a shared RPC tally) apply to
+// every connection.
 func NewReg[V any](addr string, ports int, opts ...DialOption) (*Reg[V], error) {
 	r := &Reg[V]{}
 	for p := 0; p < ports; p++ {
@@ -240,7 +467,9 @@ func (r *Reg[V]) Close() {
 }
 
 // Read implements register.Reg; it panics on transport failure (see the
-// Client doc comment).
+// Client doc comment — with a retry policy the client absorbs transient
+// faults first, and with a breaker the failure is a fast ErrUnavailable
+// rather than a hang).
 func (r *Reg[V]) Read(port int) V {
 	v, _ := r.ReadStamped(port)
 	return v
@@ -248,6 +477,9 @@ func (r *Reg[V]) Read(port int) V {
 
 // ReadStamped implements register.Stamped.
 func (r *Reg[V]) ReadStamped(port int) (V, int64) {
+	if port < 0 || port >= len(r.ReadClients) {
+		panic(fmt.Sprintf("netreg: read port %d out of range [0,%d)", port, len(r.ReadClients)))
+	}
 	v, stamp, err := r.ReadClients[port].ReadErr(port)
 	if err != nil {
 		panic(fmt.Sprintf("netreg: remote read failed: %v", err))
@@ -255,7 +487,8 @@ func (r *Reg[V]) ReadStamped(port int) (V, int64) {
 	return v, stamp
 }
 
-// Write implements register.Reg; it panics on transport failure.
+// Write implements register.Reg; it panics on transport failure, like
+// Read.
 func (r *Reg[V]) Write(v V) { r.WriteStamped(v) }
 
 // WriteStamped implements register.Stamped.

@@ -1,0 +1,338 @@
+package netreg_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultnet"
+	"repro/internal/netreg"
+	"repro/internal/obs"
+)
+
+// TestCloseInterruptsHungRoundTrip is the regression test for the Close
+// deadlock: a round trip hung on a stalled server (and no WithTimeout to
+// save it) must be interrupted by Close, not block it forever.
+func TestCloseInterruptsHungRoundTrip(t *testing.T) {
+	addr := stalledServer(t)
+	c, err := netreg.Dial[string](addr) // deliberately no timeout
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	readDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.ReadErr(0)
+		readDone <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the read hang on the stalled server
+
+	closeDone := make(chan error, 1)
+	go func() { closeDone <- c.Close() }()
+	select {
+	case err := <-closeDone:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close blocked behind the hung round trip")
+	}
+	select {
+	case err := <-readDone:
+		if err == nil {
+			t.Fatal("hung read returned no error after Close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not interrupt the in-flight read")
+	}
+}
+
+// rawExchange sends one raw JSON frame and decodes one reply, bypassing
+// the client (for wire-level server tests).
+func rawExchange(t *testing.T, conn net.Conn, dec *json.Decoder, frame string) map[string]any {
+	t.Helper()
+	if _, err := conn.Write([]byte(frame + "\n")); err != nil {
+		t.Fatalf("send %s: %v", frame, err)
+	}
+	var resp map[string]any
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatalf("decode reply to %s: %v", frame, err)
+	}
+	return resp
+}
+
+// TestInvalidWriteValueRejected is the regression test for the unvalidated
+// write path: a write with a missing value must get a server error reply —
+// not be stored as garbage that poisons every later read of the register.
+func TestInvalidWriteValueRejected(t *testing.T) {
+	srv, err := netreg.NewServer("127.0.0.1:0", "good", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+
+	resp := rawExchange(t, conn, dec, `{"op":"write"}`)
+	errMsg, _ := resp["err"].(string)
+	if !strings.Contains(errMsg, "invalid write value") {
+		t.Fatalf("write with no value replied %v, want an invalid-value error", resp)
+	}
+
+	// The connection survives, and the register still holds valid JSON.
+	resp = rawExchange(t, conn, dec, `{"op":"read","port":0}`)
+	if resp["err"] != nil {
+		t.Fatalf("read after rejected write: %v", resp["err"])
+	}
+	if got := resp["val"]; got != "good" {
+		t.Fatalf("register value after rejected write = %v, want %q", got, "good")
+	}
+	if n := srv.Store().Counters().Writes(); n != 0 {
+		t.Fatalf("rejected write was applied (%d writes)", n)
+	}
+}
+
+// TestWriteDedupAtMostOnce checks the wire-level at-most-once contract: a
+// retransmitted write (same client id and sequence number) is answered
+// with its original stamp and applied exactly once; an older sequence
+// number is refused.
+func TestWriteDedupAtMostOnce(t *testing.T) {
+	srv, err := netreg.NewServer("127.0.0.1:0", "init", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+
+	frame := `{"op":"write","val":"\"once\"","client":"c1","seq":7}`
+	first := rawExchange(t, conn, dec, frame)
+	retried := rawExchange(t, conn, dec, frame)
+	if first["stamp"] != retried["stamp"] {
+		t.Fatalf("retried write got stamp %v, original %v — applied twice", retried["stamp"], first["stamp"])
+	}
+	if n := srv.Store().Counters().Writes(); n != 1 {
+		t.Fatalf("write applied %d times, want exactly once", n)
+	}
+
+	stale := rawExchange(t, conn, dec, `{"op":"write","val":"\"old\"","client":"c1","seq":3}`)
+	if msg, _ := stale["err"].(string); !strings.Contains(msg, "stale") {
+		t.Fatalf("stale-seq write replied %v, want a stale error", stale)
+	}
+
+	// A different client is not confused by c1's dedup state.
+	other := rawExchange(t, conn, dec, `{"op":"write","val":"\"theirs\"","client":"c2","seq":1}`)
+	if other["err"] != nil {
+		t.Fatalf("other client's write: %v", other["err"])
+	}
+	if n := srv.Store().Counters().Writes(); n != 2 {
+		t.Fatalf("writes applied = %d, want 2", n)
+	}
+}
+
+// TestRetryRecoversFromFaultyLink is the tentpole end to end at the client
+// level: against a link that drops requests and severs at seeded points,
+// a retrying client completes every write, each applied exactly once, and
+// the tally shows the recovery work.
+func TestRetryRecoversFromFaultyLink(t *testing.T) {
+	srv, err := netreg.NewServer("127.0.0.1:0", 0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	plan := &faultnet.Plan{Seed: 11, DropProb: 0.25, SeverProb: 0.1}
+	rpc := obs.NewRPC()
+	c, err := netreg.Dial[int](srv.Addr(),
+		netreg.WithDialer(plan.Dialer()),
+		netreg.WithTimeout(150*time.Millisecond),
+		netreg.WithRetry(netreg.RetryPolicy{Attempts: 12, Backoff: time.Millisecond, MaxBackoff: 10 * time.Millisecond}),
+		netreg.WithRPCStats(rpc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const writes = 25
+	var stamps []int64
+	for i := 0; i < writes; i++ {
+		s, err := c.WriteErr(i)
+		if err != nil {
+			t.Fatalf("write %d through faulty link: %v", i, err)
+		}
+		stamps = append(stamps, s)
+	}
+
+	// At most once: the authoritative count matches the issued count, and
+	// every stamp is distinct and increasing (a duplicate application
+	// would mint a second stamp for the same write).
+	if n := srv.Store().Counters().Writes(); n != writes {
+		t.Fatalf("server applied %d writes, client issued %d", n, writes)
+	}
+	for i := 1; i < len(stamps); i++ {
+		if stamps[i] <= stamps[i-1] {
+			t.Fatalf("stamps not strictly increasing: %v", stamps)
+		}
+	}
+	if v, _, err := c.ReadErr(0); err != nil || v != writes-1 {
+		t.Fatalf("final read = %d, %v; want %d", v, err, writes-1)
+	}
+	if plan.Stats().Total() == 0 {
+		t.Fatal("the faulty run injected no faults; the test proved nothing")
+	}
+	if rpc.Retries(obs.RPCWrite) == 0 {
+		t.Fatal("no write retries recorded despite injected faults")
+	}
+	if ok, _ := rpc.Reconnects(); ok == 0 {
+		t.Fatal("no reconnects recorded despite injected severs")
+	}
+}
+
+// TestBreakerFastFailsAndRecovers walks the breaker's full cycle: trips
+// open after consecutive failures, fast-fails with ErrUnavailable while
+// open, and closes again once the server is back.
+func TestBreakerFastFailsAndRecovers(t *testing.T) {
+	srv, err := netreg.NewServer("127.0.0.1:0", 0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	st := srv.Store()
+
+	rpc := obs.NewRPC()
+	const cooldown = 150 * time.Millisecond
+	c, err := netreg.Dial[int](addr,
+		netreg.WithTimeout(100*time.Millisecond),
+		netreg.WithBreaker(2, cooldown),
+		netreg.WithRPCStats(rpc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.WriteErr(1); err != nil {
+		t.Fatalf("healthy write: %v", err)
+	}
+	srv.Close()
+
+	// Two consecutive failures trip the breaker...
+	for i := 0; i < 2; i++ {
+		if _, err := c.WriteErr(2); err == nil {
+			t.Fatalf("write %d against a dead server succeeded", i)
+		}
+	}
+	if got := rpc.BreakerOpens(); got != 1 {
+		t.Fatalf("breaker opens = %d, want 1", got)
+	}
+	// ...after which failures are fast (no network, no timeout wait).
+	start := time.Now()
+	_, err = c.WriteErr(3)
+	if !errors.Is(err, netreg.ErrUnavailable) {
+		t.Fatalf("open-breaker write error = %v, want ErrUnavailable", err)
+	}
+	if d := time.Since(start); d > 50*time.Millisecond {
+		t.Fatalf("fast-fail took %v", d)
+	}
+	if got := rpc.BreakerFastFails(); got == 0 {
+		t.Fatal("no fast-fails recorded")
+	}
+
+	// Server comes back on the same store; after the cooldown the
+	// half-open probe succeeds and the breaker closes.
+	srv2, err := netreg.Serve(addr, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	time.Sleep(cooldown + 20*time.Millisecond)
+	if _, err := c.WriteErr(4); err != nil {
+		t.Fatalf("half-open probe failed: %v", err)
+	}
+	if _, err := c.WriteErr(5); err != nil {
+		t.Fatalf("write after breaker closed: %v", err)
+	}
+	if v, _, err := c.ReadErr(0); err != nil || v != 5 {
+		t.Fatalf("final read = %d, %v; want 5", v, err)
+	}
+}
+
+// TestReadStampedPortBounds is the regression test for the unchecked port
+// index: an out-of-range port must panic with a diagnosable message that
+// names the port, not a bare index error.
+func TestReadStampedPortBounds(t *testing.T) {
+	srv, err := netreg.NewServer("127.0.0.1:0", 0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	r, err := netreg.NewReg[int](srv.Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	for _, port := range []int{-1, 5} {
+		func() {
+			defer func() {
+				msg, _ := recover().(string)
+				if !strings.Contains(msg, "out of range") || !strings.Contains(msg, "port") {
+					t.Fatalf("ReadStamped(%d) panic = %q, want a port-out-of-range message", port, msg)
+				}
+			}()
+			r.ReadStamped(port)
+			t.Fatalf("ReadStamped(%d) did not panic", port)
+		}()
+	}
+}
+
+// TestServerRestartPreservesState checks the Store/Serve split: a server
+// incarnation can be killed and a new one started over the same store,
+// and clients reconnect to the same register contents.
+func TestServerRestartPreservesState(t *testing.T) {
+	srv, err := netreg.NewServer("127.0.0.1:0", "v0", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	c, err := netreg.Dial[string](addr,
+		netreg.WithTimeout(time.Second),
+		netreg.WithRetry(netreg.RetryPolicy{Attempts: 20, Backoff: 2 * time.Millisecond, MaxBackoff: 50 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.WriteErr("survives"); err != nil {
+		t.Fatal(err)
+	}
+
+	st := srv.Store()
+	srv.Close()
+	srv2, err := netreg.Serve(addr, st)
+	if err != nil {
+		t.Fatalf("restart on %s: %v", addr, err)
+	}
+	defer srv2.Close()
+
+	v, _, err := c.ReadErr(0)
+	if err != nil {
+		t.Fatalf("read after restart: %v", err)
+	}
+	if v != "survives" {
+		t.Fatalf("read after restart = %q, want %q", v, "survives")
+	}
+}

@@ -11,6 +11,16 @@
 // *-action stamp inside its register's critical section, so runs over the
 // network remain certifiable by package proof when the servers share a
 // sequencer (as in-process tests do).
+//
+// Failure semantics: the register state and the write-dedup table live in
+// a Store that survives server incarnations (the analog of the scenario's
+// file system surviving a crashed file server), so a killed listener can
+// be restarted over the same Store and retrying clients pick up where
+// they left off. Writes carry the client's id and sequence number and are
+// applied AT MOST ONCE: a write whose response was lost and which the
+// client re-sends is answered from the dedup table with its original
+// stamp instead of being applied again — a replayed write must never
+// become two *-actions, or atomicity certification breaks.
 package netreg
 
 import (
@@ -33,6 +43,11 @@ type request struct {
 	Port int `json:"port,omitempty"`
 	// Val is the value written (writes only), as raw JSON.
 	Val json.RawMessage `json:"val,omitempty"`
+	// Client identifies the sending client for write dedup.
+	Client string `json:"client,omitempty"`
+	// Seq is the client's per-request sequence number; a retried request
+	// re-sends the same Seq, which is how the server recognizes it.
+	Seq uint64 `json:"seq,omitempty"`
 }
 
 // response is the wire format of an access result.
@@ -45,10 +60,91 @@ type response struct {
 	Err string `json:"err,omitempty"`
 }
 
-// Server hosts one single-writer register. Values travel and are stored
-// as canonical JSON, so the server is value-type agnostic.
-type Server struct {
+// dedupEntry remembers a client's last applied write, so a retransmission
+// of it is answered rather than re-applied.
+type dedupEntry struct {
+	seq  uint64
+	resp response
+}
+
+// Store is the durable state behind a register server: the register
+// itself plus the write-dedup table. It outlives any one Server, so a
+// crashed-and-restarted server (Serve on the same Store) presents the
+// same register — state survives the way the scenario's file system
+// survives a crashed file server — and in-flight retries still
+// deduplicate correctly across the restart.
+type Store struct {
 	reg *register.Atomic[string]
+
+	// writeMu serializes the dedup check with the write it guards;
+	// without it a retransmitted write racing its original (possible when
+	// a client times out while the server is merely slow) could be
+	// applied twice — or trip the register's single-writer panic.
+	writeMu sync.Mutex
+	applied map[string]dedupEntry
+}
+
+// NewStore builds a server store: a register over ports read ports
+// initialized to initial's JSON, drawing stamps from seq (nil for a
+// private sequencer), plus an empty dedup table.
+func NewStore[V any](initial V, ports int, seq *history.Sequencer) (*Store, error) {
+	raw, err := json.Marshal(initial)
+	if err != nil {
+		return nil, fmt.Errorf("netreg: encoding initial value: %w", err)
+	}
+	return &Store{
+		reg:     register.NewAtomic(ports, string(raw), seq),
+		applied: make(map[string]dedupEntry),
+	}, nil
+}
+
+// write validates and applies one write request, deduplicating retries.
+func (st *Store) write(req request) response {
+	// Reject values that are not one valid JSON document: stored garbage
+	// would make every later read of this register fail client-side (or
+	// kill the conn outright when the encoder rejects the RawMessage) —
+	// better to refuse the one bad write with a survivable error reply.
+	if len(req.Val) == 0 || !json.Valid(req.Val) {
+		return response{Err: fmt.Sprintf("invalid write value: %d bytes, not a JSON document", len(req.Val))}
+	}
+	st.writeMu.Lock()
+	defer st.writeMu.Unlock()
+	if req.Client != "" {
+		if e, ok := st.applied[req.Client]; ok && req.Seq <= e.seq {
+			if req.Seq == e.seq {
+				// A retransmission of the last applied write: answer with
+				// the original outcome, do not apply again.
+				return e.resp
+			}
+			return response{Err: fmt.Sprintf("stale write seq %d from client %s (last applied %d)", req.Seq, req.Client, e.seq)}
+		}
+	}
+	resp := response{Stamp: st.reg.WriteStamped(string(req.Val))}
+	if req.Client != "" {
+		st.applied[req.Client] = dedupEntry{seq: req.Seq, resp: resp}
+	}
+	return resp
+}
+
+// Counters exposes the store's register access counters, so tests and
+// benchmarks can assert at-most-once application (writes issued == writes
+// applied) directly against the authoritative state.
+func (st *Store) Counters() *register.Counters { return st.reg.Counters() }
+
+// read serves one read request.
+func (st *Store) read(req request) response {
+	if req.Port < 0 || req.Port >= st.reg.Counters().Ports() {
+		return response{Err: fmt.Sprintf("port %d out of range", req.Port)}
+	}
+	v, stamp := st.reg.ReadStamped(req.Port)
+	return response{Val: json.RawMessage(v), Stamp: stamp}
+}
+
+// Server hosts one single-writer register (one Store) behind a listener.
+// Values travel and are stored as canonical JSON, so the server is
+// value-type agnostic.
+type Server struct {
+	st *Store
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -58,19 +154,25 @@ type Server struct {
 }
 
 // NewServer starts a register server on addr (use "127.0.0.1:0" for an
-// ephemeral test port). The register is initialized to initial's JSON and
-// draws stamps from seq (nil for a private sequencer).
+// ephemeral test port) over a fresh Store. The register is initialized to
+// initial's JSON and draws stamps from seq (nil for a private sequencer).
 func NewServer[V any](addr string, initial V, ports int, seq *history.Sequencer) (*Server, error) {
-	raw, err := json.Marshal(initial)
+	st, err := NewStore(initial, ports, seq)
 	if err != nil {
-		return nil, fmt.Errorf("netreg: encoding initial value: %w", err)
+		return nil, err
 	}
+	return Serve(addr, st)
+}
+
+// Serve starts a server incarnation on addr over an existing Store. Use
+// it to restart a crashed/closed server on the state it left behind.
+func Serve(addr string, st *Store) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("netreg: listen: %w", err)
 	}
 	s := &Server{
-		reg:   register.NewAtomic(ports, string(raw), seq),
+		st:    st,
 		ln:    ln,
 		conns: make(map[net.Conn]struct{}),
 	}
@@ -79,11 +181,15 @@ func NewServer[V any](addr string, initial V, ports int, seq *history.Sequencer)
 	return s, nil
 }
 
+// Store returns the server's backing store, for restarting a new
+// incarnation after Close.
+func (s *Server) Store() *Store { return s.st }
+
 // Addr returns the server's listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
 // Close stops the server and its connections, waiting for handlers to
-// drain.
+// drain. The Store survives and can back a new incarnation via Serve.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -138,15 +244,9 @@ func (s *Server) serve(conn net.Conn) {
 		var resp response
 		switch req.Op {
 		case "read":
-			if req.Port < 0 || req.Port >= s.reg.Counters().Ports() {
-				resp.Err = fmt.Sprintf("port %d out of range", req.Port)
-				break
-			}
-			v, stamp := s.reg.ReadStamped(req.Port)
-			resp.Val = json.RawMessage(v)
-			resp.Stamp = stamp
+			resp = s.st.read(req)
 		case "write":
-			resp.Stamp = s.reg.WriteStamped(string(req.Val))
+			resp = s.st.write(req)
 		default:
 			resp.Err = fmt.Sprintf("unknown op %q", req.Op)
 		}

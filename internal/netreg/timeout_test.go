@@ -70,10 +70,15 @@ func TestTimeoutStalledServer(t *testing.T) {
 		t.Fatalf("read oks counted = %d, want 0", got)
 	}
 
-	// The connection is broken (a partial frame may be in flight); the
-	// client must refuse further round trips rather than desynchronize.
+	// The broken connection (a partial frame may be in flight) is
+	// discarded, never resynchronized: the next round trip reconnects —
+	// and against a still-stalled server times out afresh rather than
+	// silently succeeding on a desynchronized stream.
 	if _, err := c.WriteErr("x"); err == nil {
-		t.Fatal("round trip on a broken connection succeeded")
+		t.Fatal("round trip against a still-stalled server succeeded")
+	}
+	if ok, _ := rpc.Reconnects(); ok != 1 {
+		t.Fatalf("reconnects recorded = %d, want 1 (the discarded conn's replacement)", ok)
 	}
 }
 

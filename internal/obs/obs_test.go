@@ -255,3 +255,78 @@ func TestRPCTally(t *testing.T) {
 		}
 	}
 }
+
+// TestRPCRecoveryTally covers the recovery side of the tally — retries,
+// reconnects with latency, breaker events — through the accessors, the
+// snapshot, and the Prometheus rendering.
+func TestRPCRecoveryTally(t *testing.T) {
+	r := NewRPC()
+	r.RecordRetry(RPCWrite)
+	r.RecordRetry(RPCWrite)
+	r.RecordRetry(RPCRead)
+	r.RecordReconnect(2*time.Millisecond, true)
+	r.RecordReconnect(time.Millisecond, false)
+	r.RecordBreakerOpen()
+	r.RecordBreakerFastFail()
+	r.RecordBreakerFastFail()
+
+	if r.Retries(RPCWrite) != 2 || r.Retries(RPCRead) != 1 {
+		t.Fatalf("retries = %d write / %d read, want 2/1", r.Retries(RPCWrite), r.Retries(RPCRead))
+	}
+	ok, failed := r.Reconnects()
+	if ok != 1 || failed != 1 {
+		t.Fatalf("reconnects = %d ok / %d failed, want 1/1", ok, failed)
+	}
+	if r.BreakerOpens() != 1 || r.BreakerFastFails() != 2 {
+		t.Fatalf("breaker = %d opens / %d fastfails, want 1/2", r.BreakerOpens(), r.BreakerFastFails())
+	}
+
+	// Nil-safety of every recovery recorder.
+	var nilRPC *RPC
+	nilRPC.RecordRetry(RPCRead)
+	nilRPC.RecordReconnect(time.Millisecond, true)
+	nilRPC.RecordBreakerOpen()
+	nilRPC.RecordBreakerFastFail()
+
+	s := r.Snapshot()
+	if s.Recovery.ReconnectOK != 1 || s.Recovery.ReconnectFail != 1 {
+		t.Fatalf("snapshot recovery = %+v", s.Recovery)
+	}
+	if s.Recovery.ReconnectLatency.Count != 1 {
+		t.Fatalf("reconnect latency count = %d, want 1 (failures must not feed it)", s.Recovery.ReconnectLatency.Count)
+	}
+	if s.Recovery.BreakerOpens != 1 || s.Recovery.BreakerFastFails != 2 {
+		t.Fatalf("snapshot breaker = %+v", s.Recovery)
+	}
+	var wantRetries = map[string]int64{"read": 1, "write": 2}
+	for _, op := range s.Ops {
+		if op.Retries != wantRetries[op.Op] {
+			t.Fatalf("snapshot retries for %s = %d, want %d", op.Op, op.Retries, wantRetries[op.Op])
+		}
+	}
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf, Label{Name: "node", Value: "a"})
+	text := buf.String()
+	for _, want := range []string{
+		`netreg_retries_total{op="write",node="a"} 2`,
+		`netreg_reconnects_total{outcome="ok",node="a"} 1`,
+		`netreg_reconnects_total{outcome="fail",node="a"} 1`,
+		`netreg_reconnect_latency_seconds_count{node="a"} 1`,
+		`netreg_breaker_events_total{event="open",node="a"} 1`,
+		`netreg_breaker_events_total{event="fastfail",node="a"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("RPC Prometheus text lacks %q\ngot:\n%s", want, text)
+		}
+	}
+
+	// The live tally marshals as its snapshot (expvar convention).
+	blob, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), `"breaker_opens":1`) {
+		t.Errorf("snapshot JSON lacks breaker_opens: %s", blob)
+	}
+}

@@ -48,15 +48,31 @@ type rpcShard struct {
 	ok       atomic.Int64
 	timeouts atomic.Int64
 	errors   atomic.Int64
+	retries  atomic.Int64 // re-sent exchanges after a transport failure
 	_        [cacheLine]byte
 }
 
+// recoveryShard tallies the client recovery machinery: reconnect attempts
+// with their latency, and circuit-breaker events. Recovery is not per-op
+// (a reconnect serves whatever request triggered it), so one shard covers
+// the whole tally.
+type recoveryShard struct {
+	reconnectOK      atomic.Int64
+	reconnectFail    atomic.Int64
+	reconnectLat     Hist // successful reconnects only
+	breakerOpens     atomic.Int64
+	breakerFastFails atomic.Int64
+	_                [cacheLine]byte
+}
+
 // RPC tallies remote-register round trips: per-op counts, error and
-// timeout counts, and round-trip latency histograms. One RPC may be shared
-// by many clients; recording is a few uncontended-or-cheap atomic adds.
-// All methods are safe on a nil receiver.
+// timeout counts, and round-trip latency histograms, plus the recovery
+// side (retries, reconnects, breaker events). One RPC may be shared by
+// many clients; recording is a few uncontended-or-cheap atomic adds. All
+// methods are safe on a nil receiver.
 type RPC struct {
-	ops [numRPCOps]rpcShard
+	ops      [numRPCOps]rpcShard
+	recovery recoveryShard
 }
 
 // NewRPC returns an empty RPC tally.
@@ -80,8 +96,65 @@ func (r *RPC) Record(op RPCOp, d time.Duration, outcome RPCOutcome) {
 	}
 }
 
+// RecordRetry tallies one re-sent exchange of the given kind: the
+// previous attempt failed at the transport level and the client is trying
+// again (on a fresh connection).
+func (r *RPC) RecordRetry(op RPCOp) {
+	if r == nil {
+		return
+	}
+	r.ops[op].retries.Add(1)
+}
+
+// RecordReconnect tallies one reconnect attempt with its dial latency;
+// only successful reconnects feed the latency histogram.
+func (r *RPC) RecordReconnect(d time.Duration, ok bool) {
+	if r == nil {
+		return
+	}
+	if ok {
+		r.recovery.reconnectOK.Add(1)
+		r.recovery.reconnectLat.Observe(d)
+	} else {
+		r.recovery.reconnectFail.Add(1)
+	}
+}
+
+// RecordBreakerOpen tallies one circuit-breaker trip (the client entered
+// fast-fail mode after too many consecutive transport failures).
+func (r *RPC) RecordBreakerOpen() {
+	if r == nil {
+		return
+	}
+	r.recovery.breakerOpens.Add(1)
+}
+
+// RecordBreakerFastFail tallies one round trip refused without touching
+// the network because the breaker was open.
+func (r *RPC) RecordBreakerFastFail() {
+	if r == nil {
+		return
+	}
+	r.recovery.breakerFastFails.Add(1)
+}
+
 // Ok returns the successful round-trip count for op.
 func (r *RPC) Ok(op RPCOp) int64 { return r.ops[op].ok.Load() }
+
+// Retries returns the re-sent exchange count for op.
+func (r *RPC) Retries(op RPCOp) int64 { return r.ops[op].retries.Load() }
+
+// Reconnects returns the successful and failed reconnect-attempt counts.
+func (r *RPC) Reconnects() (ok, failed int64) {
+	return r.recovery.reconnectOK.Load(), r.recovery.reconnectFail.Load()
+}
+
+// BreakerOpens returns the number of circuit-breaker trips.
+func (r *RPC) BreakerOpens() int64 { return r.recovery.breakerOpens.Load() }
+
+// BreakerFastFails returns the number of round trips refused while the
+// breaker was open.
+func (r *RPC) BreakerFastFails() int64 { return r.recovery.breakerFastFails.Load() }
 
 // Timeouts returns the timed-out round-trip count for op.
 func (r *RPC) Timeouts(op RPCOp) int64 { return r.ops[op].timeouts.Load() }
@@ -95,12 +168,23 @@ type RPCOpSnapshot struct {
 	Ok       int64        `json:"ok"`
 	Timeouts int64        `json:"timeouts"`
 	Errors   int64        `json:"errors"`
+	Retries  int64        `json:"retries"`
 	Latency  HistSnapshot `json:"latency"`
+}
+
+// RecoverySnapshot is the recovery machinery's exported state.
+type RecoverySnapshot struct {
+	ReconnectOK      int64        `json:"reconnect_ok"`
+	ReconnectFail    int64        `json:"reconnect_fail"`
+	ReconnectLatency HistSnapshot `json:"reconnect_latency"`
+	BreakerOpens     int64        `json:"breaker_opens"`
+	BreakerFastFails int64        `json:"breaker_fast_fails"`
 }
 
 // RPCSnapshot is a point-in-time copy of an RPC tally.
 type RPCSnapshot struct {
-	Ops []RPCOpSnapshot `json:"ops"`
+	Ops      []RPCOpSnapshot  `json:"ops"`
+	Recovery RecoverySnapshot `json:"recovery"`
 }
 
 // Snapshot copies the tally's current state.
@@ -113,8 +197,16 @@ func (r *RPC) Snapshot() RPCSnapshot {
 			Ok:       sh.ok.Load(),
 			Timeouts: sh.timeouts.Load(),
 			Errors:   sh.errors.Load(),
+			Retries:  sh.retries.Load(),
 			Latency:  sh.lat.snapshot(),
 		})
+	}
+	s.Recovery = RecoverySnapshot{
+		ReconnectOK:      r.recovery.reconnectOK.Load(),
+		ReconnectFail:    r.recovery.reconnectFail.Load(),
+		ReconnectLatency: r.recovery.reconnectLat.snapshot(),
+		BreakerOpens:     r.recovery.breakerOpens.Load(),
+		BreakerFastFails: r.recovery.breakerFastFails.Load(),
 	}
 	return s
 }
@@ -137,4 +229,20 @@ func (r *RPC) WritePrometheus(w io.Writer, extra ...Label) {
 	for op := RPCOp(0); op < numRPCOps; op++ {
 		writeHist(w, "netreg_roundtrip_latency_seconds", &r.ops[op].lat, extra, "op", op.String())
 	}
+	fmt.Fprintln(w, "# HELP netreg_retries_total Exchanges re-sent after a transport failure.")
+	fmt.Fprintln(w, "# TYPE netreg_retries_total counter")
+	for op := RPCOp(0); op < numRPCOps; op++ {
+		fmt.Fprintf(w, "netreg_retries_total%s %d\n", promLabels(extra, "op", op.String()), r.ops[op].retries.Load())
+	}
+	fmt.Fprintln(w, "# HELP netreg_reconnects_total Reconnect attempts by outcome.")
+	fmt.Fprintln(w, "# TYPE netreg_reconnects_total counter")
+	fmt.Fprintf(w, "netreg_reconnects_total%s %d\n", promLabels(extra, "outcome", "ok"), r.recovery.reconnectOK.Load())
+	fmt.Fprintf(w, "netreg_reconnects_total%s %d\n", promLabels(extra, "outcome", "fail"), r.recovery.reconnectFail.Load())
+	fmt.Fprintln(w, "# HELP netreg_reconnect_latency_seconds Dial latency of successful reconnects.")
+	fmt.Fprintln(w, "# TYPE netreg_reconnect_latency_seconds histogram")
+	writeHist(w, "netreg_reconnect_latency_seconds", &r.recovery.reconnectLat, extra)
+	fmt.Fprintln(w, "# HELP netreg_breaker_events_total Circuit-breaker trips and fast-failed round trips.")
+	fmt.Fprintln(w, "# TYPE netreg_breaker_events_total counter")
+	fmt.Fprintf(w, "netreg_breaker_events_total%s %d\n", promLabels(extra, "event", "open"), r.recovery.breakerOpens.Load())
+	fmt.Fprintf(w, "netreg_breaker_events_total%s %d\n", promLabels(extra, "event", "fastfail"), r.recovery.breakerFastFails.Load())
 }
