@@ -9,6 +9,7 @@
 //
 //	bloombench [-ops N] [-json]
 //	bloombench -faults [-ops N] [-json]
+//	bloombench -net [-ops N] [-json]
 //	bloombench -serve :8080
 //
 // With -json, the substrate sweep is also written to BENCH_substrates.json
@@ -20,6 +21,13 @@
 // protocol over seeded faulty links (drops, severed connections) with
 // retrying clients, certifying the recovered history with proof.Certify.
 // Combined with -json it writes BENCH_fault.json.
+//
+// With -net, bloombench instead runs the T-net table: single-connection
+// write throughput swept across codec (JSON vs binary framing) and
+// pipeline depth (1, 8, 64), a multi-register fan-out behind one
+// listener, and a certified pipelined two-writer run. At real op counts
+// it enforces the transport rework's ≥3x bar (binary pipelined at depth 8
+// vs JSON serial). Combined with -json it writes BENCH_net.json.
 //
 // With -serve, bloombench instead runs an open-ended observed workload
 // over every substrate and serves /metrics (Prometheus text format),
@@ -57,8 +65,9 @@ func counters(reg *atomicregister.TwoWriter[int]) (*register.Counters, *register
 
 func run() error {
 	ops := flag.Int("ops", 100000, "operations per measurement")
-	jsonOut := flag.Bool("json", false, "also write BENCH_substrates.json and BENCH_obs.json (or BENCH_fault.json with -faults)")
+	jsonOut := flag.Bool("json", false, "also write BENCH_substrates.json and BENCH_obs.json (or BENCH_fault.json / BENCH_net.json with -faults / -net)")
 	faults := flag.Bool("faults", false, "run the T-fault table (faulty-link recovery) instead of the default tables")
+	netSweep := flag.Bool("net", false, "run the T-net table (wire codec × pipeline depth throughput) instead of the default tables")
 	serveAddr := flag.String("serve", "", "serve /metrics, /vars, and /debug/pprof/ on this address instead of running the tables")
 	flag.Parse()
 
@@ -67,6 +76,9 @@ func run() error {
 	}
 	if *faults {
 		return faultTable(*ops, *jsonOut)
+	}
+	if *netSweep {
+		return netTable(*ops, *jsonOut)
 	}
 
 	costTable(*ops)

@@ -38,6 +38,16 @@ func TestFaultTableSmoke(t *testing.T) {
 	}
 }
 
+// TestNetTableSmoke runs the -net mode end to end with a tiny op count:
+// the certified pipelined run inside it self-checks, and at this size the
+// speedup floor is reported but not enforced (loopback throughput over 50
+// ops is noise).
+func TestNetTableSmoke(t *testing.T) {
+	if err := netTable(50, false); err != nil {
+		t.Fatalf("netTable: %v", err)
+	}
+}
+
 // TestObservedScript checks the release-script expansion that makes the
 // potency-agreement replay exact: the probe release must directly follow
 // each writer's second (write) access and nothing else.

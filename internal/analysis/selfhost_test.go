@@ -19,6 +19,7 @@ var selfhostPkgs = []string{
 	"repro/internal/register",
 	"repro/internal/obs",
 	"repro/internal/core",
+	"repro/internal/wire",
 }
 
 func TestSelfHost(t *testing.T) {

@@ -10,8 +10,13 @@
 // accept/dial index, so a sequential client replaying the same operations
 // against the same plan hits the same faults — "seeded points", not
 // wall-clock luck. Faults are decided independently per Read and per Write
-// call, which on the newline-delimited JSON transport of netreg means per
-// frame.
+// call — per syscall, not per frame. netreg's buffered, pipelined
+// transport coalesces a burst of frames into one Write, so a single fault
+// decision covers the whole batch: one drop loses every frame in it, and
+// the client's retry machinery re-sends each affected request with its
+// original sequence number. A sequential client flushing one frame per
+// Write degenerates to the old per-frame behavior, keeping existing
+// seeded tests deterministic.
 //
 // The package is usable two ways:
 //
@@ -51,8 +56,12 @@ const (
 	// link.
 	FaultSever
 	// FaultGarble flips bits in the payload before delivering it:
-	// corruption. On a JSON transport this almost always breaks framing,
-	// forcing the peer to drop the link.
+	// corruption. On the JSON transport this almost always breaks
+	// framing; on the binary transport it is fully deterministic — the
+	// flip hits byte 0 of the batch, the high byte of a length prefix,
+	// turning it into a length far beyond wire.MaxFrame, which the peer
+	// rejects cleanly and drops the link. Either way the receiver never
+	// parses a corrupted frame as valid.
 	FaultGarble
 	// FaultStall blocks the operation until the connection is closed: a
 	// peer that went silent in one direction without breaking the link.

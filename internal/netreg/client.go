@@ -1,7 +1,6 @@
 package netreg
 
 import (
-	"bufio"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
@@ -11,10 +10,12 @@ import (
 	"net"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
 	"repro/internal/register"
+	"repro/internal/wire"
 )
 
 var _ register.Stamped[int] = (*Reg[int])(nil)
@@ -35,14 +36,17 @@ type DialOption func(*dialConfig)
 type dialConfig struct {
 	timeout    time.Duration
 	rpc        *obs.RPC
+	wire       *obs.Wire
+	codec      wire.Codec
+	regName    string
 	dial       func(addr string) (net.Conn, error)
 	retry      RetryPolicy
 	breakAfter int
 	cooldown   time.Duration
 }
 
-// WithTimeout bounds every round-trip attempt: the connection's read and
-// write deadlines are armed before each exchange, so a stalled or dead
+// WithTimeout bounds every round-trip attempt: the caller waits at most d
+// for its response before abandoning the connection, so a stalled or dead
 // server surfaces as a counted ErrTimeout instead of a hung client. The
 // failed connection is discarded; the next attempt (a retry, or the next
 // round trip) reconnects.
@@ -56,6 +60,28 @@ func WithTimeout(d time.Duration) DialOption {
 // tally may be shared across the clients of a whole Reg.
 func WithRPCStats(r *obs.RPC) DialOption {
 	return func(c *dialConfig) { c.rpc = r }
+}
+
+// WithWireStats attaches a transport tally: frames and bytes in each
+// direction, and the in-flight pipeline gauge. One tally may be shared
+// across clients.
+func WithWireStats(w *obs.Wire) DialOption {
+	return func(c *dialConfig) { c.wire = w }
+}
+
+// WithCodec selects the frame encoding this client speaks (the default is
+// the binary framing; wire.JSON restores the original newline-delimited
+// JSON for wire-compat tests). The server sniffs and answers in kind, so
+// no configuration is needed on its side.
+func WithCodec(c wire.Codec) DialOption {
+	return func(cfg *dialConfig) { cfg.codec = c }
+}
+
+// WithRegister aims the client at a named register instance on a
+// multi-register server (see AddRegister). The default is the default
+// register, "".
+func WithRegister(name string) DialOption {
+	return func(c *dialConfig) { c.regName = name }
 }
 
 // WithDialer substitutes the function used for every connect and
@@ -106,13 +132,17 @@ func WithBreaker(failures int, cooldown time.Duration) DialOption {
 	}
 }
 
-// Client accesses a remote register. One Client holds one connection and
-// serializes its requests; since every register user (a writer or one
-// reader port) is a sequential automaton, a client per user is the
-// natural arrangement.
+// Client accesses a remote register over one pipelined connection. Any
+// number of goroutines may call ReadErr/WriteErr concurrently: each
+// request carries a unique id, a writer goroutine multiplexes the frames
+// onto the connection (batching concurrent bursts into one syscall), and
+// a reader goroutine hands each response back to its caller. A single
+// sequential caller gets exactly the old serial behavior; N concurrent
+// callers get a pipeline N deep over the same connection.
 //
 // Transport errors are returned from ReadErr/WriteErr after the retry
-// budget (WithRetry) is exhausted; a broken connection is discarded and
+// budget (WithRetry) is exhausted; a broken connection is discarded —
+// failing every request in flight on it over to their own retries — and
 // the next attempt reconnects, so one failure is never sticky. Every
 // request carries the client's id and a per-request sequence number, and
 // the server deduplicates writes on them: a write whose response was lost
@@ -126,32 +156,37 @@ type Client[V any] struct {
 	dial       func(addr string) (net.Conn, error)
 	timeout    time.Duration
 	rpc        *obs.RPC
+	ws         *obs.Wire
+	codec      wire.Codec
+	regName    string
 	retry      RetryPolicy
 	breakAfter int
 	cooldown   time.Duration
 	id         string
 
-	// mu serializes round trips. It is intentionally NOT taken by Close:
-	// a round trip can be blocked on the network for a long time (or
-	// forever, with no deadline), and Close must be able to interrupt it
-	// by closing the connection out from under it.
-	mu          sync.Mutex
-	seq         uint64
+	// seq issues request identities: one per logical round trip, reused
+	// across its retries, doubling as the pipeline correlation id.
+	seq atomic.Uint64
+
+	// brkMu guards the breaker state; round trips from many goroutines
+	// share it.
+	brkMu       sync.Mutex
 	consecFails int
 	openUntil   time.Time
-	dec         *json.Decoder
-	enc         *json.Encoder
 
-	// connMu guards conn and closed only and is never held across I/O,
-	// so Close cannot block behind an in-flight exchange.
+	// connMu guards cur and closed only and is never held across I/O, so
+	// Close cannot block behind an in-flight exchange. dialMu serializes
+	// actual dials so a burst of retrying callers shares one reconnect
+	// instead of racing N dials.
 	connMu        sync.Mutex
-	conn          net.Conn
+	cur           *clientConn
 	closed        bool
 	everConnected bool
+	dialMu        sync.Mutex
 }
 
 // newClientID returns a process-unique, collision-resistant id; the
-// server's write dedup table is keyed by it.
+// server's write dedup tables are keyed by it.
 func newClientID() string {
 	var b [8]byte
 	if _, err := rand.Read(b[:]); err != nil {
@@ -179,19 +214,22 @@ func Dial[V any](addr string, opts ...DialOption) (*Client[V], error) {
 		dial:       cfg.dial,
 		timeout:    cfg.timeout,
 		rpc:        cfg.rpc,
+		ws:         cfg.wire,
+		codec:      cfg.codec,
+		regName:    cfg.regName,
 		retry:      cfg.retry,
 		breakAfter: cfg.breakAfter,
 		cooldown:   cfg.cooldown,
 		id:         newClientID(),
 	}
-	if err := c.ensureConn(); err != nil {
+	if _, err := c.getConn(); err != nil {
 		return nil, fmt.Errorf("netreg: dial %s: %w", addr, err)
 	}
 	return c, nil
 }
 
 // Close releases the connection. It never waits on an in-flight round
-// trip: closing the connection is what interrupts one.
+// trip: failing the connection is what interrupts one.
 func (c *Client[V]) Close() error {
 	c.connMu.Lock()
 	if c.closed {
@@ -199,11 +237,11 @@ func (c *Client[V]) Close() error {
 		return nil
 	}
 	c.closed = true
-	conn := c.conn
-	c.conn = nil
+	cc := c.cur
+	c.cur = nil
 	c.connMu.Unlock()
-	if conn != nil {
-		return conn.Close()
+	if cc != nil {
+		cc.fail(ErrClosed)
 	}
 	return nil
 }
@@ -215,17 +253,33 @@ func (c *Client[V]) isClosed() bool {
 	return c.closed
 }
 
-// ensureConn dials if no live connection is held. Re-dials after the
-// first successful connect are counted as reconnects.
-func (c *Client[V]) ensureConn() error {
+// getConn returns the live connection, dialing one if none is held.
+// Re-dials after the first successful connect are counted as reconnects.
+// Concurrent callers needing a dial serialize on dialMu and share its
+// result.
+func (c *Client[V]) getConn() (*clientConn, error) {
 	c.connMu.Lock()
 	if c.closed {
 		c.connMu.Unlock()
-		return ErrClosed
+		return nil, ErrClosed
 	}
-	if c.conn != nil {
+	if cc := c.cur; cc != nil {
 		c.connMu.Unlock()
-		return nil
+		return cc, nil
+	}
+	c.connMu.Unlock()
+
+	c.dialMu.Lock()
+	defer c.dialMu.Unlock()
+	// Someone else may have dialed while this caller waited its turn.
+	c.connMu.Lock()
+	if c.closed {
+		c.connMu.Unlock()
+		return nil, ErrClosed
+	}
+	if cc := c.cur; cc != nil {
+		c.connMu.Unlock()
+		return cc, nil
 	}
 	reconnect := c.everConnected
 	c.connMu.Unlock()
@@ -236,33 +290,33 @@ func (c *Client[V]) ensureConn() error {
 		c.rpc.RecordReconnect(time.Since(start), err == nil)
 	}
 	if err != nil {
-		return fmt.Errorf("netreg: connect %s: %w", c.addr, err)
+		return nil, fmt.Errorf("netreg: connect %s: %w", c.addr, err)
 	}
+	cc := newClientConn(conn, c.codec, c.ws)
 
 	c.connMu.Lock()
 	if c.closed {
 		c.connMu.Unlock()
-		conn.Close()
-		return ErrClosed
+		cc.fail(ErrClosed)
+		return nil, ErrClosed
 	}
-	c.conn = conn
+	c.cur = cc
 	c.everConnected = true
 	c.connMu.Unlock()
-	c.dec = json.NewDecoder(bufio.NewReader(conn))
-	c.enc = json.NewEncoder(conn)
-	return nil
+	return cc, nil
 }
 
-// dropConn discards the current connection (its stream may hold a partial
-// frame; resynchronizing is impossible, so reconnect instead).
-func (c *Client[V]) dropConn() {
+// dropConn discards a failed connection (its stream may hold a partial
+// frame; resynchronizing is impossible, so reconnect instead). Only the
+// given connection is dropped: a racing caller that already dialed a
+// replacement keeps it.
+func (c *Client[V]) dropConn(cc *clientConn, err error) {
 	c.connMu.Lock()
-	conn := c.conn
-	c.conn = nil
-	c.connMu.Unlock()
-	if conn != nil {
-		conn.Close()
+	if c.cur == cc {
+		c.cur = nil
 	}
+	c.connMu.Unlock()
+	cc.fail(err)
 }
 
 // backoffSleep sleeps the retry's backoff: exponential in the attempt
@@ -280,28 +334,63 @@ func (c *Client[V]) backoffSleep(attempt int) {
 	time.Sleep(d)
 }
 
-func (c *Client[V]) roundTrip(req request) (response, error) {
+// breakerCheck fast-fails while the breaker is open; after the cooldown
+// one round trip is let through (half-open).
+func (c *Client[V]) breakerCheck() error {
+	if c.breakAfter <= 0 {
+		return nil
+	}
+	c.brkMu.Lock()
+	defer c.brkMu.Unlock()
+	if !c.openUntil.IsZero() && time.Now().Before(c.openUntil) {
+		c.rpc.RecordBreakerFastFail()
+		return fmt.Errorf("%w; retry after %s", ErrUnavailable, time.Until(c.openUntil).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// breakerOK records a healthy exchange: the breaker sees health.
+func (c *Client[V]) breakerOK() {
+	c.brkMu.Lock()
+	c.consecFails = 0
+	c.openUntil = time.Time{}
+	c.brkMu.Unlock()
+}
+
+// breakerFail records a round trip that exhausted its retry budget,
+// opening the breaker when the threshold is reached.
+func (c *Client[V]) breakerFail() {
+	c.brkMu.Lock()
+	c.consecFails++
+	if c.breakAfter > 0 && c.consecFails >= c.breakAfter {
+		c.openUntil = time.Now().Add(c.cooldown)
+		c.rpc.RecordBreakerOpen()
+	}
+	c.brkMu.Unlock()
+}
+
+// roundTrip performs one logical access: assign the request its identity
+// once, then attempt (and re-attempt, per the retry policy) to exchange
+// it. A retried request re-sends the same sequence number, and the server
+// applies a retried write at most once.
+func (c *Client[V]) roundTrip(req *wire.Request) (wire.Response, error) {
 	op := obs.RPCWrite
 	if req.Op == "read" {
 		op = obs.RPCRead
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.isClosed() {
-		return response{}, ErrClosed
+		return wire.Response{}, ErrClosed
 	}
-	// Breaker: while open, refuse without touching the network; after the
-	// cooldown one round trip is let through (half-open).
-	if c.breakAfter > 0 && !c.openUntil.IsZero() && time.Now().Before(c.openUntil) {
-		c.rpc.RecordBreakerFastFail()
-		return response{}, fmt.Errorf("%w; retry after %s", ErrUnavailable, time.Until(c.openUntil).Round(time.Millisecond))
+	if err := c.breakerCheck(); err != nil {
+		return wire.Response{}, err
 	}
 
-	// One request identity for all attempts: a retried write re-sends the
-	// same sequence number, and the server applies it at most once.
-	c.seq++
+	// One request identity for all attempts; the sequence number doubles
+	// as the pipeline correlation id.
+	id := c.seq.Add(1)
+	req.ID, req.Seq = id, id
 	req.Client = c.id
-	req.Seq = c.seq
+	req.Reg = c.regName
 
 	var lastErr error
 	for attempt := 0; ; attempt++ {
@@ -309,11 +398,12 @@ func (c *Client[V]) roundTrip(req request) (response, error) {
 			c.rpc.RecordRetry(op)
 			c.backoffSleep(attempt)
 		}
-		if err := c.ensureConn(); err != nil {
+		cc, err := c.getConn()
+		if err != nil {
 			lastErr = err
 		} else {
 			start := time.Now()
-			resp, err := c.exchange(req)
+			resp, err := c.do(cc, req)
 			if c.rpc != nil {
 				outcome := obs.RPCOK
 				switch {
@@ -324,58 +414,64 @@ func (c *Client[V]) roundTrip(req request) (response, error) {
 				}
 				c.rpc.Record(op, time.Since(start), outcome)
 			}
-			if err == nil || resp.Err != "" {
+			if err == nil {
 				// Success, or a well-formed server error reply: the
 				// connection is in sync and the breaker sees health.
-				c.consecFails = 0
-				c.openUntil = time.Time{}
-				return resp, err
+				c.breakerOK()
+				if resp.Err != "" {
+					return resp, fmt.Errorf("netreg: server: %s", resp.Err)
+				}
+				return resp, nil
 			}
 			lastErr = err
-			c.dropConn()
+			c.dropConn(cc, err)
 		}
 		if c.isClosed() {
-			return response{}, ErrClosed
+			return wire.Response{}, ErrClosed
 		}
 		if attempt >= c.retry.Attempts {
 			break
 		}
 	}
 
-	c.consecFails++
-	if c.breakAfter > 0 && c.consecFails >= c.breakAfter {
-		c.openUntil = time.Now().Add(c.cooldown)
-		c.rpc.RecordBreakerOpen()
-	}
-	return response{}, lastErr
+	c.breakerFail()
+	return wire.Response{}, lastErr
 }
 
-// exchange performs one deadline-bounded request/response on the held
-// connection. A non-empty resp.Err marks a server-side (application)
-// error; any other failure is transport-level.
-func (c *Client[V]) exchange(req request) (response, error) {
-	c.connMu.Lock()
-	conn := c.conn
-	c.connMu.Unlock()
-	if conn == nil {
-		return response{}, ErrClosed
+// do performs one attempt over the given connection: register the call,
+// hand the frame to the writer goroutine, and wait for the reader
+// goroutine to deliver the response — bounded by the client's timeout, so
+// a stalled server surfaces as ErrTimeout rather than a hung caller.
+func (c *Client[V]) do(cc *clientConn, req *wire.Request) (wire.Response, error) {
+	ca := &call{req: req, done: make(chan callResult, 1)}
+	if err := cc.enqueue(ca); err != nil {
+		return wire.Response{}, err
 	}
+	c.ws.OpStart()
+	defer c.ws.OpDone()
+
+	var timeoutC <-chan time.Time
 	if c.timeout > 0 {
-		if err := conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
-			return response{}, fmt.Errorf("netreg: arming deadline: %w", err)
-		}
+		t := time.NewTimer(c.timeout)
+		defer t.Stop()
+		timeoutC = t.C
 	}
-	if err := c.enc.Encode(&req); err != nil {
-		return response{}, fmt.Errorf("netreg: send: %w", wrapTimeout(err))
+	select {
+	case cc.sendq <- ca:
+	case <-cc.down:
+		cc.forget(req.ID)
+		return wire.Response{}, cc.failErr()
+	case <-timeoutC:
+		cc.forget(req.ID)
+		return wire.Response{}, fmt.Errorf("netreg: send: %w", ErrTimeout)
 	}
-	var resp response
-	if err := c.dec.Decode(&resp); err != nil {
-		return response{}, fmt.Errorf("netreg: receive: %w", wrapTimeout(err))
+	select {
+	case r := <-ca.done:
+		return r.resp, r.err
+	case <-timeoutC:
+		cc.forget(req.ID)
+		return wire.Response{}, fmt.Errorf("netreg: receive: %w", ErrTimeout)
 	}
-	if resp.Err != "" {
-		return resp, fmt.Errorf("netreg: server: %s", resp.Err)
-	}
-	return resp, nil
 }
 
 // wrapTimeout tags deadline expirations with ErrTimeout so callers can
@@ -398,7 +494,7 @@ func isTimeout(err error) bool {
 // ReadErr performs a remote read through the given port.
 func (c *Client[V]) ReadErr(port int) (V, int64, error) {
 	var v V
-	resp, err := c.roundTrip(request{Op: "read", Port: port})
+	resp, err := c.roundTrip(&wire.Request{Op: "read", Port: port})
 	if err != nil {
 		return v, 0, err
 	}
@@ -414,7 +510,7 @@ func (c *Client[V]) WriteErr(v V) (int64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("netreg: encoding value: %w", err)
 	}
-	resp, err := c.roundTrip(request{Op: "write", Val: raw})
+	resp, err := c.roundTrip(&wire.Request{Op: "write", Val: raw})
 	if err != nil {
 		return 0, err
 	}
@@ -422,19 +518,20 @@ func (c *Client[V]) WriteErr(v V) (int64, error) {
 }
 
 // Reg is a register.Stamped adapter over one or more clients: reads fan
-// in through per-port clients (each port is one sequential user, so each
-// gets its own connection), writes go through the writer's client.
+// in through per-port clients, writes go through the writer's client.
 type Reg[V any] struct {
 	// ReadClients[port] serves reads for that port; WriteClient serves
 	// the single writer. Entries may alias when one process plays
-	// several roles in tests.
+	// several roles — NewSharedReg aliases them all onto one pipelined
+	// connection.
 	ReadClients []*Client[V]
 	WriteClient *Client[V]
 }
 
-// NewReg dials one connection per read port plus one for the writer. Dial
-// options (deadlines, retry/breaker policy, a shared RPC tally) apply to
-// every connection.
+// NewReg dials one connection per read port plus one for the writer —
+// each port is one sequential user, so each gets a serial connection of
+// its own. Dial options (deadlines, retry/breaker policy, a shared RPC
+// tally) apply to every connection.
 func NewReg[V any](addr string, ports int, opts ...DialOption) (*Reg[V], error) {
 	r := &Reg[V]{}
 	for p := 0; p < ports; p++ {
@@ -454,7 +551,26 @@ func NewReg[V any](addr string, ports int, opts ...DialOption) (*Reg[V], error) 
 	return r, nil
 }
 
-// Close releases all connections.
+// NewSharedReg dials ONE pipelined connection and serves every port (and
+// the writer) over it: the ports' concurrent accesses multiplex as
+// in-flight requests on the shared link instead of occupying a connection
+// each. This is the arrangement the pipelined transport exists for — and
+// runs over it certify exactly like per-connection runs, because stamps
+// are assigned server-side regardless of how requests traveled.
+func NewSharedReg[V any](addr string, ports int, opts ...DialOption) (*Reg[V], error) {
+	c, err := Dial[V](addr, opts...)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reg[V]{WriteClient: c}
+	for p := 0; p < ports; p++ {
+		r.ReadClients = append(r.ReadClients, c)
+	}
+	return r, nil
+}
+
+// Close releases all connections (aliased clients close once; Close is
+// idempotent).
 func (r *Reg[V]) Close() {
 	for _, c := range r.ReadClients {
 		if c != nil {

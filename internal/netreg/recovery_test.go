@@ -103,13 +103,16 @@ func TestInvalidWriteValueRejected(t *testing.T) {
 
 // TestWriteDedupAtMostOnce checks the wire-level at-most-once contract: a
 // retransmitted write (same client id and sequence number) is answered
-// with its original stamp and applied exactly once; an older sequence
-// number is refused.
+// with its original stamp and applied exactly once. Pipelined clients may
+// deliver first arrivals out of order, so an out-of-order-but-new
+// sequence number applies normally; only a sequence number the dedup
+// window has already evicted is refused.
 func TestWriteDedupAtMostOnce(t *testing.T) {
 	srv, err := netreg.NewServer("127.0.0.1:0", "init", 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
+	srv.Store().SetDedupWindow(3)
 	defer srv.Close()
 
 	conn, err := net.Dial("tcp", srv.Addr())
@@ -129,9 +132,34 @@ func TestWriteDedupAtMostOnce(t *testing.T) {
 		t.Fatalf("write applied %d times, want exactly once", n)
 	}
 
-	stale := rawExchange(t, conn, dec, `{"op":"write","val":"\"old\"","client":"c1","seq":3}`)
+	// seq 3 arrives after seq 7 — out of order but never seen, so it is a
+	// legitimate first arrival (a pipelined burst's frames may be enqueued
+	// in any order) and must apply.
+	ooo := rawExchange(t, conn, dec, `{"op":"write","val":"\"ooo\"","client":"c1","seq":3}`)
+	if ooo["err"] != nil {
+		t.Fatalf("out-of-order first write refused: %v", ooo["err"])
+	}
+	if n := srv.Store().Counters().Writes(); n != 2 {
+		t.Fatalf("writes applied = %d, want 2", n)
+	}
+
+	// Push seqs 8 and 9: with a window of 3 holding {3,8,9}, seq 7 has
+	// been evicted and a late replay of it can no longer be verified — it
+	// must be refused, never re-applied.
+	for _, f := range []string{
+		`{"op":"write","val":"\"w8\"","client":"c1","seq":8}`,
+		`{"op":"write","val":"\"w9\"","client":"c1","seq":9}`,
+	} {
+		if r := rawExchange(t, conn, dec, f); r["err"] != nil {
+			t.Fatalf("fill write refused: %v", r["err"])
+		}
+	}
+	stale := rawExchange(t, conn, dec, frame)
 	if msg, _ := stale["err"].(string); !strings.Contains(msg, "stale") {
-		t.Fatalf("stale-seq write replied %v, want a stale error", stale)
+		t.Fatalf("evicted-seq replay replied %v, want a stale error", stale)
+	}
+	if n := srv.Store().Counters().Writes(); n != 4 {
+		t.Fatalf("writes applied = %d, want 4", n)
 	}
 
 	// A different client is not confused by c1's dedup state.
@@ -139,8 +167,8 @@ func TestWriteDedupAtMostOnce(t *testing.T) {
 	if other["err"] != nil {
 		t.Fatalf("other client's write: %v", other["err"])
 	}
-	if n := srv.Store().Counters().Writes(); n != 2 {
-		t.Fatalf("writes applied = %d, want 2", n)
+	if n := srv.Store().Counters().Writes(); n != 5 {
+		t.Fatalf("writes applied = %d, want 5", n)
 	}
 }
 

@@ -5,146 +5,73 @@
 // register — no locks held across machines, no node ever waiting on a
 // peer's progress to finish its own operation.
 //
-// The transport is deliberately simple (newline-delimited JSON over TCP):
-// the point is the register semantics, not the RPC framework. Each access
-// is one request/response exchange; the server assigns the access's
-// *-action stamp inside its register's critical section, so runs over the
-// network remain certifiable by package proof when the servers share a
-// sequencer (as in-process tests do).
+// The transport is built for throughput (see internal/wire): compact
+// length-prefixed binary frames by default, assembled in pooled buffers
+// and written through buffered writers so a batch of frames costs one
+// syscall, with the original newline-delimited JSON framing still spoken
+// for wire-compatibility tests (WithCodec). The server negotiates by
+// sniffing the first byte of each connection, so one listener serves both
+// codecs at once. Clients pipeline: every request carries an id, a writer
+// goroutine multiplexes all in-flight operations of a connection, and a
+// reader goroutine dispatches responses back to the waiting callers — the
+// connection is never idle waiting for one round trip to finish before
+// the next may start. The server assigns each access's *-action stamp
+// inside its register's critical section, so runs over the network remain
+// certifiable by package proof when the servers share a sequencer (as
+// in-process tests do), pipelined or not.
 //
-// Failure semantics: the register state and the write-dedup table live in
-// a Store that survives server incarnations (the analog of the scenario's
-// file system surviving a crashed file server), so a killed listener can
-// be restarted over the same Store and retrying clients pick up where
-// they left off. Writes carry the client's id and sequence number and are
-// applied AT MOST ONCE: a write whose response was lost and which the
-// client re-sends is answered from the dedup table with its original
-// stamp instead of being applied again — a replayed write must never
-// become two *-actions, or atomicity certification breaks.
+// One listener hosts many simulated registers: requests name a register
+// instance, and the Store behind the server holds a sharded map of them
+// ("" is the default register, so single-register deployments never think
+// about names).
+//
+// Failure semantics: the register state and the write-dedup tables live
+// in the Store, which survives server incarnations (the analog of the
+// scenario's file system surviving a crashed file server), so a killed
+// listener can be restarted over the same Store and retrying clients pick
+// up where they left off. Writes carry the client's id and sequence
+// number and are applied AT MOST ONCE: a write whose response was lost
+// and which the client re-sends is answered from the dedup window with
+// its original stamp instead of being applied again — a replayed write
+// must never become two *-actions, or atomicity certification breaks.
 package netreg
 
 import (
 	"bufio"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
 
 	"repro/internal/history"
-	"repro/internal/register"
+	"repro/internal/obs"
+	"repro/internal/wire"
 )
 
-// request is the wire format of one access.
-type request struct {
-	// Op is "read" or "write".
-	Op string `json:"op"`
-	// Port is the reader's port (reads only).
-	Port int `json:"port,omitempty"`
-	// Val is the value written (writes only), as raw JSON.
-	Val json.RawMessage `json:"val,omitempty"`
-	// Client identifies the sending client for write dedup.
-	Client string `json:"client,omitempty"`
-	// Seq is the client's per-request sequence number; a retried request
-	// re-sends the same Seq, which is how the server recognizes it.
-	Seq uint64 `json:"seq,omitempty"`
+// serverBufSize sizes the per-connection read and write buffers: large
+// enough that a deep pipelined burst of small frames coalesces into one
+// syscall each way.
+const serverBufSize = 64 << 10
+
+// ServeOption configures a Server incarnation.
+type ServeOption func(*serveConfig)
+
+type serveConfig struct {
+	wire *obs.Wire
 }
 
-// response is the wire format of an access result.
-type response struct {
-	// Val is the value read (reads only), as raw JSON.
-	Val json.RawMessage `json:"val,omitempty"`
-	// Stamp is the access's *-action stamp.
-	Stamp int64 `json:"stamp"`
-	// Err reports a server-side failure.
-	Err string `json:"err,omitempty"`
+// WithServerWire attaches a transport tally to the server: frames and
+// bytes in each direction across all connections. One tally may be shared
+// by several server incarnations.
+func WithServerWire(w *obs.Wire) ServeOption {
+	return func(c *serveConfig) { c.wire = w }
 }
 
-// dedupEntry remembers a client's last applied write, so a retransmission
-// of it is answered rather than re-applied.
-type dedupEntry struct {
-	seq  uint64
-	resp response
-}
-
-// Store is the durable state behind a register server: the register
-// itself plus the write-dedup table. It outlives any one Server, so a
-// crashed-and-restarted server (Serve on the same Store) presents the
-// same register — state survives the way the scenario's file system
-// survives a crashed file server — and in-flight retries still
-// deduplicate correctly across the restart.
-type Store struct {
-	reg *register.Atomic[string]
-
-	// writeMu serializes the dedup check with the write it guards;
-	// without it a retransmitted write racing its original (possible when
-	// a client times out while the server is merely slow) could be
-	// applied twice — or trip the register's single-writer panic.
-	writeMu sync.Mutex
-	applied map[string]dedupEntry
-}
-
-// NewStore builds a server store: a register over ports read ports
-// initialized to initial's JSON, drawing stamps from seq (nil for a
-// private sequencer), plus an empty dedup table.
-func NewStore[V any](initial V, ports int, seq *history.Sequencer) (*Store, error) {
-	raw, err := json.Marshal(initial)
-	if err != nil {
-		return nil, fmt.Errorf("netreg: encoding initial value: %w", err)
-	}
-	return &Store{
-		reg:     register.NewAtomic(ports, string(raw), seq),
-		applied: make(map[string]dedupEntry),
-	}, nil
-}
-
-// write validates and applies one write request, deduplicating retries.
-func (st *Store) write(req request) response {
-	// Reject values that are not one valid JSON document: stored garbage
-	// would make every later read of this register fail client-side (or
-	// kill the conn outright when the encoder rejects the RawMessage) —
-	// better to refuse the one bad write with a survivable error reply.
-	if len(req.Val) == 0 || !json.Valid(req.Val) {
-		return response{Err: fmt.Sprintf("invalid write value: %d bytes, not a JSON document", len(req.Val))}
-	}
-	st.writeMu.Lock()
-	defer st.writeMu.Unlock()
-	if req.Client != "" {
-		if e, ok := st.applied[req.Client]; ok && req.Seq <= e.seq {
-			if req.Seq == e.seq {
-				// A retransmission of the last applied write: answer with
-				// the original outcome, do not apply again.
-				return e.resp
-			}
-			return response{Err: fmt.Sprintf("stale write seq %d from client %s (last applied %d)", req.Seq, req.Client, e.seq)}
-		}
-	}
-	resp := response{Stamp: st.reg.WriteStamped(string(req.Val))}
-	if req.Client != "" {
-		st.applied[req.Client] = dedupEntry{seq: req.Seq, resp: resp}
-	}
-	return resp
-}
-
-// Counters exposes the store's register access counters, so tests and
-// benchmarks can assert at-most-once application (writes issued == writes
-// applied) directly against the authoritative state.
-func (st *Store) Counters() *register.Counters { return st.reg.Counters() }
-
-// read serves one read request.
-func (st *Store) read(req request) response {
-	if req.Port < 0 || req.Port >= st.reg.Counters().Ports() {
-		return response{Err: fmt.Sprintf("port %d out of range", req.Port)}
-	}
-	v, stamp := st.reg.ReadStamped(req.Port)
-	return response{Val: json.RawMessage(v), Stamp: stamp}
-}
-
-// Server hosts one single-writer register (one Store) behind a listener.
-// Values travel and are stored as canonical JSON, so the server is
-// value-type agnostic.
+// Server hosts a Store's registers behind a listener. Values travel and
+// are stored as canonical JSON, so the server is value-type agnostic.
 type Server struct {
 	st *Store
+	ws *obs.Wire
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -154,25 +81,31 @@ type Server struct {
 }
 
 // NewServer starts a register server on addr (use "127.0.0.1:0" for an
-// ephemeral test port) over a fresh Store. The register is initialized to
-// initial's JSON and draws stamps from seq (nil for a private sequencer).
-func NewServer[V any](addr string, initial V, ports int, seq *history.Sequencer) (*Server, error) {
+// ephemeral test port) over a fresh Store. The default register is
+// initialized to initial's JSON and draws stamps from seq (nil for a
+// private sequencer).
+func NewServer[V any](addr string, initial V, ports int, seq *history.Sequencer, opts ...ServeOption) (*Server, error) {
 	st, err := NewStore(initial, ports, seq)
 	if err != nil {
 		return nil, err
 	}
-	return Serve(addr, st)
+	return Serve(addr, st, opts...)
 }
 
 // Serve starts a server incarnation on addr over an existing Store. Use
 // it to restart a crashed/closed server on the state it left behind.
-func Serve(addr string, st *Store) (*Server, error) {
+func Serve(addr string, st *Store, opts ...ServeOption) (*Server, error) {
+	var cfg serveConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("netreg: listen: %w", err)
 	}
 	s := &Server{
 		st:    st,
+		ws:    cfg.wire,
 		ln:    ln,
 		conns: make(map[net.Conn]struct{}),
 	}
@@ -226,6 +159,12 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// serve pumps one connection: sniff the codec, then read requests and
+// write responses until the client goes away. Responses are buffered and
+// flushed only when no decoded request remains — so a pipelined burst is
+// answered with one syscall, while a serial client still gets every reply
+// immediately (its next request hasn't arrived yet, so the buffer state
+// is empty and the flush fires).
 func (s *Server) serve(conn net.Conn) {
 	defer s.handlers.Done()
 	defer func() {
@@ -234,25 +173,44 @@ func (s *Server) serve(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	dec := json.NewDecoder(bufio.NewReader(conn))
-	enc := json.NewEncoder(conn)
+	var rwc net.Conn = conn
+	if s.ws != nil {
+		rwc = statConn{Conn: conn, ws: s.ws}
+	}
+	br := bufio.NewReaderSize(rwc, serverBufSize)
+	bw := bufio.NewWriterSize(rwc, serverBufSize)
+	codec, err := wire.Sniff(br)
+	if err != nil {
+		return // client went away before its first byte
+	}
+	rd := wire.NewReader(codec, br)
+	wr := wire.NewWriter(codec, bw)
 	for {
-		var req request
-		if err := dec.Decode(&req); err != nil {
+		if rd.Buffered() == 0 {
+			if err := wr.Flush(); err != nil {
+				return
+			}
+		}
+		var req wire.Request
+		if err := rd.ReadRequest(&req); err != nil {
+			wr.Flush()
 			return // client went away (or sent garbage; drop the link)
 		}
-		var resp response
+		s.ws.FrameIn()
+		var resp wire.Response
 		switch req.Op {
 		case "read":
-			resp = s.st.read(req)
+			resp = s.st.read(&req)
 		case "write":
-			resp = s.st.write(req)
+			resp = s.st.write(&req)
 		default:
 			resp.Err = fmt.Sprintf("unknown op %q", req.Op)
 		}
-		if err := enc.Encode(&resp); err != nil {
+		resp.ID = req.ID
+		if err := wr.WriteResponse(&resp); err != nil {
 			return
 		}
+		s.ws.FrameOut()
 	}
 }
 

@@ -1,0 +1,237 @@
+package netreg
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"repro/internal/history"
+	"repro/internal/register"
+	"repro/internal/wire"
+)
+
+// storeShards is the bucket count of the register-name map. Lookups take a
+// shard read lock only; independent registers on one server never contend
+// on shared map state.
+const storeShards = 16
+
+// DefaultDedupWindow is how many applied writes per client each register
+// remembers for at-most-once dedup. A retransmission inside the window is
+// answered with its original stamp; a sequence number older than anything
+// retained is refused. The window must comfortably exceed a client's
+// maximum in-flight pipeline depth plus its retry budget, which in
+// practice is a few dozen.
+const DefaultDedupWindow = 4096
+
+// clientWindow is one client's recent applied writes on one register.
+// Pipelined clients issue sequence numbers concurrently, so first
+// arrivals may be out of order; the window therefore remembers a set of
+// applied seqs (not just a high-water mark) and refuses only what it has
+// already evicted and can no longer verify.
+type clientWindow struct {
+	stamps     map[uint64]int64 // applied seq → its original stamp
+	order      []uint64         // applied seqs in arrival order, for eviction
+	evicted    bool
+	evictedMax uint64 // highest seq evicted; anything ≤ it is unverifiable
+}
+
+// regState is one named register instance: the register itself plus its
+// private dedup table.
+type regState struct {
+	reg *register.Atomic[string]
+
+	// writeMu serializes the dedup check with the write it guards;
+	// without it a retransmitted write racing its original (possible when
+	// a client times out while the server is merely slow) could be
+	// applied twice — or trip the register's single-writer panic.
+	writeMu sync.Mutex
+	applied map[string]*clientWindow
+}
+
+// storeShard is one bucket of the register-name map. The trailing pad
+// keeps adjacent shards on separate cache lines, so lookups of
+// independent registers never false-share.
+type storeShard struct {
+	mu   sync.RWMutex
+	regs map[string]*regState
+	_    [64]byte
+}
+
+// Store is the durable state behind a register server: a sharded map of
+// named register instances, each with its own write-dedup table. It
+// outlives any one Server, so a crashed-and-restarted server (Serve on
+// the same Store) presents the same registers — state survives the way
+// the scenario's file system survives a crashed file server — and
+// in-flight retries still deduplicate correctly across the restart. One
+// Store behind one listener is how a single server hosts many simulated
+// registers: requests carry a register name, "" being the default
+// register every Store starts with.
+type Store struct {
+	window int // dedup window per client per register
+	shards [storeShards]storeShard
+}
+
+// newStore returns an empty store with the default dedup window.
+func newStore() *Store {
+	st := &Store{window: DefaultDedupWindow}
+	for i := range st.shards {
+		st.shards[i].regs = make(map[string]*regState)
+	}
+	return st
+}
+
+// NewStore builds a server store holding one default register (name "")
+// over ports read ports, initialized to initial's JSON, drawing stamps
+// from seq (nil for a private sequencer). Add more named registers with
+// AddRegister.
+func NewStore[V any](initial V, ports int, seq *history.Sequencer) (*Store, error) {
+	st := newStore()
+	if err := AddRegister(st, "", initial, ports, seq); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// AddRegister adds a named register instance to the store: a register
+// over ports read ports initialized to initial's JSON, drawing stamps
+// from seq (nil for a private sequencer), with a fresh dedup table.
+// Adding a name twice is an error.
+func AddRegister[V any](st *Store, name string, initial V, ports int, seq *history.Sequencer) error {
+	raw, err := json.Marshal(initial)
+	if err != nil {
+		return fmt.Errorf("netreg: encoding initial value for register %q: %w", name, err)
+	}
+	rs := &regState{
+		reg:     register.NewAtomic(ports, string(raw), seq),
+		applied: make(map[string]*clientWindow),
+	}
+	sh := st.shard(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.regs[name]; dup {
+		return fmt.Errorf("netreg: register %q already exists", name)
+	}
+	sh.regs[name] = rs
+	return nil
+}
+
+// SetDedupWindow overrides the per-client dedup window (see
+// DefaultDedupWindow). Call before serving; tests use tiny windows to
+// exercise eviction.
+func (st *Store) SetDedupWindow(n int) {
+	if n > 0 {
+		st.window = n
+	}
+}
+
+// shard returns the bucket for a register name.
+func (st *Store) shard(name string) *storeShard {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return &st.shards[h.Sum32()%storeShards]
+}
+
+// lookup returns the named register, or nil.
+func (st *Store) lookup(name string) *regState {
+	sh := st.shard(name)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.regs[name]
+}
+
+// Registers returns the store's register names, sorted.
+func (st *Store) Registers() []string {
+	var names []string
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		for name := range sh.regs {
+			names = append(names, name)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Counters exposes the default register's access counters, so tests and
+// benchmarks can assert at-most-once application (writes issued == writes
+// applied) directly against the authoritative state.
+func (st *Store) Counters() *register.Counters { return st.RegisterCounters("") }
+
+// RegisterCounters exposes a named register's access counters, or nil if
+// no such register exists.
+func (st *Store) RegisterCounters(name string) *register.Counters {
+	rs := st.lookup(name)
+	if rs == nil {
+		return nil
+	}
+	return rs.reg.Counters()
+}
+
+// write validates and applies one write request, deduplicating retries.
+func (st *Store) write(req *wire.Request) wire.Response {
+	rs := st.lookup(req.Reg)
+	if rs == nil {
+		return wire.Response{Err: fmt.Sprintf("unknown register %q", req.Reg)}
+	}
+	// Reject values that are not one valid JSON document: stored garbage
+	// would make every later read of this register fail client-side —
+	// better to refuse the one bad write with a survivable error reply.
+	if len(req.Val) == 0 || !json.Valid(req.Val) {
+		return wire.Response{Err: fmt.Sprintf("invalid write value: %d bytes, not a JSON document", len(req.Val))}
+	}
+	rs.writeMu.Lock()
+	defer rs.writeMu.Unlock()
+	var w *clientWindow
+	if req.Client != "" {
+		w = rs.applied[req.Client]
+		if w != nil {
+			if stamp, ok := w.stamps[req.Seq]; ok {
+				// A retransmission of an applied write: answer with the
+				// original outcome, do not apply again.
+				return wire.Response{Stamp: stamp}
+			}
+			if w.evicted && req.Seq <= w.evictedMax {
+				// Beyond the window we can no longer tell a replay from a
+				// fresh-but-ancient write; refusing is the only answer
+				// that cannot double-apply.
+				return wire.Response{Err: fmt.Sprintf("stale write seq %d from client %s (dedup window passed %d)", req.Seq, req.Client, w.evictedMax)}
+			}
+		}
+	}
+	resp := wire.Response{Stamp: rs.reg.WriteStamped(string(req.Val))}
+	if req.Client != "" {
+		if w == nil {
+			w = &clientWindow{stamps: make(map[uint64]int64)}
+			rs.applied[req.Client] = w
+		}
+		w.stamps[req.Seq] = resp.Stamp
+		w.order = append(w.order, req.Seq)
+		if len(w.order) > st.window {
+			old := w.order[0]
+			w.order = w.order[1:]
+			delete(w.stamps, old)
+			w.evicted = true
+			if old > w.evictedMax {
+				w.evictedMax = old
+			}
+		}
+	}
+	return resp
+}
+
+// read serves one read request.
+func (st *Store) read(req *wire.Request) wire.Response {
+	rs := st.lookup(req.Reg)
+	if rs == nil {
+		return wire.Response{Err: fmt.Sprintf("unknown register %q", req.Reg)}
+	}
+	if req.Port < 0 || req.Port >= rs.reg.Counters().Ports() {
+		return wire.Response{Err: fmt.Sprintf("port %d out of range", req.Port)}
+	}
+	v, stamp := rs.reg.ReadStamped(req.Port)
+	return wire.Response{Val: json.RawMessage(v), Stamp: stamp}
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Wire tallies the netreg transport itself, one layer below the RPC
+// round-trip tally: frames and bytes in each direction, plus an in-flight
+// gauge that shows how deep the client's pipeline actually runs. Bytes are
+// counted at the connection (what hit the socket, length prefixes and
+// all), frames at the codec (one per request or response), so
+// bytes/frames is the measured cost of a message — the number the binary
+// codec exists to shrink. One Wire may be shared by many connections; all
+// methods are safe on a nil receiver.
+type Wire struct {
+	framesIn  atomic.Int64
+	framesOut atomic.Int64
+	bytesIn   atomic.Int64
+	bytesOut  atomic.Int64
+	inFlight  atomic.Int64
+	peak      atomic.Int64
+	_         [cacheLine]byte
+}
+
+// NewWire returns an empty transport tally.
+func NewWire() *Wire { return &Wire{} }
+
+// FrameIn tallies one received frame.
+func (w *Wire) FrameIn() {
+	if w == nil {
+		return
+	}
+	w.framesIn.Add(1)
+}
+
+// FrameOut tallies one sent frame.
+func (w *Wire) FrameOut() {
+	if w == nil {
+		return
+	}
+	w.framesOut.Add(1)
+}
+
+// AddBytesIn tallies n bytes read from a connection.
+func (w *Wire) AddBytesIn(n int) {
+	if w == nil || n <= 0 {
+		return
+	}
+	w.bytesIn.Add(int64(n))
+}
+
+// AddBytesOut tallies n bytes written to a connection.
+func (w *Wire) AddBytesOut(n int) {
+	if w == nil || n <= 0 {
+		return
+	}
+	w.bytesOut.Add(int64(n))
+}
+
+// OpStart raises the in-flight gauge: one request has been handed to the
+// pipeline and its caller is waiting. The peak is tracked so a finished
+// run can report how deep the pipeline actually got.
+func (w *Wire) OpStart() {
+	if w == nil {
+		return
+	}
+	n := w.inFlight.Add(1)
+	for {
+		p := w.peak.Load()
+		if n <= p || w.peak.CompareAndSwap(p, n) {
+			return
+		}
+	}
+}
+
+// OpDone lowers the in-flight gauge.
+func (w *Wire) OpDone() {
+	if w == nil {
+		return
+	}
+	w.inFlight.Add(-1)
+}
+
+// Frames returns the received and sent frame counts.
+func (w *Wire) Frames() (in, out int64) {
+	if w == nil {
+		return 0, 0
+	}
+	return w.framesIn.Load(), w.framesOut.Load()
+}
+
+// Bytes returns the received and sent byte counts.
+func (w *Wire) Bytes() (in, out int64) {
+	if w == nil {
+		return 0, 0
+	}
+	return w.bytesIn.Load(), w.bytesOut.Load()
+}
+
+// InFlight returns the current in-flight request count.
+func (w *Wire) InFlight() int64 {
+	if w == nil {
+		return 0
+	}
+	return w.inFlight.Load()
+}
+
+// InFlightPeak returns the highest in-flight count observed.
+func (w *Wire) InFlightPeak() int64 {
+	if w == nil {
+		return 0
+	}
+	return w.peak.Load()
+}
+
+// WireSnapshot is a point-in-time copy of a Wire tally.
+type WireSnapshot struct {
+	FramesIn     int64 `json:"frames_in"`
+	FramesOut    int64 `json:"frames_out"`
+	BytesIn      int64 `json:"bytes_in"`
+	BytesOut     int64 `json:"bytes_out"`
+	InFlight     int64 `json:"in_flight"`
+	InFlightPeak int64 `json:"in_flight_peak"`
+}
+
+// Snapshot copies the tally's current state.
+func (w *Wire) Snapshot() WireSnapshot {
+	if w == nil {
+		return WireSnapshot{}
+	}
+	return WireSnapshot{
+		FramesIn:     w.framesIn.Load(),
+		FramesOut:    w.framesOut.Load(),
+		BytesIn:      w.bytesIn.Load(),
+		BytesOut:     w.bytesOut.Load(),
+		InFlight:     w.inFlight.Load(),
+		InFlightPeak: w.peak.Load(),
+	}
+}
+
+// WritePrometheus renders the tally in Prometheus text format:
+//
+//	netreg_wire_frames_total{direction}
+//	netreg_wire_bytes_total{direction}
+//	netreg_wire_in_flight / netreg_wire_in_flight_peak
+func (w *Wire) WritePrometheus(out io.Writer, extra ...Label) {
+	s := w.Snapshot()
+	fmt.Fprintln(out, "# HELP netreg_wire_frames_total Wire frames by direction.")
+	fmt.Fprintln(out, "# TYPE netreg_wire_frames_total counter")
+	fmt.Fprintf(out, "netreg_wire_frames_total%s %d\n", promLabels(extra, "direction", "in"), s.FramesIn)
+	fmt.Fprintf(out, "netreg_wire_frames_total%s %d\n", promLabels(extra, "direction", "out"), s.FramesOut)
+	fmt.Fprintln(out, "# HELP netreg_wire_bytes_total Wire bytes by direction.")
+	fmt.Fprintln(out, "# TYPE netreg_wire_bytes_total counter")
+	fmt.Fprintf(out, "netreg_wire_bytes_total%s %d\n", promLabels(extra, "direction", "in"), s.BytesIn)
+	fmt.Fprintf(out, "netreg_wire_bytes_total%s %d\n", promLabels(extra, "direction", "out"), s.BytesOut)
+	fmt.Fprintln(out, "# HELP netreg_wire_in_flight Requests currently in the pipeline.")
+	fmt.Fprintln(out, "# TYPE netreg_wire_in_flight gauge")
+	fmt.Fprintf(out, "netreg_wire_in_flight%s %d\n", promLabels(extra), s.InFlight)
+	fmt.Fprintln(out, "# HELP netreg_wire_in_flight_peak Highest in-flight request count observed.")
+	fmt.Fprintln(out, "# TYPE netreg_wire_in_flight_peak gauge")
+	fmt.Fprintf(out, "netreg_wire_in_flight_peak%s %d\n", promLabels(extra), s.InFlightPeak)
+}

@@ -1,0 +1,102 @@
+package obs_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestWireTally(t *testing.T) {
+	w := obs.NewWire()
+	w.FrameOut()
+	w.FrameOut()
+	w.FrameIn()
+	w.AddBytesOut(100)
+	w.AddBytesOut(28)
+	w.AddBytesIn(64)
+	w.AddBytesIn(-5) // ignored
+	if in, out := w.Frames(); in != 1 || out != 2 {
+		t.Fatalf("frames = %d in / %d out, want 1/2", in, out)
+	}
+	if in, out := w.Bytes(); in != 64 || out != 128 {
+		t.Fatalf("bytes = %d in / %d out, want 64/128", in, out)
+	}
+
+	w.OpStart()
+	w.OpStart()
+	if g := w.InFlight(); g != 2 {
+		t.Fatalf("in-flight = %d, want 2", g)
+	}
+	w.OpDone()
+	if g, p := w.InFlight(), w.InFlightPeak(); g != 1 || p != 2 {
+		t.Fatalf("in-flight = %d (peak %d), want 1 (peak 2)", g, p)
+	}
+	w.OpDone()
+
+	s := w.Snapshot()
+	if s.FramesOut != 2 || s.BytesIn != 64 || s.InFlight != 0 || s.InFlightPeak != 2 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+// TestWirePeakUnderConcurrency drives the gauge from many goroutines; the
+// peak must be at least each goroutine's own contribution floor and never
+// exceed the worker count, and the gauge must return to zero.
+func TestWirePeakUnderConcurrency(t *testing.T) {
+	w := obs.NewWire()
+	const workers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 1000; k++ {
+				w.OpStart()
+				w.OpDone()
+			}
+		}()
+	}
+	wg.Wait()
+	if g := w.InFlight(); g != 0 {
+		t.Fatalf("in-flight after drain = %d, want 0", g)
+	}
+	if p := w.InFlightPeak(); p < 1 || p > workers {
+		t.Fatalf("peak = %d, want in [1,%d]", p, workers)
+	}
+}
+
+func TestWireNilSafe(t *testing.T) {
+	var w *obs.Wire
+	w.FrameIn()
+	w.FrameOut()
+	w.AddBytesIn(1)
+	w.AddBytesOut(1)
+	w.OpStart()
+	w.OpDone()
+	if w.InFlight() != 0 || w.InFlightPeak() != 0 {
+		t.Fatal("nil Wire returned nonzero state")
+	}
+	if s := w.Snapshot(); s != (obs.WireSnapshot{}) {
+		t.Fatalf("nil snapshot = %+v", s)
+	}
+}
+
+func TestWirePrometheus(t *testing.T) {
+	w := obs.NewWire()
+	w.FrameOut()
+	w.AddBytesOut(32)
+	var sb strings.Builder
+	w.WritePrometheus(&sb, obs.Label{Name: "side", Value: "client"})
+	out := sb.String()
+	for _, series := range []string{
+		`netreg_wire_frames_total{direction="out",side="client"} 1`,
+		`netreg_wire_bytes_total{direction="out",side="client"} 32`,
+		`netreg_wire_in_flight{side="client"} 0`,
+	} {
+		if !strings.Contains(out, series) {
+			t.Errorf("prometheus output lacks %q\ngot:\n%s", series, out)
+		}
+	}
+}

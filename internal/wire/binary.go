@@ -1,0 +1,217 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+)
+
+// Binary payload kind bytes. Requests are 0x01/0x02 so neither the length
+// prefix nor the kind can be confused with the start of a JSON document.
+const (
+	kindRead     = 0x01
+	kindWrite    = 0x02
+	kindResponse = 0x81
+)
+
+// bufPool recycles frame assembly and parse buffers; steady-state encode
+// and decode allocate only what escapes the frame (names, values).
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+// getBuf returns a pooled buffer with capacity ≥ n and length n.
+func getBuf(n int) *[]byte {
+	b := bufPool.Get().(*[]byte)
+	if cap(*b) < n {
+		*b = make([]byte, n)
+	}
+	*b = (*b)[:n]
+	return b
+}
+
+// putBuf recycles a buffer obtained from getBuf.
+func putBuf(b *[]byte) { bufPool.Put(b) }
+
+// appendRequest encodes req onto b in the binary payload layout. It is a
+// pure append — one of the hot-path leaves the static wait-free check
+// covers.
+//
+//bloom:waitfree
+func appendRequest(b []byte, req *Request) []byte {
+	kind := byte(kindRead)
+	if req.Op == "write" {
+		kind = kindWrite
+	}
+	b = append(b, kind)
+	b = binary.AppendUvarint(b, req.ID)
+	b = appendString(b, req.Reg)
+	b = binary.AppendUvarint(b, uint64(uint(req.Port)))
+	b = appendString(b, req.Client)
+	b = binary.AppendUvarint(b, req.Seq)
+	return appendBytes(b, req.Val)
+}
+
+// appendResponse encodes resp onto b in the binary payload layout.
+//
+//bloom:waitfree
+func appendResponse(b []byte, resp *Response) []byte {
+	b = append(b, byte(kindResponse))
+	b = binary.AppendUvarint(b, resp.ID)
+	b = binary.AppendVarint(b, resp.Stamp)
+	b = appendString(b, resp.Err)
+	return appendBytes(b, resp.Val)
+}
+
+// appendString appends a uvarint length followed by the string bytes.
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// appendBytes appends a uvarint length followed by the slice bytes.
+func appendBytes(b, p []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+// parseError reports a truncated or malformed field. It is a dedicated
+// type (rather than fmt.Errorf) so the parse functions keep their
+// //bloom:waitfree discipline: fmt's printer state comes from a
+// sync.Pool, whose slow path takes a mutex, and error construction sits
+// on the frame-decode hot path. The message is assembled only when the
+// error is actually printed.
+type parseError struct{ what string }
+
+func (e *parseError) Error() string { return "wire: truncated or malformed " + e.what }
+
+// Frame-shape errors, preallocated for the same reason.
+var (
+	errUnknownRequestKind  = errors.New("wire: unknown request kind byte")
+	errUnknownResponseKind = errors.New("wire: unknown response kind byte")
+	errTrailingBytes       = errors.New("wire: trailing bytes after frame payload")
+)
+
+// parser walks a binary payload. Every accessor reports malformation by
+// setting err; the caller checks once at the end.
+type parser struct {
+	p   []byte
+	err error
+}
+
+func (d *parser) fail(what string) {
+	if d.err == nil {
+		d.err = &parseError{what}
+	}
+}
+
+func (d *parser) byte(what string) byte {
+	if d.err != nil || len(d.p) == 0 {
+		d.fail(what)
+		return 0
+	}
+	b := d.p[0]
+	d.p = d.p[1:]
+	return b
+}
+
+func (d *parser) uvarint(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.p)
+	if n <= 0 {
+		d.fail(what)
+		return 0
+	}
+	d.p = d.p[n:]
+	return v
+}
+
+func (d *parser) varint(what string) int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.p)
+	if n <= 0 {
+		d.fail(what)
+		return 0
+	}
+	d.p = d.p[n:]
+	return v
+}
+
+// bytes returns a copy of the next length-prefixed field: the parse buffer
+// is pooled and reused, so anything that escapes the frame must be copied
+// out of it.
+func (d *parser) bytes(what string) []byte {
+	n := d.uvarint(what)
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.p)) {
+		d.fail(what)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.p[:n])
+	d.p = d.p[n:]
+	return out
+}
+
+func (d *parser) string(what string) string {
+	n := d.uvarint(what)
+	if d.err != nil || n > uint64(len(d.p)) {
+		d.fail(what)
+		return ""
+	}
+	s := string(d.p[:n])
+	d.p = d.p[n:]
+	return s
+}
+
+// parseRequest decodes one binary request payload into req.
+//
+//bloom:waitfree
+func parseRequest(p []byte, req *Request) error {
+	d := parser{p: p}
+	switch d.byte("kind") {
+	case kindRead:
+		req.Op = "read"
+	case kindWrite:
+		req.Op = "write"
+	default:
+		if d.err == nil {
+			d.err = errUnknownRequestKind
+		}
+	}
+	req.ID = d.uvarint("id")
+	req.Reg = d.string("reg")
+	req.Port = int(d.uvarint("port"))
+	req.Client = d.string("client")
+	req.Seq = d.uvarint("seq")
+	req.Val = d.bytes("val")
+	if d.err == nil && len(d.p) != 0 {
+		d.err = errTrailingBytes
+	}
+	return d.err
+}
+
+// parseResponse decodes one binary response payload into resp.
+//
+//bloom:waitfree
+func parseResponse(p []byte, resp *Response) error {
+	d := parser{p: p}
+	if k := d.byte("kind"); k != kindResponse && d.err == nil {
+		d.err = errUnknownResponseKind
+	}
+	resp.ID = d.uvarint("id")
+	resp.Stamp = d.varint("stamp")
+	resp.Err = d.string("err")
+	resp.Val = d.bytes("val")
+	if d.err == nil && len(d.p) != 0 {
+		d.err = errTrailingBytes
+	}
+	return d.err
+}

@@ -1,0 +1,282 @@
+// Package wire is the framing layer of the networked registers
+// (internal/netreg): the request/response message types, and two codecs
+// that put them on a TCP stream.
+//
+// The default codec is a compact length-prefixed binary framing built for
+// throughput — one length word plus a flat field encoding, assembled in
+// sync.Pool-ed buffers and written through a bufio.Writer so a pipelined
+// batch of frames costs one syscall. The original newline-delimited JSON
+// framing survives as the JSON codec for wire-compatibility tests and
+// hand-written frames.
+//
+// # Binary frame layout
+//
+// Every binary frame is a 4-byte big-endian payload length followed by the
+// payload. Payloads are < MaxFrame (16 MiB), so the first byte on the wire
+// is always 0x00 — which is never the first byte of a JSON document. That
+// single byte is the whole codec negotiation: the server peeks at it
+// (Sniff) and speaks whatever the client speaks.
+//
+// Request payload:
+//
+//	kind     1 byte  (0x01 read, 0x02 write)
+//	id       uvarint request id (pipelining correlation)
+//	reg      uvarint length + bytes (register name, "" = default)
+//	port     uvarint (reads)
+//	client   uvarint length + bytes (dedup client id)
+//	seq      uvarint (dedup sequence number)
+//	val      uvarint length + bytes (JSON value, writes)
+//
+// Response payload:
+//
+//	kind     1 byte  (0x81)
+//	id       uvarint (echoes the request id)
+//	stamp    zigzag varint (*-action stamp)
+//	err      uvarint length + bytes
+//	val      uvarint length + bytes (JSON value, reads)
+//
+// All integers are unsigned varints except stamp, which is zigzag-encoded
+// (stamps are int64 and could in principle go negative on a foreign
+// sequencer).
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Codec selects a frame encoding.
+type Codec int
+
+const (
+	// Binary is the length-prefixed binary framing (the default).
+	Binary Codec = iota
+	// JSON is the original newline-delimited JSON framing, kept for
+	// wire-compatibility tests and debuggability (frames can be typed by
+	// hand into a TCP session).
+	JSON
+)
+
+// String names the codec as it appears in benchmark tables.
+func (c Codec) String() string {
+	switch c {
+	case Binary:
+		return "binary"
+	case JSON:
+		return "json"
+	default:
+		return fmt.Sprintf("Codec(%d)", int(c))
+	}
+}
+
+// MaxFrame bounds a binary payload. It keeps a corrupted length prefix
+// (e.g. a garbled high byte) from provoking a giant allocation: oversized
+// frames are a framing error and drop the connection.
+const MaxFrame = 16 << 20
+
+// Request is one access on the wire.
+type Request struct {
+	// ID correlates the response on a pipelined connection; it is echoed
+	// verbatim. 0 is what hand-written JSON frames get and is served fine
+	// (a serial connection needs no correlation).
+	ID uint64 `json:"id,omitempty"`
+	// Op is "read" or "write".
+	Op string `json:"op"`
+	// Reg names the register instance on a multi-register server; "" is
+	// the default register.
+	Reg string `json:"reg,omitempty"`
+	// Port is the reader's port (reads only).
+	Port int `json:"port,omitempty"`
+	// Val is the value written (writes only), as raw JSON.
+	Val json.RawMessage `json:"val,omitempty"`
+	// Client identifies the sending client for write dedup.
+	Client string `json:"client,omitempty"`
+	// Seq is the client's per-request sequence number; a retried request
+	// re-sends the same Seq, which is how the server recognizes it.
+	Seq uint64 `json:"seq,omitempty"`
+}
+
+// Response is one access result on the wire.
+type Response struct {
+	// ID echoes the request's id.
+	ID uint64 `json:"id,omitempty"`
+	// Val is the value read (reads only), as raw JSON.
+	Val json.RawMessage `json:"val,omitempty"`
+	// Stamp is the access's *-action stamp.
+	Stamp int64 `json:"stamp"`
+	// Err reports a server-side failure.
+	Err string `json:"err,omitempty"`
+}
+
+// Sniff peeks one byte to decide which codec the peer speaks: a binary
+// frame's first byte is always 0x00 (the high byte of a < 16 MiB length),
+// which no JSON document starts with. It consumes nothing.
+func Sniff(br *bufio.Reader) (Codec, error) {
+	b, err := br.Peek(1)
+	if err != nil {
+		return Binary, err
+	}
+	if b[0] == 0x00 {
+		return Binary, nil
+	}
+	return JSON, nil
+}
+
+// Reader decodes frames from one connection. Not safe for concurrent use;
+// a connection has one reading goroutine.
+type Reader struct {
+	codec Codec
+	br    *bufio.Reader
+	dec   *json.Decoder // JSON codec only
+}
+
+// NewReader returns a frame reader over br speaking codec c.
+func NewReader(c Codec, br *bufio.Reader) *Reader {
+	r := &Reader{codec: c, br: br}
+	if c == JSON {
+		r.dec = json.NewDecoder(br)
+	}
+	return r
+}
+
+// Buffered reports how many decoded-but-unconsumed payload bytes are
+// sitting in the reader's buffers. The server flushes its response buffer
+// only when this hits zero — i.e. when the next ReadRequest would block —
+// which is what batches a pipelined burst's responses into one syscall.
+// For the JSON codec, inter-frame whitespace (the newline the encoder
+// emits after every document) does not count: it is not a pending frame,
+// and counting it would starve the flush forever.
+func (r *Reader) Buffered() int {
+	if r.dec == nil {
+		return r.br.Buffered()
+	}
+	n := countNonSpace(r.dec.Buffered())
+	if b, err := r.br.Peek(r.br.Buffered()); err == nil {
+		n += countNonSpaceBytes(b)
+	}
+	return n
+}
+
+// countNonSpace counts the non-whitespace bytes readable from rd (a
+// snapshot reader; reading it consumes nothing from the stream).
+func countNonSpace(rd io.Reader) int {
+	var tmp [256]byte
+	n := 0
+	for {
+		k, err := rd.Read(tmp[:])
+		n += countNonSpaceBytes(tmp[:k])
+		if err != nil || k == 0 {
+			return n
+		}
+	}
+}
+
+// countNonSpaceBytes counts the bytes of b outside JSON's insignificant
+// whitespace set.
+func countNonSpaceBytes(b []byte) int {
+	n := 0
+	for _, c := range b {
+		switch c {
+		case ' ', '\t', '\r', '\n':
+		default:
+			n++
+		}
+	}
+	return n
+}
+
+// ReadRequest decodes the next request frame into req.
+func (r *Reader) ReadRequest(req *Request) error {
+	if r.codec == JSON {
+		*req = Request{}
+		return r.dec.Decode(req)
+	}
+	return r.readBinary(func(p []byte) error { return parseRequest(p, req) })
+}
+
+// ReadResponse decodes the next response frame into resp.
+func (r *Reader) ReadResponse(resp *Response) error {
+	if r.codec == JSON {
+		*resp = Response{}
+		return r.dec.Decode(resp)
+	}
+	return r.readBinary(func(p []byte) error { return parseResponse(p, resp) })
+}
+
+// readBinary reads one length-prefixed payload into a pooled buffer and
+// hands it to parse. The buffer is reused; parse must copy what escapes.
+func (r *Reader) readBinary(parse func([]byte) error) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+		return err
+	}
+	n := int(uint32(hdr[0])<<24 | uint32(hdr[1])<<16 | uint32(hdr[2])<<8 | uint32(hdr[3]))
+	if n > MaxFrame {
+		return fmt.Errorf("wire: frame length %d exceeds limit %d (corrupt stream?)", n, MaxFrame)
+	}
+	buf := getBuf(n)
+	defer putBuf(buf)
+	if _, err := io.ReadFull(r.br, (*buf)[:n]); err != nil {
+		return err
+	}
+	return parse((*buf)[:n])
+}
+
+// Writer encodes frames onto one connection through a bufio.Writer. Write
+// calls buffer; nothing reaches the wire until Flush. Not safe for
+// concurrent use; a connection has one writing goroutine.
+type Writer struct {
+	codec Codec
+	bw    *bufio.Writer
+	enc   *json.Encoder // JSON codec only
+}
+
+// NewWriter returns a frame writer over bw speaking codec c.
+func NewWriter(c Codec, bw *bufio.Writer) *Writer {
+	w := &Writer{codec: c, bw: bw}
+	if c == JSON {
+		w.enc = json.NewEncoder(bw)
+	}
+	return w
+}
+
+// WriteRequest buffers one request frame.
+func (w *Writer) WriteRequest(req *Request) error {
+	if w.codec == JSON {
+		return w.enc.Encode(req)
+	}
+	buf := getBuf(0)
+	defer putBuf(buf)
+	*buf = appendRequest((*buf)[:0], req)
+	return w.writeFrame(*buf)
+}
+
+// WriteResponse buffers one response frame.
+func (w *Writer) WriteResponse(resp *Response) error {
+	if w.codec == JSON {
+		return w.enc.Encode(resp)
+	}
+	buf := getBuf(0)
+	defer putBuf(buf)
+	*buf = appendResponse((*buf)[:0], resp)
+	return w.writeFrame(*buf)
+}
+
+// writeFrame buffers one length prefix plus payload.
+func (w *Writer) writeFrame(payload []byte) error {
+	n := len(payload)
+	if n > MaxFrame {
+		return fmt.Errorf("wire: frame length %d exceeds limit %d", n, MaxFrame)
+	}
+	hdr := [4]byte{byte(n >> 24), byte(n >> 16), byte(n >> 8), byte(n)}
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.bw.Write(payload)
+	return err
+}
+
+// Flush pushes every buffered frame to the wire.
+func (w *Writer) Flush() error { return w.bw.Flush() }

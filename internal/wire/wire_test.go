@@ -1,0 +1,298 @@
+package wire_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// pipe returns a Writer feeding a buffer and a Reader over that buffer's
+// eventual contents (call flush first).
+func codecPipe(c wire.Codec) (*wire.Writer, func() *wire.Reader) {
+	var buf bytes.Buffer
+	w := wire.NewWriter(c, bufio.NewWriter(&buf))
+	return w, func() *wire.Reader { return wire.NewReader(c, bufio.NewReader(&buf)) }
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := []wire.Request{
+		{ID: 1, Op: "read", Port: 3},
+		{ID: 2, Op: "write", Val: json.RawMessage(`"hello"`), Client: "c1", Seq: 9},
+		{ID: 1<<63 + 5, Op: "write", Reg: "shard-7", Val: json.RawMessage(`{"x":1}`), Client: "deadbeef01234567", Seq: 1 << 40},
+		{Op: "read"}, // all-zero fields
+		{ID: 4, Op: "write", Val: json.RawMessage(`"line1\nline2 ünïcødé"`), Client: "c", Seq: 2},
+	}
+	for _, c := range []wire.Codec{wire.Binary, wire.JSON} {
+		w, rd := codecPipe(c)
+		for i := range reqs {
+			if err := w.WriteRequest(&reqs[i]); err != nil {
+				t.Fatalf("%v: WriteRequest(%d): %v", c, i, err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r := rd()
+		for i := range reqs {
+			var got wire.Request
+			if err := r.ReadRequest(&got); err != nil {
+				t.Fatalf("%v: ReadRequest(%d): %v", c, i, err)
+			}
+			want := reqs[i]
+			if got.ID != want.ID || got.Op != want.Op || got.Reg != want.Reg ||
+				got.Port != want.Port || got.Client != want.Client || got.Seq != want.Seq ||
+				!bytes.Equal(got.Val, want.Val) {
+				t.Fatalf("%v: request %d round-tripped to %+v, want %+v", c, i, got, want)
+			}
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resps := []wire.Response{
+		{ID: 1, Stamp: 42, Val: json.RawMessage(`"v"`)},
+		{ID: 2, Stamp: -7, Err: "port 9 out of range"},
+		{Stamp: 0},
+		{ID: 1 << 50, Stamp: 1<<62 + 3, Val: json.RawMessage(`{"nested":["a","b"]}`)},
+	}
+	for _, c := range []wire.Codec{wire.Binary, wire.JSON} {
+		w, rd := codecPipe(c)
+		for i := range resps {
+			if err := w.WriteResponse(&resps[i]); err != nil {
+				t.Fatalf("%v: WriteResponse(%d): %v", c, i, err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r := rd()
+		for i := range resps {
+			var got wire.Response
+			if err := r.ReadResponse(&got); err != nil {
+				t.Fatalf("%v: ReadResponse(%d): %v", c, i, err)
+			}
+			want := resps[i]
+			if got.ID != want.ID || got.Stamp != want.Stamp || got.Err != want.Err ||
+				!bytes.Equal(got.Val, want.Val) {
+				t.Fatalf("%v: response %d round-tripped to %+v, want %+v", c, i, got, want)
+			}
+		}
+	}
+}
+
+// TestRandomRoundTrip hammers the binary codec with seeded random frames:
+// whatever goes in must come out, across a wide range of field sizes.
+func TestRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	randBytes := func(n int) []byte {
+		b := make([]byte, n)
+		rng.Read(b)
+		return b
+	}
+	w, rd := codecPipe(wire.Binary)
+	var want []wire.Request
+	for i := 0; i < 200; i++ {
+		op := "read"
+		if rng.Intn(2) == 1 {
+			op = "write"
+		}
+		req := wire.Request{
+			ID:     rng.Uint64(),
+			Op:     op,
+			Reg:    string(randBytes(rng.Intn(20))),
+			Port:   rng.Intn(1 << 16),
+			Client: string(randBytes(rng.Intn(32))),
+			Seq:    rng.Uint64(),
+			Val:    randBytes(rng.Intn(4096)),
+		}
+		if len(req.Val) == 0 {
+			req.Val = nil
+		}
+		want = append(want, req)
+		if err := w.WriteRequest(&req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := rd()
+	for i := range want {
+		var got wire.Request
+		if err := r.ReadRequest(&got); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.ID != want[i].ID || got.Op != want[i].Op || got.Reg != want[i].Reg ||
+			got.Port != want[i].Port || got.Client != want[i].Client ||
+			got.Seq != want[i].Seq || !bytes.Equal(got.Val, want[i].Val) {
+			t.Fatalf("frame %d mismatch: %+v vs %+v", i, got, want[i])
+		}
+	}
+}
+
+// TestSniff checks the one-byte codec negotiation: binary frames lead with
+// 0x00 (a < 16 MiB length's high byte), JSON frames with the document's
+// first byte.
+func TestSniff(t *testing.T) {
+	for _, c := range []wire.Codec{wire.Binary, wire.JSON} {
+		var buf bytes.Buffer
+		w := wire.NewWriter(c, bufio.NewWriter(&buf))
+		if err := w.WriteRequest(&wire.Request{ID: 1, Op: "read"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		br := bufio.NewReader(&buf)
+		got, err := wire.Sniff(br)
+		if err != nil {
+			t.Fatalf("%v: Sniff: %v", c, err)
+		}
+		if got != c {
+			t.Fatalf("Sniff(%v frame) = %v", c, got)
+		}
+		// Sniff must consume nothing: the frame still decodes.
+		var req wire.Request
+		if err := wire.NewReader(got, br).ReadRequest(&req); err != nil {
+			t.Fatalf("%v: decode after Sniff: %v", c, err)
+		}
+		if req.Op != "read" || req.ID != 1 {
+			t.Fatalf("%v: frame after Sniff = %+v", c, req)
+		}
+	}
+}
+
+// TestOversizedFrameRejected checks the framing guard: a corrupted length
+// prefix (as a garbled link produces) must be a clean error, not a 500 MB
+// allocation.
+func TestOversizedFrameRejected(t *testing.T) {
+	raw := []byte{0x20, 0x00, 0x00, 0x01, 0xff} // garbled high byte: length 537 MB
+	r := wire.NewReader(wire.Binary, bufio.NewReader(bytes.NewReader(raw)))
+	var req wire.Request
+	err := r.ReadRequest(&req)
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized frame error = %v, want a frame-limit error", err)
+	}
+}
+
+// TestTruncatedFrameRejected checks every truncation point of a valid
+// frame errors rather than hanging or mis-parsing.
+func TestTruncatedFrameRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w := wire.NewWriter(wire.Binary, bufio.NewWriter(&buf))
+	if err := w.WriteRequest(&wire.Request{ID: 7, Op: "write", Val: json.RawMessage(`"x"`), Client: "c", Seq: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for n := 0; n < len(full); n++ {
+		r := wire.NewReader(wire.Binary, bufio.NewReader(bytes.NewReader(full[:n])))
+		var req wire.Request
+		if err := r.ReadRequest(&req); err == nil {
+			t.Fatalf("frame truncated to %d/%d bytes decoded successfully: %+v", n, len(full), req)
+		}
+	}
+}
+
+// TestJSONWireCompat pins the JSON codec to the original hand-writable
+// wire format: the exact frames the pre-binary tests (and any external
+// client) send must still decode, and responses must still carry the same
+// field names.
+func TestJSONWireCompat(t *testing.T) {
+	r := wire.NewReader(wire.JSON, bufio.NewReader(strings.NewReader(
+		`{"op":"write","val":"\"once\"","client":"c1","seq":7}`+"\n"+
+			`{"op":"read","port":2}`+"\n")))
+	var req wire.Request
+	if err := r.ReadRequest(&req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Op != "write" || string(req.Val) != `"\"once\""` || req.Client != "c1" || req.Seq != 7 || req.ID != 0 {
+		t.Fatalf("legacy write frame decoded to %+v", req)
+	}
+	if err := r.ReadRequest(&req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Op != "read" || req.Port != 2 {
+		t.Fatalf("legacy read frame decoded to %+v", req)
+	}
+
+	var buf bytes.Buffer
+	w := wire.NewWriter(wire.JSON, bufio.NewWriter(&buf))
+	if err := w.WriteResponse(&wire.Response{Stamp: 9, Val: json.RawMessage(`"v"`)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["stamp"] != float64(9) || m["val"] != "v" {
+		t.Fatalf("response JSON = %s, want legacy stamp/val fields", buf.Bytes())
+	}
+	if _, has := m["id"]; has {
+		t.Fatalf("id 0 should be omitted for legacy clients, got %s", buf.Bytes())
+	}
+}
+
+// TestBufferedTracksBothLayers checks the flush heuristic's input: after a
+// partial read, Buffered must see the remaining frames whether they sit in
+// the bufio layer (binary) or the json.Decoder's own buffer (JSON).
+func TestBufferedTracksBothLayers(t *testing.T) {
+	for _, c := range []wire.Codec{wire.Binary, wire.JSON} {
+		var buf bytes.Buffer
+		w := wire.NewWriter(c, bufio.NewWriter(&buf))
+		for i := 0; i < 3; i++ {
+			if err := w.WriteRequest(&wire.Request{ID: uint64(i + 1), Op: "read"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r := wire.NewReader(c, bufio.NewReader(&buf))
+		var req wire.Request
+		if err := r.ReadRequest(&req); err != nil {
+			t.Fatal(err)
+		}
+		if r.Buffered() == 0 {
+			t.Fatalf("%v: two frames remain but Buffered() = 0", c)
+		}
+		for i := 0; i < 2; i++ {
+			if err := r.ReadRequest(&req); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if n := r.Buffered(); n != 0 {
+			t.Fatalf("%v: stream drained but Buffered() = %d", c, n)
+		}
+	}
+}
+
+func BenchmarkEncodeRequest(b *testing.B) {
+	req := wire.Request{ID: 12345, Op: "write", Val: json.RawMessage(`"w0-17"`), Client: "deadbeef01234567", Seq: 12345}
+	for _, c := range []wire.Codec{wire.Binary, wire.JSON} {
+		b.Run(c.String(), func(b *testing.B) {
+			var buf bytes.Buffer
+			buf.Grow(1 << 20)
+			w := wire.NewWriter(c, bufio.NewWriter(&buf))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if i%1024 == 0 {
+					buf.Reset()
+				}
+				if err := w.WriteRequest(&req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
