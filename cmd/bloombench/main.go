@@ -29,6 +29,14 @@
 // it enforces the transport rework's ≥3x bar (binary pipelined at depth 8
 // vs JSON serial). Combined with -json it writes BENCH_net.json.
 //
+// With -load, bloombench instead runs the T-load table: the open-loop
+// saturation curve (closed-loop peak probe, then Poisson arrivals
+// stepped as fractions of the peak, latency measured from scheduled
+// arrivals). At real op counts it enforces the raw-speed campaign's ≥3x
+// bar over the single-connection depth-64 figure. Combined with -json it
+// writes BENCH_loadgen.json. The full generator with every knob is
+// cmd/bloomload.
+//
 // With -serve, bloombench instead runs an open-ended observed workload
 // over every substrate and serves /metrics (Prometheus text format),
 // /vars (JSON snapshots), and /debug/pprof/ on the given address.
@@ -68,6 +76,7 @@ func run() error {
 	jsonOut := flag.Bool("json", false, "also write BENCH_substrates.json and BENCH_obs.json (or BENCH_fault.json / BENCH_net.json with -faults / -net)")
 	faults := flag.Bool("faults", false, "run the T-fault table (faulty-link recovery) instead of the default tables")
 	netSweep := flag.Bool("net", false, "run the T-net table (wire codec × pipeline depth throughput) instead of the default tables")
+	load := flag.Bool("load", false, "run the T-load table (open-loop saturation curve) instead of the default tables")
 	serveAddr := flag.String("serve", "", "serve /metrics, /vars, and /debug/pprof/ on this address instead of running the tables")
 	flag.Parse()
 
@@ -79,6 +88,9 @@ func run() error {
 	}
 	if *netSweep {
 		return netTable(*ops, *jsonOut)
+	}
+	if *load {
+		return loadTable(*ops, *jsonOut)
 	}
 
 	costTable(*ops)

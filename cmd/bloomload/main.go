@@ -1,0 +1,225 @@
+// Command bloomload drives the open-loop load generator
+// (internal/loadgen) against a register server and reports the
+// saturation curve: a closed-loop probe finds peak throughput, then
+// offered load is stepped as fractions of that peak and the latency
+// distribution (p50/p99/p999, measured from scheduled arrivals) is
+// reported at each step, together with the offered-vs-achieved
+// accounting that closed-loop benchmarks cannot show.
+//
+// Usage:
+//
+//	bloomload [flags]
+//
+// By default bloomload starts its own in-process server on a loopback
+// port (so one command measures the whole stack); -addr aims it at an
+// external server instead. -compare additionally probes each server
+// worker model (inline, bounded pool, goroutine per request) and the
+// flat-combining write path. With -json the run is written to
+// BENCH_loadgen.json for machine consumption (CI trend lines).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/netreg"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bloomload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "", "register server address (default: start an in-process server)")
+	conns := flag.Int("conns", 4, "concurrent pipelined connections")
+	depth := flag.Int("depth", 256, "per-connection pipeline depth")
+	duration := flag.Duration("duration", 2*time.Second, "duration of each load step")
+	readFrac := flag.Float64("readfrac", 0.9, "fraction of operations that are reads")
+	valueBytes := flag.Int("value", 1, "write payload size in bytes")
+	registers := flag.Int("regs", 1, "registers to spread load over (Zipf-distributed)")
+	zipfS := flag.Float64("zipf", 1.2, "Zipf skew parameter (> 1)")
+	rate := flag.Float64("rate", 0, "run a single open-loop step at this ops/sec instead of the sweep")
+	sweep := flag.String("sweep", "0.5,0.75,0.9,1.0", "offered-load fractions of probed peak")
+	seed := flag.Int64("seed", 1, "arrival schedule seed")
+	workers := flag.Int("workers", 0, "in-process server worker model (0 inline, n>0 pool, <0 per-request)")
+	combine := flag.Bool("combine", false, "enable flat-combining write batching on the in-process server")
+	compare := flag.Bool("compare", false, "also probe peak across server worker models and combining")
+	jsonOut := flag.Bool("json", false, "write BENCH_loadgen.json")
+	flag.Parse()
+
+	fracs, err := parseFracs(*sweep)
+	if err != nil {
+		return err
+	}
+
+	cfg := loadgen.Config{
+		Conns:      *conns,
+		Depth:      *depth,
+		Duration:   *duration,
+		ReadFrac:   *readFrac,
+		ValueBytes: *valueBytes,
+		ZipfS:      *zipfS,
+		Seed:       *seed,
+	}
+	var regNames []string
+	if *registers > 1 {
+		regNames = make([]string, *registers)
+		for i := 1; i < *registers; i++ {
+			regNames[i] = fmt.Sprintf("reg%d", i)
+		}
+		cfg.Regs = regNames
+	}
+
+	cfg.Addr = *addr
+	if cfg.Addr == "" {
+		srv, err := startServer(regNames, *workers, *combine)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		cfg.Addr = srv.Addr()
+		fmt.Printf("in-process server on %s (workers=%d combining=%v)\n\n", cfg.Addr, *workers, *combine)
+	}
+
+	var steps []loadgen.Result
+	if *rate > 0 {
+		cfg.Rate = *rate
+		r, err := loadgen.Run(cfg)
+		if err != nil {
+			return err
+		}
+		r.Name = "single"
+		steps = []loadgen.Result{r}
+	} else {
+		if steps, err = loadgen.Sweep(cfg, fracs); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("== saturation curve: %d conns x depth %d, %.0f%% reads, %dB values, %d register(s) ==\n\n",
+		*conns, *depth, *readFrac*100, *valueBytes, *registers)
+	fmt.Printf("%-10s %-13s %-13s %-9s %-10s %-10s %-10s %s\n",
+		"step", "offered/s", "achieved/s", "backlog", "p50 us", "p99 us", "p999 us", "queue peak")
+	var peak float64
+	for _, s := range steps {
+		if s.Load.AchievedPS > peak {
+			peak = s.Load.AchievedPS
+		}
+		fmt.Printf("%-10s %-13.0f %-13.0f %-9.3f %-10.1f %-10.1f %-10.1f %d\n",
+			s.Name, s.Load.OfferedPS, s.Load.AchievedPS, s.Load.BacklogFrac,
+			s.P50Us, s.P99Us, s.P999Us, s.Load.QueuePeak)
+	}
+	fmt.Printf("\npeak achieved: %.0f ops/sec\n", peak)
+
+	var modeRows []loadgen.WorkerRow
+	if *compare && *addr == "" {
+		fmt.Printf("\n== worker-model comparison (closed-loop probes) ==\n\n")
+		fmt.Printf("%-14s %-12s %-14s %s\n", "model", "combining", "ops/sec", "p99 us")
+		for _, m := range []struct {
+			name    string
+			workers int
+			combine bool
+		}{
+			{"inline", 0, false},
+			{"inline", 0, true},
+			{"pool-4", 4, false},
+			{"per-request", -1, false},
+		} {
+			row, err := probeMode(cfg, regNames, m.workers, m.combine)
+			if err != nil {
+				return fmt.Errorf("probing %s: %w", m.name, err)
+			}
+			row.Model = m.name
+			modeRows = append(modeRows, row)
+			fmt.Printf("%-14s %-12v %-14.0f %.1f\n", row.Model, row.Combining, row.OpsPerSec, row.P99Us)
+		}
+	}
+
+	if !*jsonOut {
+		return nil
+	}
+	doc := loadgen.BenchDoc{
+		Conns:        *conns,
+		Depth:        *depth,
+		ReadFrac:     *readFrac,
+		ValueBytes:   *valueBytes,
+		Registers:    *registers,
+		DurationSecs: duration.Seconds(),
+		PeakOpsPS:    peak,
+		Steps:        steps,
+		WorkerModels: modeRows,
+	}
+	if err := doc.WriteFile("BENCH_loadgen.json"); err != nil {
+		return err
+	}
+	fmt.Println("\nwrote BENCH_loadgen.json")
+	return nil
+}
+
+// startServer builds the in-process store (default register plus any
+// named ones) and serves it with the requested worker model.
+func startServer(regNames []string, workers int, combine bool) (*netreg.Server, error) {
+	st, err := netreg.NewStore("x", 1, nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range regNames {
+		if name == "" {
+			continue
+		}
+		if err := netreg.AddRegister(st, name, "x", 1, nil); err != nil {
+			return nil, err
+		}
+	}
+	st.SetWriteCombining(combine)
+	return netreg.Serve("127.0.0.1:0", st, netreg.WithWorkers(workers))
+}
+
+// probeMode runs one closed-loop probe against a fresh in-process server
+// in the given mode.
+func probeMode(cfg loadgen.Config, regNames []string, workers int, combine bool) (loadgen.WorkerRow, error) {
+	srv, err := startServer(regNames, workers, combine)
+	if err != nil {
+		return loadgen.WorkerRow{}, err
+	}
+	defer srv.Close()
+	cfg.Addr = srv.Addr()
+	cfg.Rate = 0
+	r, err := loadgen.Run(cfg)
+	if err != nil {
+		return loadgen.WorkerRow{}, err
+	}
+	return loadgen.WorkerRow{
+		Combining: combine,
+		OpsPerSec: r.Load.AchievedPS,
+		P99Us:     r.P99Us,
+	}, nil
+}
+
+// parseFracs parses the -sweep flag ("0.5,0.75,1.0").
+func parseFracs(s string) ([]float64, error) {
+	var fracs []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		f, err := strconv.ParseFloat(part, 64)
+		if err != nil || f <= 0 {
+			return nil, fmt.Errorf("bad sweep fraction %q", part)
+		}
+		fracs = append(fracs, f)
+	}
+	if len(fracs) == 0 {
+		return nil, fmt.Errorf("empty sweep")
+	}
+	return fracs, nil
+}

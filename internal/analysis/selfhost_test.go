@@ -20,6 +20,8 @@ var selfhostPkgs = []string{
 	"repro/internal/obs",
 	"repro/internal/core",
 	"repro/internal/wire",
+	"repro/internal/netreg",
+	"repro/internal/loadgen",
 }
 
 func TestSelfHost(t *testing.T) {

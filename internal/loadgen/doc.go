@@ -1,0 +1,40 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// WorkerRow is one server worker-model comparison probe in a BenchDoc
+// (closed-loop peak per model; see netreg.WithWorkers).
+type WorkerRow struct {
+	Model     string  `json:"model"`
+	Combining bool    `json:"write_combining"`
+	OpsPerSec float64 `json:"achieved_ops_per_sec"`
+	P99Us     float64 `json:"p99_us"`
+}
+
+// BenchDoc is the BENCH_loadgen.json document: the generator shape, the
+// offered-load sweep, and optionally the worker-model comparison. Both
+// cmd/bloomload and cmd/bloombench -load emit it, so CI trend lines see
+// one schema.
+type BenchDoc struct {
+	Conns        int         `json:"conns"`
+	Depth        int         `json:"depth"`
+	ReadFrac     float64     `json:"read_frac"`
+	ValueBytes   int         `json:"value_bytes"`
+	Registers    int         `json:"registers"`
+	DurationSecs float64     `json:"step_duration_secs"`
+	PeakOpsPS    float64     `json:"peak_achieved_ops_per_sec"`
+	Steps        []Result    `json:"sweep"`
+	WorkerModels []WorkerRow `json:"worker_models,omitempty"`
+}
+
+// WriteFile marshals the document to path with a trailing newline.
+func (d *BenchDoc) WriteFile(path string) error {
+	blob, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}

@@ -1,0 +1,150 @@
+package loadgen_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/netreg"
+)
+
+// startServer hosts regs registers (the default plus named ones) on a
+// loopback port.
+func startServer(t *testing.T, regs int) *netreg.Server {
+	t.Helper()
+	st, err := netreg.NewStore("x", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < regs; i++ {
+		if err := netreg.AddRegister(st, fmt.Sprintf("reg%d", i), "x", 1, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv, err := netreg.Serve("127.0.0.1:0", st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// TestClosedLoopProbe checks max-rate mode: everything offered is
+// achieved (closed loops cannot backlog by construction), nothing
+// errors, and the latency histogram accounts for every operation.
+func TestClosedLoopProbe(t *testing.T) {
+	srv := startServer(t, 1)
+	r, err := loadgen.Run(loadgen.Config{
+		Addr:     srv.Addr(),
+		Conns:    2,
+		Depth:    64,
+		Duration: 200 * time.Millisecond,
+		ReadFrac: 0.5,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Load.Offered == 0 || r.Load.Offered != r.Load.Achieved {
+		t.Fatalf("closed loop offered %d achieved %d, want equal and nonzero", r.Load.Offered, r.Load.Achieved)
+	}
+	if r.Load.Errors != 0 {
+		t.Fatalf("%d errored operations", r.Load.Errors)
+	}
+	if r.Load.QueueDepth != 0 {
+		t.Fatalf("queue depth %d after drain, want 0", r.Load.QueueDepth)
+	}
+	if r.P50Us <= 0 || r.P99Us < r.P50Us || r.P999Us < r.P99Us {
+		t.Fatalf("quantiles not sane: p50=%v p99=%v p999=%v", r.P50Us, r.P99Us, r.P999Us)
+	}
+	if got := srv.Store().Counters().Writes(); got == 0 {
+		t.Fatal("no writes reached the register")
+	}
+}
+
+// TestOpenLoopRate checks the Poisson arrival process: at an offered
+// rate far below capacity, the achieved rate tracks the target and the
+// backlog stays negligible.
+func TestOpenLoopRate(t *testing.T) {
+	srv := startServer(t, 1)
+	const target = 20000.0
+	r, err := loadgen.Run(loadgen.Config{
+		Addr:     srv.Addr(),
+		Conns:    2,
+		Depth:    256,
+		Rate:     target,
+		Duration: 500 * time.Millisecond,
+		ReadFrac: 0.9,
+		Seed:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Load.Offered != r.Load.Achieved {
+		t.Fatalf("offered %d != achieved %d after drain", r.Load.Offered, r.Load.Achieved)
+	}
+	// The arrival count over the window should be near target×duration
+	// (Poisson sd is √n ≈ 1%; allow generator scheduling slop).
+	if r.Load.OfferedPS < target*0.7 || r.Load.OfferedPS > target*1.3 {
+		t.Fatalf("offered rate %.0f/s, want ≈%.0f/s", r.Load.OfferedPS, target)
+	}
+	if r.Load.Saturated {
+		t.Fatalf("saturated at %.0f/s against an idle server: %+v", target, r.Load)
+	}
+}
+
+// TestZipfMultiRegister spreads load over several registers and checks
+// the skew actually lands: every register sees traffic, and the first
+// (hottest) register sees the most writes.
+func TestZipfMultiRegister(t *testing.T) {
+	const regs = 4
+	srv := startServer(t, regs)
+	_, err := loadgen.Run(loadgen.Config{
+		Addr:     srv.Addr(),
+		Conns:    2,
+		Depth:    64,
+		Duration: 300 * time.Millisecond,
+		ReadFrac: 0, // writes only, so register counters show the split
+		Regs:     []string{"", "reg1", "reg2", "reg3"},
+		ZipfS:    1.5,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Store()
+	hot := st.RegisterCounters("").Writes()
+	if hot == 0 {
+		t.Fatal("hottest register saw no writes")
+	}
+	for i := 1; i < regs; i++ {
+		n := st.RegisterCounters(fmt.Sprintf("reg%d", i)).Writes()
+		if n == 0 {
+			t.Fatalf("register reg%d saw no writes (zipf tail starved)", i)
+		}
+		if n > hot {
+			t.Fatalf("reg%d saw %d writes, more than the hottest register's %d", i, n, hot)
+		}
+	}
+}
+
+// TestRunReportsServerLoss checks the generator surfaces a mid-run
+// server death as an error instead of hanging or fabricating numbers.
+func TestRunReportsServerLoss(t *testing.T) {
+	srv := startServer(t, 1)
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		srv.Close()
+	}()
+	_, err := loadgen.Run(loadgen.Config{
+		Addr:     srv.Addr(),
+		Conns:    1,
+		Depth:    64,
+		Duration: 2 * time.Second,
+		Seed:     4,
+	})
+	if err == nil {
+		t.Fatal("Run returned no error though the server died mid-run")
+	}
+}

@@ -205,6 +205,12 @@ func (cc *clientConn) readLoop() {
 		delete(cc.pending, resp.ID)
 		cc.mu.Unlock()
 		if ca != nil {
+			// The decoded Val aliases the reader's frame buffer, which the
+			// next ReadResponse reuses; the caller consumes it after this
+			// loop has moved on, so it must get its own copy.
+			if len(resp.Val) > 0 {
+				resp.Val = append([]byte(nil), resp.Val...)
+			}
 			ca.done <- callResult{resp: resp}
 		}
 	}

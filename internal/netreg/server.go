@@ -42,6 +42,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/history"
 	"repro/internal/obs"
@@ -57,7 +58,8 @@ const serverBufSize = 64 << 10
 type ServeOption func(*serveConfig)
 
 type serveConfig struct {
-	wire *obs.Wire
+	wire    *obs.Wire
+	workers int
 }
 
 // WithServerWire attaches a transport tally to the server: frames and
@@ -67,11 +69,30 @@ func WithServerWire(w *obs.Wire) ServeOption {
 	return func(c *serveConfig) { c.wire = w }
 }
 
+// WithWorkers selects the per-connection worker model:
+//
+//   - 0 (the default): requests are handled inline on the connection's
+//     read goroutine — no handoff, no copies, the fastest model when the
+//     handler never blocks (which register accesses don't).
+//   - n > 0: a bounded pool of n workers per connection; the read
+//     goroutine decodes and dispatches, so a request that does block
+//     stalls only its worker, not the whole pipeline.
+//   - n < 0: one goroutine per request — unbounded concurrency, useful
+//     as the ceiling case in worker-model benchmarks.
+//
+// Dispatched requests are copied out of the decoder's reused frame
+// buffer first (see the wire.Reader aliasing contract), which is part of
+// the price the non-inline models pay per request.
+func WithWorkers(n int) ServeOption {
+	return func(c *serveConfig) { c.workers = n }
+}
+
 // Server hosts a Store's registers behind a listener. Values travel and
 // are stored as canonical JSON, so the server is value-type agnostic.
 type Server struct {
-	st *Store
-	ws *obs.Wire
+	st      *Store
+	ws      *obs.Wire
+	workers int
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -104,10 +125,11 @@ func Serve(addr string, st *Store, opts ...ServeOption) (*Server, error) {
 		return nil, fmt.Errorf("netreg: listen: %w", err)
 	}
 	s := &Server{
-		st:    st,
-		ws:    cfg.wire,
-		ln:    ln,
-		conns: make(map[net.Conn]struct{}),
+		st:      st,
+		ws:      cfg.wire,
+		workers: cfg.workers,
+		ln:      ln,
+		conns:   make(map[net.Conn]struct{}),
 	}
 	s.handlers.Add(1)
 	go s.acceptLoop()
@@ -159,12 +181,8 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// serve pumps one connection: sniff the codec, then read requests and
-// write responses until the client goes away. Responses are buffered and
-// flushed only when no decoded request remains — so a pipelined burst is
-// answered with one syscall, while a serial client still gets every reply
-// immediately (its next request hasn't arrived yet, so the buffer state
-// is empty and the flush fires).
+// serve pumps one connection: sniff the codec, then hand the framed
+// stream to the configured worker model (WithWorkers).
 func (s *Server) serve(conn net.Conn) {
 	defer s.handlers.Done()
 	defer func() {
@@ -185,33 +203,141 @@ func (s *Server) serve(conn net.Conn) {
 	}
 	rd := wire.NewReader(codec, br)
 	wr := wire.NewWriter(codec, bw)
+	if s.workers == 0 {
+		s.serveInline(rd, wr)
+	} else {
+		s.serveWorkers(rd, wr, s.workers)
+	}
+}
+
+// serveInline is the default worker model: decode, handle, and encode on
+// the one connection goroutine. Responses are buffered and flushed only
+// when no decoded request remains — so a pipelined burst is answered
+// with one syscall, while a serial client still gets every reply
+// immediately (its next request hasn't arrived yet, so the buffer state
+// is empty and the flush fires). The request, the response value buffer,
+// and the encoder scratch are all reused across iterations: the loop
+// allocates nothing in steady state.
+func (s *Server) serveInline(rd *wire.Reader, wr *wire.Writer) {
+	var (
+		req    wire.Request
+		resp   wire.Response
+		valBuf []byte
+	)
 	for {
 		if rd.Buffered() == 0 {
 			if err := wr.Flush(); err != nil {
 				return
 			}
 		}
-		var req wire.Request
 		if err := rd.ReadRequest(&req); err != nil {
 			wr.Flush()
 			return // client went away (or sent garbage; drop the link)
 		}
 		s.ws.FrameIn()
-		var resp wire.Response
-		switch req.Op {
-		case "read":
-			resp = s.st.read(&req)
-		case "write":
-			resp = s.st.write(&req)
-		default:
-			resp.Err = fmt.Sprintf("unknown op %q", req.Op)
-		}
-		resp.ID = req.ID
+		valBuf = s.st.handle(&req, &resp, valBuf)
 		if err := wr.WriteResponse(&resp); err != nil {
 			return
 		}
 		s.ws.FrameOut()
 	}
+}
+
+// reqPool recycles request copies for the dispatching worker models.
+var reqPool = sync.Pool{New: func() any { return new(wire.Request) }}
+
+// copyReq copies a decoded request out of the reader's reused frame
+// buffer into a pooled request that may outlive the next decode.
+// (Reg and Client are interned by the reader and safe to retain as is.)
+func copyReq(req *wire.Request) *wire.Request {
+	cp := reqPool.Get().(*wire.Request)
+	buf := cp.Val
+	*cp = *req
+	cp.Val = append(buf[:0], req.Val...)
+	return cp
+}
+
+// putReq returns a request copy to the pool, dropping buffers one
+// oversized value grew past the steady-state cap.
+func putReq(cp *wire.Request) {
+	if cap(cp.Val) > serverBufSize {
+		cp.Val = nil
+	}
+	reqPool.Put(cp)
+}
+
+// serveWorkers is the dispatching worker model: the connection goroutine
+// decodes and dispatches, and workers (a bounded pool of n for n > 0,
+// a fresh goroutine per request for n < 0) handle and encode. Encoding
+// serializes on a per-connection mutex; the worker that retires the last
+// in-flight request flushes, which batches a pipelined burst's responses
+// the way the inline model's buffered-request check does.
+func (s *Server) serveWorkers(rd *wire.Reader, wr *wire.Writer, n int) {
+	var (
+		wmu      sync.Mutex
+		inflight atomic.Int64
+		wg       sync.WaitGroup
+	)
+	handleOne := func(req *wire.Request, valBuf []byte) []byte {
+		var resp wire.Response
+		valBuf = s.st.handle(req, &resp, valBuf)
+		wmu.Lock()
+		if err := wr.WriteResponse(&resp); err == nil {
+			s.ws.FrameOut()
+			if inflight.Add(-1) == 0 {
+				wr.Flush()
+			}
+		} else {
+			// The connection is broken; keep draining requests so the
+			// reader's teardown never blocks, but stop encoding.
+			inflight.Add(-1)
+		}
+		wmu.Unlock()
+		return valBuf
+	}
+
+	var work chan *wire.Request
+	if n > 0 {
+		work = make(chan *wire.Request, n)
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var valBuf []byte
+				for req := range work {
+					valBuf = handleOne(req, valBuf)
+					putReq(req)
+				}
+			}()
+		}
+	}
+
+	var req wire.Request
+	for {
+		if err := rd.ReadRequest(&req); err != nil {
+			break // client went away (or sent garbage; drop the link)
+		}
+		s.ws.FrameIn()
+		inflight.Add(1)
+		cp := copyReq(&req)
+		if n > 0 {
+			work <- cp
+		} else {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				handleOne(cp, nil)
+				putReq(cp)
+			}()
+		}
+	}
+	if work != nil {
+		close(work)
+	}
+	wg.Wait()
+	wmu.Lock()
+	wr.Flush()
+	wmu.Unlock()
 }
 
 // ErrClosed is returned by clients after Close.

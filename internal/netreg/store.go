@@ -3,9 +3,9 @@ package netreg
 import (
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/history"
 	"repro/internal/register"
@@ -48,7 +48,27 @@ type regState struct {
 	// applied twice — or trip the register's single-writer panic.
 	writeMu sync.Mutex
 	applied map[string]*clientWindow
+
+	// pendMu/pend is the flat-combining publication list (see
+	// SetWriteCombining): writers enqueue here, and whichever of them
+	// holds writeMu applies the whole batch in one critical section.
+	pendMu sync.Mutex
+	pend   []*writeOp
 }
+
+// writeOp is one write published to a register's combining list. The
+// enqueuing goroutine blocks on writeMu until the op is applied — by
+// itself or by an earlier lock holder — so req and resp stay valid for
+// the combiner to fill in.
+type writeOp struct {
+	req     *wire.Request
+	resp    *wire.Response
+	applied bool // written and read only under writeMu
+}
+
+// writeOpPool recycles writeOps so the combining path stays
+// allocation-free in steady state.
+var writeOpPool = sync.Pool{New: func() any { return new(writeOp) }}
 
 // storeShard is one bucket of the register-name map. The trailing pad
 // keeps adjacent shards on separate cache lines, so lookups of
@@ -69,8 +89,9 @@ type storeShard struct {
 // registers: requests carry a register name, "" being the default
 // register every Store starts with.
 type Store struct {
-	window int // dedup window per client per register
-	shards [storeShards]storeShard
+	window  int // dedup window per client per register
+	combine atomic.Bool
+	shards  [storeShards]storeShard
 }
 
 // newStore returns an empty store with the default dedup window.
@@ -126,11 +147,32 @@ func (st *Store) SetDedupWindow(n int) {
 	}
 }
 
-// shard returns the bucket for a register name.
+// SetWriteCombining toggles flat-combining write batching: concurrent
+// writes to one register publish themselves to its combining list, and
+// whichever writer holds the serialization lock applies the whole batch
+// in one critical section — turning W contending lock handoffs into one
+// acquisition doing W applies. Off by default (a single pipelined
+// connection's writes are already serial); turn it on when many
+// connections write the same register. Safe to toggle while serving.
+func (st *Store) SetWriteCombining(on bool) { st.combine.Store(on) }
+
+// shard returns the bucket for a register name. The FNV-1a hash is
+// inlined rather than taken from hash/fnv: the Hash object and the
+// string→[]byte conversion both allocate, and this is on every
+// request's path.
+//
+//bloom:waitfree
 func (st *Store) shard(name string) *storeShard {
-	h := fnv.New32a()
-	h.Write([]byte(name))
-	return &st.shards[h.Sum32()%storeShards]
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= prime32
+	}
+	return &st.shards[h%storeShards]
 }
 
 // lookup returns the named register, or nil.
@@ -171,20 +213,86 @@ func (st *Store) RegisterCounters(name string) *register.Counters {
 	return rs.reg.Counters()
 }
 
-// write validates and applies one write request, deduplicating retries.
-func (st *Store) write(req *wire.Request) wire.Response {
+// maxValBuf caps the response value buffer a connection keeps between
+// requests; one giant value must not pin its capacity forever.
+const maxValBuf = 64 << 10
+
+// handle serves one request into resp, which it fully overwrites. valBuf
+// is the connection's reusable value buffer: a read's response value is
+// copied into it (resp.Val aliases it, valid until the next handle call
+// on the same buffer), and the possibly-grown buffer is returned — the
+// encode-immediately loop this feeds never holds a response across
+// requests, so reuse is safe and keeps the read path allocation-free.
+func (st *Store) handle(req *wire.Request, resp *wire.Response, valBuf []byte) []byte {
+	*resp = wire.Response{}
+	switch req.Op {
+	case "read":
+		valBuf = st.readInto(req, resp, valBuf)
+	case "write":
+		st.writeReq(req, resp)
+	default:
+		resp.Err = fmt.Sprintf("unknown op %q", req.Op)
+	}
+	resp.ID = req.ID
+	return valBuf
+}
+
+// writeReq validates and applies one write request into resp,
+// deduplicating retries. With combining off the caller applies under the
+// register's write lock itself; with combining on it publishes the op
+// and whichever writer holds the lock applies the whole batch.
+func (st *Store) writeReq(req *wire.Request, resp *wire.Response) {
 	rs := st.lookup(req.Reg)
 	if rs == nil {
-		return wire.Response{Err: fmt.Sprintf("unknown register %q", req.Reg)}
+		resp.Err = fmt.Sprintf("unknown register %q", req.Reg)
+		return
 	}
 	// Reject values that are not one valid JSON document: stored garbage
 	// would make every later read of this register fail client-side —
 	// better to refuse the one bad write with a survivable error reply.
 	if len(req.Val) == 0 || !json.Valid(req.Val) {
-		return wire.Response{Err: fmt.Sprintf("invalid write value: %d bytes, not a JSON document", len(req.Val))}
+		resp.Err = fmt.Sprintf("invalid write value: %d bytes, not a JSON document", len(req.Val))
+		return
 	}
+	if !st.combine.Load() {
+		rs.writeMu.Lock()
+		st.applyWriteLocked(rs, req, resp)
+		rs.writeMu.Unlock()
+		return
+	}
+
+	// Flat combining: publish first, then take the lock. By the time the
+	// lock is held the op has either been applied by an earlier holder
+	// (who drained the list while this writer was parked) or is still on
+	// the list — in which case this writer drains the list itself,
+	// applying everyone's writes in one critical section. Either way no
+	// op is ever stranded: it cannot be on the list while the lock sits
+	// free with its owner past the drain.
+	op := writeOpPool.Get().(*writeOp)
+	op.req, op.resp, op.applied = req, resp, false
+	rs.pendMu.Lock()
+	rs.pend = append(rs.pend, op)
+	rs.pendMu.Unlock()
+
 	rs.writeMu.Lock()
-	defer rs.writeMu.Unlock()
+	if !op.applied {
+		rs.pendMu.Lock()
+		batch := rs.pend
+		rs.pend = nil
+		rs.pendMu.Unlock()
+		for _, o := range batch {
+			st.applyWriteLocked(rs, o.req, o.resp)
+			o.applied = true
+		}
+	}
+	rs.writeMu.Unlock()
+	op.req, op.resp = nil, nil
+	writeOpPool.Put(op)
+}
+
+// applyWriteLocked deduplicates and applies one validated write under
+// rs.writeMu.
+func (st *Store) applyWriteLocked(rs *regState, req *wire.Request, resp *wire.Response) {
 	var w *clientWindow
 	if req.Client != "" {
 		w = rs.applied[req.Client]
@@ -192,17 +300,19 @@ func (st *Store) write(req *wire.Request) wire.Response {
 			if stamp, ok := w.stamps[req.Seq]; ok {
 				// A retransmission of an applied write: answer with the
 				// original outcome, do not apply again.
-				return wire.Response{Stamp: stamp}
+				resp.Stamp = stamp
+				return
 			}
 			if w.evicted && req.Seq <= w.evictedMax {
 				// Beyond the window we can no longer tell a replay from a
 				// fresh-but-ancient write; refusing is the only answer
 				// that cannot double-apply.
-				return wire.Response{Err: fmt.Sprintf("stale write seq %d from client %s (dedup window passed %d)", req.Seq, req.Client, w.evictedMax)}
+				resp.Err = fmt.Sprintf("stale write seq %d from client %s (dedup window passed %d)", req.Seq, req.Client, w.evictedMax)
+				return
 			}
 		}
 	}
-	resp := wire.Response{Stamp: rs.reg.WriteStamped(string(req.Val))}
+	resp.Stamp = rs.reg.WriteStamped(string(req.Val))
 	if req.Client != "" {
 		if w == nil {
 			w = &clientWindow{stamps: make(map[uint64]int64)}
@@ -220,18 +330,26 @@ func (st *Store) write(req *wire.Request) wire.Response {
 			}
 		}
 	}
-	return resp
 }
 
-// read serves one read request.
-func (st *Store) read(req *wire.Request) wire.Response {
+// readInto serves one read request into resp, copying the value into
+// valBuf (see handle) and returning the possibly-grown buffer.
+func (st *Store) readInto(req *wire.Request, resp *wire.Response, valBuf []byte) []byte {
 	rs := st.lookup(req.Reg)
 	if rs == nil {
-		return wire.Response{Err: fmt.Sprintf("unknown register %q", req.Reg)}
+		resp.Err = fmt.Sprintf("unknown register %q", req.Reg)
+		return valBuf
 	}
 	if req.Port < 0 || req.Port >= rs.reg.Counters().Ports() {
-		return wire.Response{Err: fmt.Sprintf("port %d out of range", req.Port)}
+		resp.Err = fmt.Sprintf("port %d out of range", req.Port)
+		return valBuf
 	}
 	v, stamp := rs.reg.ReadStamped(req.Port)
-	return wire.Response{Val: json.RawMessage(v), Stamp: stamp}
+	valBuf = append(valBuf[:0], v...)
+	resp.Val = valBuf
+	resp.Stamp = stamp
+	if cap(valBuf) > maxValBuf {
+		return nil
+	}
+	return valBuf
 }

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Load tallies an open-loop load generator's view of the system: how many
+// operations the arrival process offered, how many the system actually
+// completed, and how deep the backlog between the two runs. Offered minus
+// achieved is the generator's saturation signal — in a closed-loop
+// benchmark the two are equal by construction, which is exactly why
+// closed-loop numbers flatter an overloaded server. All methods are safe
+// on a nil receiver and from any goroutine.
+type Load struct {
+	offered  atomic.Int64
+	achieved atomic.Int64
+	errors   atomic.Int64
+	queue    atomic.Int64
+	peak     atomic.Int64
+	_        [cacheLine]byte
+}
+
+// NewLoad returns an empty load tally.
+func NewLoad() *Load { return &Load{} }
+
+// Arrive tallies one offered operation entering the queue, tracking the
+// depth's high-water mark.
+//
+//bloom:waitfree
+func (l *Load) Arrive() {
+	if l == nil {
+		return
+	}
+	l.offered.Add(1)
+	n := l.queue.Add(1)
+	for {
+		p := l.peak.Load()
+		if n <= p || l.peak.CompareAndSwap(p, n) {
+			return
+		}
+	}
+}
+
+// Done tallies one completed operation leaving the queue; ok=false counts
+// it as an error as well.
+//
+//bloom:waitfree
+func (l *Load) Done(ok bool) {
+	if l == nil {
+		return
+	}
+	l.achieved.Add(1)
+	if !ok {
+		l.errors.Add(1)
+	}
+	l.queue.Add(-1)
+}
+
+// Offered returns the number of operations the arrival process generated.
+func (l *Load) Offered() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.offered.Load()
+}
+
+// Achieved returns the number of completed operations.
+func (l *Load) Achieved() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.achieved.Load()
+}
+
+// Errors returns the number of completions that failed.
+func (l *Load) Errors() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.errors.Load()
+}
+
+// QueueDepth returns the current offered-but-not-completed backlog.
+func (l *Load) QueueDepth() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.queue.Load()
+}
+
+// QueuePeak returns the backlog's high-water mark.
+func (l *Load) QueuePeak() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.peak.Load()
+}
+
+// LoadSnapshot is a point-in-time copy of a Load tally. Rates are
+// computed against the elapsed duration handed to Snapshot, since only
+// the caller knows when its measurement window opened.
+type LoadSnapshot struct {
+	Offered     int64   `json:"offered"`
+	Achieved    int64   `json:"achieved"`
+	Errors      int64   `json:"errors"`
+	QueueDepth  int64   `json:"queue_depth"`
+	QueuePeak   int64   `json:"queue_peak"`
+	OfferedPS   float64 `json:"offered_per_sec"`
+	AchievedPS  float64 `json:"achieved_per_sec"`
+	WindowSecs  float64 `json:"window_secs"`
+	Saturated   bool    `json:"saturated"`
+	BacklogFrac float64 `json:"backlog_frac"` // (offered-achieved)/offered
+}
+
+// saturatedBacklogFrac is the backlog fraction past which a window is
+// reported as saturated: the system retired less than 99% of what the
+// arrival process offered.
+const saturatedBacklogFrac = 0.01
+
+// Snapshot copies the tally's state, deriving rates over elapsed.
+func (l *Load) Snapshot(elapsed time.Duration) LoadSnapshot {
+	if l == nil {
+		return LoadSnapshot{}
+	}
+	s := LoadSnapshot{
+		Offered:    l.offered.Load(),
+		Achieved:   l.achieved.Load(),
+		Errors:     l.errors.Load(),
+		QueueDepth: l.queue.Load(),
+		QueuePeak:  l.peak.Load(),
+		WindowSecs: elapsed.Seconds(),
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		s.OfferedPS = float64(s.Offered) / secs
+		s.AchievedPS = float64(s.Achieved) / secs
+	}
+	if s.Offered > 0 {
+		s.BacklogFrac = float64(s.Offered-s.Achieved) / float64(s.Offered)
+		s.Saturated = s.BacklogFrac > saturatedBacklogFrac
+	}
+	return s
+}
+
+// WritePrometheus renders the tally in Prometheus text format:
+//
+//	loadgen_ops_total{phase="offered"|"achieved"|"error"}
+//	loadgen_queue_depth / loadgen_queue_depth_peak
+func (l *Load) WritePrometheus(out io.Writer, extra ...Label) {
+	s := l.Snapshot(0)
+	fmt.Fprintln(out, "# HELP loadgen_ops_total Open-loop operations by phase.")
+	fmt.Fprintln(out, "# TYPE loadgen_ops_total counter")
+	fmt.Fprintf(out, "loadgen_ops_total%s %d\n", promLabels(extra, "phase", "offered"), s.Offered)
+	fmt.Fprintf(out, "loadgen_ops_total%s %d\n", promLabels(extra, "phase", "achieved"), s.Achieved)
+	fmt.Fprintf(out, "loadgen_ops_total%s %d\n", promLabels(extra, "phase", "error"), s.Errors)
+	fmt.Fprintln(out, "# HELP loadgen_queue_depth Offered-but-not-completed backlog.")
+	fmt.Fprintln(out, "# TYPE loadgen_queue_depth gauge")
+	fmt.Fprintf(out, "loadgen_queue_depth%s %d\n", promLabels(extra), s.QueueDepth)
+	fmt.Fprintln(out, "# HELP loadgen_queue_depth_peak Backlog high-water mark.")
+	fmt.Fprintln(out, "# TYPE loadgen_queue_depth_peak gauge")
+	fmt.Fprintf(out, "loadgen_queue_depth_peak%s %d\n", promLabels(extra), s.QueuePeak)
+}

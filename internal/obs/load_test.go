@@ -1,0 +1,141 @@
+package obs_test
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestLoadTally(t *testing.T) {
+	l := obs.NewLoad()
+	for i := 0; i < 10; i++ {
+		l.Arrive()
+	}
+	if got := l.QueueDepth(); got != 10 {
+		t.Fatalf("QueueDepth = %d, want 10", got)
+	}
+	for i := 0; i < 7; i++ {
+		l.Done(true)
+	}
+	l.Done(false)
+	s := l.Snapshot(2 * time.Second)
+	if s.Offered != 10 || s.Achieved != 8 || s.Errors != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.QueueDepth != 2 || s.QueuePeak != 10 {
+		t.Fatalf("queue gauge = %d peak = %d, want 2 / 10", s.QueueDepth, s.QueuePeak)
+	}
+	if s.OfferedPS != 5 || s.AchievedPS != 4 {
+		t.Fatalf("rates = %v / %v, want 5 / 4", s.OfferedPS, s.AchievedPS)
+	}
+	if !s.Saturated || math.Abs(s.BacklogFrac-0.2) > 1e-9 {
+		t.Fatalf("saturation = %v backlog = %v, want saturated at 0.2", s.Saturated, s.BacklogFrac)
+	}
+}
+
+func TestLoadNilSafe(t *testing.T) {
+	var l *obs.Load
+	l.Arrive()
+	l.Done(true)
+	if l.Snapshot(time.Second) != (obs.LoadSnapshot{}) {
+		t.Fatal("nil Load snapshot not zero")
+	}
+}
+
+func TestLoadConcurrent(t *testing.T) {
+	l := obs.NewLoad()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				l.Arrive()
+				l.Done(true)
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Offered() != 8000 || l.Achieved() != 8000 || l.QueueDepth() != 0 {
+		t.Fatalf("offered %d achieved %d depth %d", l.Offered(), l.Achieved(), l.QueueDepth())
+	}
+}
+
+func TestLoadPrometheus(t *testing.T) {
+	l := obs.NewLoad()
+	l.Arrive()
+	var sb strings.Builder
+	l.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		`loadgen_ops_total{phase="offered"} 1`,
+		`loadgen_ops_total{phase="achieved"} 0`,
+		"loadgen_queue_depth 1",
+		"loadgen_queue_depth_peak 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	h := &obs.Hist{}
+	// 1000 observations at ~1µs, 10 at ~1ms: p50 in the µs bucket, p999+
+	// in the ms bucket.
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 512*time.Nanosecond || p50 > 2*time.Microsecond {
+		t.Fatalf("p50 = %v, want ~1µs", p50)
+	}
+	p999 := h.Quantile(0.999)
+	if p999 < 512*time.Microsecond || p999 > 2*time.Millisecond {
+		t.Fatalf("p999 = %v, want ~1ms", p999)
+	}
+	if q := h.Quantile(0); q > p50 {
+		t.Fatalf("q0 = %v above p50 %v", q, p50)
+	}
+	if q0, q1 := h.Quantile(0.2), h.Quantile(0.99); q0 > q1 {
+		t.Fatalf("quantiles not monotone: q(0.2)=%v > q(0.99)=%v", q0, q1)
+	}
+}
+
+func TestHistQuantileEmpty(t *testing.T) {
+	h := &obs.Hist{}
+	if q := h.Quantile(0.99); q != 0 {
+		t.Fatalf("empty hist quantile = %v, want 0", q)
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	a, b := &obs.Hist{}, &obs.Hist{}
+	for i := 0; i < 100; i++ {
+		a.Observe(time.Microsecond)
+		b.Observe(time.Millisecond)
+	}
+	var m obs.Hist
+	m.Merge(a)
+	m.Merge(b)
+	m.Merge(nil)
+	if m.Count() != 200 {
+		t.Fatalf("merged count = %d, want 200", m.Count())
+	}
+	if m.Sum() != a.Sum()+b.Sum() {
+		t.Fatalf("merged sum = %v, want %v", m.Sum(), a.Sum()+b.Sum())
+	}
+	if p50 := m.Quantile(0.5); p50 > 2*time.Microsecond {
+		t.Fatalf("merged p50 = %v, want in the µs bucket", p50)
+	}
+	if p99 := m.Quantile(0.99); p99 < 512*time.Microsecond {
+		t.Fatalf("merged p99 = %v, want in the ms bucket", p99)
+	}
+}

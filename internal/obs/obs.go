@@ -78,7 +78,10 @@ func BucketBound(i int) time.Duration {
 	return time.Duration(int64(1) << uint(i))
 }
 
-// Observe records one duration.
+// Observe records one duration. It runs on the load generator's reaper
+// goroutine once per response, so it must never block.
+//
+//bloom:waitfree
 func (h *Hist) Observe(d time.Duration) {
 	h.counts[bucketOf(d)].Add(1)
 	h.sum.Add(int64(d))
@@ -91,6 +94,29 @@ func (h *Hist) Count() int64 {
 		n += h.counts[i].Load()
 	}
 	return n
+}
+
+// Merge adds o's observations into h. Loadgen drivers record into a
+// per-connection histogram to keep the hot path free of cross-core
+// contention, then merge them into one for the quantile report.
+func (h *Hist) Merge(o *Hist) {
+	if o == nil {
+		return
+	}
+	for i := range o.counts {
+		if c := o.counts[i].Load(); c != 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.sum.Add(o.sum.Load())
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of the recorded
+// durations, linearly interpolated within the containing power-of-two
+// bucket. It is the p50/p99/p999 source for the latency-under-load
+// tables; with no observations it returns 0.
+func (h *Hist) Quantile(q float64) time.Duration {
+	return h.Snapshot().Quantile(q)
 }
 
 // Sum returns the sum of all observed durations.

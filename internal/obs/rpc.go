@@ -198,13 +198,13 @@ func (r *RPC) Snapshot() RPCSnapshot {
 			Timeouts: sh.timeouts.Load(),
 			Errors:   sh.errors.Load(),
 			Retries:  sh.retries.Load(),
-			Latency:  sh.lat.snapshot(),
+			Latency:  sh.lat.Snapshot(),
 		})
 	}
 	s.Recovery = RecoverySnapshot{
 		ReconnectOK:      r.recovery.reconnectOK.Load(),
 		ReconnectFail:    r.recovery.reconnectFail.Load(),
-		ReconnectLatency: r.recovery.reconnectLat.snapshot(),
+		ReconnectLatency: r.recovery.reconnectLat.Snapshot(),
 		BreakerOpens:     r.recovery.breakerOpens.Load(),
 		BreakerFastFails: r.recovery.breakerFastFails.Load(),
 	}

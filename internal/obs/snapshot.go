@@ -23,7 +23,54 @@ type BucketSnapshot struct {
 	Count   int64 `json:"count"`
 }
 
-func (h *Hist) snapshot() HistSnapshot {
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of the snapshotted
+// distribution, linearly interpolated within the containing bucket. The
+// power-of-two bucket layout makes every finite bucket's lower bound half
+// its upper bound; the unbounded last bucket reports its lower bound
+// (the largest claim the data supports). No observations → 0.
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for _, b := range s.Buckets {
+		prev := cum
+		cum += float64(b.Count)
+		if cum < rank {
+			continue
+		}
+		switch {
+		case b.UpperNs == 0:
+			// The +Inf bucket: its lower bound is the histogram's largest
+			// finite boundary.
+			return BucketBound(NumBuckets - 2)
+		case b.UpperNs <= 1:
+			return 0 // sub-nanosecond bucket
+		default:
+			lower := float64(b.UpperNs) / 2
+			frac := 0.0
+			if b.Count > 0 {
+				frac = (rank - prev) / float64(b.Count)
+			}
+			return time.Duration(lower + frac*(float64(b.UpperNs)-lower))
+		}
+	}
+	last := s.Buckets[len(s.Buckets)-1]
+	if last.UpperNs == 0 {
+		return BucketBound(NumBuckets - 2)
+	}
+	return time.Duration(last.UpperNs)
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Hist) Snapshot() HistSnapshot {
 	s := HistSnapshot{}
 	for i := 0; i < NumBuckets; i++ {
 		c := h.counts[i].Load()
@@ -88,16 +135,16 @@ func (o *Observer) Snapshot() Snapshot {
 			Writes:         pot + imp,
 			PotentWrites:   pot,
 			ImpotentWrites: imp,
-			WriteLatency:   w.writeLat.snapshot(),
+			WriteLatency:   w.writeLat.Snapshot(),
 			WriterReads:    fast + slow,
 			FastPathReads:  fast,
 			SlowPathReads:  slow,
-			ReadLatency:    w.wrReadLat.snapshot(),
+			ReadLatency:    w.wrReadLat.Snapshot(),
 		})
 	}
 	for j := range o.readers {
 		r := &o.readers[j]
-		h := r.readLat.snapshot()
+		h := r.readLat.Snapshot()
 		s.Readers = append(s.Readers, ReaderSnapshot{Reader: j + 1, Reads: h.Count, ReadLatency: h})
 	}
 	s.CertifyOK = o.certifyOK.Load()

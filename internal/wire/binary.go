@@ -14,9 +14,17 @@ const (
 	kindResponse = 0x81
 )
 
-// bufPool recycles frame assembly and parse buffers; steady-state encode
-// and decode allocate only what escapes the frame (names, values).
+// bufPool recycles frame parse buffers; steady-state decode allocates
+// nothing (decoded fields alias the pooled buffer, which its Reader holds
+// until the next frame).
 var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+// maxPooledBuf caps the capacity of a buffer recycled into bufPool. A
+// single large value must not permanently inflate the pool: a buffer that
+// grew past the cap while serving one oversized frame is dropped for the
+// garbage collector instead of being re-pooled, so steady-state pool
+// residency stays bounded by the cap regardless of bursts.
+const maxPooledBuf = 64 << 10
 
 // getBuf returns a pooled buffer with capacity ≥ n and length n.
 func getBuf(n int) *[]byte {
@@ -28,8 +36,14 @@ func getBuf(n int) *[]byte {
 	return b
 }
 
-// putBuf recycles a buffer obtained from getBuf.
-func putBuf(b *[]byte) { bufPool.Put(b) }
+// putBuf recycles a buffer obtained from getBuf, unless serving an
+// oversized frame grew it past maxPooledBuf.
+func putBuf(b *[]byte) {
+	if cap(*b) > maxPooledBuf {
+		return
+	}
+	bufPool.Put(b)
+}
 
 // appendRequest encodes req onto b in the binary payload layout. It is a
 // pure append — one of the hot-path leaves the static wait-free check
@@ -90,10 +104,46 @@ var (
 	errTrailingBytes       = errors.New("wire: trailing bytes after frame payload")
 )
 
+// maxInterned bounds a Reader's string-intern cache. A connection sees a
+// handful of distinct register names and client ids over and over; past
+// the bound (an adversarial peer cycling names) the cache stops growing
+// and decode falls back to a per-frame allocation.
+const maxInterned = 1024
+
+// interner caches the small strings decoded off one connection — register
+// names, client ids — so steady-state decode of a repeated name costs a
+// map probe instead of an allocation. Not safe for concurrent use; it
+// belongs to a single Reader.
+type interner struct {
+	m map[string]string
+}
+
+// intern returns a string equal to b, reusing a previously decoded one
+// when the connection has seen these bytes before. The map probe with a
+// []byte key does not allocate; only the first sight of a name does.
+//
+//bloom:waitfree
+func (in *interner) intern(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if s, ok := in.m[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if len(in.m) < maxInterned {
+		in.m[s] = s
+	}
+	return s
+}
+
 // parser walks a binary payload. Every accessor reports malformation by
-// setting err; the caller checks once at the end.
+// setting err; the caller checks once at the end. Decoded byte fields
+// ALIAS the payload (see Reader: the buffer stays valid until the next
+// frame is read); decoded name strings go through the interner.
 type parser struct {
 	p   []byte
+	in  *interner
 	err error
 }
 
@@ -139,9 +189,10 @@ func (d *parser) varint(what string) int64 {
 	return v
 }
 
-// bytes returns a copy of the next length-prefixed field: the parse buffer
-// is pooled and reused, so anything that escapes the frame must be copied
-// out of it.
+// bytes returns the next length-prefixed field WITHOUT copying: the
+// returned slice aliases the frame buffer, which the owning Reader keeps
+// stable until its next Read call. Callers that let a field outlive the
+// frame must copy it themselves (see Reader).
 func (d *parser) bytes(what string) []byte {
 	n := d.uvarint(what)
 	if d.err != nil {
@@ -154,12 +205,31 @@ func (d *parser) bytes(what string) []byte {
 	if n == 0 {
 		return nil
 	}
-	out := make([]byte, n)
-	copy(out, d.p[:n])
+	out := d.p[:n:n]
 	d.p = d.p[n:]
 	return out
 }
 
+// name decodes a length-prefixed string through the intern cache: a
+// repeated register name or client id costs a map probe, not an
+// allocation.
+func (d *parser) name(what string) string {
+	n := d.uvarint(what)
+	if d.err != nil || n > uint64(len(d.p)) {
+		d.fail(what)
+		return ""
+	}
+	b := d.p[:n]
+	d.p = d.p[n:]
+	if d.in != nil {
+		return d.in.intern(b)
+	}
+	return string(b)
+}
+
+// string decodes a length-prefixed string as a fresh allocation (free when
+// empty). Used for fields that vary per frame, like error messages, where
+// interning would only churn the cache.
 func (d *parser) string(what string) string {
 	n := d.uvarint(what)
 	if d.err != nil || n > uint64(len(d.p)) {
@@ -171,11 +241,12 @@ func (d *parser) string(what string) string {
 	return s
 }
 
-// parseRequest decodes one binary request payload into req.
+// parseRequest decodes one binary request payload into req. req.Val
+// aliases p; req.Reg and req.Client come from the intern cache.
 //
 //bloom:waitfree
-func parseRequest(p []byte, req *Request) error {
-	d := parser{p: p}
+func parseRequest(p []byte, req *Request, in *interner) error {
+	d := parser{p: p, in: in}
 	switch d.byte("kind") {
 	case kindRead:
 		req.Op = "read"
@@ -187,9 +258,9 @@ func parseRequest(p []byte, req *Request) error {
 		}
 	}
 	req.ID = d.uvarint("id")
-	req.Reg = d.string("reg")
+	req.Reg = d.name("reg")
 	req.Port = int(d.uvarint("port"))
-	req.Client = d.string("client")
+	req.Client = d.name("client")
 	req.Seq = d.uvarint("seq")
 	req.Val = d.bytes("val")
 	if d.err == nil && len(d.p) != 0 {
@@ -198,7 +269,8 @@ func parseRequest(p []byte, req *Request) error {
 	return d.err
 }
 
-// parseResponse decodes one binary response payload into resp.
+// parseResponse decodes one binary response payload into resp. resp.Val
+// aliases p.
 //
 //bloom:waitfree
 func parseResponse(p []byte, resp *Response) error {

@@ -3,11 +3,14 @@
 // that put them on a TCP stream.
 //
 // The default codec is a compact length-prefixed binary framing built for
-// throughput — one length word plus a flat field encoding, assembled in
-// sync.Pool-ed buffers and written through a bufio.Writer so a pipelined
-// batch of frames costs one syscall. The original newline-delimited JSON
-// framing survives as the JSON codec for wire-compatibility tests and
-// hand-written frames.
+// throughput — one length word plus a flat field encoding, written through
+// a bufio.Writer so a pipelined batch of frames costs one syscall. Encode
+// and decode are zero-allocation in steady state: frames are assembled in
+// a per-Writer scratch buffer reused across flushes, decoded payloads live
+// in pooled buffers each Reader holds until its next frame (decoded byte
+// fields alias them — see Reader), and repeated name strings are interned
+// per connection. The original newline-delimited JSON framing survives as
+// the JSON codec for wire-compatibility tests and hand-written frames.
 //
 // # Binary frame layout
 //
@@ -126,10 +129,24 @@ func Sniff(br *bufio.Reader) (Codec, error) {
 
 // Reader decodes frames from one connection. Not safe for concurrent use;
 // a connection has one reading goroutine.
+//
+// Binary decode is zero-allocation in steady state, which comes with an
+// ALIASING CONTRACT: the byte fields of a decoded Request or Response
+// (Val) point into a buffer the Reader reuses, and are valid only until
+// the next ReadRequest/ReadResponse call. A caller that lets a value
+// outlive the frame — handing it to another goroutine, storing it —
+// must copy it first. Name strings (Reg, Client) are interned per
+// connection and safe to retain.
 type Reader struct {
 	codec Codec
 	br    *bufio.Reader
 	dec   *json.Decoder // JSON codec only
+
+	// held is the pooled buffer backing the last decoded binary frame; it
+	// is released back to the pool when the next frame replaces it, which
+	// is what keeps the aliased fields above valid between reads.
+	held  *[]byte
+	names interner
 }
 
 // NewReader returns a frame reader over br speaking codec c.
@@ -137,6 +154,8 @@ func NewReader(c Codec, br *bufio.Reader) *Reader {
 	r := &Reader{codec: c, br: br}
 	if c == JSON {
 		r.dec = json.NewDecoder(br)
+	} else {
+		r.names.m = make(map[string]string)
 	}
 	return r
 }
@@ -187,50 +206,80 @@ func countNonSpaceBytes(b []byte) int {
 	return n
 }
 
-// ReadRequest decodes the next request frame into req.
+// ReadRequest decodes the next request frame into req. Binary-decoded
+// byte fields alias the Reader's frame buffer; see the Reader contract.
 func (r *Reader) ReadRequest(req *Request) error {
 	if r.codec == JSON {
 		*req = Request{}
 		return r.dec.Decode(req)
 	}
-	return r.readBinary(func(p []byte) error { return parseRequest(p, req) })
+	p, err := r.readBinary()
+	if err != nil {
+		return err
+	}
+	return parseRequest(p, req, &r.names)
 }
 
-// ReadResponse decodes the next response frame into resp.
+// ReadResponse decodes the next response frame into resp. Binary-decoded
+// byte fields alias the Reader's frame buffer; see the Reader contract.
 func (r *Reader) ReadResponse(resp *Response) error {
 	if r.codec == JSON {
 		*resp = Response{}
 		return r.dec.Decode(resp)
 	}
-	return r.readBinary(func(p []byte) error { return parseResponse(p, resp) })
+	p, err := r.readBinary()
+	if err != nil {
+		return err
+	}
+	return parseResponse(p, resp)
 }
 
 // readBinary reads one length-prefixed payload into a pooled buffer and
-// hands it to parse. The buffer is reused; parse must copy what escapes.
-func (r *Reader) readBinary(parse func([]byte) error) error {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
-		return err
+// returns it. The Reader holds the buffer until the NEXT readBinary call
+// releases it, so decoded fields may alias the payload between reads —
+// that deferred hand-back is what makes steady-state decode allocation
+// free.
+func (r *Reader) readBinary() ([]byte, error) {
+	if r.held != nil {
+		putBuf(r.held)
+		r.held = nil
+	}
+	// The length prefix is peeked out of bufio's own buffer rather than
+	// read into a local array: a local passed down through io.Reader
+	// escapes to the heap, and this is the per-frame hot path.
+	hdr, err := r.br.Peek(4)
+	if err != nil {
+		return nil, err
 	}
 	n := int(uint32(hdr[0])<<24 | uint32(hdr[1])<<16 | uint32(hdr[2])<<8 | uint32(hdr[3]))
+	if _, err := r.br.Discard(4); err != nil {
+		return nil, err
+	}
 	if n > MaxFrame {
-		return fmt.Errorf("wire: frame length %d exceeds limit %d (corrupt stream?)", n, MaxFrame)
+		return nil, fmt.Errorf("wire: frame length %d exceeds limit %d (corrupt stream?)", n, MaxFrame)
 	}
 	buf := getBuf(n)
-	defer putBuf(buf)
 	if _, err := io.ReadFull(r.br, (*buf)[:n]); err != nil {
-		return err
+		putBuf(buf)
+		return nil, err
 	}
-	return parse((*buf)[:n])
+	r.held = buf
+	return (*buf)[:n], nil
 }
 
 // Writer encodes frames onto one connection through a bufio.Writer. Write
 // calls buffer; nothing reaches the wire until Flush. Not safe for
 // concurrent use; a connection has one writing goroutine.
+//
+// Binary encode is zero-allocation in steady state: frames are assembled
+// in a scratch buffer the Writer reuses across flushes (shrunk back after
+// an oversized value so one large frame doesn't pin its capacity
+// forever).
 type Writer struct {
-	codec Codec
-	bw    *bufio.Writer
-	enc   *json.Encoder // JSON codec only
+	codec   Codec
+	bw      *bufio.Writer
+	enc     *json.Encoder // JSON codec only
+	scratch []byte
 }
 
 // NewWriter returns a frame writer over bw speaking codec c.
@@ -247,10 +296,8 @@ func (w *Writer) WriteRequest(req *Request) error {
 	if w.codec == JSON {
 		return w.enc.Encode(req)
 	}
-	buf := getBuf(0)
-	defer putBuf(buf)
-	*buf = appendRequest((*buf)[:0], req)
-	return w.writeFrame(*buf)
+	w.scratch = appendRequest(append(w.scratch[:0], 0, 0, 0, 0), req)
+	return w.writeScratch()
 }
 
 // WriteResponse buffers one response frame.
@@ -258,23 +305,26 @@ func (w *Writer) WriteResponse(resp *Response) error {
 	if w.codec == JSON {
 		return w.enc.Encode(resp)
 	}
-	buf := getBuf(0)
-	defer putBuf(buf)
-	*buf = appendResponse((*buf)[:0], resp)
-	return w.writeFrame(*buf)
+	w.scratch = appendResponse(append(w.scratch[:0], 0, 0, 0, 0), resp)
+	return w.writeScratch()
 }
 
-// writeFrame buffers one length prefix plus payload.
-func (w *Writer) writeFrame(payload []byte) error {
-	n := len(payload)
+// writeScratch fills in the length prefix over the scratch's 4-byte
+// placeholder and buffers the whole frame with one write (a separate
+// header write would escape its array to the heap through the io.Writer
+// interface — one of the hot path's chased-out allocations). The scratch
+// is dropped if one oversized value grew it past the steady-state cap.
+func (w *Writer) writeScratch() error {
+	n := len(w.scratch) - 4
 	if n > MaxFrame {
 		return fmt.Errorf("wire: frame length %d exceeds limit %d", n, MaxFrame)
 	}
-	hdr := [4]byte{byte(n >> 24), byte(n >> 16), byte(n >> 8), byte(n)}
-	if _, err := w.bw.Write(hdr[:]); err != nil {
-		return err
+	w.scratch[0], w.scratch[1], w.scratch[2], w.scratch[3] =
+		byte(n>>24), byte(n>>16), byte(n>>8), byte(n)
+	_, err := w.bw.Write(w.scratch)
+	if cap(w.scratch) > maxPooledBuf {
+		w.scratch = nil
 	}
-	_, err := w.bw.Write(payload)
 	return err
 }
 
