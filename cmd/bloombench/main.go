@@ -37,9 +37,19 @@
 // writes BENCH_loadgen.json. The full generator with every knob is
 // cmd/bloomload.
 //
+// With -certify, bloombench instead runs the T-certify table: a journaled
+// load-generator run checked offline as one history (internal/linz), the
+// online windowed checker shadowing an open-loop run at half peak, the
+// journal tap's hot-path overhead, the seeded faulty pipelined two-writer
+// run certified atomic online, and a synthetic non-atomic history that
+// must fail — its timeline is rendered to LINZ_violation.html. Combined
+// with -json it writes BENCH_certify.json.
+//
 // With -serve, bloombench instead runs an open-ended observed workload
 // over every substrate and serves /metrics (Prometheus text format),
-// /vars (JSON snapshots), and /debug/pprof/ on the given address.
+// /vars (JSON snapshots), /debug/linz (the online checker's live verdict
+// and, after a violation, the failed window's timeline), and
+// /debug/pprof/ on the given address.
 package main
 
 import (
@@ -77,6 +87,7 @@ func run() error {
 	faults := flag.Bool("faults", false, "run the T-fault table (faulty-link recovery) instead of the default tables")
 	netSweep := flag.Bool("net", false, "run the T-net table (wire codec × pipeline depth throughput) instead of the default tables")
 	load := flag.Bool("load", false, "run the T-load table (open-loop saturation curve) instead of the default tables")
+	certify := flag.Bool("certify", false, "run the T-certify table (journal + linearizability checking) instead of the default tables")
 	serveAddr := flag.String("serve", "", "serve /metrics, /vars, and /debug/pprof/ on this address instead of running the tables")
 	flag.Parse()
 
@@ -91,6 +102,9 @@ func run() error {
 	}
 	if *load {
 		return loadTable(*ops, *jsonOut)
+	}
+	if *certify {
+		return certifyTable(*ops, *jsonOut)
 	}
 
 	costTable(*ops)

@@ -64,6 +64,22 @@ func TestObservedScript(t *testing.T) {
 	}
 }
 
+// TestCertifyTableSmoke runs the -certify mode end to end with a tiny op
+// count: every row self-checks (the offline and online rows must certify
+// real traffic, the faulty row must certify the seeded lossy run, and
+// the violation row must catch the synthetic non-atomic history), so "no
+// error" is the whole assertion.
+func TestCertifyTableSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several timed load probes")
+	}
+	dir := t.TempDir()
+	t.Chdir(dir)
+	if err := certifyTable(50, false); err != nil {
+		t.Fatalf("certifyTable: %v", err)
+	}
+}
+
 // TestServeMux exercises the -serve handlers over httptest, without
 // binding a real socket or starting workloads.
 func TestServeMux(t *testing.T) {
@@ -72,7 +88,13 @@ func TestServeMux(t *testing.T) {
 	reg.Writer(0).Write(7)
 	_ = reg.Reader(1).Read()
 
-	srv := httptest.NewServer(newServeMux(map[string]*obs.Observer{"certifiable": ob}))
+	ls, err := newLinzSurface()
+	if err != nil {
+		t.Fatalf("newLinzSurface: %v", err)
+	}
+	defer ls.srv.Close()
+
+	srv := httptest.NewServer(newServeMux(map[string]*obs.Observer{"certifiable": ob}, ls))
 	defer srv.Close()
 
 	get := func(path string) (int, string) {
@@ -103,9 +125,25 @@ func TestServeMux(t *testing.T) {
 		}
 	}
 
+	if !strings.Contains(body, "linz_windows_total") {
+		t.Errorf("/metrics lacks the linz_windows_total series\ngot:\n%s", body)
+	}
+
 	code, body = get("/vars")
 	if code != 200 || !strings.Contains(body, `"potent_writes": 1`) {
 		t.Fatalf("/vars returned %d, body %s", code, body)
+	}
+	if !strings.Contains(body, `"linz"`) {
+		t.Errorf("/vars lacks the linz snapshot, body %s", body)
+	}
+
+	code, body = get("/debug/linz")
+	if code != 200 || !strings.Contains(body, "no violation observed") {
+		t.Fatalf("/debug/linz returned %d, body %s", code, body)
+	}
+	code, body = get("/debug/linz?demo=1")
+	if code != 200 || !strings.Contains(body, "linz violation timeline") {
+		t.Fatalf("/debug/linz?demo=1 returned %d without a rendered timeline, body %.200s", code, body)
 	}
 
 	if code, _ := get("/debug/pprof/"); code != 200 {

@@ -10,6 +10,8 @@ import (
 	"time"
 
 	atomicregister "repro"
+	"repro/internal/linz"
+	"repro/internal/netreg"
 	"repro/internal/obs"
 )
 
@@ -17,8 +19,12 @@ import (
 // exposes it live:
 //
 //	/metrics       Prometheus text format, one series set per substrate
-//	               (distinguished by a substrate label)
+//	               (distinguished by a substrate label), plus the online
+//	               linearizability checker's linz_* series
 //	/vars          the same state as expvar-style JSON snapshots
+//	/debug/linz    the online checker's live verdict; after a violation,
+//	               the failed window's interactive timeline (?demo=1
+//	               renders a synthetic violation's timeline)
 //	/debug/pprof/  the standard pprof surface, on this mux
 //	/              a plain index
 //
@@ -42,8 +48,81 @@ func serve(addr string) error {
 		}(s, ob)
 	}
 
-	fmt.Printf("serving /metrics, /vars, and /debug/pprof/ on %s\n", addr)
-	return http.ListenAndServe(addr, newServeMux(observers))
+	ls, err := newLinzSurface()
+	if err != nil {
+		return err
+	}
+	ls.start(stop)
+
+	fmt.Printf("serving /metrics, /vars, /debug/linz, and /debug/pprof/ on %s\n", addr)
+	return http.ListenAndServe(addr, newServeMux(observers, ls))
+}
+
+// linzSurface is the -serve process's live certification loop: a
+// journaled netreg server carrying continuous paced register traffic,
+// with the online windowed checker shadowing it. Its tally feeds
+// /metrics and /vars; /debug/linz shows the live verdict and renders
+// the first violating window's timeline if one ever appears.
+type linzSurface struct {
+	j      *obs.Journal
+	tally  *obs.Linz
+	online *linz.Online
+	srv    *netreg.Server
+}
+
+func newLinzSurface() (*linzSurface, error) {
+	j := obs.NewJournal()
+	st, err := netreg.NewStore("v0", 1, nil)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := netreg.Serve("127.0.0.1:0", st, netreg.WithJournal(j))
+	if err != nil {
+		return nil, err
+	}
+	tally := obs.NewLinz()
+	return &linzSurface{
+		j:     j,
+		tally: tally,
+		online: linz.NewOnline(j, linz.OnlineOptions{
+			Interval:     100 * time.Millisecond,
+			CheckTimeout: 2 * time.Second,
+			Tally:        tally,
+		}),
+		srv: srv,
+	}, nil
+}
+
+// start launches the checker and the traffic it certifies: two
+// long-lived connections doing paced writes and reads, so the linz_*
+// series move on a live dashboard without saturating the process.
+func (ls *linzSurface) start(stop <-chan struct{}) {
+	ls.online.Start()
+	for c := 0; c < 2; c++ {
+		go func(c int) {
+			cl, err := netreg.Dial[string](ls.srv.Addr(), netreg.WithTimeout(5*time.Second))
+			if err != nil {
+				return
+			}
+			defer cl.Close()
+			tick := time.NewTicker(2 * time.Millisecond)
+			defer tick.Stop()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+				}
+				if i%2 == 0 {
+					if _, err := cl.WriteErr(fmt.Sprintf("c%d-%d", c, i)); err != nil {
+						return
+					}
+				} else if _, _, err := cl.ReadErr(0); err != nil {
+					return
+				}
+			}
+		}(c)
+	}
 }
 
 // workload drives one observed register forever: two writer-readers and a
@@ -100,10 +179,10 @@ func workload(s atomicregister.Substrate, ob *atomicregister.Observer, stop <-ch
 	}
 }
 
-// newServeMux builds the observability mux over a set of named observers.
-// Split out from serve so tests can exercise the handlers without binding
-// a socket.
-func newServeMux(observers map[string]*obs.Observer) *http.ServeMux {
+// newServeMux builds the observability mux over a set of named observers
+// and the live certification surface. Split out from serve so tests can
+// exercise the handlers without binding a socket.
+func newServeMux(observers map[string]*obs.Observer, ls *linzSurface) *http.ServeMux {
 	names := make([]string, 0, len(observers))
 	for name := range observers {
 		names = append(names, name)
@@ -116,16 +195,45 @@ func newServeMux(observers map[string]*obs.Observer) *http.ServeMux {
 		for _, name := range names {
 			observers[name].WritePrometheus(w, obs.Label{Name: "substrate", Value: name})
 		}
+		ls.tally.WritePrometheus(w)
 	})
 	mux.HandleFunc("/vars", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		doc := map[string]*obs.Observer{}
+		doc := map[string]any{"linz": ls.tally.Snapshot()}
 		for _, name := range names {
 			doc[name] = observers[name]
 		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(doc)
+	})
+	mux.HandleFunc("/debug/linz", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("demo") == "1" {
+			// The synthetic violation: what a failed window looks like
+			// without having to break the register to see one.
+			rep := syntheticViolation()
+			if len(rep.Failures) > 0 {
+				w.Header().Set("Content-Type", "text/html; charset=utf-8")
+				_ = linz.RenderTimeline(&rep.Failures[0], w)
+				return
+			}
+		}
+		if f := ls.online.FirstFailure(); f != nil {
+			w.Header().Set("Content-Type", "text/html; charset=utf-8")
+			_ = linz.RenderTimeline(f, w)
+			return
+		}
+		s := ls.tally.Snapshot()
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprintln(w, "<!doctype html><meta charset=utf-8><title>linz</title>")
+		fmt.Fprintln(w, "<body style=\"font-family:monospace;background:#111;color:#ddd;padding:2em\">")
+		fmt.Fprintln(w, "<h2>online linearizability checker</h2>")
+		fmt.Fprintf(w, "<p>no violation observed.</p>")
+		fmt.Fprintf(w, "<pre>windows    ok %d / violation %d / undecided %d\n", s.WindowsOK, s.WindowsViolation, s.WindowsUndecided)
+		fmt.Fprintf(w, "checked    %d ops (%.0f ops/s of checker busy time)\n", s.OpsChecked, s.CheckedPerSec)
+		fmt.Fprintf(w, "lag        %d ops buffered, horizon %.3fs behind\n", s.LagOps, s.HorizonLagSec)
+		fmt.Fprintf(w, "shed       %d ops, %d blurred cuts, %d journal drops</pre>\n", s.ShedOps, s.BlurredCuts, s.JournalDrops)
+		fmt.Fprintln(w, "<p><a style=\"color:#8cf\" href=\"/debug/linz?demo=1\">render a synthetic violation's timeline</a></p>")
 	})
 	// The pprof surface, explicitly registered: this mux is not
 	// http.DefaultServeMux, so the net/http/pprof init() registrations
@@ -143,6 +251,7 @@ func newServeMux(observers map[string]*obs.Observer) *http.ServeMux {
 		fmt.Fprintln(w, "bloombench observability surface")
 		fmt.Fprintln(w, "  /metrics       Prometheus text format")
 		fmt.Fprintln(w, "  /vars          JSON snapshots")
+		fmt.Fprintln(w, "  /debug/linz    online linearizability verdict + timeline")
 		fmt.Fprintln(w, "  /debug/pprof/  profiling")
 	})
 	return mux

@@ -44,6 +44,8 @@ func run() error {
 	duration := flag.Duration("duration", 2*time.Second, "duration of each load step")
 	readFrac := flag.Float64("readfrac", 0.9, "fraction of operations that are reads")
 	valueBytes := flag.Int("value", 1, "write payload size in bytes")
+	vsizes := flag.String("vsizes", "", "comma-separated write payload sizes to probe as an extra axis (e.g. 16,512,4096)")
+	unique := flag.Bool("unique", false, "make every write value distinct (required for sharp certification runs)")
 	registers := flag.Int("regs", 1, "registers to spread load over (Zipf-distributed)")
 	zipfS := flag.Float64("zipf", 1.2, "Zipf skew parameter (> 1)")
 	rate := flag.Float64("rate", 0, "run a single open-loop step at this ops/sec instead of the sweep")
@@ -60,14 +62,20 @@ func run() error {
 		return err
 	}
 
+	sizes, err := parseSizes(*vsizes)
+	if err != nil {
+		return err
+	}
+
 	cfg := loadgen.Config{
-		Conns:      *conns,
-		Depth:      *depth,
-		Duration:   *duration,
-		ReadFrac:   *readFrac,
-		ValueBytes: *valueBytes,
-		ZipfS:      *zipfS,
-		Seed:       *seed,
+		Conns:        *conns,
+		Depth:        *depth,
+		Duration:     *duration,
+		ReadFrac:     *readFrac,
+		ValueBytes:   *valueBytes,
+		UniqueValues: *unique,
+		ZipfS:        *zipfS,
+		Seed:         *seed,
 	}
 	var regNames []string
 	if *registers > 1 {
@@ -119,6 +127,25 @@ func run() error {
 	}
 	fmt.Printf("\npeak achieved: %.0f ops/sec\n", peak)
 
+	var vsizeRows []loadgen.Result
+	if len(sizes) > 0 {
+		fmt.Printf("\n== value-size axis (closed-loop probes) ==\n\n")
+		fmt.Printf("%-12s %-13s %-10s %-10s %s\n", "size", "achieved/s", "p50 us", "p99 us", "p999 us")
+		for _, sz := range sizes {
+			vcfg := cfg
+			vcfg.Rate = 0
+			vcfg.ValueBytes = sz
+			r, err := loadgen.Run(vcfg)
+			if err != nil {
+				return fmt.Errorf("vsize %d: %w", sz, err)
+			}
+			r.Name = fmt.Sprintf("vsize-%d", sz)
+			vsizeRows = append(vsizeRows, r)
+			fmt.Printf("%-12s %-13.0f %-10.1f %-10.1f %.1f\n",
+				fmt.Sprintf("%dB", sz), r.Load.AchievedPS, r.P50Us, r.P99Us, r.P999Us)
+		}
+	}
+
 	var modeRows []loadgen.WorkerRow
 	if *compare && *addr == "" {
 		fmt.Printf("\n== worker-model comparison (closed-loop probes) ==\n\n")
@@ -156,6 +183,7 @@ func run() error {
 		PeakOpsPS:    peak,
 		Steps:        steps,
 		WorkerModels: modeRows,
+		VSizes:       vsizeRows,
 	}
 	if err := doc.WriteFile("BENCH_loadgen.json"); err != nil {
 		return err
@@ -202,6 +230,23 @@ func probeMode(cfg loadgen.Config, regNames []string, workers int, combine bool)
 		OpsPerSec: r.Load.AchievedPS,
 		P99Us:     r.P99Us,
 	}, nil
+}
+
+// parseSizes parses the -vsizes flag ("16,512,4096").
+func parseSizes(s string) ([]int, error) {
+	var sizes []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad value size %q", part)
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes, nil
 }
 
 // parseFracs parses the -sweep flag ("0.5,0.75,1.0").

@@ -22,6 +22,7 @@ var selfhostPkgs = []string{
 	"repro/internal/wire",
 	"repro/internal/netreg",
 	"repro/internal/loadgen",
+	"repro/internal/linz",
 }
 
 func TestSelfHost(t *testing.T) {

@@ -1,0 +1,55 @@
+package linz
+
+import "math/bits"
+
+// bitset is a fixed-capacity bit vector indexed by an operation's position
+// inside one segment. The DFS uses it as the "already linearized" set, and
+// the memo cache uses (bitset, register value) pairs as state identity.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)>>6) }
+
+func (b bitset) set(i int)      { b[i>>6] |= 1 << (uint(i) & 63) }
+func (b bitset) unset(i int)    { b[i>>6] &^= 1 << (uint(i) & 63) }
+func (b bitset) has(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+func (b bitset) equal(o bitset) bool {
+	if len(b) != len(o) {
+		return false
+	}
+	for i, w := range b {
+		if w != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// hash folds the words FNV-1a style; collisions are resolved by equal in
+// the memo bucket, so the quality only affects bucket spread.
+func (b bitset) hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, w := range b {
+		h ^= w
+		h *= prime64
+	}
+	return h
+}

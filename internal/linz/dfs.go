@@ -1,0 +1,249 @@
+package linz
+
+import (
+	"sort"
+	"time"
+)
+
+// The segment search is the Wing–Gong linearizability DFS in the
+// iterative, entry-list formulation used by Lowe and by Porcupine: the
+// segment's calls and returns form a doubly-linked list in time order;
+// the candidates to linearize next are exactly the calls before the
+// first return; linearizing an op "lifts" its two entries out of the
+// list, failing forward to the next candidate and backtracking when a
+// return is reached with nothing left to try. A memo cache of
+// (linearized-set, register-value) states prunes re-exploration after
+// backtracking.
+
+// entry is one call or return event in the segment's time-ordered list.
+type entry struct {
+	prev, next *entry
+	// match links a call to its return; nil on returns. "Is a call" is
+	// exactly "match != nil".
+	match *entry
+	op    int
+	time  int64
+	ret   bool
+}
+
+// bestTrackCap bounds the segment size for which the search snapshots its
+// deepest partial linearization (the basis of violation highlighting).
+// Each new depth record costs a bitset clone; beyond this size the clones
+// would dominate, and no timeline would render that many ops anyway.
+const bestTrackCap = 4096
+
+type segResult struct {
+	verdict Verdict
+	states  int64
+	// best flags, per segment op, the deepest partial linearization found
+	// before declaring violation; nil when untracked or not a violation.
+	best []bool
+}
+
+// checkSegment searches one quiescent segment. init may be unknown; a
+// first read then commits the register to the value it observes (sound:
+// it can only make more histories pass, and any accepted history is
+// witnessed by a real linearization).
+func checkSegment(ops []Op, init Value, deadline time.Time, cacheBytes int) segResult {
+	n := len(ops)
+	entries := make([]entry, 0, 2*n)
+	required := 0
+	for i, op := range ops {
+		if op.Pending() && op.Kind == Read {
+			// A pending read constrains nothing: nobody saw its value.
+			continue
+		}
+		entries = append(entries, entry{op: i, time: op.Inv})
+		entries = append(entries, entry{op: i, time: op.Res, ret: true})
+		if !op.Pending() {
+			required++
+		}
+	}
+	if required == 0 {
+		return segResult{verdict: Ok, states: 1}
+	}
+	// Time order, calls before returns at the same instant: ops that
+	// merely touch (A.Res == B.Inv) are concurrent under the strict
+	// precedence order, so B must already be a candidate when A's return
+	// is reached.
+	idx := make([]*entry, len(entries))
+	for i := range entries {
+		idx[i] = &entries[i]
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if idx[a].time != idx[b].time {
+			return idx[a].time < idx[b].time
+		}
+		return !idx[a].ret && idx[b].ret
+	})
+	head := &entry{}
+	prev := head
+	for _, e := range idx {
+		prev.next = e
+		e.prev = prev
+		prev = e
+	}
+	// Link calls to returns (two entries per surviving op).
+	rets := make([]*entry, n)
+	for i := range entries {
+		if entries[i].ret {
+			rets[entries[i].op] = &entries[i]
+		}
+	}
+	for i := range entries {
+		if !entries[i].ret {
+			entries[i].match = rets[entries[i].op]
+		}
+	}
+
+	type frame struct {
+		e       *entry
+		prevVal Value
+	}
+	var (
+		lin       = newBitset(n)
+		val       = init
+		remaining = required
+		stack     = make([]frame, 0, required)
+		memo      = newMemo(cacheBytes)
+		memoOn    = false // lazily enabled at first backtrack: a straight-line success never reads it
+		states    int64
+		best      bitset
+		bestN     = -1
+		track     = n <= bestTrackCap
+	)
+	ent := head.next
+	for {
+		if remaining == 0 {
+			return segResult{verdict: Ok, states: states}
+		}
+		states++
+		if states&1023 == 0 && !deadline.IsZero() && time.Now().After(deadline) {
+			return segResult{verdict: Undecided, states: states}
+		}
+		if ent == nil || ent.match == nil {
+			// Return entry (or list exhausted): nothing else can
+			// linearize here. Backtrack.
+			if len(stack) == 0 {
+				r := segResult{verdict: Violation, states: states}
+				if track && best != nil {
+					r.best = make([]bool, n)
+					for i := range r.best {
+						r.best[i] = best.has(i)
+					}
+				} else if track {
+					r.best = make([]bool, n)
+				}
+				return r
+			}
+			memoOn = true
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			val = f.prevVal
+			lin.unset(f.e.op)
+			if !ops[f.e.op].Pending() {
+				remaining++
+			}
+			unlift(f.e)
+			ent = f.e.next
+			continue
+		}
+		op := ops[ent.op]
+		nv, legal := step(val, op)
+		if legal {
+			lin.set(ent.op)
+			if memo.visit(lin, nv, memoOn) {
+				// Commit: this op linearizes here.
+				stack = append(stack, frame{e: ent, prevVal: val})
+				val = nv
+				if !op.Pending() {
+					remaining--
+				}
+				if track && required-remaining > bestN {
+					bestN = required - remaining
+					best = lin.clone()
+				}
+				lift(ent)
+				ent = head.next
+				continue
+			}
+			lin.unset(ent.op)
+		}
+		ent = ent.next
+	}
+}
+
+// step applies one operation to the register model.
+func step(v Value, op Op) (Value, bool) {
+	if op.Kind == Write {
+		return Value{Known: true, V: op.Val}, true
+	}
+	if !v.Known {
+		return Value{Known: true, V: op.Val}, true
+	}
+	return v, v.V == op.Val
+}
+
+// lift removes an op's call and return entries from the list.
+func lift(call *entry) {
+	call.prev.next = call.next
+	if call.next != nil {
+		call.next.prev = call.prev
+	}
+	ret := call.match
+	ret.prev.next = ret.next
+	if ret.next != nil {
+		ret.next.prev = ret.prev
+	}
+}
+
+// unlift reinserts what lift removed, in reverse order.
+func unlift(call *entry) {
+	ret := call.match
+	ret.prev.next = ret
+	if ret.next != nil {
+		ret.next.prev = ret
+	}
+	call.prev.next = call
+	if call.next != nil {
+		call.next.prev = call
+	}
+}
+
+// memo is the visited-state cache: open-addressed on the bitset hash with
+// per-bucket chains, byte-budgeted. Over budget it stops remembering —
+// the search then degrades to plain DFS under the deadline.
+type memo struct {
+	m      map[uint64][]memoEnt
+	bytes  int
+	budget int
+}
+
+type memoEnt struct {
+	lin bitset
+	val Value
+}
+
+func newMemo(budget int) *memo {
+	return &memo{m: make(map[uint64][]memoEnt), budget: budget}
+}
+
+// visit reports whether the state is new. With store=false it only
+// consults the cache (the pre-first-backtrack regime, where nothing ever
+// re-visits); with store=true new states are remembered, budget allowing.
+func (c *memo) visit(lin bitset, val Value, store bool) bool {
+	h := lin.hash() ^ (val.V * 0x9e3779b97f4a7c15)
+	if val.Known {
+		h ^= 0x5851f42d4c957f2d
+	}
+	for _, e := range c.m[h] {
+		if e.val == val && e.lin.equal(lin) {
+			return false
+		}
+	}
+	if store && c.bytes < c.budget {
+		c.m[h] = append(c.m[h], memoEnt{lin: lin.clone(), val: val})
+		c.bytes += len(lin)*8 + 48
+	}
+	return true
+}

@@ -1,0 +1,152 @@
+package linz_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/atomicity"
+	"repro/internal/history"
+	"repro/internal/linz"
+)
+
+// The differential oracle: internal/atomicity's exhaustive Wing–Gong
+// checker, which this package must agree with on every history small
+// enough for both. The contract is asymmetric because linz's windowed
+// value threading is sound but deliberately not sharp (a blurred cut
+// may mask a violation, never invent one):
+//
+//   - atomicity says linearizable  ⇒ linz says Ok;
+//   - linz says Violation          ⇒ atomicity says not linearizable;
+//   - no cut was blurred           ⇒ the verdicts agree exactly.
+
+// diffMaxOps caps decoded histories: small enough that the exhaustive
+// checker is instant, large enough to exercise multi-segment cutting.
+const diffMaxOps = 12
+
+// decodeDiffHistory turns arbitrary bytes into one small single-register
+// history expressed in both checkers' vocabularies. Three bytes per
+// operation: kind and client, value, interval geometry. Times land in a
+// small range so operations genuinely overlap, and a value alphabet of
+// five (including the initial value 0) makes read aliasing common.
+func decodeDiffHistory(data []byte) ([]history.Op[uint64], []linz.Op) {
+	var (
+		hops []history.Op[uint64]
+		lops []linz.Op
+	)
+	for i := 0; i+2 < len(data) && len(lops) < diffMaxOps; i += 3 {
+		a, b, c := data[i], data[i+1], data[i+2]
+		inv := int64(c % 40)
+		res := inv + int64(a>>4)%6 + 1
+		if b&0x80 != 0 {
+			res = history.PendingSeq // == linz.PendingRes
+		}
+		val := uint64(b % 5)
+		client := uint32(a>>1) % 4
+		hop := history.Op[uint64]{
+			ID:   len(hops),
+			Proc: history.ProcID(client),
+			Inv:  inv,
+			Res:  res,
+		}
+		lop := linz.Op{Inv: inv, Res: res, Val: val, Client: client, Kind: linz.Read}
+		if a&1 == 1 {
+			hop.IsWrite = true
+			hop.Arg = val
+			lop.Kind = linz.Write
+		} else {
+			hop.Ret = val
+		}
+		hops = append(hops, hop)
+		lops = append(lops, lop)
+	}
+	return hops, lops
+}
+
+// checkAgreement runs both checkers on one decoded history and enforces
+// the contract above.
+func checkAgreement(t *testing.T, hops []history.Op[uint64], lops []linz.Op) {
+	t.Helper()
+	res, err := atomicity.Check(hops, 0)
+	if err != nil {
+		t.Fatalf("oracle refused a %d-op history: %v", len(hops), err)
+	}
+	rep := linz.CheckKey("k", linz.Value{Known: true, V: 0}, lops,
+		linz.Options{Timeout: 30 * time.Second, Parallel: 1})
+	if rep.Verdict == linz.Undecided {
+		t.Fatalf("undecided on %d ops with a 30s budget: %v", len(lops), lops)
+	}
+	if res.Linearizable && rep.Verdict != linz.Ok {
+		t.Fatalf("linz rejected a linearizable history (%v, blurred=%d):\n%v\noracle witness %v",
+			rep.Verdict, rep.Blurred, lops, res.Order)
+	}
+	if !res.Linearizable && rep.Verdict == linz.Ok && rep.Blurred == 0 {
+		t.Fatalf("linz passed a non-linearizable history with no blurred cut:\n%v", lops)
+	}
+}
+
+// diffCorpus seeds both the quick test and the fuzz target: hand-picked
+// byte strings that decode to the shapes that have broken register
+// checkers before (stale read, new/old inversion, pending writes racing
+// reads, all-concurrent pileups).
+var diffCorpus = [][]byte{
+	{0x01, 0x01, 0x00, 0x00, 0x01, 0x05},                                     // write then stale read of init
+	{0x11, 0x01, 0x00, 0x13, 0x02, 0x04, 0x00, 0x02, 0x08, 0x02, 0x01, 0x10}, // racing writes, trailing reads
+	{0x01, 0x81, 0x00, 0x00, 0x01, 0x05},                                     // pending write, read of its value
+	{0x31, 0x03, 0x00, 0x00, 0x03, 0x14, 0x00, 0x00, 0x20},                   // read far after a write
+	{0x51, 0x02, 0x05, 0x51, 0x04, 0x05, 0x50, 0x02, 0x06, 0x50, 0x04, 0x06}, // same-interval pileup
+}
+
+// TestLinzAgainstExhaustiveQuick drives the differential contract over a
+// deterministic random corpus, so every `go test` run re-proves
+// agreement without the fuzzer. Histories span one to diffMaxOps
+// operations with heavy overlap; blur and multi-segment cuts both occur
+// (asserted below, so the corpus cannot silently go stale).
+func TestLinzAgainstExhaustiveQuick(t *testing.T) {
+	for _, seed := range diffCorpus {
+		hops, lops := decodeDiffHistory(seed)
+		checkAgreement(t, hops, lops)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	iters := 4000
+	if testing.Short() {
+		iters = 400
+	}
+	var sawViolation, sawMultiOp bool
+	for i := 0; i < iters; i++ {
+		data := make([]byte, 3*(1+rng.Intn(diffMaxOps)))
+		rng.Read(data)
+		hops, lops := decodeDiffHistory(data)
+		res, err := atomicity.Check(hops, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Linearizable {
+			sawViolation = true
+		}
+		if len(lops) > 4 {
+			sawMultiOp = true
+		}
+		checkAgreement(t, hops, lops)
+	}
+	if !sawViolation || !sawMultiOp {
+		t.Fatalf("corpus went stale: violations=%v multi-op=%v", sawViolation, sawMultiOp)
+	}
+}
+
+// FuzzLinzAgainstExhaustive lets the fuzzer hunt for disagreement
+// between the windowed checker and the exhaustive oracle (run in CI's
+// fuzz step alongside the other targets).
+func FuzzLinzAgainstExhaustive(f *testing.F) {
+	for _, seed := range diffCorpus {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		hops, lops := decodeDiffHistory(data)
+		if len(lops) == 0 {
+			return
+		}
+		checkAgreement(t, hops, lops)
+	})
+}

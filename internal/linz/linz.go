@@ -1,0 +1,498 @@
+// Package linz checks register histories for linearizability at
+// production scale. It is the big sibling of internal/atomicity: where
+// that package exhaustively searches toy histories (≤ 64 ops) over typed
+// values, linz takes the millions of hashed operation records that
+// obs.Journal captures from live netreg traffic and returns a verdict in
+// seconds.
+//
+// Three ideas make that tractable:
+//
+//   - Partitioning (P-compositionality, Horn & Kroening): a history over
+//     many registers is linearizable iff its per-register projections are.
+//     Each register key is checked independently, in parallel.
+//
+//   - Quiescent-cut segmenting: inside one key, any instant that no
+//     operation spans splits the history into segments that can be checked
+//     one after another, threading the register value across the cut when
+//     it is forced (exactly one write can be last). Real traffic is full
+//     of such cuts, so the expensive search only ever sees short segments.
+//     When the carried value is not forced (two overlapping writes with no
+//     later read to disambiguate) the next segment starts from an unknown
+//     value — still sound, never inventing a violation, and the blur is
+//     counted so certification reports can say how sharp the check was.
+//
+//   - Memoized bitset DFS (Wing & Gong via Lowe's and Porcupine's
+//     formulation): within a segment, depth-first search over "which op
+//     linearizes next", with the linearized set kept as a bitset and a
+//     cache of (bitset, value) states already proven dead ends. The cache
+//     is byte-budgeted and the search deadline-bounded; running out of
+//     either yields Undecided, never a wrong verdict.
+//
+// The register model allows an unknown initial value (the checker may
+// join a run mid-stream): the first linearized read of a segment with
+// unknown value commits the register to the value it observed. Pending
+// operations (invoked, never returned) are handled as in the literature:
+// pending reads impose no constraint and are dropped; pending writes may
+// linearize anywhere after their invocation or not at all.
+package linz
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies an operation.
+type Kind uint8
+
+const (
+	// Read observed Op.Val.
+	Read Kind = iota + 1
+	// Write stored Op.Val.
+	Write
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	}
+	return "?"
+}
+
+// PendingRes is the Res of an operation that was invoked but never
+// returned (client crashed, run was cut short). It orders after every
+// real timestamp.
+const PendingRes = int64(math.MaxInt64)
+
+// Op is one operation in a single register's history. Timestamps are
+// monotonic nanoseconds on one clock (journal time); Op A precedes Op B
+// iff A.Res < B.Inv, strictly — ops sharing an instant are concurrent.
+type Op struct {
+	// Inv and Res bracket the operation. Res is PendingRes if it never
+	// returned; otherwise Inv ≤ Res.
+	Inv, Res int64
+	// Val is the value hash written or observed (obs.HashVal for journal
+	// histories). Equal values must hash equal; collisions can only mask
+	// a violation, never invent one.
+	Val uint64
+	// Client identifies the issuing client: one timeline lane. A single
+	// client's ops must not overlap.
+	Client uint32
+	// Kind is Read or Write.
+	Kind Kind
+}
+
+// Pending reports whether the operation never returned.
+func (o Op) Pending() bool { return o.Res == PendingRes }
+
+// Value is a register value that may be unknown (checker joined
+// mid-stream, or a blurred cut). A read against an unknown value commits
+// the register to the value read.
+type Value struct {
+	Known bool
+	V     uint64
+}
+
+// Verdict is a checker outcome. The int values are the contract with
+// obs.Linz.Window.
+type Verdict int
+
+const (
+	// Ok: the history is linearizable.
+	Ok Verdict = iota
+	// Violation: the history is provably not linearizable.
+	Violation
+	// Undecided: the checker ran out of time or memo budget before
+	// reaching a verdict. Never returned when a violation was found.
+	Undecided
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Ok:
+		return "ok"
+	case Violation:
+		return "violation"
+	case Undecided:
+		return "undecided"
+	}
+	return fmt.Sprintf("verdict(%d)", int(v))
+}
+
+// merge combines per-key verdicts: a violation anywhere decides the whole
+// history; otherwise any undecided key leaves it undecided.
+func (v Verdict) merge(o Verdict) Verdict {
+	if v == Violation || o == Violation {
+		return Violation
+	}
+	if v == Undecided || o == Undecided {
+		return Undecided
+	}
+	return Ok
+}
+
+// History is a multi-register history under construction. Not safe for
+// concurrent mutation; build it from one goroutine (or see
+// Online, which owns its collection loop).
+type History struct {
+	keys map[string]*keyHist
+}
+
+type keyHist struct {
+	init Value
+	ops  []Op
+}
+
+// NewHistory returns an empty history.
+func NewHistory() *History {
+	return &History{keys: make(map[string]*keyHist)}
+}
+
+// SetInit declares register key's initial value. Without it the checker
+// starts the key from an unknown value (sound, slightly weaker).
+func (h *History) SetInit(key string, val uint64) {
+	h.kh(key).init = Value{Known: true, V: val}
+}
+
+// Add appends one operation to register key's history, in any order.
+func (h *History) Add(key string, op Op) {
+	kh := h.kh(key)
+	kh.ops = append(kh.ops, op)
+}
+
+func (h *History) kh(key string) *keyHist {
+	kh := h.keys[key]
+	if kh == nil {
+		kh = &keyHist{}
+		h.keys[key] = kh
+	}
+	return kh
+}
+
+// Len returns the total number of operations across all keys.
+func (h *History) Len() int {
+	n := 0
+	for _, kh := range h.keys {
+		n += len(kh.ops)
+	}
+	return n
+}
+
+// Keys returns the register names present, sorted.
+func (h *History) Keys() []string {
+	keys := make([]string, 0, len(h.keys))
+	for k := range h.keys {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Options tunes a check. The zero value is ready to use.
+type Options struct {
+	// Timeout bounds the whole check's wall time; keys not finished when
+	// it expires come back Undecided. Zero means no limit.
+	Timeout time.Duration
+	// Parallel is the number of keys checked concurrently. Zero means
+	// GOMAXPROCS.
+	Parallel int
+	// CacheBytes budgets each segment search's memo cache. Zero means
+	// DefaultCacheBytes. When the budget is exhausted the search keeps
+	// running without memoizing new states, bounded by Timeout.
+	CacheBytes int
+}
+
+// DefaultCacheBytes is the per-segment memo budget: large enough that
+// only adversarial segments ever hit it.
+const DefaultCacheBytes = 64 << 20
+
+// Failure describes one key's linearizability violation: the offending
+// segment and, for segments small enough to track, the deepest partial
+// linearization the search reached — the ops outside it are the ones that
+// cannot be explained.
+type Failure struct {
+	// Key is the violating register.
+	Key string
+	// Init is the register value entering the segment.
+	Init Value
+	// Ops is the offending segment, sorted by invocation time.
+	Ops []Op
+	// Linearized flags, per op in Ops, membership in the deepest partial
+	// linearization found. Nil when the segment was too large to track
+	// (bestTrackCap).
+	Linearized []bool
+	// Reason is a one-line human explanation.
+	Reason string
+}
+
+// Culprits returns the indices (into Ops) of completed operations outside
+// the deepest partial linearization — the ops to highlight. Empty when
+// tracking was off.
+func (f *Failure) Culprits() []int {
+	if f.Linearized == nil {
+		return nil
+	}
+	var c []int
+	for i, ok := range f.Linearized {
+		if !ok && !f.Ops[i].Pending() {
+			c = append(c, i)
+		}
+	}
+	return c
+}
+
+// Report is a completed check.
+type Report struct {
+	Verdict Verdict
+	// Ops and Keys size the checked history.
+	Ops  int
+	Keys int
+	// Segments counts quiescent-cut segments across all keys; Blurred
+	// counts segments entered with an unknown (unforced) value.
+	Segments int
+	Blurred  int
+	// States counts DFS states explored (segment fast paths count one).
+	States int64
+	// Elapsed is the check's wall time.
+	Elapsed time.Duration
+	// Failures holds one Failure per violating key.
+	Failures []Failure
+	// UndecidedKeys lists keys that hit the time or memo budget.
+	UndecidedKeys []string
+	// Finals maps each Ok key to the register value it holds after the
+	// history (forced value, or unknown): the seed for a follow-on
+	// window's SetInit when chaining checks.
+	Finals map[string]Value
+}
+
+// Check decides whether the history is linearizable. It always returns a
+// report; the Verdict is Undecided only if the budget ran out first.
+func Check(h *History, o Options) *Report {
+	start := time.Now()
+	var deadline time.Time
+	if o.Timeout > 0 {
+		deadline = start.Add(o.Timeout)
+	}
+	cacheBytes := o.CacheBytes
+	if cacheBytes <= 0 {
+		cacheBytes = DefaultCacheBytes
+	}
+	workers := o.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	keys := h.Keys()
+	results := make([]keyResult, len(keys))
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(keys) {
+					return
+				}
+				results[i] = checkKey(keys[i], h.keys[keys[i]], deadline, cacheBytes)
+			}
+		}()
+	}
+	wg.Wait()
+
+	rep := &Report{Verdict: Ok, Keys: len(keys), Ops: h.Len(), Finals: make(map[string]Value, len(keys))}
+	for i, r := range results {
+		rep.Verdict = rep.Verdict.merge(r.verdict)
+		rep.Segments += r.segments
+		rep.Blurred += r.blurred
+		rep.States += r.states
+		switch r.verdict {
+		case Ok:
+			rep.Finals[keys[i]] = r.final
+		case Violation:
+			rep.Failures = append(rep.Failures, *r.failure)
+		case Undecided:
+			rep.UndecidedKeys = append(rep.UndecidedKeys, keys[i])
+		}
+	}
+	rep.Elapsed = time.Since(start)
+	return rep
+}
+
+// CheckKey checks a single register's history with a known-or-unknown
+// initial value — the convenient form for tests and differential runs.
+func CheckKey(key string, init Value, ops []Op, o Options) *Report {
+	h := NewHistory()
+	if init.Known {
+		h.SetInit(key, init.V)
+	}
+	for _, op := range ops {
+		h.Add(key, op)
+	}
+	return Check(h, o)
+}
+
+type keyResult struct {
+	verdict  Verdict
+	segments int
+	blurred  int
+	states   int64
+	failure  *Failure
+	final    Value
+}
+
+// checkKey runs one register's history: sort, cut at quiescent points,
+// thread the value across cuts, search each segment.
+func checkKey(key string, kh *keyHist, deadline time.Time, cacheBytes int) keyResult {
+	res := keyResult{verdict: Ok}
+	ops := make([]Op, 0, len(kh.ops))
+	for _, op := range kh.ops {
+		// A pending read constrains nothing and would fuse everything
+		// after its invocation into one segment; drop it up front.
+		if op.Pending() && op.Kind == Read {
+			continue
+		}
+		ops = append(ops, op)
+	}
+	sort.SliceStable(ops, func(i, j int) bool {
+		if ops[i].Inv != ops[j].Inv {
+			return ops[i].Inv < ops[j].Inv
+		}
+		return ops[i].Res < ops[j].Res
+	})
+
+	val := kh.init
+	for start := 0; start < len(ops); {
+		// Grow the segment until a quiescent cut: an instant after
+		// ops[end-1]'s whole prefix has returned and strictly before the
+		// next invocation. Pending ops have Res = PendingRes, so a segment
+		// containing one runs to the end of the history.
+		end := start + 1
+		maxRes := ops[start].Res
+		for end < len(ops) && ops[end].Inv <= maxRes {
+			if ops[end].Res > maxRes {
+				maxRes = ops[end].Res
+			}
+			end++
+		}
+		seg := ops[start:end]
+		res.segments++
+		if start > 0 && !val.Known {
+			res.blurred++
+		}
+
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			res.verdict = res.verdict.merge(Undecided)
+			return res
+		}
+
+		if len(seg) == 1 {
+			// Fast path: a lone op needs no search. This is the common
+			// case by far in low-concurrency traffic.
+			res.states++
+			op := seg[0]
+			switch {
+			case op.Kind == Write && op.Pending():
+				// May or may not take effect — but it spans the rest of
+				// the history, so this is the final segment either way.
+				val = Value{}
+			case op.Kind == Write:
+				val = Value{Known: true, V: op.Val}
+			case op.Pending():
+				// Pending read: no constraint.
+			case !val.Known:
+				val = Value{Known: true, V: op.Val}
+			case val.V != op.Val:
+				res.verdict = Violation
+				res.failure = buildFailure(key, val, seg, []bool{false})
+				return res
+			}
+			start = end
+			continue
+		}
+
+		sr := checkSegment(seg, val, deadline, cacheBytes)
+		res.states += sr.states
+		switch sr.verdict {
+		case Violation:
+			res.verdict = Violation
+			res.failure = buildFailure(key, val, seg, sr.best)
+			return res
+		case Undecided:
+			res.verdict = res.verdict.merge(Undecided)
+			return res
+		}
+		val = carriedValue(seg, val)
+		start = end
+	}
+	res.final = val
+	return res
+}
+
+// carriedValue computes the register value leaving a linearizable
+// segment. It is forced exactly when at most one write can linearize
+// last: the last write of any linearization is maximal (no other write
+// invoked after it returned), so a unique maximal write — and no pending
+// write, which is always maximal — pins the value. No writes at all carry
+// the incoming value through.
+func carriedValue(seg []Op, in Value) Value {
+	maxWriteInv := int64(math.MinInt64)
+	writes := 0
+	for _, op := range seg {
+		if op.Kind == Write {
+			writes++
+			if op.Inv > maxWriteInv {
+				maxWriteInv = op.Inv
+			}
+		}
+	}
+	if writes == 0 {
+		return in
+	}
+	var last Op
+	maximal := 0
+	for _, op := range seg {
+		if op.Kind == Write && op.Res >= maxWriteInv {
+			maximal++
+			last = op
+		}
+	}
+	if maximal == 1 && !last.Pending() {
+		return Value{Known: true, V: last.Val}
+	}
+	return Value{}
+}
+
+// buildFailure assembles a Failure from a violating segment and the
+// search's deepest partial linearization (nil when untracked).
+func buildFailure(key string, init Value, seg []Op, best []bool) *Failure {
+	f := &Failure{
+		Key:        key,
+		Init:       init,
+		Ops:        append([]Op(nil), seg...),
+		Linearized: best,
+	}
+	reason := "no valid linearization of the segment exists"
+	for _, i := range f.Culprits() {
+		op := f.Ops[i]
+		if op.Kind == Read {
+			reason = fmt.Sprintf("read by client %d observed value %#x, which no linearization of the surrounding writes can produce at that point", op.Client, op.Val)
+		} else {
+			reason = fmt.Sprintf("write of %#x by client %d cannot be placed anywhere in its invocation window", op.Val, op.Client)
+		}
+		break
+	}
+	f.Reason = reason
+	return f
+}

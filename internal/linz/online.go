@@ -1,0 +1,289 @@
+package linz
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Online continuously certifies live traffic: a background goroutine
+// drains an obs.Journal on a fixed cadence, cuts each register's stream
+// at per-key quiescent points below the journal horizon, and checks each
+// window with the partitioned checker. Windows chain: the forced register
+// value leaving one window seeds the next (blurring, soundly, when two
+// overlapping writes leave it unforced), so the concatenated windows
+// certify the same thing one big offline check would.
+//
+// The checker never pushes back on traffic. If it cannot keep up, the
+// uncheckable backlog is shed — counted, and the affected registers'
+// carried values blurred — in preference to stalling the journal rings
+// into dropping records at random.
+type Online struct {
+	j *obs.Journal
+	o OnlineOptions
+
+	stop chan struct{}
+	done chan struct{}
+
+	// pend buffers drained-but-not-yet-checkable ops per journal key id.
+	pend map[uint32][]Op
+	// carry threads each register's forced value across windows.
+	carry map[string]Value
+
+	checkedThrough int64
+
+	mu      sync.Mutex
+	started bool
+	stopped bool
+	first   *Failure
+	reports int64
+}
+
+// OnlineOptions tunes an Online checker. The zero value is ready to use.
+type OnlineOptions struct {
+	// Interval is the drain-and-check cadence. Default 50ms.
+	Interval time.Duration
+	// CheckTimeout bounds each window's check; an expiry yields an
+	// undecided window (and blurs the carried values). Default 2×Interval.
+	CheckTimeout time.Duration
+	// MaxPending caps the buffered uncheckable backlog in ops; beyond it
+	// the oldest ops are shed. Default 1 << 20.
+	MaxPending int
+	// Parallel and CacheBytes pass through to Options.
+	Parallel   int
+	CacheBytes int
+	// Tally, when set, receives verdicts, shed counts and lag gauges.
+	Tally *obs.Linz
+	// OnViolation, when set, is called (from the checker goroutine) with
+	// each violating window's report.
+	OnViolation func(*Report)
+}
+
+// NewOnline returns a checker over j. Call Start for the background
+// loop, or drive Step directly (tests, offline drains).
+func NewOnline(j *obs.Journal, o OnlineOptions) *Online {
+	if o.Interval <= 0 {
+		o.Interval = 50 * time.Millisecond
+	}
+	if o.CheckTimeout <= 0 {
+		o.CheckTimeout = 2 * o.Interval
+	}
+	if o.MaxPending <= 0 {
+		o.MaxPending = 1 << 20
+	}
+	return &Online{
+		j:     j,
+		o:     o,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+		pend:  make(map[uint32][]Op),
+		carry: make(map[string]Value),
+	}
+}
+
+// Start launches the background loop.
+func (ol *Online) Start() {
+	ol.mu.Lock()
+	defer ol.mu.Unlock()
+	if ol.started {
+		return
+	}
+	ol.started = true
+	go func() {
+		defer close(ol.done)
+		t := time.NewTicker(ol.o.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ol.stop:
+				// Final sweep: with all sources closed the horizon is
+				// unbounded, so everything left gets checked.
+				ol.Step()
+				return
+			case <-t.C:
+				ol.Step()
+			}
+		}
+	}()
+}
+
+// Stop ends the loop after one final drain-and-check sweep and waits for
+// it. Close the journal's sources first so the final horizon is
+// unbounded and no tail goes unchecked.
+func (ol *Online) Stop() {
+	ol.mu.Lock()
+	if !ol.started || ol.stopped {
+		started := ol.started
+		ol.stopped = true
+		ol.mu.Unlock()
+		if started {
+			<-ol.done
+		}
+		return
+	}
+	ol.stopped = true
+	ol.mu.Unlock()
+	close(ol.stop)
+	<-ol.done
+}
+
+// SetInit seeds a register's carried value (the value it holds before
+// any journaled op). Without it the first window starts unknown.
+func (ol *Online) SetInit(key string, val uint64) {
+	ol.carry[key] = Value{Known: true, V: val}
+}
+
+// FirstFailure returns the first violating window's failure, if any.
+func (ol *Online) FirstFailure() *Failure {
+	ol.mu.Lock()
+	defer ol.mu.Unlock()
+	return ol.first
+}
+
+// Windows returns how many windows have been checked.
+func (ol *Online) Windows() int64 {
+	ol.mu.Lock()
+	defer ol.mu.Unlock()
+	return ol.reports
+}
+
+// Step runs one drain-and-check round. It is the loop body of Start and
+// must not be called concurrently with a started checker.
+func (ol *Online) Step() {
+	horizon := ol.j.Horizon()
+	for _, s := range ol.j.Sources() {
+		s.Drain(func(r obs.Rec) {
+			if r.Flags != 0 {
+				return // refused or dedup-replayed op: no fresh effect
+			}
+			kind := Read
+			if r.Kind == obs.JWrite {
+				kind = Write
+			}
+			ol.pend[r.Key] = append(ol.pend[r.Key], Op{
+				Inv: r.Inv, Res: r.Res, Val: r.Val, Client: r.Client, Kind: kind,
+			})
+		})
+	}
+
+	// Cut each key's stream at its last quiescent point below the
+	// horizon: everything before the cut is a complete prefix of that
+	// register's history (in-flight and future ops all have Inv ≥
+	// horizon), so it can be checked now and never revisited.
+	h := NewHistory()
+	windowOps := 0
+	for kid, ops := range ol.pend {
+		sort.SliceStable(ops, func(i, j int) bool { return ops[i].Inv < ops[j].Inv })
+		cut := 0
+		maxRes := int64(math.MinInt64)
+		for i, op := range ops {
+			if maxRes < op.Inv && maxRes < horizon {
+				cut = i
+			}
+			if op.Res > maxRes {
+				maxRes = op.Res
+			}
+		}
+		if maxRes < horizon {
+			cut = len(ops)
+		}
+		if cut == 0 {
+			ol.pend[kid] = ops
+			continue
+		}
+		key := ol.j.KeyName(kid)
+		if v, ok := ol.carry[key]; ok && v.Known {
+			h.SetInit(key, v.V)
+		}
+		for _, op := range ops[:cut] {
+			h.Add(key, op)
+		}
+		windowOps += cut
+		ol.pend[kid] = append(ops[:0:0], ops[cut:]...)
+	}
+
+	if windowOps > 0 {
+		start := time.Now()
+		rep := Check(h, Options{
+			Timeout:    ol.o.CheckTimeout,
+			Parallel:   ol.o.Parallel,
+			CacheBytes: ol.o.CacheBytes,
+		})
+		took := time.Since(start)
+		ol.o.Tally.Window(int(rep.Verdict), rep.Ops, took)
+		for i := 0; i < rep.Blurred; i++ {
+			ol.o.Tally.BlurredCut()
+		}
+		// Thread forced values into the next window; anything disputed
+		// (violation) or unfinished (undecided) restarts unknown.
+		for k, v := range rep.Finals {
+			ol.carry[k] = v
+		}
+		for _, f := range rep.Failures {
+			ol.carry[f.Key] = Value{}
+		}
+		for _, k := range rep.UndecidedKeys {
+			ol.carry[k] = Value{}
+		}
+		if rep.Verdict == Violation {
+			ol.mu.Lock()
+			if ol.first == nil {
+				f := rep.Failures[0]
+				ol.first = &f
+			}
+			ol.mu.Unlock()
+			if ol.o.OnViolation != nil {
+				ol.o.OnViolation(rep)
+			}
+		}
+		ol.mu.Lock()
+		ol.reports++
+		ol.mu.Unlock()
+		ol.checkedThrough = horizon
+	}
+
+	ol.shed()
+
+	backlog := ol.j.Backlog()
+	for _, ops := range ol.pend {
+		backlog += len(ops)
+	}
+	lag := time.Duration(0)
+	if ol.checkedThrough > 0 {
+		if now := ol.j.Now(); now > ol.checkedThrough {
+			lag = time.Duration(now - ol.checkedThrough)
+		}
+	}
+	ol.o.Tally.SetLag(backlog, lag, ol.j.Drops())
+}
+
+// shed drops the oldest buffered ops when the uncheckable backlog
+// exceeds MaxPending — the affected registers' carried values blur, and
+// the shed ops are counted, but the journal rings stay drained and the
+// checker stays current.
+func (ol *Online) shed() {
+	total := 0
+	for _, ops := range ol.pend {
+		total += len(ops)
+	}
+	if total <= ol.o.MaxPending {
+		return
+	}
+	keep := ol.o.MaxPending / 2
+	shed := 0
+	for kid, ops := range ol.pend {
+		want := 0
+		if total > 0 {
+			want = len(ops) * keep / total
+		}
+		if want < len(ops) {
+			shed += len(ops) - want
+			ol.pend[kid] = append(ops[:0:0], ops[len(ops)-want:]...)
+			ol.carry[ol.j.KeyName(kid)] = Value{}
+		}
+	}
+	ol.o.Tally.Shed(shed)
+}

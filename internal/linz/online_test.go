@@ -1,0 +1,225 @@
+package linz
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestOnlineCleanStream(t *testing.T) {
+	j := obs.NewJournal()
+	tally := obs.NewLinz()
+	ol := NewOnline(j, OnlineOptions{Tally: tally})
+	ol.SetInit("x", 0)
+
+	a, b := j.Source(), j.Source()
+	kx := a.KeyID("x")
+	if b.KeyID("x") != kx {
+		t.Fatal("key ids diverged across sources")
+	}
+	const n = 200
+	var last uint64
+	var total int
+	for i := 0; i < n; i++ {
+		inv := j.Now()
+		a.Begin(inv)
+		last = uint64(i + 1)
+		a.Record(obs.Rec{Inv: inv, Res: j.Now() + 1, Key: kx, Kind: obs.JWrite, Val: last})
+		inv = j.Now() + 2
+		b.Begin(inv)
+		b.Record(obs.Rec{Inv: inv, Res: j.Now() + 3, Key: kx, Kind: obs.JRead, Val: last})
+		total += 2
+		if i%50 == 0 {
+			ol.Step()
+		}
+	}
+	a.Close()
+	b.Close()
+	ol.Step()
+
+	s := tally.Snapshot()
+	if s.WindowsViolation != 0 || s.WindowsUndecided != 0 {
+		t.Fatalf("clean stream produced verdicts %d/%d/%d (failure: %+v)",
+			s.WindowsOK, s.WindowsViolation, s.WindowsUndecided, ol.FirstFailure())
+	}
+	if s.WindowsOK == 0 || s.OpsChecked != int64(total) {
+		t.Fatalf("ok windows = %d, ops checked = %d (want all %d)", s.WindowsOK, s.OpsChecked, total)
+	}
+	if ol.FirstFailure() != nil {
+		t.Fatalf("unexpected failure: %+v", ol.FirstFailure())
+	}
+}
+
+// TestOnlineThreadsValueAcrossWindows certifies that a window's forced
+// register value seeds the next: the stale read is only convictable if
+// the earlier window's write carried over.
+func TestOnlineThreadsValueAcrossWindows(t *testing.T) {
+	j := obs.NewJournal()
+	tally := obs.NewLinz()
+	var fired atomic.Int64
+	ol := NewOnline(j, OnlineOptions{
+		Tally:       tally,
+		OnViolation: func(*Report) { fired.Add(1) },
+	})
+	ol.SetInit("x", 0)
+
+	s := j.Source()
+	kx := s.KeyID("x")
+	const far = int64(1) << 40
+	s.Begin(far + 10)
+	s.Record(obs.Rec{Inv: far + 10, Res: far + 20, Key: kx, Kind: obs.JWrite, Val: 1})
+	s.Begin(far + 50) // next op in flight: horizon moves past the write
+	ol.Step()
+	if got := tally.Snapshot().WindowsOK; got != 1 {
+		t.Fatalf("first window: ok windows = %d, want 1", got)
+	}
+
+	// The read observes 2, but the carried value says this register
+	// quiescently holds 1 and nothing else was written.
+	s.Record(obs.Rec{Inv: far + 50, Res: far + 60, Key: kx, Kind: obs.JRead, Val: 2})
+	s.Close()
+	ol.Step()
+
+	if ol.FirstFailure() == nil {
+		t.Fatal("stale read across windows not caught: carry broken")
+	}
+	if f := ol.FirstFailure(); f.Key != "x" || len(f.Ops) != 1 || f.Ops[0].Kind != Read {
+		t.Fatalf("failure = %+v, want the lone stale read on x", f)
+	}
+	if fired.Load() != 1 {
+		t.Fatalf("OnViolation fired %d times, want 1", fired.Load())
+	}
+	if tally.Violations() != 1 {
+		t.Fatalf("tally violations = %d, want 1", tally.Violations())
+	}
+}
+
+func TestOnlineErrRecordsSkipped(t *testing.T) {
+	j := obs.NewJournal()
+	ol := NewOnline(j, OnlineOptions{})
+	ol.SetInit("x", 0)
+	s := j.Source()
+	kx := s.KeyID("x")
+	const far = int64(1) << 40
+	// A refused write must not count as having taken effect.
+	s.Record(obs.Rec{Inv: far + 10, Res: far + 20, Key: kx, Kind: obs.JWrite, Val: 9, Flags: obs.JErr})
+	s.Record(obs.Rec{Inv: far + 30, Res: far + 40, Key: kx, Kind: obs.JRead, Val: 0})
+	s.Close()
+	ol.Step()
+	if f := ol.FirstFailure(); f != nil {
+		t.Fatalf("errored write was checked as effective: %+v", f)
+	}
+	if ol.Windows() != 1 {
+		t.Fatalf("windows = %d, want 1", ol.Windows())
+	}
+}
+
+func TestOnlineShedsBacklog(t *testing.T) {
+	j := obs.NewJournal()
+	tally := obs.NewLinz()
+	ol := NewOnline(j, OnlineOptions{Tally: tally, MaxPending: 16})
+	s := j.Source()
+	kx := s.KeyID("x")
+	const far = int64(1) << 40
+	// All ops overlap one in-flight op pinning the horizon below them:
+	// nothing is checkable, the backlog grows, shedding must kick in.
+	s.Begin(far)
+	for i := int64(0); i < 100; i++ {
+		s.Record(obs.Rec{Inv: far + 10 + i, Res: far + 1000 + i, Key: kx, Kind: obs.JWrite, Val: uint64(i)})
+		s.Begin(far) // keep the horizon pinned at far
+	}
+	ol.Step()
+	snap := tally.Snapshot()
+	if snap.ShedOps == 0 {
+		t.Fatal("backlog over MaxPending was not shed")
+	}
+	pending := 0
+	for _, ops := range ol.pend {
+		pending += len(ops)
+	}
+	if pending > 16 {
+		t.Fatalf("pend after shed = %d, want ≤ MaxPending", pending)
+	}
+	if snap.WindowsViolation != 0 {
+		t.Fatal("shedding must not manufacture verdicts")
+	}
+}
+
+func TestOnlineStartStop(t *testing.T) {
+	j := obs.NewJournal()
+	tally := obs.NewLinz()
+	ol := NewOnline(j, OnlineOptions{Interval: time.Millisecond, Tally: tally})
+	ol.Start()
+	ol.Start() // idempotent
+
+	s := j.Source()
+	kx := s.KeyID("x")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var last uint64
+		for i := 0; i < 2000; i++ {
+			inv := j.Now()
+			s.Begin(inv)
+			kind := obs.JWrite
+			if i%2 == 1 {
+				kind = obs.JRead
+			} else {
+				last = uint64(i)
+			}
+			s.Record(obs.Rec{Inv: inv, Res: j.Now() + 1, Key: kx, Kind: kind, Val: last})
+		}
+		s.Close()
+	}()
+	<-done
+	ol.Stop()
+	ol.Stop() // idempotent
+
+	snap := tally.Snapshot()
+	if snap.WindowsViolation != 0 {
+		t.Fatalf("clean run violated: %+v", ol.FirstFailure())
+	}
+	if snap.OpsChecked != 2000 {
+		t.Fatalf("ops checked = %d, want 2000 (final sweep must catch the tail)", snap.OpsChecked)
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	ops := []Op{
+		wr(0, 1, 0, 60_000),
+		wr(1, 2, 50_000, 90_000),
+		rd(2, 2, 80_000, 110_000),
+		rd(3, 1, 100_000, 130_000),
+	}
+	rep := CheckKey("x", known(0), ops, Options{})
+	if rep.Verdict != Violation {
+		t.Fatalf("setup: verdict = %v", rep.Verdict)
+	}
+	var sb strings.Builder
+	if err := RenderTimeline(&rep.Failures[0], &sb); err != nil {
+		t.Fatal(err)
+	}
+	html := sb.String()
+	for _, want := range []string{
+		"<!doctype html>",
+		"client 3",
+		`"culprit":true`,
+		`"lin":true`,
+		"const DATA =",
+		"addEventListener('wheel'",
+		"register <span",
+	} {
+		if !strings.Contains(html, want) {
+			t.Fatalf("timeline missing %q", want)
+		}
+	}
+	if strings.Contains(html, "</script></script>") {
+		t.Fatal("script layout broken")
+	}
+	if err := RenderTimeline(nil, &sb); err == nil {
+		t.Fatal("nil failure must error")
+	}
+}

@@ -1,0 +1,276 @@
+package linz
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// RenderTimeline writes a self-contained interactive HTML page
+// visualizing a violating window: one lane per client, a bar per
+// operation spanning invocation→response, the ops that no linearization
+// can explain highlighted in red, the deepest partial linearization the
+// search found in green. Wheel zooms, drag pans, hovering an op shows
+// its details. The page embeds everything — no external assets — so the
+// file written on a failed certification is a portable, clickable repro.
+func RenderTimeline(f *Failure, w io.Writer) error {
+	if f == nil {
+		return fmt.Errorf("linz: no failure to render")
+	}
+	type vizOp struct {
+		Lane    int    `json:"lane"`
+		Kind    string `json:"kind"`
+		Val     string `json:"val"`
+		Inv     int64  `json:"inv"`
+		Res     int64  `json:"res"`
+		Pending bool   `json:"pending"`
+		Culprit bool   `json:"culprit"`
+		Lin     bool   `json:"lin"`
+	}
+	type vizDoc struct {
+		Key     string   `json:"key"`
+		Reason  string   `json:"reason"`
+		Init    string   `json:"init"`
+		Clients []string `json:"clients"`
+		Span    int64    `json:"span"`
+		Ops     []vizOp  `json:"ops"`
+	}
+
+	clients := map[uint32]int{}
+	var order []uint32
+	for _, op := range f.Ops {
+		if _, ok := clients[op.Client]; !ok {
+			clients[op.Client] = 0
+			order = append(order, op.Client)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for i, c := range order {
+		clients[c] = i
+	}
+
+	t0 := int64(0)
+	tEnd := int64(1)
+	for i, op := range f.Ops {
+		if i == 0 || op.Inv < t0 {
+			t0 = op.Inv
+		}
+		if !op.Pending() && op.Res > tEnd {
+			tEnd = op.Res
+		}
+		if op.Inv > tEnd {
+			tEnd = op.Inv
+		}
+	}
+
+	culprit := map[int]bool{}
+	for _, i := range f.Culprits() {
+		culprit[i] = true
+	}
+
+	doc := vizDoc{
+		Key:    f.Key,
+		Reason: f.Reason,
+		Init:   "unknown",
+		Span:   tEnd - t0,
+	}
+	if f.Init.Known {
+		doc.Init = fmt.Sprintf("%#x", f.Init.V)
+	}
+	for _, c := range order {
+		doc.Clients = append(doc.Clients, fmt.Sprintf("client %d", c))
+	}
+	for i, op := range f.Ops {
+		v := vizOp{
+			Lane:    clients[op.Client],
+			Kind:    op.Kind.String(),
+			Val:     fmt.Sprintf("%#x", op.Val),
+			Inv:     op.Inv - t0,
+			Res:     op.Res - t0,
+			Pending: op.Pending(),
+			Culprit: culprit[i],
+		}
+		if v.Pending {
+			v.Res = tEnd - t0
+		}
+		if f.Linearized != nil && f.Linearized[i] {
+			v.Lin = true
+		}
+		doc.Ops = append(doc.Ops, v)
+	}
+
+	// encoding/json escapes <, > and & by default, so the payload cannot
+	// break out of the <script> element.
+	data, err := json.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, timelineHead); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "<script>const DATA = %s;\n", data); err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, timelineScript)
+	return err
+}
+
+const timelineHead = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>linz violation timeline</title>
+<style>
+  body { margin: 0; font: 13px/1.5 system-ui, sans-serif; background: #13151a; color: #e8e8ec; }
+  header { padding: 14px 20px 10px; border-bottom: 1px solid #2a2e38; }
+  header h1 { margin: 0 0 4px; font-size: 16px; }
+  header .reason { color: #ff7b72; }
+  header .meta { color: #8b919e; font-size: 12px; }
+  #wrap { position: relative; overflow: hidden; }
+  svg { display: block; cursor: grab; user-select: none; }
+  svg:active { cursor: grabbing; }
+  .lane-label { fill: #8b919e; font-size: 11px; }
+  .lane-line { stroke: #232732; }
+  .axis text { fill: #8b919e; font-size: 10px; }
+  .axis line { stroke: #2a2e38; }
+  .op rect { rx: 3; }
+  .op text { font-size: 10px; pointer-events: none; }
+  .op.w rect  { fill: #2f5e9e; }
+  .op.r rect  { fill: #3a4150; }
+  .op.lin rect { stroke: #3fb950; stroke-width: 1.5; }
+  .op.culprit rect { fill: #8e2430; stroke: #ff7b72; stroke-width: 2; }
+  .op text { fill: #dfe3ea; }
+  #tip { position: absolute; display: none; background: #1d212b; border: 1px solid #3a4150;
+         padding: 6px 9px; border-radius: 5px; pointer-events: none; font-size: 12px; z-index: 2; }
+  #tip b { color: #79b8ff; }
+  #tip.culprit b { color: #ff7b72; }
+  .legend { padding: 8px 20px; color: #8b919e; font-size: 12px; }
+  .legend span { margin-right: 16px; }
+  .chip { display: inline-block; width: 10px; height: 10px; border-radius: 2px; margin-right: 4px; vertical-align: -1px; }
+</style>
+</head>
+<body>
+<header>
+  <h1>Linearizability violation &mdash; register <span id="key"></span></h1>
+  <div class="reason" id="reason"></div>
+  <div class="meta" id="meta"></div>
+</header>
+<div class="legend">
+  <span><span class="chip" style="background:#2f5e9e"></span>write</span>
+  <span><span class="chip" style="background:#3a4150"></span>read</span>
+  <span><span class="chip" style="background:#3a4150;border:1.5px solid #3fb950"></span>deepest valid prefix</span>
+  <span><span class="chip" style="background:#8e2430;border:2px solid #ff7b72"></span>cannot linearize</span>
+  <span style="float:right">wheel: zoom &middot; drag: pan &middot; hover: details</span>
+</div>
+<div id="wrap"><div id="tip"></div></div>
+`
+
+const timelineScript = `
+const W = Math.max(document.documentElement.clientWidth, 640);
+const LANE_H = 34, TOP = 28, LEFT = 86, RIGHT = 16;
+const H = TOP + DATA.clients.length * LANE_H + 14;
+const wrap = document.getElementById('wrap');
+const tip = document.getElementById('tip');
+document.getElementById('key').textContent = DATA.key;
+document.getElementById('reason').textContent = DATA.reason;
+document.getElementById('meta').textContent =
+  DATA.ops.length + ' ops · ' + DATA.clients.length + ' clients · window ' +
+  fmtNs(DATA.span) + ' · initial value ' + DATA.init;
+
+const svg = document.createElementNS('http://www.w3.org/2000/svg', 'svg');
+svg.setAttribute('width', W); svg.setAttribute('height', H);
+wrap.appendChild(svg);
+
+// view = [t_left, t_right] in window-ns
+let view = [ -DATA.span * 0.02, DATA.span * 1.02 ];
+if (DATA.span <= 0) view = [-1, 1];
+
+function x(t) { return LEFT + (t - view[0]) / (view[1] - view[0]) * (W - LEFT - RIGHT); }
+function fmtNs(ns) {
+  if (ns >= 1e9) return (ns / 1e9).toFixed(2) + ' s';
+  if (ns >= 1e6) return (ns / 1e6).toFixed(2) + ' ms';
+  if (ns >= 1e3) return (ns / 1e3).toFixed(1) + ' µs';
+  return ns + ' ns';
+}
+
+function el(name, attrs, parent) {
+  const e = document.createElementNS('http://www.w3.org/2000/svg', name);
+  for (const k in attrs) e.setAttribute(k, attrs[k]);
+  (parent || svg).appendChild(e);
+  return e;
+}
+
+function render() {
+  svg.textContent = '';
+  // lanes
+  DATA.clients.forEach((c, i) => {
+    const y = TOP + i * LANE_H + LANE_H / 2;
+    const t = el('text', { x: 8, y: y + 4, 'class': 'lane-label' });
+    t.textContent = c;
+    el('line', { x1: LEFT, y1: y, x2: W - RIGHT, y2: y, 'class': 'lane-line' });
+  });
+  // axis ticks: ~8 round steps
+  const span = view[1] - view[0];
+  const step = Math.pow(10, Math.floor(Math.log10(span / 8)));
+  const mult = span / 8 / step > 5 ? 5 : span / 8 / step > 2 ? 2 : 1;
+  const tick = step * mult;
+  const g = el('g', { 'class': 'axis' });
+  for (let t = Math.ceil(view[0] / tick) * tick; t <= view[1]; t += tick) {
+    const px = x(t);
+    if (px < LEFT || px > W - RIGHT) continue;
+    el('line', { x1: px, y1: TOP - 12, x2: px, y2: H - 10 }, g);
+    const lbl = el('text', { x: px + 3, y: TOP - 14 }, g);
+    lbl.textContent = fmtNs(t);
+  }
+  // ops
+  DATA.ops.forEach((op, i) => {
+    const x0 = x(op.inv), x1 = Math.max(x(op.res), x0 + 2);
+    if (x1 < LEFT || x0 > W - RIGHT) return;
+    const y = TOP + op.lane * LANE_H + 6;
+    const cls = 'op ' + (op.kind === 'write' ? 'w' : 'r') +
+      (op.culprit ? ' culprit' : op.lin ? ' lin' : '');
+    const grp = el('g', { 'class': cls });
+    el('rect', { x: x0, y: y, width: x1 - x0, height: LANE_H - 14 }, grp);
+    if (x1 - x0 > 46) {
+      const t = el('text', { x: x0 + 5, y: y + 14 }, grp);
+      t.textContent = (op.kind === 'write' ? 'W ' : 'R ') + op.val + (op.pending ? ' …' : '');
+    }
+    grp.addEventListener('mousemove', ev => {
+      tip.style.display = 'block';
+      tip.className = op.culprit ? 'culprit' : '';
+      tip.innerHTML = '<b>' + op.kind + ' ' + op.val + (op.pending ? ' (pending)' : '') + '</b><br>' +
+        DATA.clients[op.lane] + '<br>inv ' + fmtNs(op.inv) + ' → res ' +
+        (op.pending ? 'never' : fmtNs(op.res)) +
+        (op.culprit ? '<br>⚠ cannot be linearized' : op.lin ? '<br>in deepest valid prefix' : '');
+      tip.style.left = Math.min(ev.clientX + 14, W - 220) + 'px';
+      tip.style.top = (ev.clientY + 14) + 'px';
+    });
+    grp.addEventListener('mouseleave', () => { tip.style.display = 'none'; });
+  });
+}
+
+svg.addEventListener('wheel', ev => {
+  ev.preventDefault();
+  const span = view[1] - view[0];
+  const f = ev.deltaY > 0 ? 1.2 : 1 / 1.2;
+  const pivot = view[0] + (ev.offsetX - LEFT) / (W - LEFT - RIGHT) * span;
+  view = [ pivot - (pivot - view[0]) * f, pivot + (view[1] - pivot) * f ];
+  render();
+}, { passive: false });
+
+let drag = null;
+svg.addEventListener('mousedown', ev => { drag = { x: ev.clientX, view: [...view] }; });
+window.addEventListener('mousemove', ev => {
+  if (!drag) return;
+  const dt = (drag.x - ev.clientX) / (W - LEFT - RIGHT) * (drag.view[1] - drag.view[0]);
+  view = [drag.view[0] + dt, drag.view[1] + dt];
+  render();
+});
+window.addEventListener('mouseup', () => { drag = null; });
+
+render();
+</script>
+</body>
+</html>
+`

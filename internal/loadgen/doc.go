@@ -28,6 +28,9 @@ type BenchDoc struct {
 	PeakOpsPS    float64     `json:"peak_achieved_ops_per_sec"`
 	Steps        []Result    `json:"sweep"`
 	WorkerModels []WorkerRow `json:"worker_models,omitempty"`
+	// VSizes is the value-size axis: one closed-loop peak probe per write
+	// payload size (rows named "vsize-<bytes>").
+	VSizes []Result `json:"value_size_sweep,omitempty"`
 }
 
 // WriteFile marshals the document to path with a trailing newline.

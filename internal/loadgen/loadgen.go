@@ -34,6 +34,7 @@ import (
 	"math/rand"
 	"net"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -76,6 +77,13 @@ type Config struct {
 	// ValueBytes is the write payload size: a JSON string of this many
 	// bytes (default 1).
 	ValueBytes int
+	// UniqueValues makes every write value distinct: a per-connection tag
+	// and counter lead the payload. Certification runs need this — with
+	// one constant value every read trivially matches every write and a
+	// linearizability checker can prove almost nothing. The tag sits at
+	// the front of the payload, inside the journal's value-hash window;
+	// payloads too short to hold it grow to fit.
+	UniqueValues bool
 	// Seed makes the arrival schedule and op mix reproducible.
 	Seed int64
 }
@@ -238,12 +246,19 @@ func (cn *lgConn) drive(cfg Config, epoch time.Time, load *obs.Load, seed int64)
 		zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(cfg.Regs)-1))
 	}
 
-	val := make([]byte, 0, cfg.ValueBytes+2)
+	val := make([]byte, 0, cfg.ValueBytes+24)
 	val = append(val, '"')
 	for i := 0; i < cfg.ValueBytes; i++ {
 		val = append(val, 'x')
 	}
 	val = append(val, '"')
+	var (
+		uniqueTag []byte
+		uniqueCtr uint64
+	)
+	if cfg.UniqueValues {
+		uniqueTag = []byte(fmt.Sprintf("u%x-", uint64(seed)))
+	}
 	readReq := wire.Request{Op: "read"}
 	writeReq := wire.Request{Op: "write", Val: val}
 
@@ -288,6 +303,19 @@ func (cn *lgConn) drive(cfg Config, epoch time.Time, load *obs.Load, seed int64)
 		req := &readReq
 		if rng.Float64() >= cfg.ReadFrac {
 			req = &writeReq
+			if uniqueTag != nil {
+				// Rebuild the payload in place: quote, tag, counter, pad.
+				// The wire writer copies the bytes out before returning,
+				// so the buffer is free again by the next iteration.
+				val = append(val[:1], uniqueTag...)
+				val = strconv.AppendUint(val, uniqueCtr, 16)
+				uniqueCtr++
+				for len(val) < cfg.ValueBytes+1 {
+					val = append(val, 'x')
+				}
+				val = append(val, '"')
+				writeReq.Val = val
+			}
 		}
 		if zipf != nil {
 			req.Reg = cfg.Regs[zipf.Uint64()]

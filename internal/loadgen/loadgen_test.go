@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/loadgen"
 	"repro/internal/netreg"
+	"repro/internal/obs"
 )
 
 // startServer hosts regs registers (the default plus named ones) on a
@@ -125,6 +126,58 @@ func TestZipfMultiRegister(t *testing.T) {
 		}
 		if n > hot {
 			t.Fatalf("reg%d saw %d writes, more than the hottest register's %d", i, n, hot)
+		}
+	}
+}
+
+// TestUniqueValues checks the certification mode: with UniqueValues set
+// every write carries a distinct payload, and the distinction survives
+// the journal's value hash (the tag is placed inside the hash window),
+// so two different writes can never alias in a linearizability check.
+func TestUniqueValues(t *testing.T) {
+	j := obs.NewJournal()
+	st, err := netreg.NewStore("x", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := netreg.Serve("127.0.0.1:0", st, netreg.WithJournal(j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := loadgen.Run(loadgen.Config{
+		Addr:         srv.Addr(),
+		Conns:        2,
+		Depth:        32,
+		Duration:     200 * time.Millisecond,
+		ReadFrac:     0, // writes only, so every journal record is a write
+		ValueBytes:   4, // shorter than the tag: the payload must grow to fit
+		UniqueValues: true,
+		Seed:         5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+
+	seen := make(map[uint64]int)
+	writes := 0
+	for _, s := range j.Sources() {
+		s.Drain(func(rec obs.Rec) {
+			if rec.Kind != obs.JWrite || rec.Flags&obs.JErr != 0 {
+				return
+			}
+			writes++
+			seen[rec.Val]++
+		})
+	}
+	// The run can outpace the ring; dropped records are tallied, so
+	// journaled + dropped must account for every achieved write.
+	if writes == 0 || int64(writes)+int64(j.Drops()) != r.Load.Achieved {
+		t.Fatalf("journaled %d + dropped %d writes, achieved %d", writes, j.Drops(), r.Load.Achieved)
+	}
+	for h, n := range seen {
+		if n > 1 {
+			t.Fatalf("value hash %#x journaled %d times; unique-value writes aliased", h, n)
 		}
 	}
 }

@@ -60,6 +60,7 @@ type ServeOption func(*serveConfig)
 type serveConfig struct {
 	wire    *obs.Wire
 	workers int
+	journal *obs.Journal
 }
 
 // WithServerWire attaches a transport tally to the server: frames and
@@ -92,6 +93,7 @@ func WithWorkers(n int) ServeOption {
 type Server struct {
 	st      *Store
 	ws      *obs.Wire
+	jnl     *obs.Journal
 	workers int
 
 	mu       sync.Mutex
@@ -127,6 +129,7 @@ func Serve(addr string, st *Store, opts ...ServeOption) (*Server, error) {
 	s := &Server{
 		st:      st,
 		ws:      cfg.wire,
+		jnl:     cfg.journal,
 		workers: cfg.workers,
 		ln:      ln,
 		conns:   make(map[net.Conn]struct{}),
@@ -203,10 +206,15 @@ func (s *Server) serve(conn net.Conn) {
 	}
 	rd := wire.NewReader(codec, br)
 	wr := wire.NewWriter(codec, bw)
+	var tap *connTap
+	if s.jnl != nil {
+		tap = newConnTap(s.jnl)
+		defer tap.close()
+	}
 	if s.workers == 0 {
-		s.serveInline(rd, wr)
+		s.serveInline(rd, wr, tap)
 	} else {
-		s.serveWorkers(rd, wr, s.workers)
+		s.serveWorkers(rd, wr, s.workers, tap)
 	}
 }
 
@@ -218,7 +226,10 @@ func (s *Server) serve(conn net.Conn) {
 // is empty and the flush fires). The request, the response value buffer,
 // and the encoder scratch are all reused across iterations: the loop
 // allocates nothing in steady state.
-func (s *Server) serveInline(rd *wire.Reader, wr *wire.Writer) {
+// The journal tap (WithJournal) brackets the handle call: one clock read
+// and one atomic store on each side when enabled, a single nil check when
+// not.
+func (s *Server) serveInline(rd *wire.Reader, wr *wire.Writer, tap *connTap) {
 	var (
 		req    wire.Request
 		resp   wire.Response
@@ -235,7 +246,13 @@ func (s *Server) serveInline(rd *wire.Reader, wr *wire.Writer) {
 			return // client went away (or sent garbage; drop the link)
 		}
 		s.ws.FrameIn()
-		valBuf = s.st.handle(&req, &resp, valBuf)
+		if tap == nil {
+			valBuf = s.st.handle(&req, &resp, valBuf)
+		} else {
+			inv := tap.beginInline()
+			valBuf = s.st.handle(&req, &resp, valBuf)
+			tap.recordInline(&req, &resp, inv)
+		}
 		if err := wr.WriteResponse(&resp); err != nil {
 			return
 		}
@@ -272,15 +289,21 @@ func putReq(cp *wire.Request) {
 // serializes on a per-connection mutex; the worker that retires the last
 // in-flight request flushes, which batches a pipelined burst's responses
 // the way the inline model's buffered-request check does.
-func (s *Server) serveWorkers(rd *wire.Reader, wr *wire.Writer, n int) {
+// With a journal tap, invocations are stamped on the (sequential) decode
+// goroutine and completions recorded through the tap's gate, which keeps
+// the horizon sound despite out-of-order completion (see connTap).
+func (s *Server) serveWorkers(rd *wire.Reader, wr *wire.Writer, n int, tap *connTap) {
 	var (
 		wmu      sync.Mutex
 		inflight atomic.Int64
 		wg       sync.WaitGroup
 	)
-	handleOne := func(req *wire.Request, valBuf []byte) []byte {
+	handleOne := func(req *wire.Request, valBuf []byte, inv, handle int64) []byte {
 		var resp wire.Response
 		valBuf = s.st.handle(req, &resp, valBuf)
+		if tap != nil {
+			tap.recordGated(req, &resp, inv, handle)
+		}
 		wmu.Lock()
 		if err := wr.WriteResponse(&resp); err == nil {
 			s.ws.FrameOut()
@@ -296,17 +319,21 @@ func (s *Server) serveWorkers(rd *wire.Reader, wr *wire.Writer, n int) {
 		return valBuf
 	}
 
-	var work chan *wire.Request
+	type workItem struct {
+		req         *wire.Request
+		inv, handle int64
+	}
+	var work chan workItem
 	if n > 0 {
-		work = make(chan *wire.Request, n)
+		work = make(chan workItem, n)
 		for i := 0; i < n; i++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				var valBuf []byte
-				for req := range work {
-					valBuf = handleOne(req, valBuf)
-					putReq(req)
+				for it := range work {
+					valBuf = handleOne(it.req, valBuf, it.inv, it.handle)
+					putReq(it.req)
 				}
 			}()
 		}
@@ -320,13 +347,17 @@ func (s *Server) serveWorkers(rd *wire.Reader, wr *wire.Writer, n int) {
 		s.ws.FrameIn()
 		inflight.Add(1)
 		cp := copyReq(&req)
+		var inv, handle int64
+		if tap != nil {
+			inv, handle = tap.beginGated()
+		}
 		if n > 0 {
-			work <- cp
+			work <- workItem{req: cp, inv: inv, handle: handle}
 		} else {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				handleOne(cp, nil)
+				handleOne(cp, nil, inv, handle)
 				putReq(cp)
 			}()
 		}

@@ -299,8 +299,10 @@ func (st *Store) applyWriteLocked(rs *regState, req *wire.Request, resp *wire.Re
 		if w != nil {
 			if stamp, ok := w.stamps[req.Seq]; ok {
 				// A retransmission of an applied write: answer with the
-				// original outcome, do not apply again.
+				// original outcome, do not apply again. Dup tells the
+				// journal tap this reply is not a second write effect.
 				resp.Stamp = stamp
+				resp.Dup = true
 				return
 			}
 			if w.evicted && req.Seq <= w.evictedMax {

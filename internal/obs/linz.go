@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Linz tallies the online windowed linearizability checker
+// (internal/linz): verdict counts per checked window, operations checked,
+// and how far the checker runs behind the traffic it certifies. All
+// methods are safe on a nil receiver and from any goroutine.
+type Linz struct {
+	windowsOK        atomic.Int64
+	windowsViolation atomic.Int64
+	windowsUndecided atomic.Int64
+	opsChecked       atomic.Int64
+	shedOps          atomic.Int64
+	blurredCuts      atomic.Int64
+	drops            atomic.Int64
+	lagOps           atomic.Int64 // gauge: journal backlog + pending buffers
+	horizonLagNs     atomic.Int64 // gauge: now - last checked horizon
+	checkNs          atomic.Int64 // cumulative time inside the checker
+	_                [cacheLine]byte
+}
+
+// NewLinz returns an empty checker tally.
+func NewLinz() *Linz { return &Linz{} }
+
+// Window tallies one checked window's verdict (0 ok, 1 violation,
+// 2 undecided — internal/linz's Verdict values) and the operations it
+// covered.
+func (l *Linz) Window(verdict int, ops int, took time.Duration) {
+	if l == nil {
+		return
+	}
+	switch verdict {
+	case 0:
+		l.windowsOK.Add(1)
+	case 1:
+		l.windowsViolation.Add(1)
+	default:
+		l.windowsUndecided.Add(1)
+	}
+	l.opsChecked.Add(int64(ops))
+	l.checkNs.Add(int64(took))
+}
+
+// Shed tallies operations the checker dropped to catch up.
+func (l *Linz) Shed(n int) {
+	if l == nil {
+		return
+	}
+	l.shedOps.Add(int64(n))
+}
+
+// BlurredCut tallies a window cut whose carried register value could not
+// be forced (the next window starts from an unknown value).
+func (l *Linz) BlurredCut() {
+	if l == nil {
+		return
+	}
+	l.blurredCuts.Add(1)
+}
+
+// SetLag publishes the checker's current backlog: undrained plus
+// pending-but-unchecked operations, and how far behind real time the last
+// checked horizon sits. Journal ring drops observed so far ride along.
+func (l *Linz) SetLag(ops int, horizonLag time.Duration, drops uint64) {
+	if l == nil {
+		return
+	}
+	l.lagOps.Store(int64(ops))
+	l.horizonLagNs.Store(int64(horizonLag))
+	l.drops.Store(int64(drops))
+}
+
+// Violations returns the number of windows that failed certification.
+func (l *Linz) Violations() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.windowsViolation.Load()
+}
+
+// OpsChecked returns the total operations covered by checked windows.
+func (l *Linz) OpsChecked() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.opsChecked.Load()
+}
+
+// LinzSnapshot is a point-in-time copy of a Linz tally.
+type LinzSnapshot struct {
+	WindowsOK        int64   `json:"windows_ok"`
+	WindowsViolation int64   `json:"windows_violation"`
+	WindowsUndecided int64   `json:"windows_undecided"`
+	OpsChecked       int64   `json:"ops_checked"`
+	ShedOps          int64   `json:"shed_ops"`
+	BlurredCuts      int64   `json:"blurred_cuts"`
+	JournalDrops     int64   `json:"journal_drops"`
+	LagOps           int64   `json:"lag_ops"`
+	HorizonLagSec    float64 `json:"horizon_lag_sec"`
+	CheckBusySec     float64 `json:"check_busy_sec"`
+	// CheckedPerSec is ops checked per second of checker busy time: the
+	// checker's throughput, comparable against the server's ops/s to see
+	// what offered load the online mode can shadow.
+	CheckedPerSec float64 `json:"checked_per_busy_sec"`
+}
+
+// Snapshot copies the tally's current state.
+func (l *Linz) Snapshot() LinzSnapshot {
+	if l == nil {
+		return LinzSnapshot{}
+	}
+	s := LinzSnapshot{
+		WindowsOK:        l.windowsOK.Load(),
+		WindowsViolation: l.windowsViolation.Load(),
+		WindowsUndecided: l.windowsUndecided.Load(),
+		OpsChecked:       l.opsChecked.Load(),
+		ShedOps:          l.shedOps.Load(),
+		BlurredCuts:      l.blurredCuts.Load(),
+		JournalDrops:     l.drops.Load(),
+		LagOps:           l.lagOps.Load(),
+		HorizonLagSec:    time.Duration(l.horizonLagNs.Load()).Seconds(),
+		CheckBusySec:     time.Duration(l.checkNs.Load()).Seconds(),
+	}
+	if s.CheckBusySec > 0 {
+		s.CheckedPerSec = float64(s.OpsChecked) / s.CheckBusySec
+	}
+	return s
+}
+
+// WritePrometheus renders the tally in Prometheus text format:
+//
+//	linz_windows_total{verdict="ok"|"violation"|"undecided"}
+//	linz_ops_checked_total / linz_shed_ops_total / linz_blurred_cuts_total
+//	linz_journal_drops_total
+//	linz_lag_ops / linz_horizon_lag_seconds / linz_check_busy_seconds_total
+func (l *Linz) WritePrometheus(out io.Writer, extra ...Label) {
+	s := l.Snapshot()
+	fmt.Fprintln(out, "# HELP linz_windows_total Online-checked history windows by verdict.")
+	fmt.Fprintln(out, "# TYPE linz_windows_total counter")
+	fmt.Fprintf(out, "linz_windows_total%s %d\n", promLabels(extra, "verdict", "ok"), s.WindowsOK)
+	fmt.Fprintf(out, "linz_windows_total%s %d\n", promLabels(extra, "verdict", "violation"), s.WindowsViolation)
+	fmt.Fprintf(out, "linz_windows_total%s %d\n", promLabels(extra, "verdict", "undecided"), s.WindowsUndecided)
+	fmt.Fprintln(out, "# HELP linz_ops_checked_total Operations covered by checked windows.")
+	fmt.Fprintln(out, "# TYPE linz_ops_checked_total counter")
+	fmt.Fprintf(out, "linz_ops_checked_total%s %d\n", promLabels(extra), s.OpsChecked)
+	fmt.Fprintln(out, "# HELP linz_shed_ops_total Operations shed by the checker to catch up.")
+	fmt.Fprintln(out, "# TYPE linz_shed_ops_total counter")
+	fmt.Fprintf(out, "linz_shed_ops_total%s %d\n", promLabels(extra), s.ShedOps)
+	fmt.Fprintln(out, "# HELP linz_blurred_cuts_total Window cuts whose carried value could not be forced.")
+	fmt.Fprintln(out, "# TYPE linz_blurred_cuts_total counter")
+	fmt.Fprintf(out, "linz_blurred_cuts_total%s %d\n", promLabels(extra), s.BlurredCuts)
+	fmt.Fprintln(out, "# HELP linz_journal_drops_total Journal records lost to full rings.")
+	fmt.Fprintln(out, "# TYPE linz_journal_drops_total counter")
+	fmt.Fprintf(out, "linz_journal_drops_total%s %d\n", promLabels(extra), s.JournalDrops)
+	fmt.Fprintln(out, "# HELP linz_lag_ops Undrained plus pending-unchecked operations.")
+	fmt.Fprintln(out, "# TYPE linz_lag_ops gauge")
+	fmt.Fprintf(out, "linz_lag_ops%s %d\n", promLabels(extra), s.LagOps)
+	fmt.Fprintln(out, "# HELP linz_horizon_lag_seconds How far behind real time the last checked horizon sits.")
+	fmt.Fprintln(out, "# TYPE linz_horizon_lag_seconds gauge")
+	fmt.Fprintf(out, "linz_horizon_lag_seconds%s %g\n", promLabels(extra), s.HorizonLagSec)
+	fmt.Fprintln(out, "# HELP linz_check_busy_seconds_total Cumulative time spent inside the checker.")
+	fmt.Fprintln(out, "# TYPE linz_check_busy_seconds_total counter")
+	fmt.Fprintf(out, "linz_check_busy_seconds_total%s %g\n", promLabels(extra), s.CheckBusySec)
+}

@@ -3,6 +3,8 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -154,6 +156,53 @@ func TestPrometheusText(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Errorf("Prometheus text lacks %q\ngot:\n%s", want, text)
 		}
+	}
+}
+
+// TestPrometheusQuantiles checks the interpolated-quantile companion
+// family: the series exist under the gauge type with quantile labels,
+// and a skewed distribution lands the median and the tails in the right
+// buckets, in order.
+func TestPrometheusQuantiles(t *testing.T) {
+	o := New(1)
+	for i := 0; i < 990; i++ {
+		o.RecordWrite(0, true, time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		o.RecordWrite(0, true, 100*time.Millisecond)
+	}
+
+	var buf bytes.Buffer
+	o.WritePrometheus(&buf)
+	text := buf.String()
+	if !strings.Contains(text, "# TYPE bloom_op_latency_quantile_seconds gauge") {
+		t.Fatalf("quantile family not declared as gauge:\n%s", text)
+	}
+	q := func(label string) float64 {
+		prefix := fmt.Sprintf(`bloom_op_latency_quantile_seconds{op="write",channel="writer0",quantile=%q} `, label)
+		for _, line := range strings.Split(text, "\n") {
+			if v, ok := strings.CutPrefix(line, prefix); ok {
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					t.Fatalf("unparsable quantile line %q: %v", line, err)
+				}
+				return f
+			}
+		}
+		t.Fatalf("no series with prefix %q:\n%s", prefix, text)
+		return 0
+	}
+	p50, p99, p999 := q("0.5"), q("0.99"), q("0.999")
+	if !(p50 > 0 && p50 <= p99 && p99 <= p999) {
+		t.Fatalf("quantiles out of order: p50=%g p99=%g p999=%g", p50, p99, p999)
+	}
+	// 99% of observations are 1ms, 1% are 100ms: the median interpolates
+	// inside the 1ms bucket and the p999 inside the 100ms bucket.
+	if p50 < 0.0005 || p50 > 0.002 {
+		t.Fatalf("p50 = %gs, want ≈1ms", p50)
+	}
+	if p999 < 0.05 || p999 > 0.2 {
+		t.Fatalf("p999 = %gs, want ≈100ms", p999)
 	}
 }
 

@@ -49,6 +49,26 @@ func writeHist(w io.Writer, name string, h *Hist, extra []Label, pairs ...string
 	fmt.Fprintf(w, "%s_count%s %d\n", name, promLabels(extra, pairs...), cum)
 }
 
+// promQuantiles is the fixed set every latency family exports: the
+// median and the two tail points dashboards alert on.
+var promQuantiles = [...]struct {
+	label string
+	q     float64
+}{{"0.5", 0.5}, {"0.99", 0.99}, {"0.999", 0.999}}
+
+// writeQuantiles emits interpolated p50/p99/p999 gauges for a histogram
+// as a companion family to its raw buckets (conventionally named
+// <family>_quantile_seconds, labelled quantile="0.5" etc.), so scrapers
+// that never configure histogram_quantile still get tail latency.
+func writeQuantiles(w io.Writer, name string, h *Hist, extra []Label, pairs ...string) {
+	s := h.Snapshot()
+	for _, p := range promQuantiles {
+		fmt.Fprintf(w, "%s%s %g\n", name,
+			promLabels(extra, append(append([]string{}, pairs...), "quantile", p.label)...),
+			s.Quantile(p.q).Seconds())
+	}
+}
+
 // WritePrometheus renders the observer's state in the Prometheus text
 // exposition format (version 0.0.4, the format every Prometheus-compatible
 // scraper accepts). The extra labels are appended to every series.
@@ -101,5 +121,18 @@ func (o *Observer) WritePrometheus(w io.Writer, extra ...Label) {
 	for j := range o.readers {
 		ch := fmt.Sprintf("reader%d", j+1)
 		writeHist(w, "bloom_op_latency_seconds", &o.readers[j].readLat, extra, "op", "read", "channel", ch)
+	}
+
+	fmt.Fprintln(w, "# HELP bloom_op_latency_quantile_seconds Interpolated latency quantiles (p50/p99/p999) per channel.")
+	fmt.Fprintln(w, "# TYPE bloom_op_latency_quantile_seconds gauge")
+	for i := range o.writers {
+		s := &o.writers[i]
+		ch := fmt.Sprintf("writer%d", i)
+		writeQuantiles(w, "bloom_op_latency_quantile_seconds", &s.writeLat, extra, "op", "write", "channel", ch)
+		writeQuantiles(w, "bloom_op_latency_quantile_seconds", &s.wrReadLat, extra, "op", "writer_read", "channel", ch)
+	}
+	for j := range o.readers {
+		ch := fmt.Sprintf("reader%d", j+1)
+		writeQuantiles(w, "bloom_op_latency_quantile_seconds", &o.readers[j].readLat, extra, "op", "read", "channel", ch)
 	}
 }

@@ -229,6 +229,11 @@ func (r *RPC) WritePrometheus(w io.Writer, extra ...Label) {
 	for op := RPCOp(0); op < numRPCOps; op++ {
 		writeHist(w, "netreg_roundtrip_latency_seconds", &r.ops[op].lat, extra, "op", op.String())
 	}
+	fmt.Fprintln(w, "# HELP netreg_roundtrip_latency_quantile_seconds Interpolated round-trip latency quantiles (p50/p99/p999).")
+	fmt.Fprintln(w, "# TYPE netreg_roundtrip_latency_quantile_seconds gauge")
+	for op := RPCOp(0); op < numRPCOps; op++ {
+		writeQuantiles(w, "netreg_roundtrip_latency_quantile_seconds", &r.ops[op].lat, extra, "op", op.String())
+	}
 	fmt.Fprintln(w, "# HELP netreg_retries_total Exchanges re-sent after a transport failure.")
 	fmt.Fprintln(w, "# TYPE netreg_retries_total counter")
 	for op := RPCOp(0); op < numRPCOps; op++ {

@@ -111,6 +111,11 @@ type Response struct {
 	Stamp int64 `json:"stamp"`
 	// Err reports a server-side failure.
 	Err string `json:"err,omitempty"`
+	// Dup marks a write answered from the dedup window (a retransmission
+	// of an already-applied write). Server-side only: it never crosses the
+	// wire, but lets the journal tap flag the record so history checkers
+	// don't count one write effect twice.
+	Dup bool `json:"-"`
 }
 
 // Sniff peeks one byte to decide which codec the peer speaks: a binary
