@@ -1,13 +1,25 @@
-// Bloomvet is the repository's static-analysis tool: a go/analysis
-// multichecker over the bloomvet analyzer suite (internal/analysis), which
-// statically enforces the wait-free and atomicity invariants the paper's
-// construction depends on — no mixed plain/atomic access to shared words
-// (atomicmix), no blocking primitives on //bloom:waitfree paths
-// (waitfree), intact seqlock version discipline (seqlock), and intact
-// cache-line sharding of the observability counters (obsshard).
+// Bloomvet is the repository's static-analysis tool: the bloomvet
+// analyzer suite (internal/analysis) run over whole programs. Four
+// AST-level analyzers enforce the paper's access-discipline invariants —
+// no mixed plain/atomic access to shared words (atomicmix), no blocking
+// primitives on //bloom:waitfree paths (waitfree), intact seqlock version
+// discipline (seqlock), intact cache-line sharding of the observability
+// counters (obsshard) — and three ssair-based whole-program verifiers
+// prove the hot paths allocation-free (allocfree), the lock-acquisition
+// graph acyclic with no blocking under locks (lockorder), and
+// cross-goroutine field access atomic-or-locked (sharedfield).
 //
-// It speaks the go vet driver protocol, so the usual way to run it is
-// through the toolchain:
+// It runs in two modes. Standalone, it is its own driver: it loads
+// packages from source, carries facts across package boundaries
+// in-process, prints every diagnostic with a per-analyzer summary, and
+// exits non-zero exactly once if anything was reported:
+//
+//	go run ./cmd/bloomvet ./...
+//	go run ./cmd/bloomvet -json ./... > bloomvet.json
+//
+// It also speaks the go vet driver protocol (detected by the .cfg
+// argument vet passes), so the toolchain can drive it with full build
+// tags and cgo handling:
 //
 //	go build -o bloomvet ./cmd/bloomvet
 //	go vet -vettool=$PWD/bloomvet ./...
@@ -17,11 +29,28 @@
 package main
 
 import (
+	"os"
+	"strings"
+
 	"golang.org/x/tools/go/analysis/unitchecker"
 
 	"repro/internal/analysis"
 )
 
 func main() {
-	unitchecker.Main(analysis.All()...)
+	if vetProtocol(os.Args[1:]) {
+		unitchecker.Main(analysis.All()...)
+	}
+	os.Exit(standalone(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// vetProtocol reports whether the invocation came from go vet: the
+// toolchain passes a single *.cfg file (or -V=full / -flags probes).
+func vetProtocol(args []string) bool {
+	for _, a := range args {
+		if strings.HasSuffix(a, ".cfg") || strings.HasPrefix(a, "-V") || a == "-flags" {
+			return true
+		}
+	}
+	return false
 }

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	ban "repro/internal/analysis"
+)
+
+// TestStandaloneSelfRun drives the standalone mode in-process over the
+// whole module: the repository must come back clean (exit 0), and the
+// stderr summary must count every analyzer. This is the same claim CI's
+// bloomvet job makes, minus the process boundary.
+func TestStandaloneSelfRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the whole module")
+	}
+	t.Chdir("../..")
+	var stdout, stderr bytes.Buffer
+	code := standalone([]string{"./..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("standalone(./...) = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run printed diagnostics:\n%s", stdout.String())
+	}
+	sum := stderr.String()
+	for _, a := range ban.All() {
+		if !strings.Contains(sum, a.Name+" 0") {
+			t.Errorf("summary missing %q: %s", a.Name+" 0", sum)
+		}
+	}
+	if !strings.Contains(sum, "0 diagnostics") {
+		t.Errorf("summary does not report 0 diagnostics: %s", sum)
+	}
+}
+
+// TestStandaloneJSON checks the machine-readable artifact shape on a
+// single package: valid JSON on stdout, a count entry per analyzer, the
+// package listed, and nothing but the report on stdout.
+func TestStandaloneJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks a package and its deps")
+	}
+	t.Chdir("../..")
+	var stdout, stderr bytes.Buffer
+	code := standalone([]string{"-json", "./internal/wire"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("standalone(-json ./internal/wire) = %d, want 0\nstderr:\n%s", code, stderr.String())
+	}
+	var r report
+	if err := json.Unmarshal(stdout.Bytes(), &r); err != nil {
+		t.Fatalf("stdout is not a JSON report: %v\n%s", err, stdout.String())
+	}
+	if len(r.Diagnostics) != 0 {
+		t.Errorf("clean package reported diagnostics: %+v", r.Diagnostics)
+	}
+	for _, a := range ban.All() {
+		if _, ok := r.Counts[a.Name]; !ok {
+			t.Errorf("counts missing analyzer %q: %v", a.Name, r.Counts)
+		}
+	}
+	found := false
+	for _, p := range r.Packages {
+		if p == "repro/internal/wire" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("packages %v does not include repro/internal/wire", r.Packages)
+	}
+}
+
+// TestStandaloneReportsViolations seeds the run with the analyzer
+// testdata tree, which must produce diagnostics and exit code 1 — the
+// single non-zero exit the driver promises.
+func TestStandaloneReportsViolations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks packages")
+	}
+	t.Chdir("../..")
+	var stdout, stderr bytes.Buffer
+	code := standalone([]string{"./internal/analysis/allocfree/testdata/src/a"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("standalone over seeded violations = %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "[allocfree]") {
+		t.Errorf("diagnostics missing [allocfree] tag:\n%s", stdout.String())
+	}
+}

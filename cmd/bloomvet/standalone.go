@@ -1,0 +1,238 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	ban "repro/internal/analysis"
+	"repro/internal/analysis/atest"
+)
+
+// report is the machine-readable shape of a standalone run, written to
+// stdout under -json (the CI artifact).
+type report struct {
+	Diagnostics []diagJSON     `json:"diagnostics"`
+	Counts      map[string]int `json:"counts"`
+	Packages    []string       `json:"packages"`
+}
+
+type diagJSON struct {
+	Analyzer string `json:"analyzer"`
+	Position string `json:"position"`
+	Message  string `json:"message"`
+}
+
+// standalone runs the whole suite over the given package patterns and
+// returns the process exit code: 0 clean, 1 diagnostics reported, 2
+// driver failure. It is the single exit decision — callers os.Exit once.
+func standalone(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bloomvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON diagnostics on stdout")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	modRoot, modPath, err := findModule()
+	if err != nil {
+		fmt.Fprintf(stderr, "bloomvet: %v\n", err)
+		return 2
+	}
+	pkgs, err := expand(modRoot, modPath, patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "bloomvet: %v\n", err)
+		return 2
+	}
+
+	l := atest.NewLoader(map[string]string{
+		modPath:              modRoot,
+		"golang.org/x/tools": filepath.Join(modRoot, "third_party", "golang.org", "x", "tools"),
+	})
+
+	type diag struct {
+		analyzer string
+		pos      token.Position
+		msg      string
+	}
+	var diags []diag
+	counts := map[string]int{}
+	for _, a := range ban.All() {
+		counts[a.Name] = 0
+	}
+	for _, a := range ban.All() {
+		for _, path := range pkgs {
+			ds, err := l.Analyze(a, path)
+			if err != nil {
+				fmt.Fprintf(stderr, "bloomvet: %s: %v\n", a.Name, err)
+				return 2
+			}
+			for _, d := range ds {
+				diags = append(diags, diag{analyzer: a.Name, pos: l.Fset.Position(d.Pos), msg: d.Message})
+				counts[a.Name]++
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].pos.Filename != diags[j].pos.Filename {
+			return diags[i].pos.Filename < diags[j].pos.Filename
+		}
+		if diags[i].pos.Line != diags[j].pos.Line {
+			return diags[i].pos.Line < diags[j].pos.Line
+		}
+		return diags[i].analyzer < diags[j].analyzer
+	})
+
+	if *jsonOut {
+		r := report{Counts: counts, Packages: pkgs, Diagnostics: []diagJSON{}}
+		for _, d := range diags {
+			r.Diagnostics = append(r.Diagnostics, diagJSON{Analyzer: d.analyzer, Position: d.pos.String(), Message: d.msg})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(r); err != nil {
+			fmt.Fprintf(stderr, "bloomvet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s: [%s] %s\n", d.pos, d.analyzer, d.msg)
+		}
+	}
+
+	// Per-analyzer summary, stable order, always printed to stderr so the
+	// JSON stream stays pure.
+	var names []string
+	for _, a := range ban.All() {
+		names = append(names, a.Name)
+	}
+	total := 0
+	var parts []string
+	for _, n := range names {
+		parts = append(parts, fmt.Sprintf("%s %d", n, counts[n]))
+		total += counts[n]
+	}
+	fmt.Fprintf(stderr, "bloomvet: %d packages, %d diagnostics (%s)\n",
+		len(pkgs), total, strings.Join(parts, ", "))
+
+	if total > 0 {
+		return 1
+	}
+	return 0
+}
+
+// findModule walks up from the working directory to go.mod and returns
+// the module directory and path.
+func findModule() (dir, path string, err error) {
+	dir, err = os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// expand resolves package patterns to import paths. "dir/..." walks the
+// tree under dir; other patterns name one directory. third_party,
+// testdata, and hidden directories are skipped, as are directories with
+// no non-test Go files.
+func expand(modRoot, modPath string, patterns []string) ([]string, error) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	toImport := func(dir string) (string, bool) {
+		rel, err := filepath.Rel(modRoot, dir)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return "", false
+		}
+		if rel == "." {
+			return modPath, true
+		}
+		return modPath + "/" + filepath.ToSlash(rel), true
+	}
+	seen := map[string]bool{}
+	var pkgs []string
+	add := func(dir string) {
+		if !hasGoFiles(dir) {
+			return
+		}
+		if imp, ok := toImport(dir); ok && !seen[imp] {
+			seen[imp] = true
+			pkgs = append(pkgs, imp)
+		}
+	}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			base := filepath.Join(cwd, rest)
+			if rest == "." || rest == "" {
+				base = cwd
+			}
+			err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if p != base && (name == "third_party" || name == "testdata" || name == "vendor" ||
+					strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				add(p)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if strings.HasPrefix(pat, modPath) {
+			add(filepath.Join(modRoot, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(pat, modPath), "/"))))
+			continue
+		}
+		add(filepath.Join(cwd, filepath.FromSlash(pat)))
+	}
+	sort.Strings(pkgs)
+	return pkgs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}

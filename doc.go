@@ -71,10 +71,17 @@
 // # Static analysis
 //
 // The disciplines behind those guarantees are enforced at compile time by
-// cmd/bloomvet, a go/analysis multichecker (go vet -vettool=...): the
-// wait-free annotations on the protocol's hot paths, all-atomic-or-all-
-// plain access to shared words, the seqlock version-counter bracket, and
-// the no-copy/padding rules of the sharded metrics. See internal/analysis.
+// cmd/bloomvet, a go/analysis multichecker (go vet -vettool=..., or
+// standalone: go run ./cmd/bloomvet ./...): the wait-free annotations on
+// the protocol's hot paths, all-atomic-or-all-plain access to shared
+// words, the seqlock version-counter bracket, and the no-copy/padding
+// rules of the sharded metrics — plus three whole-program concurrency
+// passes over a small SSA-flavoured IR: //bloom:noalloc functions proven
+// heap-allocation-free on every path (//bloom:allowalloc excuses
+// deliberate cold-path allocation), a module-wide lock-order graph that
+// must stay acyclic with no blocking under a held lock, and a static
+// shared-field race check (fields reached from multiple goroutines must
+// be always-atomic or always under one lock). See internal/analysis.
 //
 // NewMRMW provides an unbounded-timestamp multi-writer register in the
 // style of Vitányi–Awerbuch for more than two writers — necessary because,

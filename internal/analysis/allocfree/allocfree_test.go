@@ -1,0 +1,37 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/allocfree"
+	"repro/internal/analysis/atest"
+)
+
+// TestAllocFree checks the seeded violations, including an annotation in
+// package b convicted by an allocation living in package a.
+func TestAllocFree(t *testing.T) {
+	l := atest.Run(t, "testdata", allocfree.Analyzer, "a", "b")
+
+	// Assert the exported facts themselves, not just the diagnostics:
+	// facts are the currency that crosses package boundaries, and b's
+	// single diagnostic only proves one of them arrived.
+	facts := l.ObjectFacts(allocfree.Analyzer, "a")
+	for fn, want := range map[string]string{
+		"a.Exported": "allocates via new",
+		"a.helper":   "allocates via new",
+	} {
+		if got := facts[fn]; got != want {
+			t.Errorf("Allocates fact on %s = %q, want %q", fn, got, want)
+		}
+	}
+	if got, ok := facts["a.callsCold"]; ok {
+		t.Errorf("callsCold carries Allocates fact %q; its only route is //bloom:allowalloc-excused", got)
+	}
+}
+
+// TestAllocFreeCleanIdioms runs the known-clean idiom table: pooled
+// buffers, caller-owned pre-sized append, atomics, constant boxing. Zero
+// diagnostics expected (the package has no want comments).
+func TestAllocFreeCleanIdioms(t *testing.T) {
+	atest.Run(t, "testdata", allocfree.Analyzer, "clean")
+}

@@ -1,0 +1,123 @@
+// Package a seeds allocfree violations: //bloom:noalloc functions that
+// reach heap allocations directly, through calls, closures, goroutines,
+// and unverifiable indirect calls.
+package a
+
+import "fmt"
+
+// makesSlice allocates directly.
+//
+//bloom:noalloc
+func makesSlice() []int {
+	return make([]int, 4) // want `makesSlice is annotated //bloom:noalloc but allocates: make`
+}
+
+// news allocates with new.
+//
+//bloom:noalloc
+func news() *int {
+	return new(int) // want `news is annotated //bloom:noalloc but allocates: new`
+}
+
+// takesAddress heap-allocates a composite literal by taking its address.
+//
+//bloom:noalloc
+func takesAddress() *point {
+	return &point{1, 2} // want `takesAddress is annotated //bloom:noalloc but allocates: &composite literal`
+}
+
+type point struct{ x, y int }
+
+// grows appends to a locally rooted slice, which may grow.
+//
+//bloom:noalloc
+func grows(v byte) []byte {
+	var b []byte
+	b = append(b, v) // want `grows is annotated //bloom:noalloc but allocates: append may grow`
+	return b
+}
+
+// mapAssigns inserts into a map, which may grow the bucket array.
+//
+//bloom:noalloc
+func mapAssigns(m map[int]int) {
+	m[1] = 2 // want `mapAssigns is annotated //bloom:noalloc but allocates: map assignment`
+}
+
+// converts copies a byte slice into a fresh string.
+//
+//bloom:noalloc
+func converts(b []byte) string {
+	return string(b) // want `converts is annotated //bloom:noalloc but allocates: string conversion`
+}
+
+// concats builds a new string.
+//
+//bloom:noalloc
+func concats(a, b string) string {
+	return a + b // want `concats is annotated //bloom:noalloc but allocates: string concatenation`
+}
+
+// boxes converts a non-pointer-shaped value to an interface.
+//
+//bloom:noalloc
+func boxes(v int) interface{} {
+	return v // want `boxes is annotated //bloom:noalloc but allocates: interface boxing`
+}
+
+// variadicCall pays for the ... slice at the call site, which is why a
+// fmt call inside a hot path is flagged at the caller.
+//
+//bloom:noalloc
+func variadicCall(n int) {
+	_ = fmt.Sprintf("%d", n) // want `variadicCall is annotated //bloom:noalloc but allocates: variadic call`
+}
+
+// closes creates a capturing closure.
+//
+//bloom:noalloc
+func closes(n int) func() int {
+	f := func() int { return n } // want `closes is annotated //bloom:noalloc but allocates: closure captures n`
+	return f
+}
+
+// spawns starts a goroutine.
+//
+//bloom:noalloc
+func spawns() {
+	go helper() // want `spawns is annotated //bloom:noalloc but allocates: go statement \(new goroutine\)`
+}
+
+// dynCall calls through a function value the analyzer cannot verify.
+//
+//bloom:noalloc
+func dynCall(f func()) {
+	f() // want `dynCall is annotated //bloom:noalloc but allocates: call through function value \(unverifiable\)`
+}
+
+// transitive reaches an allocation through an unannotated helper; the
+// chain names the route.
+//
+//bloom:noalloc
+func transitive() {
+	_ = helper() // want `transitive is annotated //bloom:noalloc but allocates: a\.helper → new`
+}
+
+func helper() *int { return new(int) }
+
+// coldPath is excused: //bloom:allowalloc is the cold-path escape hatch,
+// and the excuse covers callers that reach it.
+//
+//bloom:allowalloc
+func coldPath() *int { return new(int) }
+
+// callsCold stays clean because its only allocation route is excused.
+//
+//bloom:noalloc
+func callsCold() {
+	_ = coldPath()
+}
+
+// Exported allocates and is exported so package b can observe the
+// Allocates fact across the package boundary.
+func Exported() *int { return new(int) }

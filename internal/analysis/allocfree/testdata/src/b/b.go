@@ -1,0 +1,13 @@
+// Package b checks that Allocates facts cross package boundaries: the
+// allocation lives in package a, the annotation here.
+package b
+
+import "a"
+
+// viaImport reaches an allocation two packages deep through the imported
+// Exported function's fact.
+//
+//bloom:noalloc
+func viaImport() {
+	_ = a.Exported() // want `viaImport is annotated //bloom:noalloc but allocates: a\.Exported → new`
+}

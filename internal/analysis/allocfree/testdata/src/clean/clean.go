@@ -1,0 +1,82 @@
+// Package clean is the false-positive-resistance table for allocfree:
+// every function here is annotated //bloom:noalloc, uses a known-clean
+// repository idiom, and must produce zero diagnostics.
+package clean
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+var bufPool = sync.Pool{New: func() interface{} { return new([64]byte) }}
+
+// pooled uses the sanctioned sync.Pool amortization idiom: steady-state
+// Get returns a recycled buffer and Put recycles it.
+//
+//bloom:noalloc
+func pooled() {
+	b := bufPool.Get().(*[64]byte)
+	b[0] = 1
+	bufPool.Put(b)
+}
+
+// presized appends into a caller-owned buffer: the amortized pre-sized
+// append idiom, b = append(b, ...) rooted in a parameter.
+//
+//bloom:noalloc
+func presized(b []byte, v byte) []byte {
+	b = append(b, v)
+	b = append(b, v, v)
+	return b
+}
+
+type counters struct {
+	n  atomic.Uint64
+	mu sync.Mutex
+	m  uint64
+}
+
+// atomics uses sync/atomic and mutex primitives, both whitelisted.
+//
+//bloom:noalloc
+func (c *counters) atomics() {
+	c.n.Add(1)
+	c.mu.Lock()
+	c.m++
+	c.mu.Unlock()
+}
+
+// constBox boxes only constants, which the compiler interns statically.
+//
+//bloom:noalloc
+func constBox() interface{} {
+	return 42
+}
+
+// pointerBox converts an already-pointer-shaped value to an interface,
+// which needs no heap copy.
+//
+//bloom:noalloc
+func pointerBox(p *counters) interface{} {
+	return p
+}
+
+// stackValue builds value composites and takes no addresses, so nothing
+// escapes.
+//
+//bloom:noalloc
+func stackValue() int {
+	v := [4]int{1, 2, 3, 4}
+	s := struct{ a, b int }{5, 6}
+	return v[0] + s.a
+}
+
+// constPanic panics with a constant, the repo's guard idiom on
+// never-taken branches.
+//
+//bloom:noalloc
+func constPanic(ok bool) {
+	if !ok {
+		panic("invariant violated")
+	}
+}

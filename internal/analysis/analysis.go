@@ -20,7 +20,28 @@
 //     never copied by value, preserving both the no-false-sharing layout
 //     and the atomicity of their counters.
 //
+// Three analyzers work on ssair, a per-function SSA-style instruction
+// lowering over control-flow graphs (package ssair), which makes them
+// path-sensitive and, via facts, whole-program:
+//
+//   - allocfree: functions annotated //bloom:noalloc are proven
+//     heap-allocation-free on every path, transitively — the static twin
+//     of the runtime allocs/op CI gate (//bloom:allowalloc is the cold-path
+//     escape hatch).
+//   - lockorder: the interprocedural lock-acquisition graph over
+//     sync.Mutex/RWMutex is acyclic (no potential deadlock), and nothing
+//     blocks while provably holding a lock.
+//   - sharedfield: a struct field reached from more than one goroutine
+//     context (spawn-site analysis over go statements and stored closures)
+//     is accessed always atomically, always under one common lock, or
+//     never written after initialization (//bloom:allowshared waives
+//     ownership-handoff fields).
+//
 // The analyzers are assembled into one vet tool by cmd/bloomvet; run it as
+//
+//	go run ./cmd/bloomvet ./...
+//
+// or through go vet's unitchecker protocol:
 //
 //	go build -o bloomvet ./cmd/bloomvet
 //	go vet -vettool=$PWD/bloomvet ./...
@@ -34,18 +55,26 @@ package analysis
 import (
 	"golang.org/x/tools/go/analysis"
 
+	"repro/internal/analysis/allocfree"
 	"repro/internal/analysis/atomicmix"
+	"repro/internal/analysis/lockorder"
 	"repro/internal/analysis/obsshard"
 	"repro/internal/analysis/seqlock"
+	"repro/internal/analysis/sharedfield"
 	"repro/internal/analysis/waitfree"
 )
 
-// All returns the bloomvet analyzers in a fixed order.
+// All returns the bloomvet analyzers in a fixed order: the four AST-level
+// checks from the original suite, then the three ssair-based whole-program
+// concurrency verifiers.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		atomicmix.Analyzer,
 		waitfree.Analyzer,
 		seqlock.Analyzer,
 		obsshard.Analyzer,
+		allocfree.Analyzer,
+		lockorder.Analyzer,
+		sharedfield.Analyzer,
 	}
 }

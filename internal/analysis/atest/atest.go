@@ -302,8 +302,9 @@ func (s *factStore) allPackageFacts(a *analysis.Analyzer) []analysis.PackageFact
 // Run loads testdata/src/<path> for each given package path, applies the
 // analyzer to each in order, and checks its diagnostics against the
 // `// want "regexp"` comments in those packages' sources. testdata is the
-// analyzer's testdata directory (containing src/).
-func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+// analyzer's testdata directory (containing src/). The loader is returned
+// so the test can additionally assert exported facts.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) *Loader {
 	t.Helper()
 	srcdir := filepath.Join(testdata, "src")
 	l := NewLoader(map[string]string{"": srcdir})
@@ -317,6 +318,26 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
 		}
 		checkWants(t, l, a, p)
 	}
+	return l
+}
+
+// Analyze loads the package at the import path through the loader's roots,
+// applies the analyzer (with its Requires closure and fact passes over
+// loaded dependencies), and returns its diagnostics. It is the
+// testing-free entry point used by the cmd/bloomvet standalone driver.
+func (l *Loader) Analyze(a *analysis.Analyzer, path string) ([]analysis.Diagnostic, error) {
+	tp, err := l.Import(path)
+	if err != nil {
+		return nil, fmt.Errorf("loading %s: %v", path, err)
+	}
+	p, ok := l.pkgs[tp.Path()]
+	if !ok {
+		return nil, fmt.Errorf("loading %s: resolved outside the loader roots", path)
+	}
+	if _, err := l.run(a, p); err != nil {
+		return nil, err
+	}
+	return p.diags[a], nil
 }
 
 // Check loads the given packages from their prefix roots, applies the
@@ -327,20 +348,45 @@ func Check(t *testing.T, l *Loader, a *analysis.Analyzer, paths ...string) []ana
 	t.Helper()
 	var out []analysis.Diagnostic
 	for _, path := range paths {
-		tp, err := l.Import(path)
+		diags, err := l.Analyze(a, path)
 		if err != nil {
-			t.Fatalf("loading %s: %v", path, err)
-		}
-		p, ok := l.pkgs[tp.Path()]
-		if !ok {
-			t.Fatalf("loading %s: resolved outside the loader roots", path)
-		}
-		if _, err := l.run(a, p); err != nil {
 			t.Fatal(err)
 		}
-		out = append(out, p.diags[a]...)
+		out = append(out, diags...)
 	}
 	return out
+}
+
+// ObjectFacts returns the facts the analyzer exported on objects of the
+// package with the given import path, rendered by their String method and
+// keyed by the object's name (method facts are keyed by the
+// types.Func.FullName form, e.g. "(*a.T).m"). It lets tests assert the
+// facts an analyzer exports — the package-boundary currency — rather than
+// only its diagnostics.
+func (l *Loader) ObjectFacts(a *analysis.Analyzer, path string) map[string]string {
+	out := map[string]string{}
+	for _, of := range l.facts.allObjectFacts(a) {
+		if of.Object.Pkg() == nil || of.Object.Pkg().Path() != path {
+			continue
+		}
+		key := of.Object.Name()
+		if fn, ok := of.Object.(*types.Func); ok {
+			key = fn.FullName()
+		}
+		out[key] = fmt.Sprint(of.Fact)
+	}
+	return out
+}
+
+// PackageFact copies the analyzer-namespaced package fact of the package
+// with the given import path into f, reporting whether one was exported.
+// The package must already have been loaded by this Loader.
+func (l *Loader) PackageFact(path string, f analysis.Fact) bool {
+	p, ok := l.pkgs[path]
+	if !ok {
+		return false
+	}
+	return l.facts.importPackageFact(p.tpkg, f)
 }
 
 // wantRe extracts the quoted regexps of a `// want "..." "..."` comment;

@@ -1,0 +1,137 @@
+// Package a seeds lockorder violations: acquisition-order cycles (direct,
+// transitive, and self), and blocking while holding a lock.
+package a
+
+import "sync"
+
+type pair struct {
+	a, b sync.Mutex
+}
+
+// lockAB and lockBA take the pair in opposite orders: each closes the
+// cycle the other opens, so both acquisition sites are reported.
+func (p *pair) lockAB() {
+	p.a.Lock()
+	p.b.Lock() // want `acquiring \(a\.pair\)\.b while holding \(a\.pair\)\.a completes a lock cycle: \(a\.pair\)\.a → \(a\.pair\)\.b → \(a\.pair\)\.a`
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *pair) lockBA() {
+	p.b.Lock()
+	p.a.Lock() // want `acquiring \(a\.pair\)\.a while holding \(a\.pair\)\.b completes a lock cycle: \(a\.pair\)\.b → \(a\.pair\)\.a → \(a\.pair\)\.b`
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+type rec struct{ mu sync.Mutex }
+
+// relock self-deadlocks: sync.Mutex is not reentrant.
+func (r *rec) relock() {
+	r.mu.Lock()
+	r.mu.Lock() // want `acquiring \(a\.rec\)\.mu while holding \(a\.rec\)\.mu completes a lock cycle: \(a\.rec\)\.mu → \(a\.rec\)\.mu`
+	r.mu.Unlock()
+	r.mu.Unlock()
+}
+
+type gate struct {
+	enter sync.Mutex
+	inner sync.Mutex
+}
+
+// lockInner orders inner before enter; enterThen reaches inner through a
+// callee's acquisition summary while holding enter — a transitive cycle,
+// reported at the call site.
+func (g *gate) lockInner() {
+	g.inner.Lock()
+	g.enter.Lock() // want `acquiring \(a\.gate\)\.enter while holding \(a\.gate\)\.inner completes a lock cycle: \(a\.gate\)\.inner → \(a\.gate\)\.enter → \(a\.gate\)\.inner`
+	g.enter.Unlock()
+	g.inner.Unlock()
+}
+
+func (g *gate) enterThen() {
+	g.enter.Lock()
+	g.lockInnerOnly() // want `acquiring \(a\.gate\)\.inner while holding \(a\.gate\)\.enter completes a lock cycle: \(a\.gate\)\.enter → \(a\.gate\)\.inner → \(a\.gate\)\.enter`
+	g.enter.Unlock()
+}
+
+func (g *gate) lockInnerOnly() {
+	g.inner.Lock()
+	g.inner.Unlock()
+}
+
+type q struct {
+	mu sync.Mutex
+	ch chan int
+	wg sync.WaitGroup
+}
+
+// sendLocked blocks on a channel inside the critical section.
+func (s *q) sendLocked() {
+	s.mu.Lock()
+	s.ch <- 1 // want `channel send while holding \(a\.q\)\.mu`
+	s.mu.Unlock()
+}
+
+// waitLocked waits on a WaitGroup inside the critical section.
+func (s *q) waitLocked() {
+	s.mu.Lock()
+	s.wg.Wait() // want `\(\*sync\.WaitGroup\)\.Wait \(waits on a WaitGroup\) while holding \(a\.q\)\.mu`
+	s.mu.Unlock()
+}
+
+// recvTransitively blocks through a callee carrying a blocking summary.
+func (s *q) recvTransitively() {
+	s.mu.Lock()
+	s.drain() // want `\(\*a\.q\)\.drain → channel receive while holding \(a\.q\)\.mu`
+	s.mu.Unlock()
+}
+
+func (s *q) drain() {
+	<-s.ch
+}
+
+// Registry is exported (lock field included) so package b can build
+// cross-package acquisition edges against it.
+type Registry struct {
+	Mu sync.Mutex
+}
+
+// Acquire carries its acquisition in a LockInfo fact for importers.
+func (r *Registry) Acquire() { r.Mu.Lock() }
+
+// Release frees what Acquire took.
+func (r *Registry) Release() { r.Mu.Unlock() }
+
+type double struct {
+	outer sync.Mutex
+	mu    sync.Mutex
+	cond  *sync.Cond
+}
+
+// parkBoth waits on the cond with a second lock held: Wait releases only
+// its own locker, so outer stays held across the park.
+func (d *double) parkBoth(ready bool) {
+	d.outer.Lock()
+	d.mu.Lock()
+	for !ready {
+		d.cond.Wait() // want `\(\*sync\.Cond\)\.Wait \(waits on a condition variable\) while holding \(a\.double\)\.mu, \(a\.double\)\.outer`
+	}
+	d.mu.Unlock()
+	d.outer.Unlock()
+}
+
+type slow struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// flush deliberately hands off under the lock; the stall is sanctioned by
+// the escape hatch.
+//
+//bloom:allowblocking
+func (s *slow) flush() {
+	s.mu.Lock()
+	s.ch <- 1
+	s.mu.Unlock()
+}

@@ -1,0 +1,30 @@
+// Package b closes a lock cycle across a package boundary: one direction
+// is a direct acquisition of a's exported lock, the other reaches it only
+// through the LockInfo fact exported on a.Registry.Acquire.
+package b
+
+import (
+	"sync"
+
+	"a"
+)
+
+var mu sync.Mutex
+
+// Forward acquires a's registry lock while holding b's — the edge exists
+// only because Acquire's acquisition summary crossed the package boundary
+// as a fact.
+func Forward(r *a.Registry) {
+	mu.Lock()
+	r.Acquire() // want `acquiring \(a\.Registry\)\.Mu while holding b\.mu completes a lock cycle: b\.mu → \(a\.Registry\)\.Mu → b\.mu`
+	r.Release()
+	mu.Unlock()
+}
+
+// Backward takes the opposite order directly.
+func Backward(r *a.Registry) {
+	r.Mu.Lock()
+	mu.Lock() // want `acquiring b\.mu while holding \(a\.Registry\)\.Mu completes a lock cycle: \(a\.Registry\)\.Mu → b\.mu → \(a\.Registry\)\.Mu`
+	mu.Unlock()
+	r.Mu.Unlock()
+}

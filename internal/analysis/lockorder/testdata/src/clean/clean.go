@@ -1,0 +1,113 @@
+// Package clean is the false-positive-resistance table for lockorder:
+// known-clean locking idioms from the repository that must produce zero
+// diagnostics.
+package clean
+
+import "sync"
+
+type tree struct {
+	parent sync.RWMutex
+	child  sync.RWMutex
+}
+
+// readDown and readUp take read locks in opposite orders: a cycle whose
+// every edge is read→read is exempt, because read locks of the paper's
+// reader side admit each other.
+func (t *tree) readDown() int {
+	t.parent.RLock()
+	defer t.parent.RUnlock()
+	t.child.RLock()
+	defer t.child.RUnlock()
+	return 1
+}
+
+func (t *tree) readUp() int {
+	t.child.RLock()
+	defer t.child.RUnlock()
+	t.parent.RLock()
+	defer t.parent.RUnlock()
+	return 2
+}
+
+type ordered struct {
+	a, b sync.Mutex
+}
+
+// Both writers take a before b: a consistent order has no cycle, with or
+// without defer.
+func (o *ordered) deferred() {
+	o.a.Lock()
+	defer o.a.Unlock()
+	o.b.Lock()
+	defer o.b.Unlock()
+}
+
+func (o *ordered) inline() {
+	o.a.Lock()
+	o.b.Lock()
+	o.b.Unlock()
+	o.a.Unlock()
+}
+
+type opportunistic struct {
+	a, b sync.Mutex
+}
+
+// tryReverse probes the reverse order with TryLock, which fails rather
+// than waits: no edge, no cycle against forward().
+func (o *opportunistic) forward() {
+	o.a.Lock()
+	o.b.Lock()
+	o.b.Unlock()
+	o.a.Unlock()
+}
+
+func (o *opportunistic) tryReverse() bool {
+	o.b.Lock()
+	defer o.b.Unlock()
+	if o.a.TryLock() {
+		o.a.Unlock()
+		return true
+	}
+	return false
+}
+
+type handoff struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// nonBlockingSend sends with a default arm: a select with default never
+// waits, so doing it under the lock is fine.
+func (h *handoff) nonBlockingSend() {
+	h.mu.Lock()
+	select {
+	case h.ch <- 1:
+	default:
+	}
+	h.mu.Unlock()
+}
+
+// unlockedSend blocks only after the critical section ends.
+func (h *handoff) unlockedSend() {
+	h.mu.Lock()
+	h.mu.Unlock()
+	h.ch <- 1
+}
+
+type parking struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	ok   bool
+}
+
+// park waits under exactly the cond's locker: Wait must be called with
+// c.L held and releases it while parked, so this is the condition
+// variable's required usage, not blocking under a lock.
+func (p *parking) park() {
+	p.mu.Lock()
+	for !p.ok {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+}

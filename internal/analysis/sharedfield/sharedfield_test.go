@@ -1,0 +1,22 @@
+package sharedfield_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/sharedfield"
+)
+
+// TestSharedField checks the seeded races: a plainly written field
+// crossing a spawn boundary, atomic/plain mixing, a shared field inside a
+// stored-and-spawned closure, and the //bloom:allowshared waiver.
+func TestSharedField(t *testing.T) {
+	atest.Run(t, "testdata", sharedfield.Analyzer, "a")
+}
+
+// TestSharedFieldCleanIdioms runs the known-clean discipline table:
+// all-atomic, common-lock, per-goroutine confinement, publish-then-read,
+// and locked-write/atomic-read. Zero diagnostics expected.
+func TestSharedFieldCleanIdioms(t *testing.T) {
+	atest.Run(t, "testdata", sharedfield.Analyzer, "clean")
+}

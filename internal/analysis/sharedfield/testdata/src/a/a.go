@@ -1,0 +1,101 @@
+// Package a seeds sharedfield violations: struct fields reached from
+// multiple goroutine contexts without an atomic or locked discipline.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int // written plainly by the spawned loop, read by exported N
+	m  int // always under mu: clean
+}
+
+// New initializes a fresh local before publication: exempt.
+func New() *counter {
+	c := &counter{}
+	c.n = 1
+	return c
+}
+
+// Start spawns the loop goroutine; loop's context is the spawn site.
+func (c *counter) Start() {
+	go c.loop()
+}
+
+func (c *counter) loop() {
+	for {
+		c.n++ // want `field counter\.n is reached from 2 goroutine contexts but is written plainly here; accesses must be all-atomic or share one lock \(//bloom:allowshared to waive\)`
+		c.mu.Lock()
+		c.m++
+		c.mu.Unlock()
+	}
+}
+
+// Inc touches m only under mu, sharing the discipline with loop.
+func (c *counter) Inc() {
+	c.mu.Lock()
+	c.m++
+	c.mu.Unlock()
+}
+
+// N reads n plainly from the synchronous context.
+func (c *counter) N() int {
+	return c.n
+}
+
+type flag struct {
+	raw int32 // stored atomically, but read plainly by the watcher
+}
+
+// Set stores atomically — but watch reads plainly, so the discipline is
+// mixed and the atomic store protects nothing.
+func (f *flag) Set() {
+	atomic.StoreInt32(&f.raw, 1)
+}
+
+func (f *flag) Watch() {
+	go f.watch()
+}
+
+func (f *flag) watch() {
+	for f.raw == 0 { // want `field flag\.raw is reached from 2 goroutine contexts but is read plainly here; mixes atomic and plain access \(//bloom:allowshared to waive\)`
+	}
+}
+
+type worker struct {
+	n  int
+	fn func()
+}
+
+// Setup stores a closure and spawns it through the field: the literal
+// carries both its creator's synchronous context and the spawn site.
+func (w *worker) Setup() {
+	w.fn = func() {
+		w.n++ // want `field worker\.n is reached from 2 goroutine contexts but is written plainly here; accesses must be all-atomic or share one lock \(//bloom:allowshared to waive\)`
+	}
+	go w.fn()
+}
+
+type batch struct {
+	// val is mutated only before publication and after retirement; the
+	// ownership-handoff protocol is the discipline, waived explicitly.
+	//
+	//bloom:allowshared
+	val int
+}
+
+// Fill writes plainly from the synchronous context.
+func Fill(b *batch) {
+	b.val = 1
+}
+
+// Publish reads from a spawned goroutine; only the waiver keeps this
+// quiet.
+func Publish(b *batch) {
+	go func() {
+		_ = b.val
+	}()
+}

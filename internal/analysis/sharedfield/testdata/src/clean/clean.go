@@ -1,0 +1,90 @@
+// Package clean is the false-positive-resistance table for sharedfield:
+// known-clean sharing disciplines from the repository that must produce
+// zero diagnostics.
+package clean
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type gauge struct {
+	v atomic.Int64
+}
+
+// Every access to v is atomic: the all-atomic discipline.
+func (g *gauge) Inc()   { g.v.Add(1) }
+func (g *gauge) Watch() { go g.watch() }
+func (g *gauge) watch() { _ = g.v.Load() }
+
+type table struct {
+	mu sync.Mutex
+	m  int
+}
+
+// Every access to m holds mu: the common-lock discipline.
+func (t *table) Put() {
+	t.mu.Lock()
+	t.m++
+	t.mu.Unlock()
+}
+
+func (t *table) Run() { go t.drain() }
+
+func (t *table) drain() {
+	t.mu.Lock()
+	t.m--
+	t.mu.Unlock()
+}
+
+type conn struct {
+	seq int
+}
+
+// Serve spawns one goroutine per connection, but seq is touched only by
+// that connection's own goroutine: one spawn site is one context, so
+// per-connection state stays confined.
+func Serve() {
+	for i := 0; i < 4; i++ {
+		c := &conn{}
+		go c.run()
+	}
+}
+
+func (c *conn) run() {
+	for i := 0; i < 3; i++ {
+		c.seq++
+	}
+}
+
+type config struct {
+	limit int
+}
+
+// Load writes limit only while the value is a fresh unpublished local;
+// afterwards every context only reads: publish-then-read-only.
+func Load() *config {
+	c := &config{}
+	c.limit = 8
+	return c
+}
+
+func (c *config) Limit() int { return c.limit }
+func (c *config) Spawn()     { go c.report() }
+func (c *config) report()    { _ = c.limit }
+
+type fastpath struct {
+	mu    sync.Mutex
+	ready int32
+}
+
+// Set writes under the lock and readers poll atomically: the
+// double-checked idiom — atomic accesses need no lock.
+func (f *fastpath) Set() {
+	f.mu.Lock()
+	atomic.StoreInt32(&f.ready, 1)
+	f.mu.Unlock()
+}
+
+func (f *fastpath) Poll() { go f.poll() }
+func (f *fastpath) poll() { _ = atomic.LoadInt32(&f.ready) }

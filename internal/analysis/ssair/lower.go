@@ -1,0 +1,1016 @@
+package ssair
+
+// This file lowers one function body to the instruction stream: it walks
+// the nodes of each cfg basic block in evaluation order and emits Instrs.
+// The walk is syntax-directed but type-informed: every classification
+// (allocation, lock identity, atomic access, blocking op) is made from
+// pass.TypesInfo, never from names in source.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/cfg"
+)
+
+// how a call site is reached.
+const (
+	callNormal = iota
+	callDefer
+	callGo
+)
+
+type lowerer struct {
+	pass *analysis.Pass
+	idx  *Index
+	fn   *Func
+	blk  *Block
+	// comms maps a select communication statement to whether its select
+	// blocks (no default clause). Nonblocking comms lower their operands
+	// but emit no KBlock.
+	comms map[ast.Stmt]bool
+	// chanRanges holds the range-operand expressions of `for range ch`
+	// loops: the receive that the cfg does not materialize.
+	chanRanges map[ast.Expr]bool
+}
+
+func lowerFunc(pass *analysis.Pass, idx *Index, f *Func) {
+	var body *ast.BlockStmt
+	var ftyp *ast.FuncType
+	var recv *ast.FieldList
+	if f.Decl != nil {
+		body, ftyp, recv = f.Decl.Body, f.Decl.Type, f.Decl.Recv
+	} else {
+		body, ftyp = f.Lit.Body, f.Lit.Type
+	}
+	f.Owned = map[types.Object]bool{}
+	f.FreshLocals = map[types.Object]bool{}
+	collectOwned(pass, recv, f.Owned)
+	collectOwned(pass, ftyp.Params, f.Owned)
+	collectOwned(pass, ftyp.Results, f.Owned)
+	if f.Lit != nil {
+		f.Captures = captures(pass, f.Lit)
+	}
+
+	lw := &lowerer{
+		pass:       pass,
+		idx:        idx,
+		fn:         f,
+		comms:      map[ast.Stmt]bool{},
+		chanRanges: map[ast.Expr]bool{},
+	}
+	lw.scanBody(body)
+
+	g := cfg.New(body, lw.mayReturn)
+	for _, b := range g.Blocks {
+		nb := &Block{Index: b.Index}
+		for _, s := range b.Succs {
+			nb.Succs = append(nb.Succs, s.Index)
+		}
+		lw.blk = nb
+		for _, n := range b.Nodes {
+			lw.node(n)
+		}
+		f.Blocks = append(f.Blocks, nb)
+	}
+}
+
+func collectOwned(pass *analysis.Pass, fl *ast.FieldList, into map[types.Object]bool) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		for _, name := range field.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				into[obj] = true
+			}
+		}
+	}
+}
+
+// captures returns the variables a function literal closes over: idents
+// used in its body that resolve to function-scoped variables declared
+// outside the literal.
+func captures(pass *analysis.Pass, lit *ast.FuncLit) []*types.Var {
+	seen := map[*types.Var]bool{}
+	var out []*types.Var
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		if isPackageLevel(v) {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return true // declared inside the literal
+		}
+		seen[v] = true
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// scanBody pre-indexes the select statements (to distinguish blocking
+// comms from select-with-default) and channel ranges of this body.
+// Nested function literals are scanned again when they are lowered; their
+// entries here are simply never consulted.
+func (lw *lowerer) scanBody(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range s.Body.List {
+				if c.(*ast.CommClause).Comm == nil {
+					hasDefault = true
+				}
+			}
+			for _, c := range s.Body.List {
+				if comm := c.(*ast.CommClause).Comm; comm != nil {
+					lw.comms[comm] = !hasDefault
+				}
+			}
+		case *ast.RangeStmt:
+			if t := lw.typeOf(s.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					lw.chanRanges[s.X] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// mayReturn reports whether a call can return, for cfg construction.
+func (lw *lowerer) mayReturn(c *ast.CallExpr) bool {
+	switch fun := unparen(c.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := lw.pass.TypesInfo.Uses[fun].(*types.Builtin); ok && b.Name() == "panic" {
+			return false
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := lw.pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			name := fn.FullName()
+			if name == "os.Exit" || name == "runtime.Goexit" || strings.HasPrefix(name, "log.Fatal") ||
+				strings.HasPrefix(name, "(*testing.common).Fatal") {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (lw *lowerer) emit(ins Instr) {
+	lw.blk.Instrs = append(lw.blk.Instrs, ins)
+}
+
+func (lw *lowerer) typeOf(x ast.Expr) types.Type {
+	if tv, ok := lw.pass.TypesInfo.Types[x]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func (lw *lowerer) isConst(x ast.Expr) bool {
+	tv, ok := lw.pass.TypesInfo.Types[x]
+	return ok && tv.Value != nil
+}
+
+func (lw *lowerer) obj(x ast.Expr) types.Object {
+	switch e := unparen(x).(type) {
+	case *ast.Ident:
+		return lw.pass.TypesInfo.ObjectOf(e)
+	case *ast.SelectorExpr:
+		return lw.pass.TypesInfo.ObjectOf(e.Sel)
+	}
+	return nil
+}
+
+// node lowers one cfg block node.
+func (lw *lowerer) node(n ast.Node) {
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		if blocking, ok := lw.comms[s]; ok {
+			lw.commAssign(s, blocking)
+			return
+		}
+		lw.assign(s)
+	case *ast.ExprStmt:
+		if blocking, ok := lw.comms[s]; ok {
+			// <-ch as a select comm.
+			if u, ok := unparen(s.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				lw.expr(u.X)
+				if blocking {
+					lw.emit(Instr{Kind: KBlock, Pos: s.Pos(), Reason: "select without default"})
+				}
+				return
+			}
+		}
+		lw.expr(s.X)
+	case *ast.SendStmt:
+		blocking, isComm := lw.comms[s]
+		lw.expr(s.Chan)
+		lw.expr(s.Value)
+		switch {
+		case !isComm:
+			lw.emit(Instr{Kind: KBlock, Pos: s.Arrow, Reason: "channel send"})
+		case blocking:
+			lw.emit(Instr{Kind: KBlock, Pos: s.Arrow, Reason: "select without default"})
+		}
+	case *ast.IncDecStmt:
+		lw.exprCtx(s.X, true)
+	case *ast.ReturnStmt:
+		lw.ret(s)
+	case *ast.GoStmt:
+		lw.call(s.Call, callGo)
+	case *ast.DeferStmt:
+		lw.deferStmt(s)
+	case *ast.ValueSpec:
+		lw.valueSpec(s)
+	case ast.Expr:
+		lw.expr(s)
+		if lw.chanRanges[s] {
+			lw.emit(Instr{Kind: KBlock, Pos: s.Pos(), Reason: "range over channel"})
+		}
+	}
+}
+
+// commAssign lowers `x := <-ch` appearing as a select communication.
+func (lw *lowerer) commAssign(s *ast.AssignStmt, blocking bool) {
+	if len(s.Rhs) == 1 {
+		if u, ok := unparen(s.Rhs[0]).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			lw.expr(u.X)
+		}
+	}
+	if blocking {
+		lw.emit(Instr{Kind: KBlock, Pos: s.Pos(), Reason: "select without default"})
+	}
+	for _, lhs := range s.Lhs {
+		lw.lvalue(lhs)
+	}
+}
+
+func (lw *lowerer) assign(s *ast.AssignStmt) {
+	// Fresh-local tracking: x := &T{...} / new(T) / T{...} binds x to a
+	// value no other goroutine can see yet.
+	if s.Tok == token.DEFINE && len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+		if id, ok := s.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+			if obj := lw.pass.TypesInfo.Defs[id]; obj != nil && isFreshExpr(lw, s.Rhs[0]) {
+				lw.fn.FreshLocals[obj] = true
+			}
+		}
+	}
+
+	// Caller-owned amortized append: b = append(b, ...) where b's root
+	// object is a parameter/result/receiver reuses the caller's buffer.
+	if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+		if call, ok := unparen(s.Rhs[0]).(*ast.CallExpr); ok && lw.isBuiltin(call, "append") && len(call.Args) > 0 {
+			base := rootObj(lw.pass, call.Args[0])
+			dst := rootObj(lw.pass, s.Lhs[0])
+			amortized := base != nil && base == dst && lw.fn.Owned[base]
+			lw.lowerAppend(call, amortized)
+			lw.lvalue(s.Lhs[0])
+			return
+		}
+	}
+
+	for i, rhs := range s.Rhs {
+		lw.expr(rhs)
+		// Interface boxing on assignment.
+		if len(s.Lhs) == len(s.Rhs) {
+			if dst := lw.typeOf(s.Lhs[i]); dst != nil {
+				lw.box(dst, rhs)
+			}
+		}
+	}
+	for _, lhs := range s.Lhs {
+		lw.lvalue(lhs)
+	}
+}
+
+// lvalue lowers an assignment target. Only a direct field selector is a
+// field write; an index or deref target reads its base.
+func (lw *lowerer) lvalue(lhs ast.Expr) {
+	switch e := unparen(lhs).(type) {
+	case *ast.Ident:
+		// plain variable; nothing to record
+	case *ast.SelectorExpr:
+		lw.exprCtx(e, true)
+	case *ast.IndexExpr:
+		lw.expr(e.X)
+		lw.expr(e.Index)
+		if t := lw.typeOf(e.X); t != nil {
+			if _, ok := t.Underlying().(*types.Map); ok {
+				lw.emit(Instr{Kind: KAlloc, Pos: e.Pos(), Reason: "map assignment"})
+			}
+		}
+	case *ast.StarExpr:
+		lw.expr(e.X)
+	default:
+		lw.expr(lhs)
+	}
+}
+
+func (lw *lowerer) valueSpec(s *ast.ValueSpec) {
+	for i, v := range s.Values {
+		lw.expr(v)
+		if i < len(s.Names) {
+			if obj := lw.pass.TypesInfo.Defs[s.Names[i]]; obj != nil {
+				if isFreshExpr(lw, v) && len(s.Names) == len(s.Values) {
+					lw.fn.FreshLocals[obj] = true
+				}
+				lw.box(obj.Type(), v)
+			}
+		}
+	}
+}
+
+func (lw *lowerer) ret(s *ast.ReturnStmt) {
+	sig, _ := lw.fnSignature()
+	for i, r := range s.Results {
+		// return append(b, ...) on an owned root is the tail of the
+		// caller-owned amortized append idiom (binary.AppendUvarint's
+		// shape): the grown slice goes straight back to the caller who
+		// owns the buffer.
+		if call, ok := unparen(r).(*ast.CallExpr); ok && lw.isBuiltin(call, "append") && len(call.Args) > 0 {
+			base := rootObj(lw.pass, call.Args[0])
+			lw.lowerAppend(call, base != nil && lw.fn.Owned[base])
+			continue
+		}
+		lw.expr(r)
+		if sig != nil && sig.Results().Len() == len(s.Results) {
+			lw.box(sig.Results().At(i).Type(), r)
+		}
+	}
+}
+
+func (lw *lowerer) fnSignature() (*types.Signature, bool) {
+	if lw.fn.Obj != nil {
+		sig, ok := lw.fn.Obj.Type().(*types.Signature)
+		return sig, ok
+	}
+	if t := lw.typeOf(lw.fn.Lit); t != nil {
+		sig, ok := t.(*types.Signature)
+		return sig, ok
+	}
+	return nil, false
+}
+
+func (lw *lowerer) deferStmt(s *ast.DeferStmt) {
+	// `defer mu.Unlock()` keeps mu held for the remainder of the
+	// function: record it and emit no KUnlock.
+	if sel, ok := unparen(s.Call.Fun).(*ast.SelectorExpr); ok {
+		if fn, ok := lw.pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok {
+			if kind, ok := lockMethods[fn.FullName()]; ok && (kind == lockRelease || kind == lockReleaseRead) {
+				if obj := lw.lockTarget(sel); obj != nil {
+					lw.fn.DeferredUnlocks = append(lw.fn.DeferredUnlocks, obj)
+					return
+				}
+			}
+		}
+	}
+	lw.call(s.Call, callDefer)
+}
+
+// expr lowers an expression in value (read) context.
+func (lw *lowerer) expr(x ast.Expr) { lw.exprCtx(x, false) }
+
+func (lw *lowerer) exprCtx(x ast.Expr, write bool) {
+	if x == nil || lw.isConst(x) {
+		return
+	}
+	switch e := x.(type) {
+	case *ast.Ident, *ast.BasicLit:
+		// no instruction
+	case *ast.ParenExpr:
+		lw.exprCtx(e.X, write)
+	case *ast.SelectorExpr:
+		lw.selector(e, write)
+	case *ast.CallExpr:
+		lw.call(e, callNormal)
+	case *ast.UnaryExpr:
+		switch e.Op {
+		case token.AND:
+			lw.addrOf(e)
+		case token.ARROW:
+			lw.expr(e.X)
+			lw.emit(Instr{Kind: KBlock, Pos: e.OpPos, Reason: "channel receive"})
+		default:
+			lw.expr(e.X)
+		}
+	case *ast.BinaryExpr:
+		lw.expr(e.X)
+		lw.expr(e.Y)
+		if e.Op == token.ADD {
+			if t := lw.typeOf(e); t != nil {
+				if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					lw.emit(Instr{Kind: KAlloc, Pos: e.OpPos, Reason: "string concatenation"})
+				}
+			}
+		}
+	case *ast.StarExpr:
+		lw.expr(e.X)
+	case *ast.IndexExpr:
+		lw.expr(e.X)
+		if t, ok := lw.pass.TypesInfo.Types[e.Index]; !ok || !t.IsType() {
+			lw.expr(e.Index) // not a generic instantiation
+		}
+	case *ast.IndexListExpr:
+		lw.expr(e.X)
+	case *ast.SliceExpr:
+		lw.expr(e.X)
+		lw.expr(e.Low)
+		lw.expr(e.High)
+		lw.expr(e.Max)
+	case *ast.TypeAssertExpr:
+		lw.expr(e.X)
+	case *ast.CompositeLit:
+		lw.composite(e, false)
+	case *ast.FuncLit:
+		lit := lw.lit(e)
+		lw.emit(Instr{Kind: KClosure, Pos: e.Pos(), Closure: lit})
+	case *ast.KeyValueExpr:
+		lw.expr(e.Value)
+	}
+}
+
+// selector lowers a selector expression: a field access, a method value,
+// or a qualified identifier.
+func (lw *lowerer) selector(e *ast.SelectorExpr, write bool) {
+	sel, ok := lw.pass.TypesInfo.Selections[e]
+	if !ok {
+		// Qualified identifier (pkg.Name): no field involved.
+		return
+	}
+	switch sel.Kind() {
+	case types.FieldVal:
+		lw.expr(e.X) // prefix path first, in evaluation order
+		if v, ok := lw.pass.TypesInfo.Uses[e.Sel].(*types.Var); ok {
+			lw.emit(Instr{
+				Kind:  KField,
+				Pos:   e.Sel.Pos(),
+				Field: v,
+				Write: write,
+				Base:  rootObj(lw.pass, e),
+			})
+		}
+	case types.MethodVal:
+		lw.expr(e.X)
+		lw.emit(Instr{Kind: KAlloc, Pos: e.Pos(), Reason: "method value"})
+	case types.MethodExpr:
+		// T.M: a static func value, no allocation.
+	}
+}
+
+// addrOf lowers &x.
+func (lw *lowerer) addrOf(e *ast.UnaryExpr) {
+	switch x := unparen(e.X).(type) {
+	case *ast.CompositeLit:
+		lw.compositeElems(x)
+		lw.emit(Instr{Kind: KAlloc, Pos: e.OpPos, Reason: "&composite literal"})
+	case *ast.SelectorExpr:
+		if sel, ok := lw.pass.TypesInfo.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			lw.expr(x.X)
+			if v, ok := lw.pass.TypesInfo.Uses[x.Sel].(*types.Var); ok {
+				// Address escapes to a non-atomic use: subsequent
+				// accesses through the pointer are untrackable, so
+				// record a conservative write.
+				lw.emit(Instr{
+					Kind:  KField,
+					Pos:   x.Sel.Pos(),
+					Field: v,
+					Write: true,
+					Addr:  true,
+					Base:  rootObj(lw.pass, x),
+				})
+			}
+			return
+		}
+		lw.expr(e.X)
+	case *ast.Ident:
+		// Address of a local: assumed stack; see package doc.
+	default:
+		lw.expr(e.X)
+	}
+}
+
+func (lw *lowerer) composite(e *ast.CompositeLit, addressed bool) {
+	lw.compositeElems(e)
+	if t := lw.typeOf(e); t != nil {
+		switch t.Underlying().(type) {
+		case *types.Slice:
+			lw.emit(Instr{Kind: KAlloc, Pos: e.Pos(), Reason: "slice literal"})
+		case *types.Map:
+			lw.emit(Instr{Kind: KAlloc, Pos: e.Pos(), Reason: "map literal"})
+		default:
+			if addressed {
+				lw.emit(Instr{Kind: KAlloc, Pos: e.Pos(), Reason: "&composite literal"})
+			}
+		}
+	}
+}
+
+func (lw *lowerer) compositeElems(e *ast.CompositeLit) {
+	isStruct := false
+	if t := lw.typeOf(e); t != nil {
+		_, isStruct = t.Underlying().(*types.Struct)
+	}
+	for _, el := range e.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			if !isStruct {
+				lw.expr(kv.Key)
+			}
+			lw.expr(kv.Value)
+			continue
+		}
+		lw.expr(el)
+	}
+}
+
+// lit creates (and schedules lowering of) a function literal's Func.
+func (lw *lowerer) lit(e *ast.FuncLit) *Func {
+	if f, ok := lw.idx.ByLit[e]; ok {
+		return f
+	}
+	f := &Func{
+		Lit:    e,
+		Parent: lw.fn,
+		Name:   fmt.Sprintf("%s$lit%d", lw.fn.Name, len(lw.idx.ByLit)+1),
+	}
+	lw.idx.Funcs = append(lw.idx.Funcs, f)
+	lw.idx.ByLit[e] = f
+	return f
+}
+
+const (
+	lockAcquire = iota
+	lockAcquireRead
+	lockRelease
+	lockReleaseRead
+	lockTry
+)
+
+var lockMethods = map[string]int{
+	"(*sync.Mutex).Lock":       lockAcquire,
+	"(*sync.Mutex).Unlock":     lockRelease,
+	"(*sync.Mutex).TryLock":    lockTry,
+	"(*sync.RWMutex).Lock":     lockAcquire,
+	"(*sync.RWMutex).Unlock":   lockRelease,
+	"(*sync.RWMutex).RLock":    lockAcquireRead,
+	"(*sync.RWMutex).RUnlock":  lockReleaseRead,
+	"(*sync.RWMutex).TryLock":  lockTry,
+	"(*sync.RWMutex).TryRLock": lockTry,
+}
+
+// lockTarget resolves the mutex identity of a lock-method selector: the
+// mutex-typed field or variable the method is invoked on, including
+// methods promoted from an embedded Mutex.
+func (lw *lowerer) lockTarget(fun *ast.SelectorExpr) types.Object {
+	if sel, ok := lw.pass.TypesInfo.Selections[fun]; ok {
+		if idx := sel.Index(); len(idx) > 1 {
+			// Promoted method: the lock is the embedded field reached by
+			// the selection path (minus the final method index).
+			t := lw.typeOf(fun.X)
+			var field *types.Var
+			for _, i := range idx[:len(idx)-1] {
+				t = derefType(t)
+				st, ok := t.Underlying().(*types.Struct)
+				if !ok || i >= st.NumFields() {
+					return nil
+				}
+				field = st.Field(i)
+				t = field.Type()
+			}
+			return field
+		}
+	}
+	switch recv := unparen(fun.X).(type) {
+	case *ast.SelectorExpr:
+		lw.expr(recv.X)
+		if v, ok := lw.pass.TypesInfo.Uses[recv.Sel].(*types.Var); ok {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := lw.pass.TypesInfo.Uses[recv].(*types.Var); ok {
+			return v
+		}
+	default:
+		lw.expr(fun.X)
+	}
+	return nil
+}
+
+func derefType(t types.Type) types.Type {
+	if t == nil {
+		return types.Typ[types.Invalid]
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// atomicWriteness reports whether a sync/atomic function or method name
+// mutates (everything except Load).
+func atomicWriteness(name string) bool {
+	return !strings.HasPrefix(name, "Load")
+}
+
+// call lowers a call expression reached normally, via defer, or via go.
+func (lw *lowerer) call(e *ast.CallExpr, how int) {
+	// Conversion T(x).
+	if tv, ok := lw.pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+		lw.conversion(e, tv.Type)
+		return
+	}
+
+	fun := unparen(e.Fun)
+
+	// Builtin.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := lw.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			lw.builtin(e, b.Name())
+			return
+		}
+	}
+
+	// Direct call of a function literal.
+	if litExpr, ok := fun.(*ast.FuncLit); ok {
+		lit := lw.lit(litExpr)
+		lw.args(e, nil)
+		lw.emitCall(Instr{Kind: KCall, Pos: e.Lparen, Closure: lit}, how)
+		return
+	}
+
+	var callee *types.Func
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		// unsafe.Add / unsafe.Slice and friends are compiler intrinsics
+		// typed as builtins, not functions: pointer arithmetic, no call.
+		if b, ok := lw.pass.TypesInfo.Uses[sel.Sel].(*types.Builtin); ok {
+			lw.builtin(e, b.Name())
+			return
+		}
+		callee, _ = lw.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+
+		if callee != nil {
+			// Lock / unlock.
+			if kind, ok := lockMethods[callee.FullName()]; ok {
+				obj := lw.lockTarget(sel)
+				switch kind {
+				case lockAcquire:
+					lw.emit(Instr{Kind: KLock, Pos: e.Lparen, Lock: obj})
+				case lockAcquireRead:
+					lw.emit(Instr{Kind: KLock, Pos: e.Lparen, Lock: obj, Read: true})
+				case lockRelease:
+					lw.emit(Instr{Kind: KUnlock, Pos: e.Lparen, Lock: obj})
+				case lockReleaseRead:
+					lw.emit(Instr{Kind: KUnlock, Pos: e.Lparen, Lock: obj, Read: true})
+				case lockTry:
+					// A failed TryLock holds nothing; never counted held.
+				}
+				return
+			}
+
+			// sync/atomic package function: atomic.AddInt64(&s.n, 1).
+			if callee.Pkg() != nil && callee.Pkg().Path() == "sync/atomic" && callee.Type().(*types.Signature).Recv() == nil {
+				lw.atomicPkgCall(e, callee)
+				return
+			}
+
+			// Method of a sync/atomic type: s.n.Add(1).
+			if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil &&
+				callee.Pkg() != nil && callee.Pkg().Path() == "sync/atomic" {
+				lw.atomicMethodCall(e, sel, callee)
+				return
+			}
+		}
+
+		// Method call (or interface method): lower the receiver prefix.
+		// The receiver field itself, when the target of a method call, is
+		// used by address (or copied wholesale), not loaded as a shared
+		// word, so it emits no KField — see package doc.
+		if selKind, ok := lw.pass.TypesInfo.Selections[sel]; ok && selKind.Kind() == types.MethodVal {
+			switch recv := unparen(sel.X).(type) {
+			case *ast.SelectorExpr:
+				lw.expr(recv.X)
+			case *ast.Ident:
+				// nothing
+			default:
+				lw.expr(sel.X)
+			}
+			lw.args(e, callee)
+			if callee != nil && isInterfaceMethod(callee) {
+				lw.emitCall(Instr{Kind: KDynCall, Pos: e.Lparen, Callee: callee}, how)
+			} else {
+				lw.emitCall(Instr{Kind: KCall, Pos: e.Lparen, Callee: callee}, how)
+			}
+			return
+		}
+		if callee == nil {
+			// Calling a func-typed field (w.fn()): the call loads the field.
+			lw.expr(sel)
+		}
+	} else if id, ok := fun.(*ast.Ident); ok {
+		callee, _ = lw.pass.TypesInfo.Uses[id].(*types.Func)
+	} else {
+		// Computed function value: f()() etc.
+		lw.expr(fun)
+	}
+
+	lw.args(e, callee)
+	if callee != nil {
+		lw.emitCall(Instr{Kind: KCall, Pos: e.Lparen, Callee: callee}, how)
+	} else {
+		lw.emitCall(Instr{Kind: KDynCall, Pos: e.Lparen}, how)
+	}
+}
+
+// emitCall finalizes a call instruction per its invocation mode.
+func (lw *lowerer) emitCall(ins Instr, how int) {
+	switch how {
+	case callDefer:
+		ins.Deferred = true
+	case callGo:
+		ins.Kind = KGo
+	}
+	lw.emit(ins)
+}
+
+func isInterfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+// args lowers a call's arguments and charges interface boxing and
+// variadic-slice allocations per the callee's (instantiated) signature.
+func (lw *lowerer) args(e *ast.CallExpr, callee *types.Func) {
+	for _, a := range e.Args {
+		lw.expr(a)
+	}
+	tv, ok := lw.pass.TypesInfo.Types[e.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	np := params.Len()
+	for i, a := range e.Args {
+		switch {
+		case sig.Variadic() && i >= np-1:
+			// handled below
+		case i < np:
+			lw.box(params.At(i).Type(), a)
+		}
+	}
+	if sig.Variadic() && e.Ellipsis == token.NoPos && len(e.Args) >= np {
+		// Passing k>0 loose variadic args materializes a []T.
+		if len(e.Args) > np-1 {
+			lw.emit(Instr{Kind: KAlloc, Pos: e.Lparen, Reason: "variadic call"})
+		}
+	}
+}
+
+// box charges an interface-boxing allocation when a concrete,
+// non-constant, non-pointer-shaped value converts to an interface type.
+func (lw *lowerer) box(dst types.Type, src ast.Expr) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	t := lw.typeOf(src)
+	if t == nil || types.IsInterface(t) {
+		return
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	if lw.isConst(src) {
+		return // compiler materializes constants in static data
+	}
+	if isPointerShaped(t) {
+		return // direct interface, no heap copy
+	}
+	lw.emit(Instr{Kind: KAlloc, Pos: src.Pos(), Reason: "interface boxing"})
+}
+
+func isPointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func (lw *lowerer) builtin(e *ast.CallExpr, name string) {
+	switch name {
+	case "make":
+		for _, a := range e.Args[1:] {
+			lw.expr(a)
+		}
+		lw.emit(Instr{Kind: KAlloc, Pos: e.Lparen, Reason: "make"})
+	case "new":
+		lw.emit(Instr{Kind: KAlloc, Pos: e.Lparen, Reason: "new"})
+	case "append":
+		lw.lowerAppend(e, false)
+	case "panic":
+		if len(e.Args) == 1 {
+			lw.expr(e.Args[0])
+			lw.box(types.NewInterfaceType(nil, nil), e.Args[0])
+		}
+	default:
+		// len, cap, copy, delete, close, clear, min, max, ...
+		for _, a := range e.Args {
+			lw.expr(a)
+		}
+	}
+}
+
+// lowerAppend lowers an append call; amortized appends (caller-owned
+// buffer, result assigned back) do not allocate.
+func (lw *lowerer) lowerAppend(e *ast.CallExpr, amortized bool) {
+	for _, a := range e.Args {
+		lw.expr(a)
+	}
+	if !amortized {
+		lw.emit(Instr{Kind: KAlloc, Pos: e.Lparen, Reason: "append may grow"})
+	}
+}
+
+// conversion lowers T(x).
+func (lw *lowerer) conversion(e *ast.CallExpr, dst types.Type) {
+	arg := e.Args[0]
+	lw.expr(arg)
+	src := lw.typeOf(arg)
+	if src == nil || dst == nil {
+		return
+	}
+	if types.IsInterface(dst) {
+		lw.box(dst, arg)
+		return
+	}
+	du, su := dst.Underlying(), src.Underlying()
+	dstStr := isString(du)
+	srcStr := isString(su)
+	switch {
+	case dstStr && isByteOrRuneSlice(su):
+		lw.emit(Instr{Kind: KAlloc, Pos: e.Lparen, Reason: "string conversion"})
+	case srcStr && isByteOrRuneSlice(du):
+		lw.emit(Instr{Kind: KAlloc, Pos: e.Lparen, Reason: "string conversion"})
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+// atomicPkgCall lowers atomic.LoadInt64(&s.n) / atomic.AddUint32(&s.n, 1).
+func (lw *lowerer) atomicPkgCall(e *ast.CallExpr, callee *types.Func) {
+	write := atomicWriteness(callee.Name())
+	emitted := false
+	if len(e.Args) > 0 {
+		if u, ok := unparen(e.Args[0]).(*ast.UnaryExpr); ok && u.Op == token.AND {
+			if fieldSel, ok := unparen(u.X).(*ast.SelectorExpr); ok {
+				if sel, ok := lw.pass.TypesInfo.Selections[fieldSel]; ok && sel.Kind() == types.FieldVal {
+					lw.expr(fieldSel.X)
+					if v, ok := lw.pass.TypesInfo.Uses[fieldSel.Sel].(*types.Var); ok {
+						lw.emit(Instr{
+							Kind:   KField,
+							Pos:    fieldSel.Sel.Pos(),
+							Field:  v,
+							Write:  write,
+							Atomic: true,
+							Base:   rootObj(lw.pass, fieldSel),
+						})
+						emitted = true
+					}
+				}
+			}
+		}
+	}
+	start := 0
+	if emitted {
+		start = 1
+	}
+	for _, a := range e.Args[start:] {
+		lw.expr(a)
+	}
+	lw.emit(Instr{Kind: KCall, Pos: e.Lparen, Callee: callee})
+}
+
+// atomicMethodCall lowers s.n.Add(1) where n is an atomic.X field.
+func (lw *lowerer) atomicMethodCall(e *ast.CallExpr, fun *ast.SelectorExpr, callee *types.Func) {
+	write := atomicWriteness(callee.Name())
+	if fieldSel, ok := unparen(fun.X).(*ast.SelectorExpr); ok {
+		if sel, ok := lw.pass.TypesInfo.Selections[fieldSel]; ok && sel.Kind() == types.FieldVal {
+			lw.expr(fieldSel.X)
+			if v, ok := lw.pass.TypesInfo.Uses[fieldSel.Sel].(*types.Var); ok {
+				lw.emit(Instr{
+					Kind:   KField,
+					Pos:    fieldSel.Sel.Pos(),
+					Field:  v,
+					Write:  write,
+					Atomic: true,
+					Base:   rootObj(lw.pass, fieldSel),
+				})
+			}
+		} else {
+			lw.expr(fun.X)
+		}
+	} else if _, ok := unparen(fun.X).(*ast.Ident); !ok {
+		lw.expr(fun.X)
+	}
+	for _, a := range e.Args {
+		lw.expr(a)
+	}
+	lw.emit(Instr{Kind: KCall, Pos: e.Lparen, Callee: callee})
+}
+
+func (lw *lowerer) isBuiltin(e *ast.CallExpr, name string) bool {
+	id, ok := unparen(e.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := lw.pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// isFreshExpr reports whether an expression yields a value no other
+// goroutine can reference yet: &T{...}, new(T), or a composite value.
+func isFreshExpr(lw *lowerer, x ast.Expr) bool {
+	switch e := unparen(x).(type) {
+	case *ast.UnaryExpr:
+		if e.Op != token.AND {
+			return false
+		}
+		_, ok := unparen(e.X).(*ast.CompositeLit)
+		return ok
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		if id, ok := unparen(e.Fun).(*ast.Ident); ok {
+			if b, ok := lw.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+				return b.Name() == "new" || b.Name() == "make"
+			}
+		}
+	}
+	return false
+}
+
+// rootObj returns the base variable of an access path (x in x.a[i].b),
+// or nil when the path roots in something other than a simple variable.
+func rootObj(pass *analysis.Pass, x ast.Expr) types.Object {
+	for {
+		switch e := x.(type) {
+		case *ast.ParenExpr:
+			x = e.X
+		case *ast.SelectorExpr:
+			x = e.X
+		case *ast.IndexExpr:
+			x = e.X
+		case *ast.SliceExpr:
+			x = e.X
+		case *ast.StarExpr:
+			x = e.X
+		case *ast.Ident:
+			return pass.TypesInfo.ObjectOf(e)
+		default:
+			return nil
+		}
+	}
+}
+
+func unparen(x ast.Expr) ast.Expr {
+	for {
+		p, ok := x.(*ast.ParenExpr)
+		if !ok {
+			return x
+		}
+		x = p.X
+	}
+}

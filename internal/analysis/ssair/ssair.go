@@ -1,0 +1,468 @@
+// Package ssair lowers every function of a package to a flat, SSA-style
+// instruction stream over its control-flow graph, shared by the
+// whole-program concurrency analyzers (allocfree, lockorder, sharedfield).
+//
+// The paper's disciplines are properties of every execution path — a
+// wait-free operation allocates nothing and waits on nothing on ANY path,
+// a lock order is acyclic over ANY interleaving — so the analyzers need a
+// path-structured view of each function, not a syntax tree. This pass
+// builds exactly the slice of SSA they consume:
+//
+//   - each function (and each function literal) becomes a Func of basic
+//     Blocks, built on golang.org/x/tools/go/cfg, with the statements of
+//     each block lowered to abstract instructions in evaluation order:
+//     heap allocations (KAlloc, with the reason — make, &T{...}, interface
+//     boxing, map growth, closure capture, string conversion, ...), calls
+//     (KCall static / KDynCall dynamic), goroutine spawns (KGo), closure
+//     creation (KClosure), lock acquisitions and releases (KLock/KUnlock,
+//     with the lock's identity resolved to the mutex field or variable),
+//     struct-field accesses (KField, classified plain vs sync/atomic,
+//     read vs write), and blocking channel operations (KBlock);
+//   - a forward must-hold dataflow over the blocks annotates every
+//     instruction with the set of locks provably held when it executes
+//     (intersection at joins; a deferred Unlock keeps its lock held to
+//     function exit, which is what defer means).
+//
+// It is deliberately not full go/ssa (no virtual registers, no phi nodes,
+// no value numbering — none of the consumers need them, and the x/tools
+// subset vendored from the Go distribution does not ship go/ssa); it is
+// the fragment that makes the concurrency checks path-sensitive while
+// staying driver-independent: the same IR builds under the atest loader,
+// the standalone bloomvet driver, and go vet's unitchecker.
+//
+// Approximations, chosen to under-claim (fewer held locks, more
+// allocations) rather than over-claim: TryLock never counts as held; a
+// callee that acquires-and-leaks a lock for its caller is not tracked;
+// value composite literals and address-of-local are treated as
+// non-escaping (stack) while &T{...}, slice, and map literals always
+// count as heap.
+package ssair
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Analyzer builds the package's lowered IR; the concurrency analyzers
+// consume it via Requires.
+var Analyzer = &analysis.Analyzer{
+	Name:       "ssair",
+	Doc:        "lower functions to a CFG-ordered instruction stream for the concurrency analyzers",
+	Run:        run,
+	ResultType: reflect.TypeOf((*Index)(nil)),
+}
+
+// Index is the lowered view of one package.
+type Index struct {
+	Pkg *types.Package
+	// Funcs holds every function with a body: declared functions first
+	// (in file order), then function literals (each linked to its parent).
+	Funcs []*Func
+	// ByObj maps a declared function's object to its IR.
+	ByObj map[*types.Func]*Func
+	// ByLit maps a function literal to its IR.
+	ByLit map[*ast.FuncLit]*Func
+}
+
+// Func is one function's (or function literal's) lowered body.
+type Func struct {
+	// Obj is the declared function's object; nil for a literal.
+	Obj *types.Func
+	// Decl / Lit is the syntax; exactly one is non-nil.
+	Decl *ast.FuncDecl
+	Lit  *ast.FuncLit
+	// Parent is the enclosing Func of a literal, nil for declarations.
+	Parent *Func
+	// Name is a printable name: the types.Func full name, or
+	// "parent$litN" for literals.
+	Name string
+	// Blocks is the control-flow graph with lowered instructions.
+	Blocks []*Block
+	// Owned holds the objects a caller hands this function: parameters,
+	// named results, and the receiver. Appending to an Owned slice is
+	// amortized by the caller's buffer reuse, not a fresh allocation.
+	Owned map[types.Object]bool
+	// FreshLocals are locals bound to a struct value allocated in this
+	// function (x := &T{...}, x := new(T), x := T{...}): field accesses
+	// through them are initialization of a not-yet-shared value.
+	FreshLocals map[types.Object]bool
+	// Captures are the free variables a literal closes over (nil for
+	// declarations and capture-free literals): their presence is what
+	// makes creating the closure allocate.
+	Captures []*types.Var
+	// DeferredUnlocks are locks released only by a deferred call: held
+	// from their acquisition to function exit.
+	DeferredUnlocks []types.Object
+}
+
+// Pos returns the function's declaration position.
+func (f *Func) Pos() token.Pos {
+	if f.Decl != nil {
+		return f.Decl.Pos()
+	}
+	return f.Lit.Pos()
+}
+
+// Block is one basic block: instructions in evaluation order plus
+// successor indices into Func.Blocks.
+type Block struct {
+	Index  int32
+	Succs  []int32
+	Instrs []Instr
+}
+
+// Kind classifies an instruction.
+type Kind uint8
+
+const (
+	// KAlloc is a heap allocation; Reason says why.
+	KAlloc Kind = iota + 1
+	// KCall is a statically resolved call (Callee), or a direct call of a
+	// function literal (Closure).
+	KCall
+	// KDynCall is a call through a function value or interface whose
+	// target the static callgraph cannot resolve.
+	KDynCall
+	// KGo spawns a goroutine running Callee or Closure (either may be nil
+	// when the target is dynamic).
+	KGo
+	// KClosure creates a function-literal value (Closure).
+	KClosure
+	// KLock acquires Lock (Read reports RLock); KUnlock releases it.
+	KLock
+	KUnlock
+	// KField is a struct-field access: Field, Write, Atomic, Addr.
+	KField
+	// KBlock is a blocking primitive other than a lock: channel send or
+	// receive outside a select-with-default, a select without a default
+	// clause, or a range over a channel.
+	KBlock
+)
+
+// Instr is one abstract instruction.
+type Instr struct {
+	Kind Kind
+	Pos  token.Pos
+
+	// Callee is the static target of a KCall / KGo.
+	Callee *types.Func
+	// Closure is the literal's IR for KClosure, direct-literal KCall, and
+	// literal KGo.
+	Closure *Func
+	// Deferred marks a KCall lowered from a defer statement.
+	Deferred bool
+
+	// Lock identifies the mutex of a KLock/KUnlock: the mutex-typed
+	// struct field or variable. Read reports RLock/RUnlock.
+	Lock types.Object
+	Read bool
+
+	// Field is the struct field of a KField access.
+	Field *types.Var
+	// Write reports a store (assignment, ++/--, or an atomic mutation).
+	Write bool
+	// Atomic reports access through sync/atomic (package function on
+	// &field, or a method of an atomic.X-typed field).
+	Atomic bool
+	// Addr reports the field's address escaping to a non-atomic use; its
+	// subsequent accesses are untrackable.
+	Addr bool
+	// Base is the root object of the access path (x in x.a.b.f), when it
+	// is a simple variable; used for freshly-allocated-value exemptions.
+	Base types.Object
+
+	// Reason explains a KAlloc or KBlock.
+	Reason string
+
+	// Held is the set of locks provably held when this instruction
+	// executes, sorted by LockKey. Filled by the must-hold dataflow.
+	Held []HeldLock
+}
+
+// HeldLock is one element of a must-hold set.
+type HeldLock struct {
+	Obj  types.Object
+	Read bool // held in read (RLock) mode
+}
+
+// LockKey renders a lock's identity as a stable, package-qualified
+// string: "(pkgpath.Type).field" for a struct field,
+// "pkgpath.varname" for a package-level variable, and
+// "pkgpath.varname@local" for a function-local one. Cross-package lock
+// facts are keyed on it.
+func LockKey(obj types.Object) string {
+	if obj == nil {
+		return "?"
+	}
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		// Find the named struct owning the field via its position in the
+		// package scope is not recorded; qualify with the package path
+		// and field name plus owner when recoverable from the object.
+		return fieldKey(v)
+	}
+	pkg := ""
+	if obj.Pkg() != nil {
+		pkg = obj.Pkg().Path() + "."
+	}
+	if isPackageLevel(obj) {
+		return pkg + obj.Name()
+	}
+	return pkg + obj.Name() + "@local"
+}
+
+// fieldOwner caches field → owning named type (types.Var does not point
+// back at its struct, so ownership is recovered by scanning the field's
+// package scope once). sync.Map because analyzers of different packages
+// may consult it concurrently under a parallel driver.
+var fieldOwner sync.Map // *types.Var → *types.TypeName (may store nil TypeName as missing)
+
+// fieldKey renders a field lock's identity.
+func fieldKey(v *types.Var) string {
+	pkg := ""
+	if v.Pkg() != nil {
+		pkg = v.Pkg().Path() + "."
+	}
+	if tn := ownerOf(v); tn != nil {
+		return "(" + pkg + tn.Name() + ")." + v.Name()
+	}
+	return "(" + pkg + "?)." + v.Name()
+}
+
+// OwnerName returns the name of the package-scope named struct type
+// declaring field v, or "" when it is unknown (unnamed or local type).
+func OwnerName(v *types.Var) string {
+	if tn := ownerOf(v); tn != nil {
+		return tn.Name()
+	}
+	return ""
+}
+
+// ownerOf finds the package-scope named struct type declaring field v,
+// or nil for fields of unnamed or function-local struct types.
+func ownerOf(v *types.Var) *types.TypeName {
+	if tn, ok := fieldOwner.Load(v); ok {
+		if tn == nil {
+			return nil
+		}
+		return tn.(*types.TypeName)
+	}
+	var found *types.TypeName
+	if p := v.Pkg(); p != nil {
+		scope := p.Scope()
+	scan:
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i) == v {
+					found = tn
+					break scan
+				}
+			}
+		}
+	}
+	if found == nil {
+		fieldOwner.Store(v, (*types.TypeName)(nil))
+		return nil
+	}
+	fieldOwner.Store(v, found)
+	return found
+}
+
+func isPackageLevel(obj types.Object) bool {
+	return obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}
+
+// stdlibPackage reports whether the pass is analyzing a standard-library
+// package, by whether its first file lives under GOROOT.
+func stdlibPackage(pass *analysis.Pass) bool {
+	goroot := runtime.GOROOT()
+	if goroot == "" || len(pass.Files) == 0 {
+		return false
+	}
+	name := pass.Fset.Position(pass.Files[0].Pos()).Filename
+	rel, err := filepath.Rel(goroot, name)
+	return err == nil && rel != ".." && !strings.HasPrefix(rel, ".."+string(filepath.Separator))
+}
+
+// run lowers the package.
+func run(pass *analysis.Pass) (interface{}, error) {
+	idx := &Index{
+		Pkg:   pass.Pkg,
+		ByObj: map[*types.Func]*Func{},
+		ByLit: map[*ast.FuncLit]*Func{},
+	}
+	// Standard-library packages are deliberately not lowered, so the
+	// consumers compute no facts for them under any driver. The test
+	// loader typechecks stdlib from GOROOT source without running
+	// analyzers over it; lowering stdlib under go vet would give the two
+	// drivers different whole-program views (every fmt call would, for
+	// example, carry a blocking chain down to the runtime's GC channels).
+	// Stdlib behavior enters the analyses only through each consumer's
+	// curated tables, which keeps every verdict reproducible in-repo.
+	if stdlibPackage(pass) {
+		return idx, nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			f := &Func{Obj: obj, Decl: fd, Name: obj.FullName()}
+			idx.Funcs = append(idx.Funcs, f)
+			idx.ByObj[obj] = f
+		}
+	}
+	// Lower bodies (literal Funcs are appended to idx.Funcs as they are
+	// encountered, and lowered in turn).
+	for i := 0; i < len(idx.Funcs); i++ {
+		lowerFunc(pass, idx, idx.Funcs[i])
+	}
+	for _, f := range idx.Funcs {
+		computeHeld(f)
+	}
+	return idx, nil
+}
+
+// computeHeld runs the forward must-hold dataflow and annotates each
+// instruction's Held set.
+func computeHeld(f *Func) {
+	n := len(f.Blocks)
+	if n == 0 {
+		return
+	}
+	in := make([]map[types.Object]bool, n)  // lock → read-mode
+	out := make([]map[types.Object]bool, n) // nil = not yet computed
+	preds := make([][]int32, n)
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], b.Index)
+		}
+	}
+	// Deferred unlocks never emit KUnlock (see lowerer), so their locks
+	// stay in the state to function exit with no extra handling here.
+
+	worklist := []int32{0}
+	queued := map[int32]bool{0: true}
+	for len(worklist) > 0 {
+		bi := worklist[0]
+		worklist = worklist[1:]
+		queued[bi] = false
+		b := f.Blocks[bi]
+
+		// in[b] = intersection of computed predecessor outs (entry: empty).
+		var state map[types.Object]bool
+		if bi == 0 {
+			state = map[types.Object]bool{}
+		} else {
+			for _, p := range preds[bi] {
+				po := out[p]
+				if po == nil {
+					continue // unvisited pred: identity for intersection
+				}
+				if state == nil {
+					state = copyLocks(po)
+					continue
+				}
+				for obj := range state {
+					if _, ok := po[obj]; !ok {
+						delete(state, obj)
+					}
+				}
+			}
+			if state == nil {
+				state = map[types.Object]bool{}
+			}
+		}
+		in[bi] = copyLocks(state)
+
+		for i := range b.Instrs {
+			ins := &b.Instrs[i]
+			ins.Held = heldSlice(state)
+			switch ins.Kind {
+			case KLock:
+				if ins.Lock != nil {
+					state[ins.Lock] = ins.Read
+				}
+			case KUnlock:
+				if ins.Lock != nil {
+					delete(state, ins.Lock)
+				}
+			}
+		}
+
+		if !sameLocks(out[bi], state) {
+			out[bi] = state
+			for _, s := range b.Succs {
+				if !queued[s] {
+					queued[s] = true
+					worklist = append(worklist, s)
+				}
+			}
+		}
+	}
+}
+
+func copyLocks(m map[types.Object]bool) map[types.Object]bool {
+	c := make(map[types.Object]bool, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+func sameLocks(a, b map[types.Object]bool) bool {
+	if a == nil || len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+func heldSlice(state map[types.Object]bool) []HeldLock {
+	if len(state) == 0 {
+		return nil
+	}
+	out := make([]HeldLock, 0, len(state))
+	for obj, read := range state {
+		out = append(out, HeldLock{Obj: obj, Read: read})
+	}
+	sort.Slice(out, func(i, j int) bool { return LockKey(out[i].Obj) < LockKey(out[j].Obj) })
+	return out
+}
+
+// HeldKeys renders a held set for diagnostics.
+func HeldKeys(held []HeldLock) string {
+	parts := make([]string, len(held))
+	for i, h := range held {
+		parts[i] = LockKey(h.Obj)
+		if h.Read {
+			parts[i] += " (read)"
+		}
+	}
+	return strings.Join(parts, ", ")
+}

@@ -145,6 +145,12 @@ type History struct {
 	keys map[string]*keyHist
 }
 
+// keyHist is owned by whichever single goroutine is building the
+// History (see the History contract above); collection hands the whole
+// structure off before checking starts, so no static lock or atomic
+// discipline describes its fields.
+//
+//bloom:allowshared
 type keyHist struct {
 	init Value
 	ops  []Op

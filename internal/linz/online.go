@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -33,7 +34,10 @@ type Online struct {
 	// carry threads each register's forced value across windows.
 	carry map[string]Value
 
-	checkedThrough int64
+	// checkedThrough is the journal timestamp verification has reached.
+	// Atomic: written by whichever goroutine drives Step (Start's loop or
+	// a direct caller) and read for the lag gauge.
+	checkedThrough atomic.Int64
 
 	mu      sync.Mutex
 	started bool
@@ -242,7 +246,7 @@ func (ol *Online) Step() {
 		ol.mu.Lock()
 		ol.reports++
 		ol.mu.Unlock()
-		ol.checkedThrough = horizon
+		ol.checkedThrough.Store(horizon)
 	}
 
 	ol.shed()
@@ -252,9 +256,9 @@ func (ol *Online) Step() {
 		backlog += len(ops)
 	}
 	lag := time.Duration(0)
-	if ol.checkedThrough > 0 {
-		if now := ol.j.Now(); now > ol.checkedThrough {
-			lag = time.Duration(now - ol.checkedThrough)
+	if ct := ol.checkedThrough.Load(); ct > 0 {
+		if now := ol.j.Now(); now > ct {
+			lag = time.Duration(now - ct)
 		}
 	}
 	ol.o.Tally.SetLag(backlog, lag, ol.j.Drops())

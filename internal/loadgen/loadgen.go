@@ -200,20 +200,39 @@ func (cn *lgConn) reap(epoch time.Time, load *obs.Load) {
 		if err := cn.rd.ReadResponse(&resp); err != nil {
 			return
 		}
-		lat := int64(time.Since(epoch)) - cn.sched[resp.ID&cn.mask].Load()
-		cn.hist.Observe(time.Duration(lat))
-		load.Done(resp.Err == "")
-		cn.done.Add(1)
-		select {
-		case cn.wake <- struct{}{}:
-		default:
-		}
+		cn.retire(&resp, epoch, load)
 	}
+}
+
+// retire accounts one reaped response: latency against the ring's
+// scheduled-arrival stamp, histogram and throughput counters, and the
+// writer doorbell.
+//
+//bloom:noalloc
+func (cn *lgConn) retire(resp *wire.Response, epoch time.Time, load *obs.Load) {
+	lat := int64(time.Since(epoch)) - cn.sched[resp.ID&cn.mask].Load()
+	cn.hist.Observe(time.Duration(lat))
+	load.Done(resp.Err == "")
+	cn.done.Add(1)
+	select {
+	case cn.wake <- struct{}{}:
+	default:
+	}
+}
+
+// stamp publishes arrival id's scheduled time into the ring slot it
+// occupies until reaped.
+//
+//bloom:noalloc
+func (cn *lgConn) stamp(id uint64, at int64) {
+	cn.sched[id&cn.mask].Store(at)
 }
 
 // waitRoom flushes and blocks until the in-flight window has drained to
 // half the ring, so refills go out as half-ring batches instead of one
 // syscall per freed slot. No-op while the ring has room.
+//
+//bloom:noalloc
 func (cn *lgConn) waitRoom() error {
 	if cn.sent-cn.done.Load() <= cn.mask {
 		return nil
@@ -324,7 +343,7 @@ func (cn *lgConn) drive(cfg Config, epoch time.Time, load *obs.Load, seed int64)
 		}
 		id := cn.sent
 		cn.sent++
-		cn.sched[id&cn.mask].Store(next)
+		cn.stamp(id, next)
 		req.ID = id
 		if err := cn.wr.WriteRequest(req); err != nil {
 			return err

@@ -114,7 +114,11 @@ func (cc *clientConn) failErr() error {
 
 // fail tears the connection down exactly once: marks it dead, releases
 // the writer goroutine, closes the socket (which unblocks the reader),
-// and delivers err to every in-flight call.
+// and delivers err to every in-flight call. The delivery sends cannot
+// actually block — every call's done channel has capacity 1 and receives
+// exactly one result — so callers may invoke fail while holding locks.
+//
+//bloom:allowblocking
 func (cc *clientConn) fail(err error) {
 	cc.mu.Lock()
 	if cc.dead {

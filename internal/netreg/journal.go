@@ -70,6 +70,7 @@ func newConnTap(j *obs.Journal) *connTap {
 // as-is. Net cost of journaling an op: one clock read, one record.
 //
 //bloom:waitfree
+//bloom:noalloc
 func (t *connTap) beginInline() int64 {
 	return t.lastRes
 }
@@ -78,6 +79,7 @@ func (t *connTap) beginInline() int64 {
 // connection goroutine.
 //
 //bloom:waitfree
+//bloom:noalloc
 func (t *connTap) recordInline(req *wire.Request, resp *wire.Response, inv int64) {
 	rec := t.buildRec(req, resp, inv)
 	t.lastRes = rec.Res
@@ -87,6 +89,7 @@ func (t *connTap) recordInline(req *wire.Request, resp *wire.Response, inv int64
 // buildRec assembles the journal record for one completed operation.
 //
 //bloom:waitfree
+//bloom:noalloc
 func (t *connTap) buildRec(req *wire.Request, resp *wire.Response, inv int64) obs.Rec {
 	rec := obs.Rec{Inv: inv, Res: t.j.Now(), Key: t.src.KeyID(req.Reg)}
 	if req.Op == "write" {

@@ -52,8 +52,49 @@ type regState struct {
 	// pendMu/pend is the flat-combining publication list (see
 	// SetWriteCombining): writers enqueue here, and whichever of them
 	// holds writeMu applies the whole batch in one critical section.
+	// free is the previously drained array, recycled so steady-state
+	// publishes append into warm capacity instead of reallocating the
+	// list every batch.
 	pendMu sync.Mutex
 	pend   []*writeOp
+	free   []*writeOp
+}
+
+// publish enqueues one write on the combining list.
+//
+//bloom:noalloc
+func (rs *regState) publish(op *writeOp) {
+	rs.pendMu.Lock()
+	rs.pend = append(rs.pend, op)
+	rs.pendMu.Unlock()
+}
+
+// drain takes the current combining list for the lock holder to apply,
+// installing the previously drained array (emptied, capacity intact) as
+// the new list.
+//
+//bloom:noalloc
+func (rs *regState) drain() []*writeOp {
+	rs.pendMu.Lock()
+	batch := rs.pend
+	rs.pend = rs.free[:0]
+	rs.free = nil
+	rs.pendMu.Unlock()
+	return batch
+}
+
+// recycle returns an applied batch's array for the next drain to reuse.
+// Entries are cleared so the array does not pin writeOps now back in the
+// pool.
+//
+//bloom:noalloc
+func (rs *regState) recycle(batch []*writeOp) {
+	for i := range batch {
+		batch[i] = nil
+	}
+	rs.pendMu.Lock()
+	rs.free = batch[:0]
+	rs.pendMu.Unlock()
 }
 
 // writeOp is one write published to a register's combining list. The
@@ -89,14 +130,18 @@ type storeShard struct {
 // registers: requests carry a register name, "" being the default
 // register every Store starts with.
 type Store struct {
-	window  int // dedup window per client per register
+	// window is the dedup window per client per register. Atomic because
+	// SetDedupWindow may race with serving goroutines reading it on the
+	// write path; a torn plain int would silently corrupt eviction.
+	window  atomic.Int64
 	combine atomic.Bool
 	shards  [storeShards]storeShard
 }
 
 // newStore returns an empty store with the default dedup window.
 func newStore() *Store {
-	st := &Store{window: DefaultDedupWindow}
+	st := &Store{}
+	st.window.Store(DefaultDedupWindow)
 	for i := range st.shards {
 		st.shards[i].regs = make(map[string]*regState)
 	}
@@ -143,7 +188,7 @@ func AddRegister[V any](st *Store, name string, initial V, ports int, seq *histo
 // exercise eviction.
 func (st *Store) SetDedupWindow(n int) {
 	if n > 0 {
-		st.window = n
+		st.window.Store(int64(n))
 	}
 }
 
@@ -162,6 +207,7 @@ func (st *Store) SetWriteCombining(on bool) { st.combine.Store(on) }
 // request's path.
 //
 //bloom:waitfree
+//bloom:noalloc
 func (st *Store) shard(name string) *storeShard {
 	const (
 		offset32 = 2166136261
@@ -176,6 +222,8 @@ func (st *Store) shard(name string) *storeShard {
 }
 
 // lookup returns the named register, or nil.
+//
+//bloom:noalloc
 func (st *Store) lookup(name string) *regState {
 	sh := st.shard(name)
 	sh.mu.RLock()
@@ -217,12 +265,45 @@ func (st *Store) RegisterCounters(name string) *register.Counters {
 // requests; one giant value must not pin its capacity forever.
 const maxValBuf = 64 << 10
 
+// The fail* helpers format survivable error replies. Error construction
+// is the cold path — a malformed or refused request — so its fmt
+// allocations are deliberately excused from the hot-path no-alloc claim.
+// They take concrete (non-variadic) arguments so the callers do not pay
+// for the ...any boxing either.
+
+//bloom:allowalloc
+func failUnknownOp(resp *wire.Response, op string) {
+	resp.Err = fmt.Sprintf("unknown op %q", op)
+}
+
+//bloom:allowalloc
+func failUnknownReg(resp *wire.Response, name string) {
+	resp.Err = fmt.Sprintf("unknown register %q", name)
+}
+
+//bloom:allowalloc
+func failBadValue(resp *wire.Response, n int) {
+	resp.Err = fmt.Sprintf("invalid write value: %d bytes, not a JSON document", n)
+}
+
+//bloom:allowalloc
+func failStaleSeq(resp *wire.Response, seq uint64, client string, evictedMax uint64) {
+	resp.Err = fmt.Sprintf("stale write seq %d from client %s (dedup window passed %d)", seq, client, evictedMax)
+}
+
+//bloom:allowalloc
+func failBadPort(resp *wire.Response, port int) {
+	resp.Err = fmt.Sprintf("port %d out of range", port)
+}
+
 // handle serves one request into resp, which it fully overwrites. valBuf
 // is the connection's reusable value buffer: a read's response value is
 // copied into it (resp.Val aliases it, valid until the next handle call
 // on the same buffer), and the possibly-grown buffer is returned — the
 // encode-immediately loop this feeds never holds a response across
 // requests, so reuse is safe and keeps the read path allocation-free.
+//
+//bloom:noalloc
 func (st *Store) handle(req *wire.Request, resp *wire.Response, valBuf []byte) []byte {
 	*resp = wire.Response{}
 	switch req.Op {
@@ -231,7 +312,7 @@ func (st *Store) handle(req *wire.Request, resp *wire.Response, valBuf []byte) [
 	case "write":
 		st.writeReq(req, resp)
 	default:
-		resp.Err = fmt.Sprintf("unknown op %q", req.Op)
+		failUnknownOp(resp, req.Op)
 	}
 	resp.ID = req.ID
 	return valBuf
@@ -241,17 +322,19 @@ func (st *Store) handle(req *wire.Request, resp *wire.Response, valBuf []byte) [
 // deduplicating retries. With combining off the caller applies under the
 // register's write lock itself; with combining on it publishes the op
 // and whichever writer holds the lock applies the whole batch.
+//
+//bloom:noalloc
 func (st *Store) writeReq(req *wire.Request, resp *wire.Response) {
 	rs := st.lookup(req.Reg)
 	if rs == nil {
-		resp.Err = fmt.Sprintf("unknown register %q", req.Reg)
+		failUnknownReg(resp, req.Reg)
 		return
 	}
 	// Reject values that are not one valid JSON document: stored garbage
 	// would make every later read of this register fail client-side —
 	// better to refuse the one bad write with a survivable error reply.
 	if len(req.Val) == 0 || !json.Valid(req.Val) {
-		resp.Err = fmt.Sprintf("invalid write value: %d bytes, not a JSON document", len(req.Val))
+		failBadValue(resp, len(req.Val))
 		return
 	}
 	if !st.combine.Load() {
@@ -270,20 +353,16 @@ func (st *Store) writeReq(req *wire.Request, resp *wire.Response) {
 	// free with its owner past the drain.
 	op := writeOpPool.Get().(*writeOp)
 	op.req, op.resp, op.applied = req, resp, false
-	rs.pendMu.Lock()
-	rs.pend = append(rs.pend, op)
-	rs.pendMu.Unlock()
+	rs.publish(op)
 
 	rs.writeMu.Lock()
 	if !op.applied {
-		rs.pendMu.Lock()
-		batch := rs.pend
-		rs.pend = nil
-		rs.pendMu.Unlock()
+		batch := rs.drain()
 		for _, o := range batch {
 			st.applyWriteLocked(rs, o.req, o.resp)
 			o.applied = true
 		}
+		rs.recycle(batch)
 	}
 	rs.writeMu.Unlock()
 	op.req, op.resp = nil, nil
@@ -291,7 +370,12 @@ func (st *Store) writeReq(req *wire.Request, resp *wire.Response) {
 }
 
 // applyWriteLocked deduplicates and applies one validated write under
-// rs.writeMu.
+// rs.writeMu. Its allocations are deliberate: the stored value must
+// outlive the connection's frame buffer (one string copy per applied
+// write), and the dedup window's map and order slice grow only until a
+// client's window fills, then reuse their capacity.
+//
+//bloom:allowalloc
 func (st *Store) applyWriteLocked(rs *regState, req *wire.Request, resp *wire.Response) {
 	var w *clientWindow
 	if req.Client != "" {
@@ -309,7 +393,7 @@ func (st *Store) applyWriteLocked(rs *regState, req *wire.Request, resp *wire.Re
 				// Beyond the window we can no longer tell a replay from a
 				// fresh-but-ancient write; refusing is the only answer
 				// that cannot double-apply.
-				resp.Err = fmt.Sprintf("stale write seq %d from client %s (dedup window passed %d)", req.Seq, req.Client, w.evictedMax)
+				failStaleSeq(resp, req.Seq, req.Client, w.evictedMax)
 				return
 			}
 		}
@@ -322,7 +406,7 @@ func (st *Store) applyWriteLocked(rs *regState, req *wire.Request, resp *wire.Re
 		}
 		w.stamps[req.Seq] = resp.Stamp
 		w.order = append(w.order, req.Seq)
-		if len(w.order) > st.window {
+		if int64(len(w.order)) > st.window.Load() {
 			old := w.order[0]
 			w.order = w.order[1:]
 			delete(w.stamps, old)
@@ -336,14 +420,16 @@ func (st *Store) applyWriteLocked(rs *regState, req *wire.Request, resp *wire.Re
 
 // readInto serves one read request into resp, copying the value into
 // valBuf (see handle) and returning the possibly-grown buffer.
+//
+//bloom:noalloc
 func (st *Store) readInto(req *wire.Request, resp *wire.Response, valBuf []byte) []byte {
 	rs := st.lookup(req.Reg)
 	if rs == nil {
-		resp.Err = fmt.Sprintf("unknown register %q", req.Reg)
+		failUnknownReg(resp, req.Reg)
 		return valBuf
 	}
 	if req.Port < 0 || req.Port >= rs.reg.Counters().Ports() {
-		resp.Err = fmt.Sprintf("port %d out of range", req.Port)
+		failBadPort(resp, req.Port)
 		return valBuf
 	}
 	v, stamp := rs.reg.ReadStamped(req.Port)

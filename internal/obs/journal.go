@@ -86,6 +86,7 @@ func NewJournal(opts ...JournalOption) *Journal {
 // Now returns the journal's monotonic clock: nanoseconds since its epoch.
 //
 //bloom:waitfree
+//bloom:noalloc
 func (j *Journal) Now() int64 { return int64(time.Since(j.epoch)) }
 
 // JRead and JWrite classify a journal record's operation.
@@ -195,9 +196,12 @@ func (s *Source) ID() uint32 { return s.id }
 // first lookup of a name on a source takes the journal lock; every later
 // one hits the producer-private cache, so the hot path stays lock-free
 // for the handful of keys a connection actually touches. That first-touch
-// lock is why this leaf is excused rather than wait-free.
+// lock is why this leaf is excused rather than wait-free, and the
+// first-touch cache inserts are likewise excused from the no-alloc claim:
+// amortized to zero over a connection's lifetime.
 //
 //bloom:allowblocking
+//bloom:allowalloc
 func (s *Source) KeyID(name string) uint32 {
 	if id, ok := s.interned[name]; ok {
 		return id
@@ -230,6 +234,7 @@ func (j *Journal) KeyName(id uint32) string {
 // the register.
 //
 //bloom:waitfree
+//bloom:noalloc
 func (s *Source) Begin(inv int64) {
 	s.lowInv.Store(inv)
 }
@@ -240,6 +245,7 @@ func (s *Source) Begin(inv int64) {
 // so nothing it records later can have been invoked earlier.
 //
 //bloom:waitfree
+//bloom:noalloc
 func (s *Source) Record(rec Rec) {
 	s.RecordOnly(rec)
 	s.lowInv.Store(rec.Res)
@@ -254,6 +260,7 @@ func (s *Source) Record(rec Rec) {
 // what keeps a horizon-then-drain reader from missing the record.
 //
 //bloom:waitfree
+//bloom:noalloc
 func (s *Source) RecordOnly(rec Rec) {
 	rec.Client = s.id
 	h := s.head.Load()
@@ -347,6 +354,7 @@ const hashCap = 128
 // hash equal, which is the property the checker's correctness rests on.
 //
 //bloom:waitfree
+//bloom:noalloc
 func HashVal(b []byte) uint64 {
 	const (
 		offset64 = 14695981039346656037

@@ -30,6 +30,7 @@ func NewLoad() *Load { return &Load{} }
 // depth's high-water mark.
 //
 //bloom:waitfree
+//bloom:noalloc
 func (l *Load) Arrive() {
 	if l == nil {
 		return
@@ -48,6 +49,7 @@ func (l *Load) Arrive() {
 // it as an error as well.
 //
 //bloom:waitfree
+//bloom:noalloc
 func (l *Load) Done(ok bool) {
 	if l == nil {
 		return

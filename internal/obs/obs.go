@@ -82,6 +82,7 @@ func BucketBound(i int) time.Duration {
 // goroutine once per response, so it must never block.
 //
 //bloom:waitfree
+//bloom:noalloc
 func (h *Hist) Observe(d time.Duration) {
 	h.counts[bucketOf(d)].Add(1)
 	h.sum.Add(int64(d))
@@ -176,6 +177,8 @@ func (o *Observer) NumReaders() int { return len(o.readers) }
 
 // RecordWrite records one completed simulated write by writer i with its
 // latency and online potency classification.
+//
+//bloom:noalloc
 func (o *Observer) RecordWrite(i int, potent bool, d time.Duration) {
 	if o == nil {
 		return
@@ -191,6 +194,8 @@ func (o *Observer) RecordWrite(i int, potent bool, d time.Duration) {
 
 // RecordRead records one completed simulated read by dedicated reader j
 // (1-based, matching core.Reader.Index).
+//
+//bloom:noalloc
 func (o *Observer) RecordRead(j int, d time.Duration) {
 	if o == nil {
 		return
@@ -201,6 +206,8 @@ func (o *Observer) RecordRead(j int, d time.Duration) {
 // RecordWriterRead records one completed simulated read by writer i's
 // combined writer/reader automaton; fast reports that the final read was
 // served from the local copy (one real read total).
+//
+//bloom:noalloc
 func (o *Observer) RecordWriterRead(i int, fast bool, d time.Duration) {
 	if o == nil {
 		return

@@ -102,6 +102,7 @@ func NewPointer[T any](ports int, initial T, opts ...FastOption) *Pointer[T] {
 // Read returns the register's value as seen through port.
 //
 //bloom:waitfree
+//bloom:noalloc
 func (r *Pointer[T]) Read(port int) T {
 	if r.c != nil {
 		r.c.reads[port].v.Add(1)
@@ -112,9 +113,12 @@ func (r *Pointer[T]) Read(port int) T {
 // Write stores v: fill the next snapshot slot, then one atomic store to
 // publish it. The slot is never written again, so the plain fill is
 // ordered before every reader's dereference by the publishing store. Only
-// the owning writer may call Write.
+// the owning writer may call Write. The chunked slot arena allocates once
+// per pointerChunk writes by design — amortized, hence excused from the
+// no-alloc claim rather than claiming it.
 //
 //bloom:waitfree
+//bloom:allowalloc
 func (r *Pointer[T]) Write(v T) {
 	if r.c != nil {
 		r.c.writes.Add(1)
@@ -236,6 +240,7 @@ func MustSeqlock[T any](ports int, initial T, opts ...FastOption) *Seqlock[T] {
 // certifies; runtime.Gosched is a courtesy yield, not a block.)
 //
 //bloom:waitfree
+//bloom:noalloc
 func (r *Seqlock[T]) Read(port int) T {
 	if r.c != nil {
 		r.c.reads[port].v.Add(1)
@@ -265,6 +270,7 @@ func (r *Seqlock[T]) Read(port int) T {
 // must advance it by exactly one) and panics.
 //
 //bloom:waitfree
+//bloom:noalloc
 func (r *Seqlock[T]) Write(v T) {
 	if r.c != nil {
 		r.c.writes.Add(1)

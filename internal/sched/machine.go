@@ -164,7 +164,16 @@ type cell struct {
 	tag uint8
 }
 
+// A machine (and the automaton states inside it) is single-owner state:
+// sequential exploration mutates one machine on one goroutine, and the
+// parallel explorer hands each cloned machine to exactly one worker
+// through the tasks channel — the handoff is the happens-before, and a
+// clone never escapes its worker. The sharedfield pass is instance-blind
+// and cannot see per-instance confinement, hence the waivers.
+
 // wstate is a writer's automaton state.
+//
+//bloom:allowshared
 type wstate struct {
 	done       int // completed simulated operations (index into seqFor)
 	writesDone int // completed simulated writes (for value numbering)
@@ -179,6 +188,8 @@ type wstate struct {
 }
 
 // rstate is a reader's automaton state.
+//
+//bloom:allowshared
 type rstate struct {
 	done   int
 	phase  int // 0,1,2: next real read to perform
@@ -188,6 +199,8 @@ type rstate struct {
 }
 
 // machine is the composed system state.
+//
+//bloom:allowshared
 type machine struct {
 	cfg     Config
 	variant Variant

@@ -26,7 +26,11 @@ var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }
 // residency stays bounded by the cap regardless of bursts.
 const maxPooledBuf = 64 << 10
 
-// getBuf returns a pooled buffer with capacity ≥ n and length n.
+// getBuf returns a pooled buffer with capacity ≥ n and length n. The
+// make is the pool-miss cold path: steady state hits the pool and
+// allocates nothing, which is what the runtime allocs/op gate measures.
+//
+//bloom:allowalloc
 func getBuf(n int) *[]byte {
 	b := bufPool.Get().(*[]byte)
 	if cap(*b) < n {
@@ -38,6 +42,8 @@ func getBuf(n int) *[]byte {
 
 // putBuf recycles a buffer obtained from getBuf, unless serving an
 // oversized frame grew it past maxPooledBuf.
+//
+//bloom:noalloc
 func putBuf(b *[]byte) {
 	if cap(*b) > maxPooledBuf {
 		return
@@ -46,10 +52,11 @@ func putBuf(b *[]byte) {
 }
 
 // appendRequest encodes req onto b in the binary payload layout. It is a
-// pure append — one of the hot-path leaves the static wait-free check
-// covers.
+// pure append — one of the hot-path leaves the static wait-free and
+// no-alloc checks cover (the appends reuse the caller's buffer).
 //
 //bloom:waitfree
+//bloom:noalloc
 func appendRequest(b []byte, req *Request) []byte {
 	kind := byte(kindRead)
 	if req.Op == "write" {
@@ -67,6 +74,7 @@ func appendRequest(b []byte, req *Request) []byte {
 // appendResponse encodes resp onto b in the binary payload layout.
 //
 //bloom:waitfree
+//bloom:noalloc
 func appendResponse(b []byte, resp *Response) []byte {
 	b = append(b, byte(kindResponse))
 	b = binary.AppendUvarint(b, resp.ID)
@@ -76,12 +84,16 @@ func appendResponse(b []byte, resp *Response) []byte {
 }
 
 // appendString appends a uvarint length followed by the string bytes.
+//
+//bloom:noalloc
 func appendString(b []byte, s string) []byte {
 	b = binary.AppendUvarint(b, uint64(len(s)))
 	return append(b, s...)
 }
 
 // appendBytes appends a uvarint length followed by the slice bytes.
+//
+//bloom:noalloc
 func appendBytes(b, p []byte) []byte {
 	b = binary.AppendUvarint(b, uint64(len(p)))
 	return append(b, p...)
@@ -147,6 +159,10 @@ type parser struct {
 	err error
 }
 
+// fail records the first malformation. Constructing the parseError is
+// the malformed-frame cold path, off the steady-state decode budget.
+//
+//bloom:allowalloc
 func (d *parser) fail(what string) {
 	if d.err == nil {
 		d.err = &parseError{what}
@@ -212,7 +228,10 @@ func (d *parser) bytes(what string) []byte {
 
 // name decodes a length-prefixed string through the intern cache: a
 // repeated register name or client id costs a map probe, not an
-// allocation.
+// allocation. Excused rather than claimed alloc-free: the interner-less
+// fallback and the intern cache's first sight of a name do allocate.
+//
+//bloom:allowalloc
 func (d *parser) name(what string) string {
 	n := d.uvarint(what)
 	if d.err != nil || n > uint64(len(d.p)) {
@@ -229,7 +248,10 @@ func (d *parser) name(what string) string {
 
 // string decodes a length-prefixed string as a fresh allocation (free when
 // empty). Used for fields that vary per frame, like error messages, where
-// interning would only churn the cache.
+// interning would only churn the cache: an allocation here is deliberate,
+// hence excused.
+//
+//bloom:allowalloc
 func (d *parser) string(what string) string {
 	n := d.uvarint(what)
 	if d.err != nil || n > uint64(len(d.p)) {
@@ -242,9 +264,13 @@ func (d *parser) string(what string) string {
 }
 
 // parseRequest decodes one binary request payload into req. req.Val
-// aliases p; req.Reg and req.Client come from the intern cache.
+// aliases p; req.Reg and req.Client come from the intern cache. The
+// steady-state decode of a well-formed frame allocates nothing; the
+// excused leaves (fail, name) allocate only on malformed frames or
+// first-seen names.
 //
 //bloom:waitfree
+//bloom:noalloc
 func parseRequest(p []byte, req *Request, in *interner) error {
 	d := parser{p: p, in: in}
 	switch d.byte("kind") {
@@ -273,6 +299,7 @@ func parseRequest(p []byte, req *Request, in *interner) error {
 // aliases p.
 //
 //bloom:waitfree
+//bloom:noalloc
 func parseResponse(p []byte, resp *Response) error {
 	d := parser{p: p}
 	if k := d.byte("kind"); k != kindResponse && d.err == nil {
