@@ -88,6 +88,7 @@ func run() error {
 	netSweep := flag.Bool("net", false, "run the T-net table (wire codec × pipeline depth throughput) instead of the default tables")
 	load := flag.Bool("load", false, "run the T-load table (open-loop saturation curve) instead of the default tables")
 	certify := flag.Bool("certify", false, "run the T-certify table (journal + linearizability checking) instead of the default tables")
+	replicaFlag := flag.Bool("replica", false, "run the T-replica table (ABD quorum register: variant costs + tolerated-crash soak) instead of the default tables")
 	serveAddr := flag.String("serve", "", "serve /metrics, /vars, and /debug/pprof/ on this address instead of running the tables")
 	flag.Parse()
 
@@ -105,6 +106,9 @@ func run() error {
 	}
 	if *certify {
 		return certifyTable(*ops, *jsonOut)
+	}
+	if *replicaFlag {
+		return replicaTable(*ops, *jsonOut)
 	}
 
 	costTable(*ops)

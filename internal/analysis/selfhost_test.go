@@ -23,6 +23,7 @@ var selfhostPkgs = []string{
 	"repro/internal/core",
 	"repro/internal/wire",
 	"repro/internal/netreg",
+	"repro/internal/replica",
 	"repro/internal/loadgen",
 	"repro/internal/linz",
 	"repro/internal/analysis",

@@ -14,9 +14,14 @@
 //     in-package call graph; a literal created in value position (a
 //     stored callback) inherits its creator's contexts. Exported
 //     functions always carry the synchronous context — any importer can
-//     call them. Spawns in _test.go files open no context: test harness
-//     goroutines deliberately exercise racy schedules, and the verdict
-//     is about the package's own discipline.
+//     call them. Functions declared in _test.go files are invisible to
+//     the analysis — they open no context (neither their spawns nor
+//     their synchronous calls), and their own field accesses are not
+//     collected: test harnesses deliberately hammer structures from
+//     extra goroutines and call unexported internals directly, the
+//     verdict is about the package's own discipline, and ignoring the
+//     test variant wholesale keeps `go vet` (which analyzes it) in
+//     agreement with the test loader (which never loads test files).
 //   - A field of a struct declared in this package is *shared* when its
 //     non-initialization accesses span two or more contexts. The analysis
 //     is instance-blind: one spawn site looping `go s.serve(conn)` is a
@@ -102,13 +107,29 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		return true
 	}
 
-	// Spawn-site scan: resolve every `go` statement's targets. Spawns in
-	// _test.go files do not open contexts: the verdict is about the
-	// package's own concurrency discipline, and this repo's tests
-	// deliberately hammer structures from extra goroutines to exercise
-	// exactly the schedules being verified elsewhere. Skipping them also
-	// keeps `go vet` (which analyzes the test variant) in agreement with
-	// the test loader (which does not load test files).
+	// Functions declared in _test.go files are invisible throughout: no
+	// spawn contexts, no synchronous-root or call-graph contribution, no
+	// collected accesses. The verdict is about the package's own
+	// concurrency discipline — tests deliberately hammer structures from
+	// extra goroutines and call unexported internals directly (an
+	// exported Test function would otherwise act as a fresh synchronous
+	// root and convict fields its package never shares). Ignoring the
+	// test variant wholesale keeps `go vet` (which analyzes it) in
+	// agreement with the test loader (which never loads test files).
+	inTest := func(f *ssair.Func) bool {
+		var pos token.Pos
+		switch {
+		case f.Decl != nil:
+			pos = f.Decl.Pos()
+		case f.Lit != nil:
+			pos = f.Lit.Pos()
+		default:
+			return false
+		}
+		return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+	}
+
+	// Spawn-site scan: resolve every `go` statement's targets.
 	spawned := map[*ssair.Func]bool{}
 	storedLits := collectStoredClosures(pass, idx)
 	for _, file := range pass.Files {
@@ -135,6 +156,9 @@ func run(pass *analysis.Pass) (interface{}, error) {
 	callees := map[*ssair.Func][]*ssair.Func{} // synchronous edges
 	hasSyncCaller := map[*ssair.Func]bool{}
 	for _, f := range idx.Funcs {
+		if inTest(f) {
+			continue
+		}
 		for _, b := range f.Blocks {
 			for i := range b.Instrs {
 				ins := &b.Instrs[i]
@@ -160,6 +184,9 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		}
 	}
 	for _, f := range idx.Funcs {
+		if inTest(f) {
+			continue
+		}
 		if f.Obj != nil && (f.Obj.Exported() || (!hasSyncCaller[f] && !spawned[f])) {
 			addCtx(f, syncCtx)
 		}
@@ -186,6 +213,9 @@ func run(pass *analysis.Pass) (interface{}, error) {
 
 	accesses := map[*types.Var][]access{}
 	for _, f := range idx.Funcs {
+		if inTest(f) {
+			continue
+		}
 		for _, b := range f.Blocks {
 			for i := range b.Instrs {
 				ins := &b.Instrs[i]

@@ -1,0 +1,85 @@
+package faultnet
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Kill is one scheduled permanent crash in a replica cluster: replica
+// Replica dies After the run starts and never comes back. Permanent
+// crashes are the failure model quorum replication is built for (f <
+// m/2 replicas may die and atomicity must hold); they are deliberately
+// distinct from the crash-RESTART soaks the earlier fault plans drive,
+// where the same server returns with its state.
+type Kill struct {
+	Replica int
+	After   time.Duration
+}
+
+// killSeedMix decorrelates the kill schedule's PRNG from a fault plan
+// sharing the same seed (ASCII "kill" — arbitrary, fixed forever so
+// seeded runs replay).
+const killSeedMix = 0x6b696c6c
+
+// PlanKills deterministically picks f distinct victims among m replicas
+// and staggers their crash times across within: victim i dies near the
+// (i+1)/(f+1) point of the window, jittered by the seeded PRNG, so kills
+// land mid-stream rather than clustering at either edge. The same
+// (seed, m, f, within) always yields the same schedule — the property
+// that makes a crash soak's journal replayable. Results are sorted by
+// crash time. f is clamped to [0, m].
+func PlanKills(seed int64, m, f int, within time.Duration) []Kill {
+	if m <= 0 || f <= 0 || within <= 0 {
+		return nil
+	}
+	if f > m {
+		f = m
+	}
+	rng := rand.New(rand.NewSource(seed ^ killSeedMix))
+	victims := rng.Perm(m)[:f]
+	slot := within / time.Duration(f+1)
+	kills := make([]Kill, 0, f)
+	for i, v := range victims {
+		after := slot * time.Duration(i+1)
+		if jitter := int64(slot / 2); jitter > 0 {
+			after += time.Duration(rng.Int63n(2*jitter) - jitter)
+		}
+		if after <= 0 {
+			after = 1
+		}
+		kills = append(kills, Kill{Replica: v, After: after})
+	}
+	sort.Slice(kills, func(i, j int) bool { return kills[i].After < kills[j].After })
+	return kills
+}
+
+// Schedule arms the kill plan: kill(k.Replica) fires once per entry at
+// its offset from now, each on its own goroutine. The returned stop
+// function cancels any kills that have not fired yet and waits for the
+// in-flight ones to return; it is idempotent. The kill callback is the
+// caller's crash lever — for a netreg cluster, closing the replica's
+// listener and severing its live connections.
+func Schedule(kills []Kill, kill func(replica int)) (stop func()) {
+	quit := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, k := range kills {
+		wg.Add(1)
+		go func(k Kill) {
+			defer wg.Done()
+			t := time.NewTimer(k.After)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				kill(k.Replica)
+			case <-quit:
+			}
+		}(k)
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(quit) })
+		wg.Wait()
+	}
+}

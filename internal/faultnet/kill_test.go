@@ -1,0 +1,87 @@
+package faultnet
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPlanKillsDeterministic(t *testing.T) {
+	a := PlanKills(42, 5, 2, time.Second)
+	b := PlanKills(42, 5, 2, time.Second)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different schedules:\n%v\n%v", a, b)
+	}
+	c := PlanKills(43, 5, 2, time.Second)
+	if reflect.DeepEqual(a, c) {
+		t.Fatalf("different seeds produced the same schedule: %v", a)
+	}
+}
+
+func TestPlanKillsShape(t *testing.T) {
+	const m, f = 7, 3
+	kills := PlanKills(7, m, f, time.Second)
+	if len(kills) != f {
+		t.Fatalf("got %d kills, want %d", len(kills), f)
+	}
+	seen := map[int]bool{}
+	last := time.Duration(0)
+	for _, k := range kills {
+		if k.Replica < 0 || k.Replica >= m {
+			t.Errorf("victim %d out of range [0,%d)", k.Replica, m)
+		}
+		if seen[k.Replica] {
+			t.Errorf("victim %d killed twice", k.Replica)
+		}
+		seen[k.Replica] = true
+		if k.After <= 0 || k.After > time.Second {
+			t.Errorf("kill offset %v outside (0, 1s]", k.After)
+		}
+		if k.After < last {
+			t.Errorf("schedule not sorted: %v after %v", k.After, last)
+		}
+		last = k.After
+	}
+	// f clamps to m; degenerate inputs yield no kills.
+	if got := PlanKills(1, 3, 5, time.Second); len(got) != 3 {
+		t.Errorf("f>m not clamped: %d kills", len(got))
+	}
+	if got := PlanKills(1, 0, 1, time.Second); got != nil {
+		t.Errorf("m=0 yielded kills: %v", got)
+	}
+}
+
+func TestScheduleFiresAndStops(t *testing.T) {
+	var mu sync.Mutex
+	fired := map[int]int{}
+	kills := []Kill{{Replica: 0, After: time.Millisecond}, {Replica: 1, After: 2 * time.Millisecond}, {Replica: 2, After: time.Hour}}
+	stop := Schedule(kills, func(r int) {
+		mu.Lock()
+		fired[r]++
+		mu.Unlock()
+	})
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(fired)
+		mu.Unlock()
+		if n == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("near kills did not fire; fired=%v", fired)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+	mu.Lock()
+	defer mu.Unlock()
+	if fired[0] != 1 || fired[1] != 1 {
+		t.Errorf("near kills fired wrong counts: %v", fired)
+	}
+	if fired[2] != 0 {
+		t.Errorf("cancelled kill fired: %v", fired)
+	}
+}

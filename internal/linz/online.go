@@ -22,28 +22,55 @@ import (
 // uncheckable backlog is shed — counted, and the affected registers'
 // carried values blurred — in preference to stalling the journal rings
 // into dropping records at random.
+//
+// An Online may merge several journals (NewOnlineParts): each part's
+// registers are namespaced under its prefix, so an m-replica cluster's
+// per-server journals plus the quorum client's logical journal all
+// certify in one checker. Parts' clocks are never compared — every cut
+// decision for a key uses its own part's horizon, which is sound because
+// prefixing keeps the parts' key sets disjoint and the partitioned
+// checker never relates operations across keys.
 type Online struct {
-	j *obs.Journal
-	o OnlineOptions
+	parts []JournalPart
+	o     OnlineOptions
 
 	stop chan struct{}
 	done chan struct{}
 
-	// pend buffers drained-but-not-yet-checkable ops per journal key id.
-	pend map[uint32][]Op
-	// carry threads each register's forced value across windows.
+	// pend buffers drained-but-not-yet-checkable ops per (part, journal
+	// key id).
+	pend map[pendKey][]Op
+	// carry threads each register's forced value across windows, keyed by
+	// the prefixed register name.
 	carry map[string]Value
 
-	// checkedThrough is the journal timestamp verification has reached.
-	// Atomic: written by whichever goroutine drives Step (Start's loop or
-	// a direct caller) and read for the lag gauge.
-	checkedThrough atomic.Int64
+	// checkedThrough is, per part, the journal timestamp verification has
+	// reached. Atomic: written by whichever goroutine drives Step (Start's
+	// loop or a direct caller) and read for the lag gauge.
+	checkedThrough []atomic.Int64
 
 	mu      sync.Mutex
 	started bool
 	stopped bool
 	first   *Failure
 	reports int64
+}
+
+// JournalPart is one journal merged into an Online checker. Prefix
+// namespaces the part's register keys ("r0/" turns register "x" into
+// "r0/x"), keeping parts' key sets disjoint — the property the merged
+// checker's soundness rests on, since timestamps from different journals
+// share no clock and must never be compared.
+type JournalPart struct {
+	J      *obs.Journal
+	Prefix string
+}
+
+// pendKey addresses one register's pending ops: journal key ids are only
+// unique within their part.
+type pendKey struct {
+	part int
+	kid  uint32
 }
 
 // OnlineOptions tunes an Online checker. The zero value is ready to use.
@@ -66,9 +93,20 @@ type OnlineOptions struct {
 	OnViolation func(*Report)
 }
 
-// NewOnline returns a checker over j. Call Start for the background
-// loop, or drive Step directly (tests, offline drains).
+// NewOnline returns a checker over the single journal j. Call Start for
+// the background loop, or drive Step directly (tests, offline drains).
 func NewOnline(j *obs.Journal, o OnlineOptions) *Online {
+	return NewOnlineParts([]JournalPart{{J: j}}, o)
+}
+
+// NewOnlineParts returns a checker over several journals merged under
+// their prefixes (see JournalPart). Prefixes should be distinct and
+// non-overlapping; identical prefixes would let two parts' registers
+// collide into one checked stream with incomparable clocks.
+func NewOnlineParts(parts []JournalPart, o OnlineOptions) *Online {
+	if len(parts) == 0 {
+		panic("linz: NewOnlineParts needs at least one journal")
+	}
 	if o.Interval <= 0 {
 		o.Interval = 50 * time.Millisecond
 	}
@@ -79,13 +117,19 @@ func NewOnline(j *obs.Journal, o OnlineOptions) *Online {
 		o.MaxPending = 1 << 20
 	}
 	return &Online{
-		j:     j,
-		o:     o,
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
-		pend:  make(map[uint32][]Op),
-		carry: make(map[string]Value),
+		parts:          append([]JournalPart(nil), parts...),
+		o:              o,
+		stop:           make(chan struct{}),
+		done:           make(chan struct{}),
+		pend:           make(map[pendKey][]Op),
+		carry:          make(map[string]Value),
+		checkedThrough: make([]atomic.Int64, len(parts)),
 	}
+}
+
+// keyName recovers a pending key's full (prefixed) register name.
+func (ol *Online) keyName(pk pendKey) string {
+	return ol.parts[pk.part].Prefix + ol.parts[pk.part].J.KeyName(pk.kid)
 }
 
 // Start launches the background loop.
@@ -157,29 +201,36 @@ func (ol *Online) Windows() int64 {
 // Step runs one drain-and-check round. It is the loop body of Start and
 // must not be called concurrently with a started checker.
 func (ol *Online) Step() {
-	horizon := ol.j.Horizon()
-	for _, s := range ol.j.Sources() {
-		s.Drain(func(r obs.Rec) {
-			if r.Flags != 0 {
-				return // refused or dedup-replayed op: no fresh effect
-			}
-			kind := Read
-			if r.Kind == obs.JWrite {
-				kind = Write
-			}
-			ol.pend[r.Key] = append(ol.pend[r.Key], Op{
-				Inv: r.Inv, Res: r.Res, Val: r.Val, Client: r.Client, Kind: kind,
+	horizons := make([]int64, len(ol.parts))
+	for pi, part := range ol.parts {
+		horizons[pi] = part.J.Horizon()
+		for _, s := range part.J.Sources() {
+			s.Drain(func(r obs.Rec) {
+				if r.Flags != 0 {
+					return // refused, dedup-replayed, or metadata-only op: no fresh effect
+				}
+				kind := Read
+				if r.Kind == obs.JWrite {
+					kind = Write
+				}
+				pk := pendKey{part: pi, kid: r.Key}
+				ol.pend[pk] = append(ol.pend[pk], Op{
+					Inv: r.Inv, Res: r.Res, Val: r.Val, Client: r.Client, Kind: kind,
+				})
 			})
-		})
+		}
 	}
 
-	// Cut each key's stream at its last quiescent point below the
-	// horizon: everything before the cut is a complete prefix of that
-	// register's history (in-flight and future ops all have Inv ≥
-	// horizon), so it can be checked now and never revisited.
+	// Cut each key's stream at its last quiescent point below its OWN
+	// part's horizon: everything before the cut is a complete prefix of
+	// that register's history (in-flight and future ops all have Inv ≥
+	// horizon), so it can be checked now and never revisited. Keys from
+	// different parts never meet, so no cross-part clock comparison ever
+	// happens.
 	h := NewHistory()
 	windowOps := 0
-	for kid, ops := range ol.pend {
+	for pk, ops := range ol.pend {
+		horizon := horizons[pk.part]
 		sort.SliceStable(ops, func(i, j int) bool { return ops[i].Inv < ops[j].Inv })
 		cut := 0
 		maxRes := int64(math.MinInt64)
@@ -195,10 +246,10 @@ func (ol *Online) Step() {
 			cut = len(ops)
 		}
 		if cut == 0 {
-			ol.pend[kid] = ops
+			ol.pend[pk] = ops
 			continue
 		}
-		key := ol.j.KeyName(kid)
+		key := ol.keyName(pk)
 		if v, ok := ol.carry[key]; ok && v.Known {
 			h.SetInit(key, v.V)
 		}
@@ -206,7 +257,7 @@ func (ol *Online) Step() {
 			h.Add(key, op)
 		}
 		windowOps += cut
-		ol.pend[kid] = append(ops[:0:0], ops[cut:]...)
+		ol.pend[pk] = append(ops[:0:0], ops[cut:]...)
 	}
 
 	if windowOps > 0 {
@@ -246,22 +297,29 @@ func (ol *Online) Step() {
 		ol.mu.Lock()
 		ol.reports++
 		ol.mu.Unlock()
-		ol.checkedThrough.Store(horizon)
+		for pi := range ol.parts {
+			ol.checkedThrough[pi].Store(horizons[pi])
+		}
 	}
 
 	ol.shed()
 
-	backlog := ol.j.Backlog()
+	backlog := 0
+	var drops uint64
+	lag := time.Duration(0)
+	for pi, part := range ol.parts {
+		backlog += part.J.Backlog()
+		drops += part.J.Drops()
+		if ct := ol.checkedThrough[pi].Load(); ct > 0 {
+			if now := part.J.Now(); now > ct && time.Duration(now-ct) > lag {
+				lag = time.Duration(now - ct)
+			}
+		}
+	}
 	for _, ops := range ol.pend {
 		backlog += len(ops)
 	}
-	lag := time.Duration(0)
-	if ct := ol.checkedThrough.Load(); ct > 0 {
-		if now := ol.j.Now(); now > ct {
-			lag = time.Duration(now - ct)
-		}
-	}
-	ol.o.Tally.SetLag(backlog, lag, ol.j.Drops())
+	ol.o.Tally.SetLag(backlog, lag, drops)
 }
 
 // shed drops the oldest buffered ops when the uncheckable backlog
@@ -278,15 +336,15 @@ func (ol *Online) shed() {
 	}
 	keep := ol.o.MaxPending / 2
 	shed := 0
-	for kid, ops := range ol.pend {
+	for pk, ops := range ol.pend {
 		want := 0
 		if total > 0 {
 			want = len(ops) * keep / total
 		}
 		if want < len(ops) {
 			shed += len(ops) - want
-			ol.pend[kid] = append(ops[:0:0], ops[len(ops)-want:]...)
-			ol.carry[ol.j.KeyName(kid)] = Value{}
+			ol.pend[pk] = append(ops[:0:0], ops[len(ops)-want:]...)
+			ol.carry[ol.keyName(pk)] = Value{}
 		}
 	}
 	ol.o.Tally.Shed(shed)

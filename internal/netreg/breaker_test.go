@@ -1,0 +1,165 @@
+package netreg_test
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/netreg"
+)
+
+// TestBreakerHalfOpenSingleProbe is the PR-9 stampede regression test:
+// when an open breaker's cooldown expires, exactly ONE caller may go out
+// as the half-open probe; every other caller racing the boundary must
+// keep fast-failing with ErrUnavailable until the probe resolves. The
+// replaced behavior admitted the whole burst, and a still-dead server
+// absorbed N doomed round trips per cooldown.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	st, err := netreg.NewStore("v", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := netreg.Serve("127.0.0.1:0", st)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var dials atomic.Int64
+	const cooldown = 250 * time.Millisecond
+	c, err := netreg.Dial[string](srv.Addr(),
+		netreg.WithDialer(func(addr string) (net.Conn, error) {
+			dials.Add(1)
+			return net.Dial("tcp", addr)
+		}),
+		netreg.WithTimeout(100*time.Millisecond),
+		netreg.WithRetry(netreg.RetryPolicy{Attempts: 0, Backoff: time.Millisecond, MaxBackoff: time.Millisecond}),
+		netreg.WithBreaker(1, cooldown),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.ReadErr(0); err != nil {
+		t.Fatalf("read against a live server: %v", err)
+	}
+
+	// Kill the server for good; the next round trip fails and (threshold
+	// 1) opens the breaker.
+	srv.Close()
+	if _, _, err := c.ReadErr(0); err == nil {
+		t.Fatal("read succeeded against a closed server")
+	}
+	opened := time.Now()
+
+	// While the cooldown runs, every call must fast-fail without a dial.
+	preDials := dials.Load()
+	for i := 0; i < 8; i++ {
+		if _, _, err := c.ReadErr(0); !errors.Is(err, netreg.ErrUnavailable) {
+			t.Fatalf("call during cooldown: got %v, want ErrUnavailable", err)
+		}
+	}
+	if d := dials.Load(); d != preDials {
+		t.Fatalf("open breaker dialed %d times; fast-fail must not touch the network", d-preDials)
+	}
+
+	// Race N goroutines across the expired cooldown boundary. Exactly one
+	// becomes the probe (one dial, a real transport error); the rest keep
+	// fast-failing with ErrUnavailable — including after the probe fails,
+	// because a failed probe re-opens for a fresh cooldown immediately.
+	time.Sleep(time.Until(opened.Add(cooldown)) + 20*time.Millisecond)
+	const racers = 32
+	var unavailable, probeErrs atomic.Int64
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			_, _, err := c.ReadErr(0)
+			switch {
+			case err == nil:
+				t.Error("read succeeded against a dead server")
+			case errors.Is(err, netreg.ErrUnavailable):
+				unavailable.Add(1)
+			default:
+				probeErrs.Add(1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	if got := dials.Load() - preDials; got != 1 {
+		t.Errorf("%d racing callers produced %d dials, want exactly 1 (the half-open probe)", racers, got)
+	}
+	if p := probeErrs.Load(); p != 1 {
+		t.Errorf("%d callers returned transport errors, want exactly 1 (the probe)", p)
+	}
+	if u := unavailable.Load(); u != racers-1 {
+		t.Errorf("%d callers fast-failed with ErrUnavailable, want %d", u, racers-1)
+	}
+}
+
+// TestBreakerProbeClosesOnRecovery is the companion: a probe that finds
+// the server healthy again closes the breaker for everyone.
+func TestBreakerProbeClosesOnRecovery(t *testing.T) {
+	st, err := netreg.NewStore("v", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := netreg.Serve("127.0.0.1:0", st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	const cooldown = 100 * time.Millisecond
+	c, err := netreg.Dial[string](addr,
+		netreg.WithTimeout(200*time.Millisecond),
+		netreg.WithRetry(netreg.RetryPolicy{Attempts: 0, Backoff: time.Millisecond, MaxBackoff: time.Millisecond}),
+		netreg.WithBreaker(1, cooldown),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.ReadErr(0); err != nil {
+		t.Fatal(err)
+	}
+
+	srv.Close()
+	if _, _, err := c.ReadErr(0); err == nil {
+		t.Fatal("read succeeded against a closed server")
+	}
+
+	// Restart on the same address over the same store, wait out the
+	// cooldown: the probe must succeed and close the breaker.
+	srv, err = netreg.Serve(addr, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	time.Sleep(cooldown + 20*time.Millisecond)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, _, err := c.ReadErr(0); err == nil {
+			break
+		} else if !errors.Is(err, netreg.ErrUnavailable) && time.Now().After(deadline) {
+			t.Fatalf("probe never closed the breaker: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("breaker still open against a recovered server")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for i := 0; i < 4; i++ {
+		if _, _, err := c.ReadErr(0); err != nil {
+			t.Fatalf("closed breaker still failing: %v", err)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package netreg
 
 import (
 	"crypto/rand"
+	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
@@ -43,6 +44,8 @@ type dialConfig struct {
 	retry      RetryPolicy
 	breakAfter int
 	cooldown   time.Duration
+	jitterSeed int64
+	seeded     bool
 }
 
 // WithTimeout bounds every round-trip attempt: the caller waits at most d
@@ -120,6 +123,22 @@ func WithRetry(p RetryPolicy) DialOption {
 	return func(c *dialConfig) { c.retry = p }
 }
 
+// WithJitterSeed seeds the client's private backoff-jitter PRNG, making
+// retry timing a pure function of the seed and the sequence of sleeps —
+// which is what lets a run under a seeded faultnet plan replay its
+// backoff schedule exactly. Unseeded clients draw a random seed at Dial.
+//
+// This option exists because the jitter originally came from the global
+// math/rand source: a process-wide mutex on the retry path (every
+// backing-off client serialized through it), and no way to reproduce a
+// faulty run's timing no matter how carefully the fault plan was seeded.
+func WithJitterSeed(seed int64) DialOption {
+	return func(c *dialConfig) {
+		c.jitterSeed = seed
+		c.seeded = true
+	}
+}
+
 // WithBreaker arms a circuit breaker: after failures consecutive failed
 // round trips (each already past its retry budget), the client fast-fails
 // every round trip with ErrUnavailable for the cooldown duration, then
@@ -169,10 +188,22 @@ type Client[V any] struct {
 	seq atomic.Uint64
 
 	// brkMu guards the breaker state; round trips from many goroutines
-	// share it.
+	// share it. halfOpen is true while the single post-cooldown probe is
+	// in flight: the first caller past an expired cooldown claims the
+	// probe slot, and everyone else keeps fast-failing until the probe
+	// resolves (success closes the breaker, failure re-opens it for a
+	// fresh cooldown).
 	brkMu       sync.Mutex
 	consecFails int
 	openUntil   time.Time
+	halfOpen    bool
+
+	// jitterMu guards rng, the client-private backoff-jitter source (see
+	// WithJitterSeed). Contention on it is bounded by the client's own
+	// concurrent retries — never by other clients, unlike the global
+	// math/rand source it replaced.
+	jitterMu sync.Mutex
+	rng      *mathrand.Rand
 
 	// connMu guards cur and closed only and is never held across I/O, so
 	// Close cannot block behind an in-flight exchange. dialMu serializes
@@ -209,6 +240,14 @@ func Dial[V any](addr string, opts ...DialOption) (*Client[V], error) {
 	if cfg.retry.MaxBackoff <= 0 {
 		cfg.retry.MaxBackoff = DefaultMaxBackoff
 	}
+	seed := cfg.jitterSeed
+	if !cfg.seeded {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			panic(fmt.Sprintf("netreg: reading jitter seed entropy: %v", err))
+		}
+		seed = int64(binary.LittleEndian.Uint64(b[:]))
+	}
 	c := &Client[V]{
 		addr:       addr,
 		dial:       cfg.dial,
@@ -221,6 +260,7 @@ func Dial[V any](addr string, opts ...DialOption) (*Client[V], error) {
 		breakAfter: cfg.breakAfter,
 		cooldown:   cfg.cooldown,
 		id:         newClientID(),
+		rng:        mathrand.New(mathrand.NewSource(seed)),
 	}
 	if _, err := c.getConn(); err != nil {
 		return nil, fmt.Errorf("netreg: dial %s: %w", addr, err)
@@ -319,51 +359,89 @@ func (c *Client[V]) dropConn(cc *clientConn, err error) {
 	cc.fail(err)
 }
 
-// backoffSleep sleeps the retry's backoff: exponential in the attempt
-// number, capped by the policy, with uniform jitter in [d/2, d] so
-// retrying clients don't re-collide in lockstep.
-func (c *Client[V]) backoffSleep(attempt int) {
-	d := c.retry.Backoff << uint(attempt-1)
-	if d <= 0 || d > c.retry.MaxBackoff {
-		d = c.retry.MaxBackoff
+// jitterBackoff computes the retry sleep for the given attempt (1-based):
+// exponential in the attempt number, capped by the policy, with uniform
+// jitter in [d/2, d] drawn from rnd so retrying clients don't re-collide
+// in lockstep. Pure in (policy, attempt, rnd draws) — the determinism
+// tests replay it against a known-seed source.
+func jitterBackoff(p RetryPolicy, attempt int, rnd func(n int64) int64) time.Duration {
+	d := p.Backoff << uint(attempt-1)
+	if d <= 0 || d > p.MaxBackoff {
+		d = p.MaxBackoff
 	}
 	half := int64(d / 2)
 	if half > 0 {
-		d = time.Duration(half + mathrand.Int63n(half+1))
+		d = time.Duration(half + rnd(half+1))
 	}
-	time.Sleep(d)
+	return d
+}
+
+// randInt63n draws from the client's private jitter PRNG.
+func (c *Client[V]) randInt63n(n int64) int64 {
+	c.jitterMu.Lock()
+	defer c.jitterMu.Unlock()
+	return c.rng.Int63n(n)
+}
+
+// backoffSleep sleeps the retry's backoff (see jitterBackoff). The jitter
+// comes from the client's own seeded PRNG, not the global math/rand
+// source: no cross-client mutex on the retry path, and runs under seeded
+// fault plans replay their backoff schedule (see WithJitterSeed).
+func (c *Client[V]) backoffSleep(attempt int) {
+	time.Sleep(jitterBackoff(c.retry, attempt, c.randInt63n))
 }
 
 // breakerCheck fast-fails while the breaker is open; after the cooldown
-// one round trip is let through (half-open).
+// expires exactly ONE caller is admitted as the half-open probe and
+// everyone else keeps fast-failing until it resolves. Admitting every
+// caller racing the cooldown boundary — the bug this replaced — turned
+// recovery into a stampede: with m replicas' breakers expiring together,
+// a still-dead server absorbed whole bursts of doomed round trips (each
+// burning its full retry budget) before the breaker could re-open.
 func (c *Client[V]) breakerCheck() error {
 	if c.breakAfter <= 0 {
 		return nil
 	}
 	c.brkMu.Lock()
 	defer c.brkMu.Unlock()
-	if !c.openUntil.IsZero() && time.Now().Before(c.openUntil) {
+	if c.openUntil.IsZero() {
+		return nil
+	}
+	if time.Now().Before(c.openUntil) {
 		c.rpc.RecordBreakerFastFail()
 		return fmt.Errorf("%w; retry after %s", ErrUnavailable, time.Until(c.openUntil).Round(time.Millisecond))
 	}
+	if c.halfOpen {
+		// The cooldown expired but another caller already claimed the
+		// probe slot; fail fast until the probe's verdict is in.
+		c.rpc.RecordBreakerFastFail()
+		return fmt.Errorf("%w; half-open probe in flight", ErrUnavailable)
+	}
+	c.halfOpen = true
 	return nil
 }
 
-// breakerOK records a healthy exchange: the breaker sees health.
+// breakerOK records a healthy exchange: the breaker sees health and a
+// half-open probe's success closes it.
 func (c *Client[V]) breakerOK() {
 	c.brkMu.Lock()
 	c.consecFails = 0
 	c.openUntil = time.Time{}
+	c.halfOpen = false
 	c.brkMu.Unlock()
 }
 
 // breakerFail records a round trip that exhausted its retry budget,
-// opening the breaker when the threshold is reached.
+// opening the breaker when the threshold is reached. A failed half-open
+// probe re-opens immediately for a fresh cooldown — the probe already
+// proved the server is still down; counting back up to the threshold
+// would admit breakAfter-1 more doomed round trips per cooldown.
 func (c *Client[V]) breakerFail() {
 	c.brkMu.Lock()
 	c.consecFails++
-	if c.breakAfter > 0 && c.consecFails >= c.breakAfter {
+	if c.breakAfter > 0 && (c.halfOpen || c.consecFails >= c.breakAfter) {
 		c.openUntil = time.Now().Add(c.cooldown)
+		c.halfOpen = false
 		c.rpc.RecordBreakerOpen()
 	}
 	c.brkMu.Unlock()
@@ -375,7 +453,8 @@ func (c *Client[V]) breakerFail() {
 // applies a retried write at most once.
 func (c *Client[V]) roundTrip(req *wire.Request) (wire.Response, error) {
 	op := obs.RPCWrite
-	if req.Op == "read" {
+	switch req.Op {
+	case "read", "qread", "qts":
 		op = obs.RPCRead
 	}
 	if c.isClosed() {
@@ -490,6 +569,21 @@ func isTimeout(err error) bool {
 	return errors.Is(err, ErrTimeout) || errors.Is(err, os.ErrDeadlineExceeded) ||
 		(errors.As(err, &ne) && ne.Timeout())
 }
+
+// Do performs one logical round trip for a caller-built request — the
+// hook by which the replica quorum client (internal/replica) reuses this
+// client's whole recovery stack (pipelining, retry with per-client
+// jittered backoff, reconnect, circuit breaker, at-most-once dedup
+// identity) per replica. The client owns the request's identity: ID, Seq,
+// Client, and Reg are overwritten. A server error reply is returned as a
+// non-nil error alongside the response. The response value does not alias
+// the connection's frame buffer and is safe to retain.
+func (c *Client[V]) Do(req *wire.Request) (wire.Response, error) {
+	return c.roundTrip(req)
+}
+
+// Addr returns the server address the client dials.
+func (c *Client[V]) Addr() string { return c.addr }
 
 // ReadErr performs a remote read through the given port.
 func (c *Client[V]) ReadErr(port int) (V, int64, error) {

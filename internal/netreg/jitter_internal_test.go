@@ -1,0 +1,87 @@
+package netreg
+
+import (
+	mathrand "math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestJitterBackoffDeterministic pins the PR-9 bugfix contract: backoff
+// jitter is a pure function of the client's seeded PRNG, not the global
+// locked math/rand source, so two clients with the same seed replay the
+// same backoff schedule draw for draw.
+func TestJitterBackoffDeterministic(t *testing.T) {
+	p := RetryPolicy{Attempts: 8, Backoff: time.Millisecond, MaxBackoff: 50 * time.Millisecond}
+	schedule := func(seed int64) []time.Duration {
+		rng := mathrand.New(mathrand.NewSource(seed))
+		var out []time.Duration
+		for attempt := 1; attempt <= p.Attempts; attempt++ {
+			out = append(out, jitterBackoff(p, attempt, rng.Int63n))
+		}
+		return out
+	}
+	a, b := schedule(42), schedule(42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different backoff schedules:\n%v\n%v", a, b)
+	}
+	if c := schedule(43); reflect.DeepEqual(a, c) {
+		t.Fatalf("different seeds produced the same schedule: %v", a)
+	}
+}
+
+// TestJitterBackoffBounds checks the documented envelope: each sleep is
+// uniform in [d/2, d] for the capped exponential d of its attempt.
+func TestJitterBackoffBounds(t *testing.T) {
+	p := RetryPolicy{Attempts: 10, Backoff: time.Millisecond, MaxBackoff: 32 * time.Millisecond}
+	rng := mathrand.New(mathrand.NewSource(1))
+	for attempt := 1; attempt <= p.Attempts; attempt++ {
+		d := p.Backoff << uint(attempt-1)
+		if d <= 0 || d > p.MaxBackoff {
+			d = p.MaxBackoff
+		}
+		for i := 0; i < 200; i++ {
+			got := jitterBackoff(p, attempt, rng.Int63n)
+			if got < d/2 || got > d {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, got, d/2, d)
+			}
+		}
+	}
+}
+
+// TestWithJitterSeedClientStreams dials two real clients with the same
+// seed and checks their private jitter PRNGs produce identical streams —
+// the end-to-end form of the determinism the pure-function test pins.
+func TestWithJitterSeedClientStreams(t *testing.T) {
+	st, err := NewStore("v", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve("127.0.0.1:0", st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	dial := func(seed int64) *Client[string] {
+		c, err := Dial[string](srv.Addr(), WithJitterSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		return c
+	}
+	c1, c2, c3 := dial(7), dial(7), dial(8)
+	var s1, s2, s3 []int64
+	for i := 0; i < 32; i++ {
+		s1 = append(s1, c1.randInt63n(1<<30))
+		s2 = append(s2, c2.randInt63n(1<<30))
+		s3 = append(s3, c3.randInt63n(1<<30))
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("same-seed clients diverged:\n%v\n%v", s1, s2)
+	}
+	if reflect.DeepEqual(s1, s3) {
+		t.Fatalf("different-seed clients coincided: %v", s1)
+	}
+}

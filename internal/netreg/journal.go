@@ -92,10 +92,20 @@ func (t *connTap) recordInline(req *wire.Request, resp *wire.Response, inv int64
 //bloom:noalloc
 func (t *connTap) buildRec(req *wire.Request, resp *wire.Response, inv int64) obs.Rec {
 	rec := obs.Rec{Inv: inv, Res: t.j.Now(), Key: t.src.KeyID(req.Reg)}
-	if req.Op == "write" {
+	switch req.Op {
+	case "write", "qwrite":
+		// An effective qwrite is a write of the replica's q-cell; a stale
+		// one arrives here with resp.Dup set and is skipped by checkers
+		// (recording it as a fresh write of an old value would fabricate
+		// a new-old inversion that never happened).
 		rec.Kind = obs.JWrite
 		rec.Val = obs.HashVal(req.Val)
-	} else {
+	case "qts":
+		// Timestamp-only query: no value crosses the wire, so there is no
+		// register effect to check — JMeta tells checkers to skip it.
+		rec.Kind = obs.JRead
+		rec.Flags |= obs.JMeta
+	default:
 		rec.Kind = obs.JRead
 		rec.Val = obs.HashVal(resp.Val)
 	}

@@ -42,6 +42,19 @@ type clientWindow struct {
 type regState struct {
 	reg *register.Atomic[string]
 
+	// The replica q-cell: the timestamped value the ABD quorum ops
+	// (qread/qts/qwrite) serve. It is deliberately separate from reg —
+	// the paper's two-writer register has its own port discipline and
+	// sequencer, while the q-cell is a plain (ts, wid, val) triple whose
+	// only invariant is monotone lexicographic growth under qwrite
+	// max-merge. qMu serializes the compare with the overwrite it guards;
+	// the critical section is a comparison and at most one copy, so the
+	// lock is never held across I/O.
+	qMu  sync.Mutex
+	qTS  int64
+	qWID uint32
+	qVal []byte
+
 	// writeMu serializes the dedup check with the write it guards;
 	// without it a retransmitted write racing its original (possible when
 	// a client times out while the server is merely slow) could be
@@ -135,13 +148,18 @@ type Store struct {
 	// write path; a torn plain int would silently corrupt eviction.
 	window  atomic.Int64
 	combine atomic.Bool
-	shards  [storeShards]storeShard
+	// valCap caps the per-connection reusable response value buffer (see
+	// handle). Atomic for the same reason as window: SetValBufCap may race
+	// with serving goroutines consulting it after every read.
+	valCap atomic.Int64
+	shards [storeShards]storeShard
 }
 
 // newStore returns an empty store with the default dedup window.
 func newStore() *Store {
 	st := &Store{}
 	st.window.Store(DefaultDedupWindow)
+	st.valCap.Store(DefaultValBufCap)
 	for i := range st.shards {
 		st.shards[i].regs = make(map[string]*regState)
 	}
@@ -172,6 +190,11 @@ func AddRegister[V any](st *Store, name string, initial V, ports int, seq *histo
 	rs := &regState{
 		reg:     register.NewAtomic(ports, string(raw), seq),
 		applied: make(map[string]*clientWindow),
+		// The q-cell starts at (0, 0, initial): every replica of a cluster
+		// seeded with the same initial value agrees before the first
+		// qwrite, so a quorum read of the untouched register is well
+		// defined.
+		qVal: append([]byte(nil), raw...),
 	}
 	sh := st.shard(name)
 	sh.mu.Lock()
@@ -261,9 +284,25 @@ func (st *Store) RegisterCounters(name string) *register.Counters {
 	return rs.reg.Counters()
 }
 
-// maxValBuf caps the response value buffer a connection keeps between
-// requests; one giant value must not pin its capacity forever.
-const maxValBuf = 64 << 10
+// DefaultValBufCap is the default cap on the response value buffer a
+// connection keeps between requests; one giant value must not pin its
+// capacity forever. Serving values larger than the cap works but
+// reallocates the buffer on every read — a workload whose steady-state
+// values exceed 64 KiB should raise the cap with SetValBufCap so the
+// buffer is retained instead of thrashing the allocator (the bug this
+// replaced a hard-wired cap to fix: bloomload's upper value-size rungs
+// paid one fresh multi-hundred-KiB allocation per op).
+const DefaultValBufCap = 64 << 10
+
+// SetValBufCap overrides the per-connection value-buffer retention cap
+// (see DefaultValBufCap). Buffers that grew past the cap are dropped
+// after the response is encoded; buffers within it are reused across
+// requests. Safe to call while serving.
+func (st *Store) SetValBufCap(n int) {
+	if n > 0 {
+		st.valCap.Store(int64(n))
+	}
+}
 
 // The fail* helpers format survivable error replies. Error construction
 // is the cold path — a malformed or refused request — so its fmt
@@ -311,6 +350,12 @@ func (st *Store) handle(req *wire.Request, resp *wire.Response, valBuf []byte) [
 		valBuf = st.readInto(req, resp, valBuf)
 	case "write":
 		st.writeReq(req, resp)
+	case "qread":
+		valBuf = st.qReadInto(req, resp, valBuf)
+	case "qts":
+		st.qTimestamp(req, resp)
+	case "qwrite":
+		st.qWriteBack(req, resp)
 	default:
 		failUnknownOp(resp, req.Op)
 	}
@@ -436,8 +481,89 @@ func (st *Store) readInto(req *wire.Request, resp *wire.Response, valBuf []byte)
 	valBuf = append(valBuf[:0], v...)
 	resp.Val = valBuf
 	resp.Stamp = stamp
-	if cap(valBuf) > maxValBuf {
+	if int64(cap(valBuf)) > st.valCap.Load() {
 		return nil
 	}
 	return valBuf
+}
+
+// qReadInto serves one quorum read: the q-cell's (ts, wid, val), the
+// value copied into valBuf like readInto (resp.Val aliases it, valid
+// until the next handle call on the same connection).
+//
+//bloom:noalloc
+func (st *Store) qReadInto(req *wire.Request, resp *wire.Response, valBuf []byte) []byte {
+	rs := st.lookup(req.Reg)
+	if rs == nil {
+		failUnknownReg(resp, req.Reg)
+		return valBuf
+	}
+	rs.qMu.Lock()
+	valBuf = append(valBuf[:0], rs.qVal...)
+	resp.Stamp = rs.qTS
+	resp.WID = rs.qWID
+	rs.qMu.Unlock()
+	resp.Val = valBuf
+	if int64(cap(valBuf)) > st.valCap.Load() {
+		return nil
+	}
+	return valBuf
+}
+
+// qTimestamp serves one timestamp-only query (the message-frugal
+// variant's phase 1): the q-cell's (ts, wid) with no value bytes — a
+// constant-size reply regardless of the stored value.
+//
+//bloom:noalloc
+func (st *Store) qTimestamp(req *wire.Request, resp *wire.Response) {
+	rs := st.lookup(req.Reg)
+	if rs == nil {
+		failUnknownReg(resp, req.Reg)
+		return
+	}
+	rs.qMu.Lock()
+	resp.Stamp = rs.qTS
+	resp.WID = rs.qWID
+	rs.qMu.Unlock()
+}
+
+// qWriteBack applies one ABD write-back: store (ts, wid, val) iff it is
+// lexicographically newer than the q-cell. The merge is idempotent —
+// replaying a qwrite can never regress the cell, so unlike plain writes
+// it needs no dedup window. A stale qwrite (the cell already holds
+// something at least as new) is acked with the cell's current (ts, wid)
+// and resp.Dup set: the ack is what the quorum client counts, and Dup is
+// what keeps the journal tap from recording a write effect that did not
+// happen (a stale write-back of an old value would otherwise fabricate a
+// new-old inversion in the merged history).
+//
+// allowalloc, not noalloc: the q-cell buffer append amortizes — it grows
+// only when an incoming value exceeds every earlier one, then is reused
+// in place. The buffer roots in the long-lived register state rather
+// than a caller-owned parameter, which the static analyzer cannot
+// credit; BenchmarkStoreValBuf is the runtime cross-check that the
+// steady state stays at 0 allocs/op.
+//
+//bloom:allowalloc
+func (st *Store) qWriteBack(req *wire.Request, resp *wire.Response) {
+	rs := st.lookup(req.Reg)
+	if rs == nil {
+		failUnknownReg(resp, req.Reg)
+		return
+	}
+	if len(req.Val) == 0 || !json.Valid(req.Val) {
+		failBadValue(resp, len(req.Val))
+		return
+	}
+	rs.qMu.Lock()
+	if req.TS > rs.qTS || (req.TS == rs.qTS && req.WID > rs.qWID) {
+		rs.qTS = req.TS
+		rs.qWID = req.WID
+		rs.qVal = append(rs.qVal[:0], req.Val...)
+	} else {
+		resp.Dup = true
+	}
+	resp.Stamp = rs.qTS
+	resp.WID = rs.qWID
+	rs.qMu.Unlock()
 }

@@ -1,0 +1,98 @@
+package netreg
+
+import (
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// bigJSONVal returns a JSON string value whose encoding is roughly n
+// bytes — comfortably past any cap the tests set below it.
+func bigJSONVal(n int) []byte {
+	v := make([]byte, n)
+	for i := range v {
+		v[i] = 'a' + byte(i%26)
+	}
+	v[0], v[n-1] = '"', '"'
+	return v
+}
+
+// TestValBufCapRetainsLargeValues is the PR-9 thrashing regression test:
+// with the default 64 KiB cap, every read of a larger value drops the
+// connection buffer (one fresh allocation per op — the bug's symptom);
+// after SetValBufCap raises the cap past the value size, the buffer is
+// retained and the steady-state read path allocates nothing.
+func TestValBufCapRetainsLargeValues(t *testing.T) {
+	st, err := NewStore("x", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := bigJSONVal(128 << 10) // 2× the default cap
+	var resp wire.Response
+	st.handle(&wire.Request{Op: "qwrite", TS: 1, WID: 1, Val: val}, &resp, nil)
+	if resp.Err != "" {
+		t.Fatalf("installing the large value: %s", resp.Err)
+	}
+
+	read := &wire.Request{Op: "qread"}
+	if buf := st.handle(read, &resp, nil); buf != nil {
+		t.Fatalf("over-cap buffer (cap %d) retained under the default cap %d", cap(buf), DefaultValBufCap)
+	}
+
+	st.SetValBufCap(256 << 10)
+	valBuf := st.handle(read, &resp, nil) // grow once
+	if valBuf == nil {
+		t.Fatal("raised cap still dropped the buffer")
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		valBuf = st.handle(read, &resp, valBuf)
+	}); allocs != 0 {
+		t.Fatalf("reads of a %d-byte value allocate %.1f allocs/op under a raised cap, want 0", len(val), allocs)
+	}
+	if string(resp.Val) != string(val) || resp.Stamp != 1 || resp.WID != 1 {
+		t.Fatal("retained-buffer read corrupted the value")
+	}
+}
+
+// BenchmarkStoreValBuf is a CI allocs/op gate (with BenchmarkFrame):
+// `go test -run=NONE -bench=BenchmarkStoreValBuf -benchmem` must report
+// 0 allocs/op for both sizes — val128Ki exceeds DefaultValBufCap and is
+// only allocation-free because the raised cap retains the buffer, which
+// is exactly the regression the gate keeps caught.
+func BenchmarkStoreValBuf(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		size int
+		cap  int
+	}{
+		{"val1Ki-defaultCap", 1 << 10, 0},
+		{"val128Ki-raisedCap", 128 << 10, 256 << 10},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			st, err := NewStore("x", 1, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if bc.cap > 0 {
+				st.SetValBufCap(bc.cap)
+			}
+			val := bigJSONVal(bc.size)
+			var resp wire.Response
+			st.handle(&wire.Request{Op: "qwrite", TS: 1, WID: 1, Val: val}, &resp, nil)
+			if resp.Err != "" {
+				b.Fatalf("installing the value: %s", resp.Err)
+			}
+			read := &wire.Request{Op: "qread"}
+			valBuf := st.handle(read, &resp, nil)
+			b.SetBytes(int64(bc.size))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				valBuf = st.handle(read, &resp, valBuf)
+			}
+			if valBuf == nil {
+				b.Fatal("buffer dropped mid-benchmark")
+			}
+		})
+	}
+}

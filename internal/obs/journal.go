@@ -103,10 +103,15 @@ const (
 //   - JDup: the reply answered a retransmitted write from the server's
 //     dedup window; the original application was already journaled with
 //     its true interval, and counting the replay as a second write
-//     would fabricate an effect that never happened.
+//     would fabricate an effect that never happened. Stale replica
+//     write-backs (a qwrite the q-cell already supersedes) carry it for
+//     the same reason: they ack without effect.
+//   - JMeta: a metadata-only exchange (a timestamp query, qts) with no
+//     register value to check.
 const (
 	JErr uint8 = 1 << iota
 	JDup
+	JMeta
 )
 
 // Rec is one completed operation in the journal. Records are fixed-size

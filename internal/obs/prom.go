@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"strings"
 )
 
@@ -60,12 +61,27 @@ var promQuantiles = [...]struct {
 // as a companion family to its raw buckets (conventionally named
 // <family>_quantile_seconds, labelled quantile="0.5" etc.), so scrapers
 // that never configure histogram_quantile still get tail latency.
+//
+// An empty histogram emits nothing: it has no distribution, so any
+// number would be fabricated — and a NaN or Inf slipping into the text
+// format fails the whole Prometheus scrape, not just the series. The
+// summary convention (absent quantiles until the first observation)
+// matches what client_golang does. The per-value finiteness check is a
+// backstop for the same scrape-killing failure mode should a quantile
+// path ever produce one.
 func writeQuantiles(w io.Writer, name string, h *Hist, extra []Label, pairs ...string) {
 	s := h.Snapshot()
+	if s.Count == 0 {
+		return
+	}
 	for _, p := range promQuantiles {
+		v := s.Quantile(p.q).Seconds()
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
 		fmt.Fprintf(w, "%s%s %g\n", name,
 			promLabels(extra, append(append([]string{}, pairs...), "quantile", p.label)...),
-			s.Quantile(p.q).Seconds())
+			v)
 	}
 }
 

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// QOp identifies one quorum-register operation kind (the logical ops of
+// internal/replica, not the per-replica wire exchanges).
+type QOp int
+
+// The quorum operation kinds.
+const (
+	QRead QOp = iota
+	QWrite
+	numQOps
+)
+
+// String names the operation kind.
+func (op QOp) String() string {
+	switch op {
+	case QRead:
+		return "read"
+	case QWrite:
+		return "write"
+	default:
+		return fmt.Sprintf("QOp(%d)", int(op))
+	}
+}
+
+// qOpShard is one quorum operation kind's metrics, padded like the other
+// tallies' shards.
+type qOpShard struct {
+	lat      Hist
+	ok       atomic.Int64
+	noQuorum atomic.Int64
+	rounds   atomic.Int64 // total phases run (1 or 2 per op)
+	fast     atomic.Int64 // one-round completions (fast-path reads)
+	_        [cacheLine]byte
+}
+
+// replicaShard is one replica's health tally as seen by a quorum client:
+// how many of its per-phase exchanges succeeded vs failed. A permanently
+// crashed replica shows as a flatlined ok count and a growing fail count.
+type replicaShard struct {
+	ok   atomic.Int64
+	fail atomic.Int64
+	_    [cacheLine]byte
+}
+
+// Replica tallies an ABD quorum client: logical-op counts and latency,
+// phase counts (the rounds/op the variant comparison measures), fast-path
+// completions, no-quorum failures, and per-replica exchange health. One
+// Replica may be shared by many QClients over the same cluster; recording
+// is a few uncontended-or-cheap atomic adds. All methods are safe on a
+// nil receiver.
+type Replica struct {
+	ops      [numQOps]qOpShard
+	replicas []replicaShard
+}
+
+// NewReplica returns an empty tally for an m-replica cluster.
+func NewReplica(m int) *Replica {
+	if m < 0 {
+		panic("obs: negative replica count")
+	}
+	return &Replica{replicas: make([]replicaShard, m)}
+}
+
+// RecordOp tallies one completed logical quorum operation: its kind, how
+// many phases (rounds) it ran, and its latency. A one-round read is the
+// fast path.
+//
+//bloom:noalloc
+func (r *Replica) RecordOp(op QOp, rounds int, d time.Duration) {
+	if r == nil {
+		return
+	}
+	s := &r.ops[op]
+	s.lat.Observe(d)
+	s.ok.Add(1)
+	s.rounds.Add(int64(rounds))
+	if rounds == 1 {
+		s.fast.Add(1)
+	}
+}
+
+// RecordNoQuorum tallies one logical operation that failed because no
+// majority of replicas answered (the cluster has lost ≥ m/2 members, or
+// is partitioned away).
+//
+//bloom:noalloc
+func (r *Replica) RecordNoQuorum(op QOp) {
+	if r == nil {
+		return
+	}
+	r.ops[op].noQuorum.Add(1)
+}
+
+// RecordReplica tallies one per-replica phase exchange against replica i.
+//
+//bloom:noalloc
+func (r *Replica) RecordReplica(i int, ok bool) {
+	if r == nil || i < 0 || i >= len(r.replicas) {
+		return
+	}
+	if ok {
+		r.replicas[i].ok.Add(1)
+	} else {
+		r.replicas[i].fail.Add(1)
+	}
+}
+
+// Ok returns the completed-operation count for op.
+func (r *Replica) Ok(op QOp) int64 { return r.ops[op].ok.Load() }
+
+// NoQuorum returns the quorum-unavailable failure count for op.
+func (r *Replica) NoQuorum(op QOp) int64 { return r.ops[op].noQuorum.Load() }
+
+// Rounds returns the total phase count for op; divided by Ok it is the
+// variant's rounds/op.
+func (r *Replica) Rounds(op QOp) int64 { return r.ops[op].rounds.Load() }
+
+// Fast returns op's one-round completion count.
+func (r *Replica) Fast(op QOp) int64 { return r.ops[op].fast.Load() }
+
+// ReplicaHealth returns replica i's per-phase exchange counts.
+func (r *Replica) ReplicaHealth(i int) (ok, fail int64) {
+	return r.replicas[i].ok.Load(), r.replicas[i].fail.Load()
+}
+
+// QOpSnapshot is one quorum operation kind's exported state.
+type QOpSnapshot struct {
+	Op          string       `json:"op"`
+	Ok          int64        `json:"ok"`
+	NoQuorum    int64        `json:"no_quorum"`
+	Rounds      int64        `json:"rounds"`
+	RoundsPerOp float64      `json:"rounds_per_op"`
+	Fast        int64        `json:"fast"`
+	Latency     HistSnapshot `json:"latency"`
+}
+
+// ReplicaHealthSnapshot is one replica's exported health.
+type ReplicaHealthSnapshot struct {
+	Replica int   `json:"replica"`
+	Ok      int64 `json:"ok"`
+	Fail    int64 `json:"fail"`
+}
+
+// ReplicaSnapshot is a point-in-time copy of a Replica tally.
+type ReplicaSnapshot struct {
+	Ops      []QOpSnapshot           `json:"ops"`
+	Replicas []ReplicaHealthSnapshot `json:"replicas"`
+}
+
+// Snapshot copies the tally's current state.
+func (r *Replica) Snapshot() ReplicaSnapshot {
+	var s ReplicaSnapshot
+	for op := QOp(0); op < numQOps; op++ {
+		sh := &r.ops[op]
+		qs := QOpSnapshot{
+			Op:       op.String(),
+			Ok:       sh.ok.Load(),
+			NoQuorum: sh.noQuorum.Load(),
+			Rounds:   sh.rounds.Load(),
+			Fast:     sh.fast.Load(),
+			Latency:  sh.lat.Snapshot(),
+		}
+		if qs.Ok > 0 {
+			qs.RoundsPerOp = float64(qs.Rounds) / float64(qs.Ok)
+		}
+		s.Ops = append(s.Ops, qs)
+	}
+	for i := range r.replicas {
+		s.Replicas = append(s.Replicas, ReplicaHealthSnapshot{
+			Replica: i,
+			Ok:      r.replicas[i].ok.Load(),
+			Fail:    r.replicas[i].fail.Load(),
+		})
+	}
+	return s
+}
+
+// WritePrometheus renders the tally in Prometheus text format:
+//
+//	replica_ops_total{op,outcome}          completed vs no-quorum ops
+//	replica_op_rounds_total{op}            phases run (rounds/op numerator)
+//	replica_op_fast_total{op}              one-round completions
+//	replica_op_latency_seconds{op}         logical-op latency
+//	replica_exchanges_total{replica,outcome}  per-replica health
+func (r *Replica) WritePrometheus(w io.Writer, extra ...Label) {
+	fmt.Fprintln(w, "# HELP replica_ops_total Logical quorum-register operations by kind and outcome.")
+	fmt.Fprintln(w, "# TYPE replica_ops_total counter")
+	for op := QOp(0); op < numQOps; op++ {
+		s := &r.ops[op]
+		fmt.Fprintf(w, "replica_ops_total%s %d\n", promLabels(extra, "op", op.String(), "outcome", "ok"), s.ok.Load())
+		fmt.Fprintf(w, "replica_ops_total%s %d\n", promLabels(extra, "op", op.String(), "outcome", "no_quorum"), s.noQuorum.Load())
+	}
+	fmt.Fprintln(w, "# HELP replica_op_rounds_total Quorum phases run; divide by replica_ops_total{outcome=\"ok\"} for rounds/op.")
+	fmt.Fprintln(w, "# TYPE replica_op_rounds_total counter")
+	for op := QOp(0); op < numQOps; op++ {
+		fmt.Fprintf(w, "replica_op_rounds_total%s %d\n", promLabels(extra, "op", op.String()), r.ops[op].rounds.Load())
+	}
+	fmt.Fprintln(w, "# HELP replica_op_fast_total One-round (fast-path) completions.")
+	fmt.Fprintln(w, "# TYPE replica_op_fast_total counter")
+	for op := QOp(0); op < numQOps; op++ {
+		fmt.Fprintf(w, "replica_op_fast_total%s %d\n", promLabels(extra, "op", op.String()), r.ops[op].fast.Load())
+	}
+	fmt.Fprintln(w, "# HELP replica_op_latency_seconds Logical quorum-operation latency.")
+	fmt.Fprintln(w, "# TYPE replica_op_latency_seconds histogram")
+	for op := QOp(0); op < numQOps; op++ {
+		writeHist(w, "replica_op_latency_seconds", &r.ops[op].lat, extra, "op", op.String())
+	}
+	fmt.Fprintln(w, "# HELP replica_op_latency_quantile_seconds Interpolated quorum-operation latency quantiles (p50/p99/p999).")
+	fmt.Fprintln(w, "# TYPE replica_op_latency_quantile_seconds gauge")
+	for op := QOp(0); op < numQOps; op++ {
+		writeQuantiles(w, "replica_op_latency_quantile_seconds", &r.ops[op].lat, extra, "op", op.String())
+	}
+	fmt.Fprintln(w, "# HELP replica_exchanges_total Per-replica phase exchanges by outcome; a crashed replica flatlines ok and grows fail.")
+	fmt.Fprintln(w, "# TYPE replica_exchanges_total counter")
+	for i := range r.replicas {
+		ri := fmt.Sprint(i)
+		fmt.Fprintf(w, "replica_exchanges_total%s %d\n", promLabels(extra, "replica", ri, "outcome", "ok"), r.replicas[i].ok.Load())
+		fmt.Fprintf(w, "replica_exchanges_total%s %d\n", promLabels(extra, "replica", ri, "outcome", "fail"), r.replicas[i].fail.Load())
+	}
+}

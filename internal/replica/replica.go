@@ -1,0 +1,528 @@
+// Package replica implements an ABD-style replicated atomic register: a
+// quorum client (QClient) runs every read and write as majority round
+// trips fanned out over pipelined netreg connections to m independent
+// Store servers, so the register survives any f < m/2 permanent server
+// crashes with atomicity intact — the crash-prone, message-passing
+// counterpart of the paper's shared-memory construction, scaled from two
+// writers on one box to many writers on many boxes.
+//
+// # Protocol
+//
+// Each replica serves three wire ops against its q-cell, a monotone
+// (ts, wid, value) triple (see netreg's qread/qts/qwrite): qread returns
+// the triple, qts returns just (ts, wid), and qwrite stores a triple iff
+// it is lexicographically newer. On top of these the client runs the
+// classic two-phase quorum dance [Attiya–Bar-Noy–Dolev; multi-writer per
+// Lynch–Shvartsman]:
+//
+//	Write(v): query a majority for timestamps; pick ts = max+1 with the
+//	  client's writer id as tiebreak; qwrite (ts, wid, v) to a majority.
+//	Read(): query a majority for triples; pick the lexicographic max;
+//	  write the max back to a majority (so a once-read value is at a
+//	  majority and no later read returns anything older); return it.
+//
+// Any two majorities intersect, which is the whole proof sketch: a
+// read's query majority intersects every completed write's write-back
+// majority, so the max the read picks is at least as new as any
+// completed write — and the read's own write-back hands that guarantee
+// to the reads after it.
+//
+// # Modes
+//
+// ModeABD is the baseline above. Two variants from the literature are
+// toggled per client and measured against it in `bloombench -replica`:
+//
+//   - ModeFast (after Huang–Huang–Wei, "Fine-grained Analysis on Fast
+//     Implementations of Distributed Multi-writer Atomic Registers"):
+//     when every reply in a read's query majority agrees on (ts, wid),
+//     the value is already at a majority and the write-back phase is
+//     provably redundant — the read completes in ONE round. Under low
+//     write contention almost every read takes the fast path.
+//
+//   - ModeFrugal (inspired by Mostéfaoui–Raynal, "Two-Bit Messages are
+//     Sufficient to Implement Atomic Read/Write Registers in Crash-prone
+//     Systems"): phase-1 queries carry timestamps only (qts — constant
+//     size regardless of the stored value), and a read fetches the
+//     actual value from a single max-timestamp replica instead of
+//     shipping it m ways. Same round count as ABD, a fraction of the
+//     bytes at large values. This borrows the paper's message-frugality
+//     goal, not its literal two-bit protocol (which needs server-to-
+//     server gossip our star topology doesn't have).
+//
+// # Failures
+//
+// Per-replica transport recovery (retry, reconnect, circuit breaker,
+// at-most-once request identity) is netreg.Client's, reused wholesale —
+// one client per replica, so one replica's breaker opening never gates
+// another's traffic. A phase that cannot reach a majority fails the
+// logical operation with ErrNoQuorum (errors.Is-compatible with
+// netreg.ErrUnavailable): quorum loss is unavailability, never a wrong
+// answer, and with breakers armed it is a fast failure, not a hang.
+//
+// # Certification
+//
+// A QClient can journal its LOGICAL operations (Options.Journal): one
+// record per Read/Write spanning both phases, which internal/linz checks
+// online like any other journal — that check is the atomicity claim for
+// the replicated register. It composes with the per-replica journals
+// (netreg.WithJournal on each server) through linz.NewOnlineParts, which
+// namespaces each journal under a prefix and certifies all of them in
+// one checker. A logical operation that fails (no quorum) is journaled
+// JErr; under the supported failure model — f < m/2 permanent crashes,
+// timeouts generous enough that live replicas answer within the retry
+// budget — logical operations do not fail, so no JErr record can mask a
+// partially-installed write that a later read might surface. Past
+// quorum loss no later read completes either, so nothing observable goes
+// unexplained.
+package replica
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/netreg"
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// Mode selects the read/write variant a QClient runs (see the package
+// comment).
+type Mode int
+
+const (
+	// ModeABD is plain two-phase ABD: full-value quorum queries, every
+	// read writes back.
+	ModeABD Mode = iota
+	// ModeFast skips a read's write-back when the query majority already
+	// agrees on (ts, wid): a one-round read.
+	ModeFast
+	// ModeFrugal queries timestamps only (constant-size phase-1
+	// messages) and fetches a read's value from a single replica.
+	ModeFrugal
+)
+
+// String names the mode as it appears in benchmark tables.
+func (m Mode) String() string {
+	switch m {
+	case ModeABD:
+		return "abd"
+	case ModeFast:
+		return "fast"
+	case ModeFrugal:
+		return "frugal"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ErrNoQuorum marks logical operations that failed because no majority
+// of replicas answered. It wraps netreg.ErrUnavailable, so transport-
+// level availability tests (errors.Is(err, netreg.ErrUnavailable)) see
+// quorum loss for what it is.
+var ErrNoQuorum = fmt.Errorf("replica: quorum unavailable: %w", netreg.ErrUnavailable)
+
+// Options configures a QClient.
+type Options struct {
+	// Mode selects the protocol variant. Default ModeABD.
+	Mode Mode
+	// WriterID breaks timestamp ties between concurrent writers and MUST
+	// be distinct per writing client of one register: two writers sharing
+	// an id could install different values under one (ts, wid), which no
+	// linearization explains.
+	WriterID uint32
+	// Register names the register instance on the replicas (netreg
+	// AddRegister); "" is every store's default register.
+	Register string
+	// Journal, when set, receives one record per LOGICAL operation (see
+	// the package comment on certification).
+	Journal *obs.Journal
+	// Tally, when set, receives quorum latency, rounds/op, fast-path and
+	// no-quorum counts, and per-replica exchange health. Create it with
+	// obs.NewReplica(m).
+	Tally *obs.Replica
+}
+
+// QClient is a quorum client over m replicas. All methods are safe for
+// concurrent use: per-replica traffic multiplexes onto pipelined netreg
+// connections, and concurrent logical operations journal through a gated
+// tap. One QClient is one writer identity — give concurrent writers
+// their own QClients (they can share nothing, or share the same m
+// addresses; the protocol doesn't care).
+type QClient struct {
+	clients []*netreg.Client[json.RawMessage]
+	quorum  int
+	mode    Mode
+	wid     uint32
+	reg     string
+	tally   *obs.Replica
+	owned   bool // Close also closes the per-replica clients
+
+	tap *qTap
+}
+
+// Dial connects one netreg client per replica address and returns a
+// quorum client over them. The dial options apply to every per-replica
+// client; pass netreg.WithRetry/WithBreaker/WithTimeout so a crashed
+// replica degrades to fast local failures instead of hanging each phase.
+// Dialing fails if any replica is unreachable at start (a cluster that
+// begins degraded is a deployment error, not a fault to tolerate).
+func Dial(addrs []string, o Options, opts ...netreg.DialOption) (*QClient, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("replica: no replica addresses")
+	}
+	clients := make([]*netreg.Client[json.RawMessage], 0, len(addrs))
+	if o.Register != "" {
+		opts = append(append([]netreg.DialOption(nil), opts...), netreg.WithRegister(o.Register))
+	}
+	for _, a := range addrs {
+		c, err := netreg.Dial[json.RawMessage](a, opts...)
+		if err != nil {
+			for _, d := range clients {
+				d.Close()
+			}
+			return nil, fmt.Errorf("replica: dialing %s: %w", a, err)
+		}
+		clients = append(clients, c)
+	}
+	q := New(clients, o)
+	q.owned = true
+	return q, nil
+}
+
+// New builds a quorum client over caller-dialed per-replica clients
+// (index i is replica i everywhere: kill plans, health tallies). The
+// caller keeps ownership of the clients; Close does not close them.
+func New(clients []*netreg.Client[json.RawMessage], o Options) *QClient {
+	q := &QClient{
+		clients: clients,
+		quorum:  len(clients)/2 + 1,
+		mode:    o.Mode,
+		wid:     o.WriterID,
+		reg:     o.Register,
+		tally:   o.Tally,
+	}
+	if o.Journal != nil {
+		q.tap = newQTap(o.Journal, o.Register)
+	}
+	return q
+}
+
+// Quorum returns the majority size the client waits for.
+func (q *QClient) Quorum() int { return q.quorum }
+
+// Mode returns the client's protocol variant.
+func (q *QClient) Mode() Mode { return q.mode }
+
+// Close releases the client. Clients dialed by Dial are closed; clients
+// handed to New stay open (their owner closes them). The journal tap, if
+// any, is closed so it stops holding the journal horizon back.
+func (q *QClient) Close() error {
+	if q.tap != nil {
+		q.tap.close()
+	}
+	if q.owned {
+		for _, c := range q.clients {
+			c.Close()
+		}
+	}
+	return nil
+}
+
+// reply is one replica's phase answer.
+type reply struct {
+	idx  int
+	resp wire.Response
+	err  error
+}
+
+// phase fans one round out to every replica and returns as soon as a
+// majority has answered successfully — the entire availability argument
+// lives in this early return: the f slowest-or-dead replicas are simply
+// never waited for. build constructs each replica's request (a fresh
+// request per replica: the per-replica client owns its identity fields).
+// Stragglers keep running after the return and park their answers in the
+// buffered channel for the collector goroutine's garbage, costing
+// nothing; their per-replica retry/breaker machinery is what bounds how
+// long they linger.
+func (q *QClient) phase(build func(i int) *wire.Request) ([]reply, error) {
+	ch := make(chan reply, len(q.clients))
+	for i, c := range q.clients {
+		req := build(i)
+		go func(i int, c *netreg.Client[json.RawMessage], req *wire.Request) {
+			resp, err := c.Do(req)
+			ch <- reply{idx: i, resp: resp, err: err}
+		}(i, c, req)
+	}
+	oks := make([]reply, 0, q.quorum)
+	fails := 0
+	for range q.clients {
+		r := <-ch
+		if r.err != nil {
+			fails++
+			q.tally.RecordReplica(r.idx, false)
+			if fails > len(q.clients)-q.quorum {
+				return nil, fmt.Errorf("%w: %d of %d replicas unreachable (last: %v)",
+					ErrNoQuorum, fails, len(q.clients), r.err)
+			}
+			continue
+		}
+		q.tally.RecordReplica(r.idx, true)
+		oks = append(oks, r)
+		if len(oks) == q.quorum {
+			return oks, nil
+		}
+	}
+	// Unreachable: every replica answered, so either oks reached the
+	// majority or fails crossed the impossibility bound first.
+	return nil, fmt.Errorf("%w: no majority among %d replies", ErrNoQuorum, len(q.clients))
+}
+
+// newer reports whether (ts1, wid1) orders after (ts2, wid2) in the
+// protocol's lexicographic timestamp order.
+//
+//bloom:waitfree
+//bloom:noalloc
+func newer(ts1 int64, wid1 uint32, ts2 int64, wid2 uint32) bool {
+	return ts1 > ts2 || (ts1 == ts2 && wid1 > wid2)
+}
+
+// maxReply returns the lexicographically newest (ts, wid) among the
+// replies, and whether every reply agrees on it (the fast-path
+// condition).
+//
+//bloom:waitfree
+//bloom:noalloc
+func maxReply(oks []reply) (best int, agree bool) {
+	agree = true
+	for i := 1; i < len(oks); i++ {
+		a, b := &oks[best].resp, &oks[i].resp
+		if a.Stamp != b.Stamp || a.WID != b.WID {
+			agree = false
+		}
+		if newer(b.Stamp, b.WID, a.Stamp, a.WID) {
+			best = i
+		}
+	}
+	return best, agree
+}
+
+// Write performs one logical quorum write of raw JSON value val.
+func (q *QClient) Write(val json.RawMessage) error {
+	_, _, err := q.WriteStamped(val)
+	return err
+}
+
+// WriteStamped performs one logical quorum write and returns the
+// (ts, wid) it installed.
+func (q *QClient) WriteStamped(val json.RawMessage) (int64, uint32, error) {
+	start := time.Now()
+	inv, handle := q.tap.begin()
+
+	// Phase 1: learn a timestamp no completed write exceeds. ModeFrugal
+	// asks for timestamps only; the other modes run the same plain-ABD
+	// full query (the fast-path literature's one-round writes need
+	// either 2f+1-sized quorums or writer leases — out of scope here).
+	op := "qread"
+	if q.mode == ModeFrugal {
+		op = "qts"
+	}
+	oks, err := q.phase(func(i int) *wire.Request { return &wire.Request{Op: op} })
+	if err != nil {
+		q.tally.RecordNoQuorum(obs.QWrite)
+		q.tap.record(obs.JWrite, val, inv, handle, true)
+		return 0, 0, err
+	}
+	best, _ := maxReply(oks)
+	ts := oks[best].resp.Stamp + 1
+
+	// Phase 2: install (ts, wid, val) at a majority.
+	if _, err := q.phase(func(i int) *wire.Request {
+		return &wire.Request{Op: "qwrite", TS: ts, WID: q.wid, Val: val}
+	}); err != nil {
+		q.tally.RecordNoQuorum(obs.QWrite)
+		q.tap.record(obs.JWrite, val, inv, handle, true)
+		return 0, 0, err
+	}
+
+	q.tap.record(obs.JWrite, val, inv, handle, false)
+	q.tally.RecordOp(obs.QWrite, 2, time.Since(start))
+	return ts, q.wid, nil
+}
+
+// Read performs one logical quorum read, returning the raw JSON value.
+func (q *QClient) Read() (json.RawMessage, error) {
+	v, _, _, err := q.ReadStamped()
+	return v, err
+}
+
+// ReadStamped performs one logical quorum read and returns the value
+// with the (ts, wid) it carried.
+func (q *QClient) ReadStamped() (json.RawMessage, int64, uint32, error) {
+	start := time.Now()
+	inv, handle := q.tap.begin()
+
+	val, ts, wid, rounds, err := q.readPhases()
+	if err != nil {
+		q.tally.RecordNoQuorum(obs.QRead)
+		q.tap.record(obs.JRead, nil, inv, handle, true)
+		return nil, 0, 0, err
+	}
+
+	q.tap.record(obs.JRead, val, inv, handle, false)
+	q.tally.RecordOp(obs.QRead, rounds, time.Since(start))
+	return val, ts, wid, nil
+}
+
+// readPhases runs the mode's read protocol and reports how many quorum
+// rounds it took (the rounds/op the benchmark tables compare).
+func (q *QClient) readPhases() (val json.RawMessage, ts int64, wid uint32, rounds int, err error) {
+	if q.mode == ModeFrugal {
+		return q.readFrugal()
+	}
+
+	// Phase 1: full-value majority query.
+	oks, err := q.phase(func(i int) *wire.Request { return &wire.Request{Op: "qread"} })
+	if err != nil {
+		return nil, 0, 0, 1, err
+	}
+	best, agree := maxReply(oks)
+	val, ts, wid = oks[best].resp.Val, oks[best].resp.Stamp, oks[best].resp.WID
+
+	// Fast path: every majority reply agrees on (ts, wid), so that
+	// timestamp is already at a majority and the write-back below would
+	// be a no-op at every intersecting quorum — skip it (one round).
+	if q.mode == ModeFast && agree {
+		return val, ts, wid, 1, nil
+	}
+
+	// Phase 2: write the max back so no later read returns older.
+	if _, err := q.phase(func(i int) *wire.Request {
+		return &wire.Request{Op: "qwrite", TS: ts, WID: wid, Val: val}
+	}); err != nil {
+		return nil, 0, 0, 2, err
+	}
+	return val, ts, wid, 2, nil
+}
+
+// readFrugal is ModeFrugal's read: constant-size timestamp query, value
+// fetched from one max-timestamp replica, then the usual write-back. A
+// dead or stale fetch target falls back to the full-value query — the
+// frugal path is an optimization, never a correctness dependency.
+func (q *QClient) readFrugal() (val json.RawMessage, ts int64, wid uint32, rounds int, err error) {
+	oks, err := q.phase(func(i int) *wire.Request { return &wire.Request{Op: "qts"} })
+	if err != nil {
+		return nil, 0, 0, 1, err
+	}
+	best, _ := maxReply(oks)
+	ts, wid = oks[best].resp.Stamp, oks[best].resp.WID
+
+	// Fetch the value from one replica that reported the max. Its cell
+	// can only have grown since (qwrite is a max-merge), so whatever
+	// comes back is at least as new as (ts, wid) — newer is fine, the
+	// write-back just propagates the newer triple.
+	resp, ferr := q.clients[oks[best].idx].Do(&wire.Request{Op: "qread"})
+	if ferr == nil && !newer(ts, wid, resp.Stamp, resp.WID) {
+		val, ts, wid = resp.Val, resp.Stamp, resp.WID
+	} else {
+		// Fallback: the fetch target died between phases (or answered
+		// stale, impossible today but cheap to tolerate) — pay the full
+		// ABD query instead.
+		q.tally.RecordReplica(oks[best].idx, ferr == nil)
+		full, err := q.phase(func(i int) *wire.Request { return &wire.Request{Op: "qread"} })
+		if err != nil {
+			return nil, 0, 0, 2, err
+		}
+		b, _ := maxReply(full)
+		val, ts, wid = full[b].resp.Val, full[b].resp.Stamp, full[b].resp.WID
+	}
+
+	if _, err := q.phase(func(i int) *wire.Request {
+		return &wire.Request{Op: "qwrite", TS: ts, WID: wid, Val: val}
+	}); err != nil {
+		return nil, 0, 0, 2, err
+	}
+	return val, ts, wid, 2, nil
+}
+
+// qTap journals a QClient's logical operations. Concurrent logical ops
+// complete out of order, so it uses the gated discipline (the same one
+// netreg's worker models use): a mutex serializes ring access and a
+// FIFO of in-flight invocations keeps the source's horizon bound at the
+// oldest running invocation — a completion must never advance the bound
+// past an older, still-running logical op. All methods are safe on a
+// nil receiver (journaling disabled).
+type qTap struct {
+	j   *obs.Journal
+	src *obs.Source
+	kid uint32 // register key id, interned once: KeyID is producer-private
+
+	mu       sync.Mutex
+	base     int64
+	inflight []qSlot
+}
+
+type qSlot struct {
+	inv  int64
+	done bool
+}
+
+func newQTap(j *obs.Journal, reg string) *qTap {
+	src := j.Source()
+	return &qTap{j: j, src: src, kid: src.KeyID(reg)}
+}
+
+// begin stamps a logical invocation, returning the instant and the
+// in-flight handle record needs back.
+func (t *qTap) begin() (inv, handle int64) {
+	if t == nil {
+		return 0, 0
+	}
+	t.mu.Lock()
+	inv = t.j.Now()
+	if len(t.inflight) == 0 {
+		t.src.Begin(inv)
+	}
+	t.inflight = append(t.inflight, qSlot{inv: inv})
+	handle = t.base + int64(len(t.inflight)) - 1
+	t.mu.Unlock()
+	return inv, handle
+}
+
+// record journals one completed logical operation. failed ops carry JErr
+// so checkers skip them (see the package comment for why that is sound
+// under the supported failure model).
+func (t *qTap) record(kind uint8, val json.RawMessage, inv, handle int64, failed bool) {
+	if t == nil {
+		return
+	}
+	rec := obs.Rec{Inv: inv, Res: t.j.Now(), Key: t.kid, Kind: kind, Val: obs.HashVal(val)}
+	if failed {
+		rec.Flags |= obs.JErr
+	}
+	t.mu.Lock()
+	t.inflight[handle-t.base].done = true
+	for len(t.inflight) > 0 && t.inflight[0].done {
+		t.inflight = t.inflight[1:]
+		t.base++
+	}
+	// Publish before advancing the bound: a checker snapshots the horizon
+	// first and drains second, so whatever the bound admits must already
+	// be in the ring.
+	t.src.RecordOnly(rec)
+	if len(t.inflight) > 0 {
+		t.src.Begin(t.inflight[0].inv)
+	} else {
+		t.src.Begin(t.j.Now())
+	}
+	t.mu.Unlock()
+}
+
+// close marks the tap's source finished.
+func (t *qTap) close() {
+	if t != nil {
+		t.src.Close()
+	}
+}

@@ -6,11 +6,14 @@ import (
 	"sync"
 )
 
-// Binary payload kind bytes. Requests are 0x01/0x02 so neither the length
+// Binary payload kind bytes. Requests are 0x01–0x05 so neither the length
 // prefix nor the kind can be confused with the start of a JSON document.
 const (
 	kindRead     = 0x01
 	kindWrite    = 0x02
+	kindQRead    = 0x03 // replica quorum read: (ts, wid, val) query
+	kindQWrite   = 0x04 // replica write-back: store (ts, wid, val) if newer
+	kindQTS      = 0x05 // replica timestamp-only query (message-frugal phase 1)
 	kindResponse = 0x81
 )
 
@@ -59,8 +62,15 @@ func putBuf(b *[]byte) {
 //bloom:noalloc
 func appendRequest(b []byte, req *Request) []byte {
 	kind := byte(kindRead)
-	if req.Op == "write" {
+	switch req.Op {
+	case "write":
 		kind = kindWrite
+	case "qread":
+		kind = kindQRead
+	case "qwrite":
+		kind = kindQWrite
+	case "qts":
+		kind = kindQTS
 	}
 	b = append(b, kind)
 	b = binary.AppendUvarint(b, req.ID)
@@ -68,7 +78,9 @@ func appendRequest(b []byte, req *Request) []byte {
 	b = binary.AppendUvarint(b, uint64(uint(req.Port)))
 	b = appendString(b, req.Client)
 	b = binary.AppendUvarint(b, req.Seq)
-	return appendBytes(b, req.Val)
+	b = appendBytes(b, req.Val)
+	b = binary.AppendVarint(b, req.TS)
+	return binary.AppendUvarint(b, uint64(req.WID))
 }
 
 // appendResponse encodes resp onto b in the binary payload layout.
@@ -80,7 +92,8 @@ func appendResponse(b []byte, resp *Response) []byte {
 	b = binary.AppendUvarint(b, resp.ID)
 	b = binary.AppendVarint(b, resp.Stamp)
 	b = appendString(b, resp.Err)
-	return appendBytes(b, resp.Val)
+	b = appendBytes(b, resp.Val)
+	return binary.AppendUvarint(b, uint64(resp.WID))
 }
 
 // appendString appends a uvarint length followed by the string bytes.
@@ -278,6 +291,12 @@ func parseRequest(p []byte, req *Request, in *interner) error {
 		req.Op = "read"
 	case kindWrite:
 		req.Op = "write"
+	case kindQRead:
+		req.Op = "qread"
+	case kindQWrite:
+		req.Op = "qwrite"
+	case kindQTS:
+		req.Op = "qts"
 	default:
 		if d.err == nil {
 			d.err = errUnknownRequestKind
@@ -289,6 +308,8 @@ func parseRequest(p []byte, req *Request, in *interner) error {
 	req.Client = d.name("client")
 	req.Seq = d.uvarint("seq")
 	req.Val = d.bytes("val")
+	req.TS = d.varint("ts")
+	req.WID = uint32(d.uvarint("wid"))
 	if d.err == nil && len(d.p) != 0 {
 		d.err = errTrailingBytes
 	}
@@ -309,6 +330,7 @@ func parseResponse(p []byte, resp *Response) error {
 	resp.Stamp = d.varint("stamp")
 	resp.Err = d.string("err")
 	resp.Val = d.bytes("val")
+	resp.WID = uint32(d.uvarint("wid"))
 	if d.err == nil && len(d.p) != 0 {
 		d.err = errTrailingBytes
 	}

@@ -22,25 +22,35 @@
 //
 // Request payload:
 //
-//	kind     1 byte  (0x01 read, 0x02 write)
+//	kind     1 byte  (0x01 read, 0x02 write, 0x03 qread, 0x04 qwrite, 0x05 qts)
 //	id       uvarint request id (pipelining correlation)
 //	reg      uvarint length + bytes (register name, "" = default)
 //	port     uvarint (reads)
 //	client   uvarint length + bytes (dedup client id)
 //	seq      uvarint (dedup sequence number)
 //	val      uvarint length + bytes (JSON value, writes)
+//	ts       zigzag varint (replica timestamp, qwrite)
+//	wid      uvarint (writer id, qwrite timestamp tiebreak)
 //
 // Response payload:
 //
 //	kind     1 byte  (0x81)
 //	id       uvarint (echoes the request id)
-//	stamp    zigzag varint (*-action stamp)
+//	stamp    zigzag varint (*-action stamp, or replica timestamp for q-ops)
 //	err      uvarint length + bytes
 //	val      uvarint length + bytes (JSON value, reads)
+//	wid      uvarint (writer id paired with stamp, q-ops)
 //
-// All integers are unsigned varints except stamp, which is zigzag-encoded
-// (stamps are int64 and could in principle go negative on a foreign
-// sequencer).
+// All integers are unsigned varints except stamp and ts, which are
+// zigzag-encoded (both are int64 and could in principle go negative on a
+// foreign sequencer). The q-ops carry the ABD quorum protocol
+// (internal/replica): qread returns the replica's (timestamp, writer id,
+// value), qts returns only (timestamp, writer id), and qwrite stores
+// (ts, wid, val) iff it is newer than what the replica holds (a stale
+// qwrite is acked without effect). ts/wid ride at the tail of every
+// request frame and wid at the tail of every response frame so the
+// layout stays uniform across kinds; for plain reads and writes they
+// encode as two zero bytes.
 package wire
 
 import (
@@ -85,7 +95,10 @@ type Request struct {
 	// verbatim. 0 is what hand-written JSON frames get and is served fine
 	// (a serial connection needs no correlation).
 	ID uint64 `json:"id,omitempty"`
-	// Op is "read" or "write".
+	// Op is "read", "write", or one of the replica quorum ops: "qread"
+	// (query a replica's timestamped value), "qts" (query only the
+	// timestamp — the message-frugal variant's phase 1), or "qwrite"
+	// (store-if-newer write-back).
 	Op string `json:"op"`
 	// Reg names the register instance on a multi-register server; "" is
 	// the default register.
@@ -99,6 +112,13 @@ type Request struct {
 	// Seq is the client's per-request sequence number; a retried request
 	// re-sends the same Seq, which is how the server recognizes it.
 	Seq uint64 `json:"seq,omitempty"`
+	// TS is the replica timestamp a qwrite carries (the ABD write-back
+	// phase); unused by other ops.
+	TS int64 `json:"ts,omitempty"`
+	// WID is the writer id paired with TS: (TS, WID) order
+	// lexicographically, so concurrent writers with equal timestamps are
+	// broken deterministically.
+	WID uint32 `json:"wid,omitempty"`
 }
 
 // Response is one access result on the wire.
@@ -107,8 +127,12 @@ type Response struct {
 	ID uint64 `json:"id,omitempty"`
 	// Val is the value read (reads only), as raw JSON.
 	Val json.RawMessage `json:"val,omitempty"`
-	// Stamp is the access's *-action stamp.
+	// Stamp is the access's *-action stamp; for the replica quorum ops it
+	// carries the replica's current timestamp instead.
 	Stamp int64 `json:"stamp"`
+	// WID is the writer id paired with Stamp on quorum-op replies (qread,
+	// qts, qwrite); zero otherwise.
+	WID uint32 `json:"wid,omitempty"`
 	// Err reports a server-side failure.
 	Err string `json:"err,omitempty"`
 	// Dup marks a write answered from the dedup window (a retransmission
