@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/faultnet"
 	"repro/internal/linz"
+	"repro/internal/loadgen"
 	"repro/internal/netreg"
 	"repro/internal/obs"
 	"repro/internal/replica"
@@ -19,6 +20,12 @@ import (
 // replicaSeed seeds the -replica mode's workload mixes and its kill
 // plan; one fixed seed keeps the table replayable.
 const replicaSeed = 20260808
+
+// minEngineSpeedup is the self-gate floor: the quorum engine's
+// closed-loop saturation throughput must be at least this multiple of
+// the PR 9 per-op-goroutine client's on the identical workload, or the
+// table fails. Measured locally at 3-4.5x; the floor leaves noise room.
+const minEngineSpeedup = 2.0
 
 // replicaBaseRow is the single-server reference: one client, one server,
 // one round trip per operation — the RTT the quorum modes are measured
@@ -61,14 +68,27 @@ type replicaSoakRow struct {
 	Verdict    string `json:"verdict"`
 }
 
+// replicaSatRow is one side of the engine-vs-legacy saturation
+// comparison: closed-loop peak logical throughput under the cluster load
+// generator, identical workload both sides.
+type replicaSatRow struct {
+	Client       string  `json:"client"`
+	OpsPerSec    float64 `json:"ops_per_sec"`
+	P99Us        float64 `json:"p99_us"`
+	CombinedFrac float64 `json:"combined_read_frac"`
+}
+
 // replicaBench is the BENCH_replica.json document.
 type replicaBench struct {
-	OpsTarget int              `json:"ops_target"`
-	Replicas  int              `json:"replicas"`
-	Quorum    int              `json:"quorum"`
-	Baseline  replicaBaseRow   `json:"single_server_baseline"`
-	Modes     []replicaModeRow `json:"modes"`
-	Soak      replicaSoakRow   `json:"crash_soak"`
+	OpsTarget  int              `json:"ops_target"`
+	Replicas   int              `json:"replicas"`
+	Quorum     int              `json:"quorum"`
+	Baseline   replicaBaseRow   `json:"single_server_baseline"`
+	Modes      []replicaModeRow `json:"modes"`
+	Saturation []replicaSatRow  `json:"saturation"`
+	Speedup    float64          `json:"engine_speedup"`
+	MinSpeedup float64          `json:"min_speedup"`
+	Soak       replicaSoakRow   `json:"crash_soak"`
 }
 
 // replicaTable runs the T-replica measurements: plain ABD vs the
@@ -118,6 +138,19 @@ func replicaTable(ops int, jsonOut bool) error {
 		return fmt.Errorf("fast path never engaged: abd %.2f rounds/read, fast %.2f", abd.ReadRoundsPerOp, fast.ReadRoundsPerOp)
 	}
 
+	sat, speedup, err := replicaSaturation()
+	if err != nil {
+		return fmt.Errorf("saturation comparison: %w", err)
+	}
+	for _, s := range sat {
+		fmt.Printf("%-8s %9.0f ops/s  p99 %7.1fµs  combined %4.0f%%  (closed loop, 4 clients x depth 16)\n",
+			s.Client, s.OpsPerSec, s.P99Us, s.CombinedFrac*100)
+	}
+	fmt.Printf("%-8s engine %.2fx legacy at saturation (gate floor %.1fx)\n", "speedup", speedup, minEngineSpeedup)
+	if speedup < minEngineSpeedup {
+		return fmt.Errorf("quorum engine only %.2fx the legacy client at saturation, want >= %.1fx", speedup, minEngineSpeedup)
+	}
+
 	soak, err := replicaSoak(n)
 	if err != nil {
 		return fmt.Errorf("crash soak: %w", err)
@@ -139,12 +172,15 @@ func replicaTable(ops int, jsonOut bool) error {
 		return nil
 	}
 	doc := replicaBench{
-		OpsTarget: ops,
-		Replicas:  m,
-		Quorum:    m/2 + 1,
-		Baseline:  base,
-		Modes:     rows,
-		Soak:      soak,
+		OpsTarget:  ops,
+		Replicas:   m,
+		Quorum:     m/2 + 1,
+		Baseline:   base,
+		Modes:      rows,
+		Saturation: sat,
+		Speedup:    speedup,
+		MinSpeedup: minEngineSpeedup,
+		Soak:       soak,
 	}
 	blob, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -306,7 +342,8 @@ func replicaModeRun(mode replica.Mode, m, n int, base replicaBaseRow) (replicaMo
 	for i := range clients {
 		q, err := replica.Dial(addrs, replica.Options{
 			Mode: mode, WriterID: uint32(i + 1), Tally: tally,
-		}, replicaDialOpts(netreg.WithWireStats(ws))...)
+			Timeout: time.Second, Wire: ws,
+		})
 		if err != nil {
 			return replicaModeRow{}, err
 		}
@@ -393,6 +430,56 @@ func replicaModeRun(mode replica.Mode, m, n int, base replicaBaseRow) (replicaMo
 	return row, nil
 }
 
+// replicaSaturation runs the tentpole comparison and its self-gate:
+// the quorum engine vs the PR 9 per-op-goroutine client at closed-loop
+// saturation — 4 clients x 16 concurrent logical ops each, 90% reads —
+// on a fresh m=3 cluster per side. Returns both rows and the speedup;
+// the caller fails the table when it is below minEngineSpeedup.
+func replicaSaturation() ([]replicaSatRow, float64, error) {
+	const m = 3
+	var rows []replicaSatRow
+	for _, side := range []struct {
+		name   string
+		legacy bool
+	}{{"engine", false}, {"legacy", true}} {
+		addrs, servers, _, err := replicaCluster(m, false)
+		if err != nil {
+			return nil, 0, err
+		}
+		tally := obs.NewReplica(m)
+		r, err := loadgen.RunCluster(loadgen.ClusterConfig{
+			Addrs:    addrs,
+			Mode:     replica.ModeABD,
+			Clients:  4,
+			Depth:    16,
+			Duration: time.Second,
+			ReadFrac: 0.9,
+			Seed:     replicaSeed,
+			Legacy:   side.legacy,
+			Tally:    tally,
+		})
+		for _, srv := range servers {
+			srv.Close()
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("%s probe: %w", side.name, err)
+		}
+		row := replicaSatRow{
+			Client:    side.name,
+			OpsPerSec: r.Load.AchievedPS,
+			P99Us:     r.P99Us,
+		}
+		if ok := tally.Ok(obs.QRead); ok > 0 {
+			row.CombinedFrac = float64(tally.Combined(obs.QRead)) / float64(ok)
+		}
+		rows = append(rows, row)
+	}
+	if rows[1].OpsPerSec <= 0 {
+		return rows, 0, fmt.Errorf("legacy probe achieved no throughput")
+	}
+	return rows, rows[0].OpsPerSec / rows[1].OpsPerSec, nil
+}
+
 // replicaSoak is the tolerated-crash acceptance run: m=5 journaled
 // replicas, a seeded plan killing f=2 permanently mid-stream, four
 // journaling quorum clients (one per mode plus a second writer), and a
@@ -440,13 +527,13 @@ func replicaSoak(n int) (replicaSoakRow, error) {
 	}
 	ol.Start()
 
-	opts := replicaDialOpts(netreg.WithBreaker(2, 100*time.Millisecond))
 	modes := []replica.Mode{replica.ModeABD, replica.ModeFast, replica.ModeFrugal, replica.ModeABD}
 	clients := make([]*replica.QClient, len(modes))
 	for i, mode := range modes {
 		q, err := replica.Dial(addrs, replica.Options{
 			Mode: mode, WriterID: uint32(i + 1), Journal: qj, Tally: tally,
-		}, opts...)
+			Timeout: 2 * time.Second,
+		})
 		if err != nil {
 			return replicaSoakRow{}, err
 		}

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/loadgen"
 	"repro/internal/netreg"
+	"repro/internal/replica"
 )
 
 func main() {
@@ -55,11 +56,36 @@ func run() error {
 	combine := flag.Bool("combine", false, "enable flat-combining write batching on the in-process server")
 	compare := flag.Bool("compare", false, "also probe peak across server worker models and combining")
 	jsonOut := flag.Bool("json", false, "write BENCH_loadgen.json")
+	replicaLoad := flag.Bool("replica", false, "drive the replicated register: quorum clients over an in-process cluster")
+	replicas := flag.Int("replicas", 3, "replica servers in -replica mode")
+	clients := flag.Int("clients", 4, "quorum clients in -replica mode")
+	qdepth := flag.Int("qdepth", 16, "concurrent logical ops per quorum client in -replica mode")
+	modeName := flag.String("mode", "abd", "protocol variant in -replica mode (abd, fast, frugal)")
 	flag.Parse()
 
 	fracs, err := parseFracs(*sweep)
 	if err != nil {
 		return err
+	}
+
+	if *replicaLoad {
+		mode, err := parseMode(*modeName)
+		if err != nil {
+			return err
+		}
+		vb := *valueBytes
+		if vb <= 1 {
+			vb = 16
+		}
+		return runReplica(loadgen.ClusterConfig{
+			Addrs:      make([]string, *replicas),
+			Clients:    *clients,
+			Depth:      *qdepth,
+			Duration:   *duration,
+			ReadFrac:   *readFrac,
+			ValueBytes: vb,
+			Seed:       *seed,
+		}, mode, fracs, *rate, *jsonOut)
 	}
 
 	sizes, err := parseSizes(*vsizes)
@@ -247,6 +273,20 @@ func parseSizes(s string) ([]int, error) {
 		sizes = append(sizes, n)
 	}
 	return sizes, nil
+}
+
+// parseMode parses the -mode flag.
+func parseMode(s string) (replica.Mode, error) {
+	switch s {
+	case "abd":
+		return replica.ModeABD, nil
+	case "fast":
+		return replica.ModeFast, nil
+	case "frugal":
+		return replica.ModeFrugal, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (want abd, fast, or frugal)", s)
+	}
 }
 
 // parseFracs parses the -sweep flag ("0.5,0.75,1.0").

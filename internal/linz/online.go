@@ -48,6 +48,10 @@ type Online struct {
 	// reached. Atomic: written by whichever goroutine drives Step (Start's
 	// loop or a direct caller) and read for the lag gauge.
 	checkedThrough []atomic.Int64
+	// partOps counts, per part, the effective (Flags == 0) operations
+	// drained so far — the exactly-once accounting tests compare it
+	// against the number of logical operations a producer performed.
+	partOps []atomic.Int64
 
 	mu      sync.Mutex
 	started bool
@@ -124,6 +128,7 @@ func NewOnlineParts(parts []JournalPart, o OnlineOptions) *Online {
 		pend:           make(map[pendKey][]Op),
 		carry:          make(map[string]Value),
 		checkedThrough: make([]atomic.Int64, len(parts)),
+		partOps:        make([]atomic.Int64, len(parts)),
 	}
 }
 
@@ -198,6 +203,20 @@ func (ol *Online) Windows() int64 {
 	return ol.reports
 }
 
+// PartOps returns how many effective (Flags == 0) operations have been
+// drained from the part registered under prefix — one per logical op its
+// producer journaled. Tests use it to pin exactly-once accounting: a
+// combined quorum read must journal exactly one record, never zero or
+// two. Unknown prefixes return 0.
+func (ol *Online) PartOps(prefix string) int64 {
+	for pi := range ol.parts {
+		if ol.parts[pi].Prefix == prefix {
+			return ol.partOps[pi].Load()
+		}
+	}
+	return 0
+}
+
 // Step runs one drain-and-check round. It is the loop body of Start and
 // must not be called concurrently with a started checker.
 func (ol *Online) Step() {
@@ -209,6 +228,7 @@ func (ol *Online) Step() {
 				if r.Flags != 0 {
 					return // refused, dedup-replayed, or metadata-only op: no fresh effect
 				}
+				ol.partOps[pi].Add(1)
 				kind := Read
 				if r.Kind == obs.JWrite {
 					kind = Write

@@ -56,9 +56,16 @@ type Config struct {
 	Addr string
 	// Conns is the number of concurrent pipelined connections (default 1).
 	Conns int
-	// Depth caps each connection's in-flight requests; it is rounded up
-	// to a power of two for the correlation ring (default 256).
+	// Depth caps each connection's in-flight requests (default 256). The
+	// correlation ring backing it is sized by Ring; when Ring is zero,
+	// Depth itself is rounded up to the next power of two and that
+	// rounded size serves as both the window and the ring (see doc.go).
 	Depth int
+	// Ring, when nonzero, sizes each connection's correlation ring
+	// explicitly. It must be a power of two and at least Depth, or Run
+	// fails; the in-flight window then stays at the exact configured
+	// Depth instead of inheriting the rounded ring size.
+	Ring int
 	// Rate is the total offered arrival rate in ops/sec across all
 	// connections, split evenly into independent per-connection Poisson
 	// processes (their superposition is again Poisson at the full rate).
@@ -152,6 +159,7 @@ type lgConn struct {
 
 	sched []atomic.Int64 // scheduled arrival (ns since epoch), by id & mask
 	mask  uint64
+	depth uint64        // in-flight window; <= ring size, so slots never reuse early
 	sent  uint64        // writer-local
 	done  atomic.Uint64 // reaper-published completions
 
@@ -166,8 +174,9 @@ type lgConn struct {
 	hist obs.Hist
 }
 
-// dialConn connects and sizes one generator connection.
-func dialConn(addr string, depth int) (*lgConn, error) {
+// dialConn connects and sizes one generator connection: ring slots for
+// correlation (a power of two), depth for the in-flight window.
+func dialConn(addr string, depth, ring int) (*lgConn, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -175,8 +184,9 @@ func dialConn(addr string, depth int) (*lgConn, error) {
 	cn := &lgConn{
 		conn:  conn,
 		bw:    bufio.NewWriterSize(conn, connBufSize),
-		sched: make([]atomic.Int64, depth),
-		mask:  uint64(depth - 1),
+		sched: make([]atomic.Int64, ring),
+		mask:  uint64(ring - 1),
+		depth: uint64(depth),
 		wake:  make(chan struct{}, 1),
 	}
 	cn.wr = wire.NewWriter(wire.Binary, cn.bw)
@@ -234,13 +244,13 @@ func (cn *lgConn) stamp(id uint64, at int64) {
 //
 //bloom:noalloc
 func (cn *lgConn) waitRoom() error {
-	if cn.sent-cn.done.Load() <= cn.mask {
+	if cn.sent-cn.done.Load() < cn.depth {
 		return nil
 	}
 	if err := cn.wr.Flush(); err != nil {
 		return err
 	}
-	half := (cn.mask + 1) / 2
+	half := cn.depth / 2
 	for cn.sent-cn.done.Load() > half {
 		if cn.dead.Load() {
 			return errReaderDead
@@ -378,11 +388,24 @@ func (cn *lgConn) drive(cfg Config, epoch time.Time, load *obs.Load, seed int64)
 // measurement.
 func Run(cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
-	cfg.Depth = nextPow2(cfg.Depth)
+	ring := cfg.Ring
+	if ring == 0 {
+		// Historic default: Depth itself rounds up to a power of two and
+		// doubles as the ring (see doc.go on the rounding).
+		cfg.Depth = nextPow2(cfg.Depth)
+		ring = cfg.Depth
+	} else {
+		if ring&(ring-1) != 0 {
+			return Result{}, fmt.Errorf("loadgen: Ring %d is not a power of two", ring)
+		}
+		if ring < cfg.Depth {
+			return Result{}, fmt.Errorf("loadgen: Ring %d is smaller than Depth %d", ring, cfg.Depth)
+		}
+	}
 
 	conns := make([]*lgConn, cfg.Conns)
 	for i := range conns {
-		cn, err := dialConn(cfg.Addr, cfg.Depth)
+		cn, err := dialConn(cfg.Addr, cfg.Depth, ring)
 		if err != nil {
 			for _, c := range conns[:i] {
 				c.conn.Close()

@@ -63,10 +63,7 @@ type clientConn struct {
 // newClientConn wraps an established connection and starts its writer and
 // reader goroutines.
 func newClientConn(conn net.Conn, codec wire.Codec, ws *obs.Wire) *clientConn {
-	var rwc net.Conn = conn
-	if ws != nil {
-		rwc = statConn{Conn: conn, ws: ws}
-	}
+	rwc := StatConn(conn, ws)
 	cc := &clientConn{
 		conn:    conn,
 		wr:      wire.NewWriter(codec, bufio.NewWriterSize(rwc, clientBufSize)),
@@ -218,6 +215,19 @@ func (cc *clientConn) readLoop() {
 			ca.done <- callResult{resp: resp}
 		}
 	}
+}
+
+// StatConn wraps conn so every byte read and written counts into ws —
+// the same wrapper the client and server connections use internally,
+// exported for other transports over the same wire protocol (the
+// replica quorum engine counts its sockets with it). A nil tally
+// returns conn unchanged. Deadline and close calls pass through to the
+// wrapped connection.
+func StatConn(conn net.Conn, ws *obs.Wire) net.Conn {
+	if ws == nil {
+		return conn
+	}
+	return statConn{Conn: conn, ws: ws}
 }
 
 // statConn counts a connection's bytes into a Wire tally. Frames are

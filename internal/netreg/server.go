@@ -194,10 +194,7 @@ func (s *Server) serve(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	var rwc net.Conn = conn
-	if s.ws != nil {
-		rwc = statConn{Conn: conn, ws: s.ws}
-	}
+	rwc := StatConn(conn, s.ws)
 	br := bufio.NewReaderSize(rwc, serverBufSize)
 	bw := bufio.NewWriterSize(rwc, serverBufSize)
 	codec, err := wire.Sniff(br)

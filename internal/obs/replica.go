@@ -36,8 +36,10 @@ type qOpShard struct {
 	lat      Hist
 	ok       atomic.Int64
 	noQuorum atomic.Int64
-	rounds   atomic.Int64 // total phases run (1 or 2 per op)
+	rounds   atomic.Int64 // total phases run (0, 1 or 2 per op)
 	fast     atomic.Int64 // one-round completions (fast-path reads)
+	combined atomic.Int64 // zero-round completions (piggybacked on a leader's query)
+	elided   atomic.Int64 // write-backs skipped via the acked watermark
 	_        [cacheLine]byte
 }
 
@@ -71,7 +73,8 @@ func NewReplica(m int) *Replica {
 
 // RecordOp tallies one completed logical quorum operation: its kind, how
 // many phases (rounds) it ran, and its latency. A one-round read is the
-// fast path.
+// fast path; a zero-round read is a combined one (it piggybacked on
+// another read's in-flight quorum query and ran no phase of its own).
 //
 //bloom:noalloc
 func (r *Replica) RecordOp(op QOp, rounds int, d time.Duration) {
@@ -82,9 +85,23 @@ func (r *Replica) RecordOp(op QOp, rounds int, d time.Duration) {
 	s.lat.Observe(d)
 	s.ok.Add(1)
 	s.rounds.Add(int64(rounds))
-	if rounds == 1 {
+	switch rounds {
+	case 0:
+		s.combined.Add(1)
+	case 1:
 		s.fast.Add(1)
 	}
+}
+
+// RecordElided tallies one read whose write-back was skipped because the
+// client's acked watermark already covered the candidate (ts, wid).
+//
+//bloom:noalloc
+func (r *Replica) RecordElided(op QOp) {
+	if r == nil {
+		return
+	}
+	r.ops[op].elided.Add(1)
 }
 
 // RecordNoQuorum tallies one logical operation that failed because no
@@ -126,6 +143,13 @@ func (r *Replica) Rounds(op QOp) int64 { return r.ops[op].rounds.Load() }
 // Fast returns op's one-round completion count.
 func (r *Replica) Fast(op QOp) int64 { return r.ops[op].fast.Load() }
 
+// Combined returns op's zero-round completion count (reads that
+// piggybacked on another read's quorum query).
+func (r *Replica) Combined(op QOp) int64 { return r.ops[op].combined.Load() }
+
+// Elided returns op's skipped-write-back count.
+func (r *Replica) Elided(op QOp) int64 { return r.ops[op].elided.Load() }
+
 // ReplicaHealth returns replica i's per-phase exchange counts.
 func (r *Replica) ReplicaHealth(i int) (ok, fail int64) {
 	return r.replicas[i].ok.Load(), r.replicas[i].fail.Load()
@@ -139,6 +163,8 @@ type QOpSnapshot struct {
 	Rounds      int64        `json:"rounds"`
 	RoundsPerOp float64      `json:"rounds_per_op"`
 	Fast        int64        `json:"fast"`
+	Combined    int64        `json:"combined"`
+	Elided      int64        `json:"elided"`
 	Latency     HistSnapshot `json:"latency"`
 }
 
@@ -166,6 +192,8 @@ func (r *Replica) Snapshot() ReplicaSnapshot {
 			NoQuorum: sh.noQuorum.Load(),
 			Rounds:   sh.rounds.Load(),
 			Fast:     sh.fast.Load(),
+			Combined: sh.combined.Load(),
+			Elided:   sh.elided.Load(),
 			Latency:  sh.lat.Snapshot(),
 		}
 		if qs.Ok > 0 {
@@ -207,6 +235,16 @@ func (r *Replica) WritePrometheus(w io.Writer, extra ...Label) {
 	fmt.Fprintln(w, "# TYPE replica_op_fast_total counter")
 	for op := QOp(0); op < numQOps; op++ {
 		fmt.Fprintf(w, "replica_op_fast_total%s %d\n", promLabels(extra, "op", op.String()), r.ops[op].fast.Load())
+	}
+	fmt.Fprintln(w, "# HELP replica_op_combined_total Zero-round completions (reads piggybacked on a leader's quorum query).")
+	fmt.Fprintln(w, "# TYPE replica_op_combined_total counter")
+	for op := QOp(0); op < numQOps; op++ {
+		fmt.Fprintf(w, "replica_op_combined_total%s %d\n", promLabels(extra, "op", op.String()), r.ops[op].combined.Load())
+	}
+	fmt.Fprintln(w, "# HELP replica_op_elided_total Read write-backs skipped via the acked watermark.")
+	fmt.Fprintln(w, "# TYPE replica_op_elided_total counter")
+	for op := QOp(0); op < numQOps; op++ {
+		fmt.Fprintf(w, "replica_op_elided_total%s %d\n", promLabels(extra, "op", op.String()), r.ops[op].elided.Load())
 	}
 	fmt.Fprintln(w, "# HELP replica_op_latency_seconds Logical quorum-operation latency.")
 	fmt.Fprintln(w, "# TYPE replica_op_latency_seconds histogram")

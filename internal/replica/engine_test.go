@@ -1,0 +1,380 @@
+package replica_test
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultnet"
+	"repro/internal/history"
+	"repro/internal/linz"
+	"repro/internal/netreg"
+	"repro/internal/obs"
+	"repro/internal/replica"
+)
+
+// TestCombinedReadsCertify is the combining correctness test: concurrent
+// same-key reads on one QClient share in-flight quorum queries (a seeded
+// slow-link plan keeps the dispatcher busy so readers actually pile onto
+// leaders), every logical op journals exactly once, and the merged
+// client + replica journals certify atomic online — a follower's
+// borrowed (Inv, Res) interval must be as sound as a round of its own.
+func TestCombinedReadsCertify(t *testing.T) {
+	const (
+		m         = 3
+		readers   = 6
+		readsEach = 25
+		writes    = 15
+	)
+	c := startCluster(t, m, "v0")
+	initJSON, _ := json.Marshal("v0")
+
+	qj := obs.NewJournal()
+	tally := obs.NewReplica(m)
+
+	parts := []linz.JournalPart{{J: qj, Prefix: "q/"}}
+	for i, j := range c.journals {
+		parts = append(parts, linz.JournalPart{J: j, Prefix: fmt.Sprintf("r%d/", i)})
+	}
+	ol := linz.NewOnlineParts(parts, linz.OnlineOptions{Interval: 10 * time.Millisecond})
+	for _, p := range parts {
+		ol.SetInit(p.Prefix, obs.HashVal(initJSON))
+	}
+	ol.Start()
+
+	// Every socket operation pays a fixed delay: while a flush (or a
+	// response read) sleeps, newly arriving reads join the unsealed
+	// leader's query instead of running their own — the deterministic way
+	// to open the combining window wide.
+	plan := &faultnet.Plan{Seed: 20260808, Delay: 2 * time.Millisecond, DelayProb: 1}
+
+	qr, err := replica.Dial(c.addrs, replica.Options{
+		Mode: replica.ModeABD, WriterID: 2, Journal: qj, Tally: tally,
+		Timeout: 2 * time.Second, Dialer: plan.Dialer(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qw, err := replica.Dial(c.addrs, replica.Options{
+		Mode: replica.ModeABD, WriterID: 1, Journal: qj, Tally: tally,
+		Timeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, readers+1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := 0; k < writes; k++ {
+			v, _ := json.Marshal(fmt.Sprintf("w%d", k))
+			if err := qw.Write(v); err != nil {
+				errs <- fmt.Errorf("write %d: %w", k, err)
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		errs <- nil
+	}()
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var lastTS int64
+			var lastWID uint32
+			for k := 0; k < readsEach; k++ {
+				_, ts, wid, err := qr.ReadStamped()
+				if err != nil {
+					errs <- fmt.Errorf("reader %d op %d: %w", r, k, err)
+					return
+				}
+				if ts < lastTS || (ts == lastTS && wid < lastWID) {
+					errs <- fmt.Errorf("reader %d op %d: stamp regressed (%d,%d) -> (%d,%d)",
+						r, k, lastTS, lastWID, ts, wid)
+					return
+				}
+				lastTS, lastWID = ts, wid
+			}
+			errs <- nil
+		}(r)
+	}
+	wg.Wait()
+	for i := 0; i < readers+1; i++ {
+		if err := <-errs; err != nil {
+			t.Error(err)
+		}
+	}
+
+	if combined := tally.Combined(obs.QRead); combined == 0 {
+		t.Error("no read combined despite concurrent readers over a slow link")
+	} else {
+		t.Logf("combined %d of %d reads", combined, readers*readsEach)
+	}
+
+	// Close producers so the final sweep certifies the full tail.
+	qr.Close()
+	qw.Close()
+	for _, srv := range c.servers {
+		srv.Close()
+	}
+	ol.Stop()
+	if fl := ol.FirstFailure(); fl != nil {
+		t.Fatalf("merged journals failed certification: %+v", fl)
+	}
+	if ol.Windows() == 0 {
+		t.Fatal("checker never checked a window")
+	}
+	if qj.Drops() != 0 {
+		t.Errorf("client journal dropped %d records", qj.Drops())
+	}
+	// Exactly-once accounting: a combined read must journal once — never
+	// zero (its interval would vanish from the certified history), never
+	// twice (a leader delivering to a follower must not also journal for
+	// it).
+	wantOps := int64(readers*readsEach + writes)
+	if got := ol.PartOps("q/"); got != wantOps {
+		t.Errorf("client journal drained %d logical ops, want exactly %d", got, wantOps)
+	}
+}
+
+// TestElisionKeepsInversionGuard is the write-back-elision regression:
+// an elided read is only legal because a quorum already acked the
+// candidate stamp, so a fresh client's read after an elided read must
+// still return a stamp at least that new — eliding must never reopen the
+// new-old inversion ABD's write-back exists to close.
+func TestElisionKeepsInversionGuard(t *testing.T) {
+	const m = 3
+	stores := make([]*netreg.Store, m)
+	servers := make([]*netreg.Server, m)
+	addrs := make([]string, m)
+	for i := 0; i < m; i++ {
+		st, err := netreg.NewStore("v0", 1, new(history.Sequencer))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := netreg.Serve("127.0.0.1:0", st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores[i], servers[i], addrs[i] = st, srv, srv.Addr()
+	}
+	defer func() {
+		for _, srv := range servers {
+			srv.Close()
+		}
+	}()
+
+	tally := obs.NewReplica(m)
+	a, err := replica.Dial(addrs, replica.Options{
+		Mode: replica.ModeFast, WriterID: 1, Tally: tally, Timeout: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	v1, _ := json.Marshal("settled")
+	if err := a.Write(v1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash replica 2, write v2 — the quorum {0, 1} acks (ts2, 1) and the
+	// client's watermark rises to it while replica 2 stays behind — then
+	// restart replica 2 on its surviving store at the same address.
+	servers[2].Close()
+	v2, _ := json.Marshal("elided-candidate")
+	ts2, wid2, err := a.WriteStamped(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := netreg.Serve(addrs[2], stores[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers[2] = srv2
+
+	// Once the engine has redialed replica 2, reads see a disagreeing
+	// majority — (ts2, 1) twice, the stale stamp once — whose maximum the
+	// watermark covers: the write-back is elided and replica 2 is
+	// deliberately never repaired by this client.
+	deadline := time.Now().Add(5 * time.Second)
+	for tally.Elided(obs.QRead) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no read elided its write-back after replica 2 rejoined stale")
+		}
+		got, ts, wid, err := a.ReadStamped()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ts != ts2 || wid != wid2 || string(got) != string(v2) {
+			t.Fatalf("read = %s (%d,%d), want %s (%d,%d)", got, ts, wid, v2, ts2, wid2)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The guard: a FRESH client — no watermark, no combining history —
+	// must read at least (ts2, wid2). Its query majority intersects the
+	// {0, 1} quorum that acked the candidate, so anything older is a
+	// new-old inversion the elision would have caused.
+	b, err := replica.Dial(addrs, replica.Options{
+		Mode: replica.ModeABD, WriterID: 9, Timeout: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	got, ts, wid, err := b.ReadStamped()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts < ts2 || (ts == ts2 && wid < wid2) {
+		t.Fatalf("fresh client read stamp (%d,%d) older than elided candidate (%d,%d): new-old inversion",
+			ts, wid, ts2, wid2)
+	}
+	if ts == ts2 && wid == wid2 && string(got) != string(v2) {
+		t.Fatalf("fresh client read %s under stamp (%d,%d), want %s", got, ts, wid, v2)
+	}
+}
+
+// stalledServer accepts connections and reads every byte without ever
+// answering: the pathological replica that takes requests and goes
+// silent. Close stops the listener and severs every connection.
+type stalledServer struct {
+	ln    net.Listener
+	mu    sync.Mutex
+	conns []net.Conn
+	wg    sync.WaitGroup
+}
+
+func newStalledServer(t *testing.T) *stalledServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &stalledServer{ln: ln}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			s.conns = append(s.conns, conn)
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				io.Copy(io.Discard, conn)
+			}()
+		}
+	}()
+	return s
+}
+
+func (s *stalledServer) Close() {
+	s.ln.Close()
+	s.mu.Lock()
+	for _, c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// TestStalledReplicaBoundsGoroutines is the straggler-retirement
+// regression from the PR 9 audit: with one replica accepting requests
+// but never answering, quorum operations must keep completing off the
+// live majority AND the process goroutine count must stay flat — the
+// engine retires stragglers by failing the silent connection on a read
+// deadline, it never parks a goroutine per abandoned exchange.
+func TestStalledReplicaBoundsGoroutines(t *testing.T) {
+	const ops = 200
+	c := startCluster(t, 2, "v0")
+	stalled := newStalledServer(t)
+	defer stalled.Close()
+	addrs := append(append([]string(nil), c.addrs...), stalled.ln.Addr().String())
+
+	base := runtime.NumGoroutine()
+	q, err := replica.Dial(addrs, replica.Options{
+		Mode: replica.ModeABD, WriterID: 1, Timeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	val, _ := json.Marshal("steady")
+	var buf []byte
+	for k := 0; k < ops; k++ {
+		if err := q.Write(val); err != nil {
+			t.Fatalf("write %d: %v", k, err)
+		}
+		if buf, _, _, err = q.ReadInto(buf); err != nil {
+			t.Fatalf("read %d: %v", k, err)
+		}
+	}
+
+	// Steady state holds 2 goroutines per replica connection (dispatcher
+	// + reader) plus redial transients; a per-op or per-exchange leak at
+	// 400 ops × 3 replicas would dwarf the slack.
+	if g := runtime.NumGoroutine(); g > base+20 {
+		t.Errorf("goroutines grew %d -> %d during %d ops against a stalled replica", base, g, 2*ops)
+	}
+
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > base+4 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > base+4 {
+		t.Errorf("goroutines did not drain after Close: %d -> %d", base, g)
+	}
+}
+
+// TestQuorumErrorCauses pins satellite 1: a no-quorum failure names every
+// replica's last transport error, reachable both through the rendered
+// message and through errors.Is/As over the wrapped cause list.
+func TestQuorumErrorCauses(t *testing.T) {
+	c := startCluster(t, 3, "v0")
+	q, err := replica.Dial(c.addrs, replica.Options{WriterID: 1, Timeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	if err := q.Write(json.RawMessage(`"pre"`)); err != nil {
+		t.Fatal(err)
+	}
+	c.kill(0)
+	c.kill(1)
+
+	_, err = q.Read()
+	if err == nil {
+		t.Fatal("read succeeded without a quorum")
+	}
+	var qe *replica.QuorumError
+	if !errors.As(err, &qe) {
+		t.Fatalf("error is %T, want *replica.QuorumError", err)
+	}
+	if qe.Replicas != 3 || qe.Quorum != 2 {
+		t.Errorf("QuorumError cluster shape = %d/%d, want 3/2", qe.Quorum, qe.Replicas)
+	}
+	if len(qe.Causes()) == 0 {
+		t.Error("QuorumError carries no per-replica causes")
+	}
+	for _, target := range []error{replica.ErrNoQuorum, netreg.ErrUnavailable} {
+		if !errors.Is(err, target) {
+			t.Errorf("errors.Is(%v) = false", target)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package replica
+
+import "strings"
+
+// QuorumError is the failure a logical operation returns when no
+// majority of replicas answered, carrying the per-replica causes so a
+// dead-majority diagnosis reads straight off the error instead of
+// requiring the obs counters. It is errors.Is-compatible with both
+// ErrNoQuorum and netreg.ErrUnavailable (the first unwrap target is
+// ErrNoQuorum, which itself wraps netreg.ErrUnavailable).
+type QuorumError struct {
+	// Replicas is the cluster size, Quorum the majority the phase needed.
+	Replicas int
+	Quorum   int
+
+	// causes[0] is ErrNoQuorum; the rest attribute the most recent
+	// transport error seen per failed replica ("replica 2: ...: EOF").
+	causes []error
+}
+
+// Error renders the failure with every per-replica cause.
+func (e *QuorumError) Error() string {
+	var b strings.Builder
+	b.WriteString(ErrNoQuorum.Error())
+	if len(e.causes) > 1 {
+		b.WriteString(" (")
+		for i, c := range e.causes[1:] {
+			if i > 0 {
+				b.WriteString("; ")
+			}
+			b.WriteString(c.Error())
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+// Unwrap exposes ErrNoQuorum plus the per-replica causes to errors.Is /
+// errors.As.
+func (e *QuorumError) Unwrap() []error { return e.causes }
+
+// Causes returns the per-replica cause list (without the leading
+// ErrNoQuorum sentinel).
+func (e *QuorumError) Causes() []error {
+	if len(e.causes) <= 1 {
+		return nil
+	}
+	return e.causes[1:]
+}

@@ -1,0 +1,311 @@
+package replica
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/netreg"
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// Legacy is the PR 9 quorum client, kept as the engine's measured
+// baseline: every phase spawns m goroutines and collects replies on a
+// fresh buffered channel over per-replica netreg clients. Protocol and
+// guarantees are identical to QClient's (same two-phase ABD dance, same
+// modes, same journaling); only the transport machinery differs — which
+// is exactly what `bloombench -replica` compares, self-gating the
+// engine at >= 2x this client's one-core saturation throughput. New
+// code should use QClient.
+type Legacy struct {
+	clients []*netreg.Client[json.RawMessage]
+	quorum  int
+	mode    Mode
+	wid     uint32
+	reg     string
+	tally   *obs.Replica
+	owned   bool // Close also closes the per-replica clients
+
+	tap *qTap
+}
+
+// DialLegacy connects one netreg client per replica address and returns
+// a legacy quorum client over them. The dial options apply to every
+// per-replica client; pass netreg.WithRetry/WithBreaker/WithTimeout so
+// a crashed replica degrades to fast local failures instead of hanging
+// each phase. Options.Timeout/Dialer/Wire/NoCombine are engine-only and
+// ignored here (use netreg dial options instead).
+func DialLegacy(addrs []string, o Options, opts ...netreg.DialOption) (*Legacy, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("replica: no replica addresses")
+	}
+	clients := make([]*netreg.Client[json.RawMessage], 0, len(addrs))
+	if o.Register != "" {
+		opts = append(append([]netreg.DialOption(nil), opts...), netreg.WithRegister(o.Register))
+	}
+	for _, a := range addrs {
+		c, err := netreg.Dial[json.RawMessage](a, opts...)
+		if err != nil {
+			for _, d := range clients {
+				d.Close()
+			}
+			return nil, fmt.Errorf("replica: dialing %s: %w", a, err)
+		}
+		clients = append(clients, c)
+	}
+	q := NewLegacy(clients, o)
+	q.owned = true
+	return q, nil
+}
+
+// NewLegacy builds a legacy quorum client over caller-dialed per-replica
+// clients (index i is replica i everywhere: kill plans, health tallies).
+// The caller keeps ownership of the clients; Close does not close them.
+func NewLegacy(clients []*netreg.Client[json.RawMessage], o Options) *Legacy {
+	q := &Legacy{
+		clients: clients,
+		quorum:  len(clients)/2 + 1,
+		mode:    o.Mode,
+		wid:     o.WriterID,
+		reg:     o.Register,
+		tally:   o.Tally,
+	}
+	if o.Journal != nil {
+		q.tap = newQTap(o.Journal, o.Register)
+	}
+	return q
+}
+
+// Quorum returns the majority size the client waits for.
+func (q *Legacy) Quorum() int { return q.quorum }
+
+// Mode returns the client's protocol variant.
+func (q *Legacy) Mode() Mode { return q.mode }
+
+// Close releases the client. Clients dialed by DialLegacy are closed;
+// clients handed to NewLegacy stay open (their owner closes them). The
+// journal tap, if any, is closed so it stops holding the journal horizon
+// back.
+func (q *Legacy) Close() error {
+	if q.tap != nil {
+		q.tap.close()
+	}
+	if q.owned {
+		for _, c := range q.clients {
+			c.Close()
+		}
+	}
+	return nil
+}
+
+// reply is one replica's phase answer.
+type reply struct {
+	idx  int
+	resp wire.Response
+	err  error
+}
+
+// phase fans one round out to every replica and returns as soon as a
+// majority has answered successfully — the entire availability argument
+// lives in this early return: the f slowest-or-dead replicas are simply
+// never waited for. build constructs each replica's request (a fresh
+// request per replica: the per-replica client owns its identity fields).
+// Stragglers keep running after the return and park their answers in the
+// buffered channel for the collector goroutine's garbage, costing
+// nothing; their per-replica retry/breaker machinery is what bounds how
+// long they linger. A failed phase returns a *QuorumError attributing
+// every replica error seen before the impossibility bound was crossed.
+func (q *Legacy) phase(build func(i int) *wire.Request) ([]reply, error) {
+	ch := make(chan reply, len(q.clients))
+	for i, c := range q.clients {
+		req := build(i)
+		go func(i int, c *netreg.Client[json.RawMessage], req *wire.Request) {
+			resp, err := c.Do(req)
+			ch <- reply{idx: i, resp: resp, err: err}
+		}(i, c, req)
+	}
+	oks := make([]reply, 0, q.quorum)
+	qe := &QuorumError{Replicas: len(q.clients), Quorum: q.quorum}
+	fails := 0
+	for range q.clients {
+		r := <-ch
+		if r.err != nil {
+			fails++
+			q.tally.RecordReplica(r.idx, false)
+			qe.causes = append(qe.causes, fmt.Errorf("replica %d: %w", r.idx, r.err))
+			if fails > len(q.clients)-q.quorum {
+				qe.causes = append([]error{ErrNoQuorum}, qe.causes...)
+				return nil, qe
+			}
+			continue
+		}
+		q.tally.RecordReplica(r.idx, true)
+		oks = append(oks, r)
+		if len(oks) == q.quorum {
+			return oks, nil
+		}
+	}
+	// Unreachable: every replica answered, so either oks reached the
+	// majority or fails crossed the impossibility bound first.
+	return nil, fmt.Errorf("%w: no majority among %d replies", ErrNoQuorum, len(q.clients))
+}
+
+// maxReply returns the lexicographically newest (ts, wid) among the
+// replies, and whether every reply agrees on it (the fast-path
+// condition).
+//
+//bloom:waitfree
+//bloom:noalloc
+func maxReply(oks []reply) (best int, agree bool) {
+	agree = true
+	for i := 1; i < len(oks); i++ {
+		a, b := &oks[best].resp, &oks[i].resp
+		if a.Stamp != b.Stamp || a.WID != b.WID {
+			agree = false
+		}
+		if newer(b.Stamp, b.WID, a.Stamp, a.WID) {
+			best = i
+		}
+	}
+	return best, agree
+}
+
+// Write performs one logical quorum write of raw JSON value val.
+func (q *Legacy) Write(val json.RawMessage) error {
+	_, _, err := q.WriteStamped(val)
+	return err
+}
+
+// WriteStamped performs one logical quorum write and returns the
+// (ts, wid) it installed.
+func (q *Legacy) WriteStamped(val json.RawMessage) (int64, uint32, error) {
+	start := time.Now()
+	inv, handle := q.tap.begin()
+
+	// Phase 1: learn a timestamp no completed write exceeds. ModeFrugal
+	// asks for timestamps only; the other modes run the same plain-ABD
+	// full query (the fast-path literature's one-round writes need
+	// either 2f+1-sized quorums or writer leases — out of scope here).
+	op := "qread"
+	if q.mode == ModeFrugal {
+		op = "qts"
+	}
+	oks, err := q.phase(func(i int) *wire.Request { return &wire.Request{Op: op} })
+	if err != nil {
+		q.tally.RecordNoQuorum(obs.QWrite)
+		q.tap.record(obs.JWrite, val, inv, handle, true)
+		return 0, 0, err
+	}
+	best, _ := maxReply(oks)
+	ts := oks[best].resp.Stamp + 1
+
+	// Phase 2: install (ts, wid, val) at a majority.
+	if _, err := q.phase(func(i int) *wire.Request {
+		return &wire.Request{Op: "qwrite", TS: ts, WID: q.wid, Val: val}
+	}); err != nil {
+		q.tally.RecordNoQuorum(obs.QWrite)
+		q.tap.record(obs.JWrite, val, inv, handle, true)
+		return 0, 0, err
+	}
+
+	q.tap.record(obs.JWrite, val, inv, handle, false)
+	q.tally.RecordOp(obs.QWrite, 2, time.Since(start))
+	return ts, q.wid, nil
+}
+
+// Read performs one logical quorum read, returning the raw JSON value.
+func (q *Legacy) Read() (json.RawMessage, error) {
+	v, _, _, err := q.ReadStamped()
+	return v, err
+}
+
+// ReadStamped performs one logical quorum read and returns the value
+// with the (ts, wid) it carried.
+func (q *Legacy) ReadStamped() (json.RawMessage, int64, uint32, error) {
+	start := time.Now()
+	inv, handle := q.tap.begin()
+
+	val, ts, wid, rounds, err := q.readPhases()
+	if err != nil {
+		q.tally.RecordNoQuorum(obs.QRead)
+		q.tap.record(obs.JRead, nil, inv, handle, true)
+		return nil, 0, 0, err
+	}
+
+	q.tap.record(obs.JRead, val, inv, handle, false)
+	q.tally.RecordOp(obs.QRead, rounds, time.Since(start))
+	return val, ts, wid, nil
+}
+
+// readPhases runs the mode's read protocol and reports how many quorum
+// rounds it took (the rounds/op the benchmark tables compare).
+func (q *Legacy) readPhases() (val json.RawMessage, ts int64, wid uint32, rounds int, err error) {
+	if q.mode == ModeFrugal {
+		return q.readFrugal()
+	}
+
+	// Phase 1: full-value majority query.
+	oks, err := q.phase(func(i int) *wire.Request { return &wire.Request{Op: "qread"} })
+	if err != nil {
+		return nil, 0, 0, 1, err
+	}
+	best, agree := maxReply(oks)
+	val, ts, wid = oks[best].resp.Val, oks[best].resp.Stamp, oks[best].resp.WID
+
+	// Fast path: every majority reply agrees on (ts, wid), so that
+	// timestamp is already at a majority and the write-back below would
+	// be a no-op at every intersecting quorum — skip it (one round).
+	if q.mode == ModeFast && agree {
+		return val, ts, wid, 1, nil
+	}
+
+	// Phase 2: write the max back so no later read returns older.
+	if _, err := q.phase(func(i int) *wire.Request {
+		return &wire.Request{Op: "qwrite", TS: ts, WID: wid, Val: val}
+	}); err != nil {
+		return nil, 0, 0, 2, err
+	}
+	return val, ts, wid, 2, nil
+}
+
+// readFrugal is ModeFrugal's read: constant-size timestamp query, value
+// fetched from one max-timestamp replica, then the usual write-back. A
+// dead or stale fetch target falls back to the full-value query — the
+// frugal path is an optimization, never a correctness dependency.
+func (q *Legacy) readFrugal() (val json.RawMessage, ts int64, wid uint32, rounds int, err error) {
+	oks, err := q.phase(func(i int) *wire.Request { return &wire.Request{Op: "qts"} })
+	if err != nil {
+		return nil, 0, 0, 1, err
+	}
+	best, _ := maxReply(oks)
+	ts, wid = oks[best].resp.Stamp, oks[best].resp.WID
+
+	// Fetch the value from one replica that reported the max. Its cell
+	// can only have grown since (qwrite is a max-merge), so whatever
+	// comes back is at least as new as (ts, wid) — newer is fine, the
+	// write-back just propagates the newer triple.
+	resp, ferr := q.clients[oks[best].idx].Do(&wire.Request{Op: "qread"})
+	if ferr == nil && !newer(ts, wid, resp.Stamp, resp.WID) {
+		val, ts, wid = resp.Val, resp.Stamp, resp.WID
+	} else {
+		// Fallback: the fetch target died between phases (or answered
+		// stale, impossible today but cheap to tolerate) — pay the full
+		// ABD query instead.
+		q.tally.RecordReplica(oks[best].idx, ferr == nil)
+		full, err := q.phase(func(i int) *wire.Request { return &wire.Request{Op: "qread"} })
+		if err != nil {
+			return nil, 0, 0, 2, err
+		}
+		b, _ := maxReply(full)
+		val, ts, wid = full[b].resp.Val, full[b].resp.Stamp, full[b].resp.WID
+	}
+
+	if _, err := q.phase(func(i int) *wire.Request {
+		return &wire.Request{Op: "qwrite", TS: ts, WID: wid, Val: val}
+	}); err != nil {
+		return nil, 0, 0, 2, err
+	}
+	return val, ts, wid, 2, nil
+}

@@ -1,10 +1,10 @@
 // Package replica implements an ABD-style replicated atomic register: a
 // quorum client (QClient) runs every read and write as majority round
-// trips fanned out over pipelined netreg connections to m independent
-// Store servers, so the register survives any f < m/2 permanent server
-// crashes with atomicity intact — the crash-prone, message-passing
-// counterpart of the paper's shared-memory construction, scaled from two
-// writers on one box to many writers on many boxes.
+// trips fanned out over persistent per-replica connections to m
+// independent Store servers, so the register survives any f < m/2
+// permanent server crashes with atomicity intact — the crash-prone,
+// message-passing counterpart of the paper's shared-memory construction,
+// scaled from two writers on one box to many writers on many boxes.
 //
 // # Protocol
 //
@@ -27,6 +27,16 @@
 // completed write — and the read's own write-back hands that guarantee
 // to the reads after it.
 //
+// # Transport
+//
+// QClient runs on the quorum engine (engine.go): one long-lived
+// dispatcher goroutine per replica connection fed by a submission ring,
+// pooled per-op records recycled through a freelist, and completion via
+// ack counters and per-op doorbells — zero goroutine spawns and zero
+// allocations per steady-state operation. The PR 9 per-op-goroutine
+// client survives as Legacy (legacy.go), the measured baseline the
+// engine must beat by 2x in `bloombench -replica`.
+//
 // # Modes
 //
 // ModeABD is the baseline above. Two variants from the literature are
@@ -37,7 +47,16 @@
 //     when every reply in a read's query majority agrees on (ts, wid),
 //     the value is already at a majority and the write-back phase is
 //     provably redundant — the read completes in ONE round. Under low
-//     write contention almost every read takes the fast path.
+//     write contention almost every read takes the fast path. The
+//     engine extends this with write-back ELISION: completed writes,
+//     write-backs, and unanimous queries raise a per-client acked
+//     watermark (the newest (ts, wid) a full quorum is known to hold),
+//     and a read whose candidate is covered by the watermark skips its
+//     write-back even when the query replies disagree — repeat reads of
+//     a settled register take the one-round path despite a lagging
+//     replica. Sound because q-cells are monotone: the watermark quorum
+//     holds >= that stamp forever, and every later read's majority
+//     intersects it, so the new-old-inversion guard is preserved.
 //
 //   - ModeFrugal (inspired by Mostéfaoui–Raynal, "Two-Bit Messages are
 //     Sufficient to Implement Atomic Read/Write Registers in Crash-prone
@@ -49,15 +68,31 @@
 //     goal, not its literal two-bit protocol (which needs server-to-
 //     server gossip our star topology doesn't have).
 //
+// # Combining
+//
+// Concurrent reads on one QClient (ModeABD/ModeFast) COMBINE: the first
+// read in flight leads the quorum query, and reads that arrive before
+// any of its query frames hit a socket join as followers, receiving the
+// leader's (value, ts, wid) without issuing any quorum round of their
+// own. The seal point — no joins after the first frame is dequeued for
+// sending — is what makes a follower's result sound: every quorum
+// contact happens inside the follower's own invocation interval, so the
+// follower linearizes immediately after its leader. Followers journal
+// their own logical ops (exactly-once) and tally as zero-round
+// completions (obs.Replica's combined counter).
+//
 // # Failures
 //
-// Per-replica transport recovery (retry, reconnect, circuit breaker,
-// at-most-once request identity) is netreg.Client's, reused wholesale —
-// one client per replica, so one replica's breaker opening never gates
-// another's traffic. A phase that cannot reach a majority fails the
-// logical operation with ErrNoQuorum (errors.Is-compatible with
-// netreg.ErrUnavailable): quorum loss is unavailability, never a wrong
-// answer, and with breakers armed it is a fast failure, not a hang.
+// The engine fails a replica's connection as a whole on any transport
+// fault — including read silence past the op timeout while work is
+// outstanding, the deterministic retirement of stalled-replica
+// stragglers — fail-acking every in-flight exchange and redialing with
+// capped backoff; while down, submissions fail instantly. A phase that
+// cannot reach a majority fails the logical operation with a
+// *QuorumError carrying every per-replica cause, errors.Is-compatible
+// with ErrNoQuorum and netreg.ErrUnavailable: quorum loss is
+// unavailability, never a wrong answer, and it is a fast failure, not a
+// hang.
 //
 // # Certification
 //
@@ -69,23 +104,22 @@
 // namespaces each journal under a prefix and certifies all of them in
 // one checker. A logical operation that fails (no quorum) is journaled
 // JErr; under the supported failure model — f < m/2 permanent crashes,
-// timeouts generous enough that live replicas answer within the retry
-// budget — logical operations do not fail, so no JErr record can mask a
-// partially-installed write that a later read might surface. Past
+// timeouts generous enough that live replicas answer within the phase
+// deadline — logical operations do not fail, so no JErr record can mask
+// a partially-installed write that a later read might surface. Past
 // quorum loss no later read completes either, so nothing observable goes
 // unexplained.
 package replica
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
+	"net"
 	"sync"
 	"time"
 
 	"repro/internal/netreg"
 	"repro/internal/obs"
-	"repro/internal/wire"
 )
 
 // Mode selects the read/write variant a QClient runs (see the package
@@ -97,7 +131,8 @@ const (
 	// read writes back.
 	ModeABD Mode = iota
 	// ModeFast skips a read's write-back when the query majority already
-	// agrees on (ts, wid): a one-round read.
+	// agrees on (ts, wid) — or when the client's acked watermark already
+	// covers the candidate (write-back elision): a one-round read.
 	ModeFast
 	// ModeFrugal queries timestamps only (constant-size phase-1
 	// messages) and fetches a read's value from a single replica.
@@ -121,10 +156,11 @@ func (m Mode) String() string {
 // ErrNoQuorum marks logical operations that failed because no majority
 // of replicas answered. It wraps netreg.ErrUnavailable, so transport-
 // level availability tests (errors.Is(err, netreg.ErrUnavailable)) see
-// quorum loss for what it is.
+// quorum loss for what it is. Returned errors are *QuorumError values
+// wrapping this sentinel plus the per-replica causes.
 var ErrNoQuorum = fmt.Errorf("replica: quorum unavailable: %w", netreg.ErrUnavailable)
 
-// Options configures a QClient.
+// Options configures a QClient (engine) or Legacy client.
 type Options struct {
 	// Mode selects the protocol variant. Default ModeABD.
 	Mode Mode
@@ -139,145 +175,24 @@ type Options struct {
 	// Journal, when set, receives one record per LOGICAL operation (see
 	// the package comment on certification).
 	Journal *obs.Journal
-	// Tally, when set, receives quorum latency, rounds/op, fast-path and
-	// no-quorum counts, and per-replica exchange health. Create it with
-	// obs.NewReplica(m).
+	// Tally, when set, receives quorum latency, rounds/op, fast-path,
+	// combining and elision counts, no-quorum counts, and per-replica
+	// exchange health. Create it with obs.NewReplica(m).
 	Tally *obs.Replica
-}
 
-// QClient is a quorum client over m replicas. All methods are safe for
-// concurrent use: per-replica traffic multiplexes onto pipelined netreg
-// connections, and concurrent logical operations journal through a gated
-// tap. One QClient is one writer identity — give concurrent writers
-// their own QClients (they can share nothing, or share the same m
-// addresses; the protocol doesn't care).
-type QClient struct {
-	clients []*netreg.Client[json.RawMessage]
-	quorum  int
-	mode    Mode
-	wid     uint32
-	reg     string
-	tally   *obs.Replica
-	owned   bool // Close also closes the per-replica clients
-
-	tap *qTap
-}
-
-// Dial connects one netreg client per replica address and returns a
-// quorum client over them. The dial options apply to every per-replica
-// client; pass netreg.WithRetry/WithBreaker/WithTimeout so a crashed
-// replica degrades to fast local failures instead of hanging each phase.
-// Dialing fails if any replica is unreachable at start (a cluster that
-// begins degraded is a deployment error, not a fault to tolerate).
-func Dial(addrs []string, o Options, opts ...netreg.DialOption) (*QClient, error) {
-	if len(addrs) == 0 {
-		return nil, errors.New("replica: no replica addresses")
-	}
-	clients := make([]*netreg.Client[json.RawMessage], 0, len(addrs))
-	if o.Register != "" {
-		opts = append(append([]netreg.DialOption(nil), opts...), netreg.WithRegister(o.Register))
-	}
-	for _, a := range addrs {
-		c, err := netreg.Dial[json.RawMessage](a, opts...)
-		if err != nil {
-			for _, d := range clients {
-				d.Close()
-			}
-			return nil, fmt.Errorf("replica: dialing %s: %w", a, err)
-		}
-		clients = append(clients, c)
-	}
-	q := New(clients, o)
-	q.owned = true
-	return q, nil
-}
-
-// New builds a quorum client over caller-dialed per-replica clients
-// (index i is replica i everywhere: kill plans, health tallies). The
-// caller keeps ownership of the clients; Close does not close them.
-func New(clients []*netreg.Client[json.RawMessage], o Options) *QClient {
-	q := &QClient{
-		clients: clients,
-		quorum:  len(clients)/2 + 1,
-		mode:    o.Mode,
-		wid:     o.WriterID,
-		reg:     o.Register,
-		tally:   o.Tally,
-	}
-	if o.Journal != nil {
-		q.tap = newQTap(o.Journal, o.Register)
-	}
-	return q
-}
-
-// Quorum returns the majority size the client waits for.
-func (q *QClient) Quorum() int { return q.quorum }
-
-// Mode returns the client's protocol variant.
-func (q *QClient) Mode() Mode { return q.mode }
-
-// Close releases the client. Clients dialed by Dial are closed; clients
-// handed to New stay open (their owner closes them). The journal tap, if
-// any, is closed so it stops holding the journal horizon back.
-func (q *QClient) Close() error {
-	if q.tap != nil {
-		q.tap.close()
-	}
-	if q.owned {
-		for _, c := range q.clients {
-			c.Close()
-		}
-	}
-	return nil
-}
-
-// reply is one replica's phase answer.
-type reply struct {
-	idx  int
-	resp wire.Response
-	err  error
-}
-
-// phase fans one round out to every replica and returns as soon as a
-// majority has answered successfully — the entire availability argument
-// lives in this early return: the f slowest-or-dead replicas are simply
-// never waited for. build constructs each replica's request (a fresh
-// request per replica: the per-replica client owns its identity fields).
-// Stragglers keep running after the return and park their answers in the
-// buffered channel for the collector goroutine's garbage, costing
-// nothing; their per-replica retry/breaker machinery is what bounds how
-// long they linger.
-func (q *QClient) phase(build func(i int) *wire.Request) ([]reply, error) {
-	ch := make(chan reply, len(q.clients))
-	for i, c := range q.clients {
-		req := build(i)
-		go func(i int, c *netreg.Client[json.RawMessage], req *wire.Request) {
-			resp, err := c.Do(req)
-			ch <- reply{idx: i, resp: resp, err: err}
-		}(i, c, req)
-	}
-	oks := make([]reply, 0, q.quorum)
-	fails := 0
-	for range q.clients {
-		r := <-ch
-		if r.err != nil {
-			fails++
-			q.tally.RecordReplica(r.idx, false)
-			if fails > len(q.clients)-q.quorum {
-				return nil, fmt.Errorf("%w: %d of %d replicas unreachable (last: %v)",
-					ErrNoQuorum, fails, len(q.clients), r.err)
-			}
-			continue
-		}
-		q.tally.RecordReplica(r.idx, true)
-		oks = append(oks, r)
-		if len(oks) == q.quorum {
-			return oks, nil
-		}
-	}
-	// Unreachable: every replica answered, so either oks reached the
-	// majority or fails crossed the impossibility bound first.
-	return nil, fmt.Errorf("%w: no majority among %d replies", ErrNoQuorum, len(q.clients))
+	// Timeout bounds one quorum phase (and one connection's read silence
+	// while work is outstanding, times 1.5). Zero means one second.
+	// Engine only.
+	Timeout time.Duration
+	// Dialer, when set, replaces net.Dial for replica connections — the
+	// fault-injection hook (see faultnet.Plan.Dialer). Engine only.
+	Dialer func(addr string) (net.Conn, error)
+	// Wire, when set, counts the engine's frames and socket bytes (the
+	// bytes/op comparison across modes). Engine only.
+	Wire *obs.Wire
+	// NoCombine disables read combining (every read runs its own quorum
+	// query). Engine only; combining is already never used in ModeFrugal.
+	NoCombine bool
 }
 
 // newer reports whether (ts1, wid1) orders after (ts2, wid2) in the
@@ -289,167 +204,9 @@ func newer(ts1 int64, wid1 uint32, ts2 int64, wid2 uint32) bool {
 	return ts1 > ts2 || (ts1 == ts2 && wid1 > wid2)
 }
 
-// maxReply returns the lexicographically newest (ts, wid) among the
-// replies, and whether every reply agrees on it (the fast-path
-// condition).
-//
-//bloom:waitfree
-//bloom:noalloc
-func maxReply(oks []reply) (best int, agree bool) {
-	agree = true
-	for i := 1; i < len(oks); i++ {
-		a, b := &oks[best].resp, &oks[i].resp
-		if a.Stamp != b.Stamp || a.WID != b.WID {
-			agree = false
-		}
-		if newer(b.Stamp, b.WID, a.Stamp, a.WID) {
-			best = i
-		}
-	}
-	return best, agree
-}
-
-// Write performs one logical quorum write of raw JSON value val.
-func (q *QClient) Write(val json.RawMessage) error {
-	_, _, err := q.WriteStamped(val)
-	return err
-}
-
-// WriteStamped performs one logical quorum write and returns the
-// (ts, wid) it installed.
-func (q *QClient) WriteStamped(val json.RawMessage) (int64, uint32, error) {
-	start := time.Now()
-	inv, handle := q.tap.begin()
-
-	// Phase 1: learn a timestamp no completed write exceeds. ModeFrugal
-	// asks for timestamps only; the other modes run the same plain-ABD
-	// full query (the fast-path literature's one-round writes need
-	// either 2f+1-sized quorums or writer leases — out of scope here).
-	op := "qread"
-	if q.mode == ModeFrugal {
-		op = "qts"
-	}
-	oks, err := q.phase(func(i int) *wire.Request { return &wire.Request{Op: op} })
-	if err != nil {
-		q.tally.RecordNoQuorum(obs.QWrite)
-		q.tap.record(obs.JWrite, val, inv, handle, true)
-		return 0, 0, err
-	}
-	best, _ := maxReply(oks)
-	ts := oks[best].resp.Stamp + 1
-
-	// Phase 2: install (ts, wid, val) at a majority.
-	if _, err := q.phase(func(i int) *wire.Request {
-		return &wire.Request{Op: "qwrite", TS: ts, WID: q.wid, Val: val}
-	}); err != nil {
-		q.tally.RecordNoQuorum(obs.QWrite)
-		q.tap.record(obs.JWrite, val, inv, handle, true)
-		return 0, 0, err
-	}
-
-	q.tap.record(obs.JWrite, val, inv, handle, false)
-	q.tally.RecordOp(obs.QWrite, 2, time.Since(start))
-	return ts, q.wid, nil
-}
-
-// Read performs one logical quorum read, returning the raw JSON value.
-func (q *QClient) Read() (json.RawMessage, error) {
-	v, _, _, err := q.ReadStamped()
-	return v, err
-}
-
-// ReadStamped performs one logical quorum read and returns the value
-// with the (ts, wid) it carried.
-func (q *QClient) ReadStamped() (json.RawMessage, int64, uint32, error) {
-	start := time.Now()
-	inv, handle := q.tap.begin()
-
-	val, ts, wid, rounds, err := q.readPhases()
-	if err != nil {
-		q.tally.RecordNoQuorum(obs.QRead)
-		q.tap.record(obs.JRead, nil, inv, handle, true)
-		return nil, 0, 0, err
-	}
-
-	q.tap.record(obs.JRead, val, inv, handle, false)
-	q.tally.RecordOp(obs.QRead, rounds, time.Since(start))
-	return val, ts, wid, nil
-}
-
-// readPhases runs the mode's read protocol and reports how many quorum
-// rounds it took (the rounds/op the benchmark tables compare).
-func (q *QClient) readPhases() (val json.RawMessage, ts int64, wid uint32, rounds int, err error) {
-	if q.mode == ModeFrugal {
-		return q.readFrugal()
-	}
-
-	// Phase 1: full-value majority query.
-	oks, err := q.phase(func(i int) *wire.Request { return &wire.Request{Op: "qread"} })
-	if err != nil {
-		return nil, 0, 0, 1, err
-	}
-	best, agree := maxReply(oks)
-	val, ts, wid = oks[best].resp.Val, oks[best].resp.Stamp, oks[best].resp.WID
-
-	// Fast path: every majority reply agrees on (ts, wid), so that
-	// timestamp is already at a majority and the write-back below would
-	// be a no-op at every intersecting quorum — skip it (one round).
-	if q.mode == ModeFast && agree {
-		return val, ts, wid, 1, nil
-	}
-
-	// Phase 2: write the max back so no later read returns older.
-	if _, err := q.phase(func(i int) *wire.Request {
-		return &wire.Request{Op: "qwrite", TS: ts, WID: wid, Val: val}
-	}); err != nil {
-		return nil, 0, 0, 2, err
-	}
-	return val, ts, wid, 2, nil
-}
-
-// readFrugal is ModeFrugal's read: constant-size timestamp query, value
-// fetched from one max-timestamp replica, then the usual write-back. A
-// dead or stale fetch target falls back to the full-value query — the
-// frugal path is an optimization, never a correctness dependency.
-func (q *QClient) readFrugal() (val json.RawMessage, ts int64, wid uint32, rounds int, err error) {
-	oks, err := q.phase(func(i int) *wire.Request { return &wire.Request{Op: "qts"} })
-	if err != nil {
-		return nil, 0, 0, 1, err
-	}
-	best, _ := maxReply(oks)
-	ts, wid = oks[best].resp.Stamp, oks[best].resp.WID
-
-	// Fetch the value from one replica that reported the max. Its cell
-	// can only have grown since (qwrite is a max-merge), so whatever
-	// comes back is at least as new as (ts, wid) — newer is fine, the
-	// write-back just propagates the newer triple.
-	resp, ferr := q.clients[oks[best].idx].Do(&wire.Request{Op: "qread"})
-	if ferr == nil && !newer(ts, wid, resp.Stamp, resp.WID) {
-		val, ts, wid = resp.Val, resp.Stamp, resp.WID
-	} else {
-		// Fallback: the fetch target died between phases (or answered
-		// stale, impossible today but cheap to tolerate) — pay the full
-		// ABD query instead.
-		q.tally.RecordReplica(oks[best].idx, ferr == nil)
-		full, err := q.phase(func(i int) *wire.Request { return &wire.Request{Op: "qread"} })
-		if err != nil {
-			return nil, 0, 0, 2, err
-		}
-		b, _ := maxReply(full)
-		val, ts, wid = full[b].resp.Val, full[b].resp.Stamp, full[b].resp.WID
-	}
-
-	if _, err := q.phase(func(i int) *wire.Request {
-		return &wire.Request{Op: "qwrite", TS: ts, WID: wid, Val: val}
-	}); err != nil {
-		return nil, 0, 0, 2, err
-	}
-	return val, ts, wid, 2, nil
-}
-
-// qTap journals a QClient's logical operations. Concurrent logical ops
-// complete out of order, so it uses the gated discipline (the same one
-// netreg's worker models use): a mutex serializes ring access and a
+// qTap journals a quorum client's logical operations. Concurrent logical
+// ops complete out of order, so it uses the gated discipline (the same
+// one netreg's worker models use): a mutex serializes ring access and a
 // FIFO of in-flight invocations keeps the source's horizon bound at the
 // oldest running invocation — a completion must never advance the bound
 // past an older, still-running logical op. All methods are safe on a

@@ -61,6 +61,11 @@ func fastOpts() []netreg.DialOption {
 	}
 }
 
+// fastTimeout is the engine phase timeout the in-process tests run with:
+// long enough that a local round trip never trips it, short enough that
+// failure tests stay fast.
+const fastTimeout = 300 * time.Millisecond
+
 // TestQuorumModesReadWrite drives each protocol variant through writes
 // and reads on a healthy cluster: reads return the latest written value
 // and stamps never regress.
@@ -68,7 +73,7 @@ func TestQuorumModesReadWrite(t *testing.T) {
 	for _, mode := range []replica.Mode{replica.ModeABD, replica.ModeFast, replica.ModeFrugal} {
 		t.Run(mode.String(), func(t *testing.T) {
 			c := startCluster(t, 3, "v0")
-			q, err := replica.Dial(c.addrs, replica.Options{Mode: mode, WriterID: 1}, fastOpts()...)
+			q, err := replica.Dial(c.addrs, replica.Options{Mode: mode, WriterID: 1, Timeout: fastTimeout})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -111,7 +116,7 @@ func stampAfter(ts int64, wid uint32, ts2 int64, wid2 uint32) bool {
 func TestFastPathOneRound(t *testing.T) {
 	c := startCluster(t, 3, "v0")
 	tally := obs.NewReplica(3)
-	q, err := replica.Dial(c.addrs, replica.Options{Mode: replica.ModeFast, WriterID: 1, Tally: tally}, fastOpts()...)
+	q, err := replica.Dial(c.addrs, replica.Options{Mode: replica.ModeFast, WriterID: 1, Tally: tally, Timeout: fastTimeout})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,8 +169,7 @@ func TestFrugalBytes(t *testing.T) {
 
 	read := func(mode replica.Mode) int64 {
 		ws := obs.NewWire()
-		opts := append(fastOpts(), netreg.WithWireStats(ws))
-		q, err := replica.Dial(c.addrs, replica.Options{Mode: mode, WriterID: 7}, opts...)
+		q, err := replica.Dial(c.addrs, replica.Options{Mode: mode, WriterID: 7, Timeout: fastTimeout, Wire: ws})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -218,20 +222,17 @@ func TestCrashSoakQuorumAtomic(t *testing.T) {
 	}
 	ol.Start()
 
-	// Generous retries ride out the kill transients; the breaker turns a
-	// dead replica into a fast local failure instead of a paid timeout.
-	opts := []netreg.DialOption{
-		netreg.WithTimeout(300 * time.Millisecond),
-		netreg.WithRetry(netreg.RetryPolicy{Attempts: 3, Backoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond}),
-		netreg.WithBreaker(2, 100*time.Millisecond),
-	}
-
+	// A generous phase timeout rides out the kill transients; the engine
+	// turns a dead replica's connection into instant local failures while
+	// its redial loop backs off, so a crash costs one timeout, not one per
+	// exchange.
 	modes := []replica.Mode{replica.ModeABD, replica.ModeFast, replica.ModeFrugal, replica.ModeABD}
 	clients := make([]*replica.QClient, len(modes))
 	for i, mode := range modes {
 		q, err := replica.Dial(c.addrs, replica.Options{
 			Mode: mode, WriterID: uint32(i + 1), Journal: qj, Tally: tally,
-		}, opts...)
+			Timeout: 2 * time.Second,
+		})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -323,11 +324,7 @@ func TestCrashSoakQuorumAtomic(t *testing.T) {
 // level tests — in bounded time, never hang.
 func TestNoQuorumFailsFast(t *testing.T) {
 	c := startCluster(t, 3, "v0")
-	q, err := replica.Dial(c.addrs, replica.Options{WriterID: 1},
-		netreg.WithTimeout(200*time.Millisecond),
-		netreg.WithRetry(netreg.RetryPolicy{Attempts: 2, Backoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond}),
-		netreg.WithBreaker(2, time.Second),
-	)
+	q, err := replica.Dial(c.addrs, replica.Options{WriterID: 1, Timeout: 200 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
